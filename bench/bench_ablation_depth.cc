@@ -1,0 +1,47 @@
+// Ablation A2 (DESIGN.md): prefilter index depth k (§4.2's node-label size
+// cap) — build cost and index size vs. candidate-set selectivity.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ctdb;
+  const double scale = bench::Scale();
+  const size_t db_size =
+      std::max<size_t>(5, static_cast<size_t>(1000 * scale));
+  const size_t queries_per_level =
+      std::max<size_t>(3, static_cast<size_t>(100 * scale));
+
+  bench::PrintHeader("Ablation — prefilter depth k (db=" +
+                     std::to_string(db_size) + ")");
+  std::printf("%3s | %10s %10s %12s | %12s %12s\n", "k", "build s",
+              "nodes", "index size", "cand./query", "avg query ms");
+  bench::PrintRule();
+
+  for (size_t k = 1; k <= 3; ++k) {
+    broker::DatabaseOptions options;
+    options.prefilter.max_depth = k;
+    bench::Universe u = bench::BuildUniverse(db_size, 5, queries_per_level,
+                                             options, 0xDE27);
+    std::vector<std::string> all_queries;
+    for (const auto& set : u.query_sets) {
+      all_queries.insert(all_queries.end(), set.queries.begin(),
+                         set.queries.end());
+    }
+    const auto stats = u.db->prefilter().Stats();
+    const bench::EvalResult r = bench::EvaluateAll(
+        u.db.get(), all_queries, bench::OptimizedOptions());
+    std::printf("%3zu | %10.2f %10zu %12s | %12.1f %12.3f\n", k,
+                u.build_seconds, stats.node_count,
+                HumanBytes(stats.memory_bytes).c_str(), r.candidates.mean(),
+                r.total_ms.mean());
+  }
+  bench::PrintRule();
+  std::printf(
+      "Expectation: deeper indexes cost more to build and store but yield\n"
+      "smaller candidate sets; k=2 (the paper's working point) balances "
+      "both.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A1 (DESIGN.md): contribution of each optimization technique.
+// Rows: none / prefilter only / bisimulation only / both / both + seeds off /
+// SCC product checker instead of Algorithm 2.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ctdb;
+  const double scale = bench::Scale();
+  const size_t db_size =
+      std::max<size_t>(5, static_cast<size_t>(1000 * scale));
+  const size_t queries_per_level =
+      std::max<size_t>(3, static_cast<size_t>(100 * scale));
+
+  bench::Universe u = bench::BuildUniverse(db_size, 5, queries_per_level,
+                                           broker::DatabaseOptions{}, 0xAB1A);
+
+  struct Config {
+    const char* name;
+    broker::QueryOptions options;
+  };
+  broker::QueryOptions none = bench::UnoptimizedOptions();
+  broker::QueryOptions prefilter_only = bench::UnoptimizedOptions();
+  prefilter_only.use_prefilter = true;
+  broker::QueryOptions bisim_only = bench::UnoptimizedOptions();
+  bisim_only.use_projections = true;
+  broker::QueryOptions both = bench::OptimizedOptions();
+  broker::QueryOptions both_no_seeds = bench::OptimizedOptions();
+  both_no_seeds.permission.use_seeds = false;
+  broker::QueryOptions scc = bench::OptimizedOptions();
+  scc.permission.algorithm = core::PermissionAlgorithm::kScc;
+  broker::QueryOptions parallel = bench::OptimizedOptions();
+  parallel.threads = 4;
+  broker::QueryOptions parallel_scan = bench::UnoptimizedOptions();
+  parallel_scan.threads = 4;
+
+  const Config configs[] = {
+      {"unoptimized (scan)", none},
+      {"scan, 4 threads", parallel_scan},
+      {"prefilter only", prefilter_only},
+      {"bisimulation only", bisim_only},
+      {"prefilter + bisim", both},
+      {"both, seeds off", both_no_seeds},
+      {"both, SCC checker", scc},
+      {"both, 4 threads", parallel},
+  };
+
+  bench::PrintHeader("Ablation — optimization contributions (db=" +
+                     std::to_string(db_size) + ")");
+  std::printf("%-22s | %12s %12s | %12s %10s\n", "configuration",
+              "avg ms", "sd ms", "cand./query", "matches");
+  bench::PrintRule();
+  std::vector<std::string> all_queries;
+  for (const auto& set : u.query_sets) {
+    all_queries.insert(all_queries.end(), set.queries.begin(),
+                       set.queries.end());
+  }
+  for (const Config& config : configs) {
+    const bench::EvalResult r =
+        bench::EvaluateAll(u.db.get(), all_queries, config.options);
+    std::printf("%-22s | %12.3f %12.3f | %12.1f %10.1f\n", config.name,
+                r.total_ms.mean(), r.total_ms.stddev(), r.candidates.mean(),
+                r.matches.mean());
+  }
+  bench::PrintRule();
+  std::printf(
+      "Expectation: each technique alone beats the scan; combined beats "
+      "either;\nmatch counts identical across every row (correctness). "
+      "Threaded rows only\nimprove wall-clock when the host has multiple "
+      "cores (this host: %u).\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

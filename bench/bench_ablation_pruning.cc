@@ -1,0 +1,82 @@
+// Ablation for §4.1.1's claim: the implemented approximation of the pruning
+// conditions (incoming-transition cycle conditions) "has nearly the same
+// number of false positives as the complete pruning conditions". Compares
+// candidate-set sizes, false-positive counts (candidates that turn out not
+// to permit) and extraction cost across all mode combinations.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "index/pruning.h"
+
+int main() {
+  using namespace ctdb;
+  const double scale = bench::Scale();
+  const size_t db_size =
+      std::max<size_t>(5, static_cast<size_t>(1000 * scale));
+  const size_t queries_per_level =
+      std::max<size_t>(5, static_cast<size_t>(100 * scale));
+
+  bench::Universe u = bench::BuildUniverse(db_size, 5, queries_per_level,
+                                           broker::DatabaseOptions{}, 0x9417);
+  std::vector<std::string> all_queries;
+  for (const auto& set : u.query_sets) {
+    all_queries.insert(all_queries.end(), set.queries.begin(),
+                       set.queries.end());
+  }
+
+  struct Mode {
+    const char* name;
+    index::PathConditionMode path;
+    index::CycleConditionMode cycle;
+  };
+  const Mode modes[] = {
+      {"approx paths + approx cycles (paper impl.)",
+       index::PathConditionMode::kCondensation,
+       index::CycleConditionMode::kIncomingApprox},
+      {"state paths + approx cycles (Alg. 1 memo)",
+       index::PathConditionMode::kMemoizedStatePaths,
+       index::CycleConditionMode::kIncomingApprox},
+      {"approx paths + complete cycles",
+       index::PathConditionMode::kCondensation,
+       index::CycleConditionMode::kBoundedCycles},
+      {"state paths + complete cycles ('complete')",
+       index::PathConditionMode::kMemoizedStatePaths,
+       index::CycleConditionMode::kBoundedCycles},
+  };
+
+  bench::PrintHeader("Ablation — pruning condition variants (db=" +
+                     std::to_string(db_size) + ")");
+  std::printf("%-44s | %12s %14s | %12s\n", "mode", "cand./query",
+              "false pos/query", "avg query ms");
+  bench::PrintRule();
+
+  for (const Mode& mode : modes) {
+    broker::QueryOptions options;  // fully optimized
+    options.pruning.path_mode = mode.path;
+    options.pruning.cycle_mode = mode.cycle;
+    RunningStats candidates;
+    RunningStats false_positives;
+    RunningStats total_ms;
+    for (const std::string& q : all_queries) {
+      auto r = u.db->Query(q, options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      candidates.Add(static_cast<double>(r->stats.candidates));
+      false_positives.Add(
+          static_cast<double>(r->stats.candidates - r->stats.matches));
+      total_ms.Add(r->stats.total_ms);
+    }
+    std::printf("%-44s | %12.1f %14.1f | %12.3f\n", mode.name,
+                candidates.mean(), false_positives.mean(), total_ms.mean());
+  }
+  bench::PrintRule();
+  std::printf(
+      "Expectation (§4.1.1): the approximated conditions have nearly the\n"
+      "same false-positive count as the complete ones, at lower cost.\n");
+  return 0;
+}

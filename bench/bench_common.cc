@@ -1,0 +1,120 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/timer.h"
+
+namespace ctdb::bench {
+
+double Scale() {
+  const char* env = std::getenv("CTDB_BENCH_SCALE");
+  if (env == nullptr || env[0] == '\0') return kDefaultScale;
+  const std::string value(env);
+  if (value == "paper") return 1.0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || parsed <= 0) return kDefaultScale;
+  return parsed;
+}
+
+QuerySet GenerateQueries(broker::ContractDatabase* db, const char* level,
+                         size_t patterns, size_t count, uint64_t seed) {
+  QuerySet set;
+  set.level = level;
+  set.patterns = patterns;
+  workload::GeneratorOptions options;
+  options.properties = patterns;
+  workload::SpecGenerator generator(options, seed, db->vocabulary(),
+                                    db->factory());
+  for (size_t i = 0; i < count; ++i) {
+    auto spec = generator.Next();
+    if (!spec.ok()) {
+      std::fprintf(stderr, "query generation failed: %s\n",
+                   spec.status().ToString().c_str());
+      std::exit(1);
+    }
+    set.queries.push_back(spec->text);
+  }
+  return set;
+}
+
+Universe BuildUniverse(size_t contracts, size_t contract_patterns,
+                       size_t queries_per_level,
+                       const broker::DatabaseOptions& options, uint64_t seed) {
+  Universe u;
+  u.db = std::make_unique<broker::ContractDatabase>(options);
+  Timer timer;
+
+  workload::GeneratorOptions gen_options;
+  gen_options.properties = contract_patterns;
+  workload::SpecGenerator generator(gen_options, seed, u.db->vocabulary(),
+                                    u.db->factory());
+  for (size_t i = 0; i < contracts; ++i) {
+    auto spec = generator.Next();
+    if (!spec.ok()) {
+      std::fprintf(stderr, "contract generation failed: %s\n",
+                   spec.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto id = u.db->RegisterFormula("c" + std::to_string(i), spec->formula,
+                                    spec->text);
+    if (!id.ok()) {
+      std::fprintf(stderr, "registration failed: %s\n",
+                   id.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  u.query_sets.push_back(
+      GenerateQueries(u.db.get(), "simple", 1, queries_per_level, seed ^ 0x51));
+  u.query_sets.push_back(
+      GenerateQueries(u.db.get(), "medium", 2, queries_per_level, seed ^ 0x52));
+  u.query_sets.push_back(GenerateQueries(u.db.get(), "complex", 3,
+                                         queries_per_level, seed ^ 0x53));
+  u.build_seconds = timer.ElapsedSeconds();
+  return u;
+}
+
+EvalResult EvaluateAll(broker::ContractDatabase* db,
+                       const std::vector<std::string>& queries,
+                       const broker::QueryOptions& options) {
+  EvalResult result;
+  for (const std::string& q : queries) {
+    auto r = db->Query(q, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query '%s' failed: %s\n", q.c_str(),
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    result.total_ms.Add(r->stats.total_ms);
+    result.candidates.Add(static_cast<double>(r->stats.candidates));
+    result.matches.Add(static_cast<double>(r->stats.matches));
+  }
+  return result;
+}
+
+broker::QueryOptions UnoptimizedOptions() {
+  broker::QueryOptions options;
+  options.use_prefilter = false;
+  options.use_projections = false;
+  options.permission.use_seeds = false;
+  return options;
+}
+
+broker::QueryOptions OptimizedOptions() {
+  return broker::QueryOptions{};  // defaults: everything on
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintRule() {
+  std::printf(
+      "-----------------------------------------------------------------------"
+      "---------\n");
+}
+
+}  // namespace ctdb::bench

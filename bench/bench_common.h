@@ -1,0 +1,72 @@
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure of Section 7. Dataset
+// sizes default to a scaled-down copy of the paper's (Table 2) so the whole
+// bench suite completes in CI time; set CTDB_BENCH_SCALE=paper (or a numeric
+// factor, e.g. 0.5) to run larger instances.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "broker/database.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+#include "workload/spec.h"
+
+namespace ctdb::bench {
+
+/// Scale factor from CTDB_BENCH_SCALE ("paper" → 1.0, numeric string → its
+/// value, unset/invalid → kDefaultScale).
+double Scale();
+inline constexpr double kDefaultScale = 0.05;
+
+/// A query workload: LTL text plus the complexity level it was drawn from.
+struct QuerySet {
+  std::string level;             ///< "simple" / "medium" / "complex"
+  size_t patterns = 0;           ///< 1 / 2 / 3
+  std::vector<std::string> queries;
+};
+
+/// A fully generated benchmark universe: one broker database filled with
+/// contracts plus the three query workloads, sharing one vocabulary.
+struct Universe {
+  std::unique_ptr<broker::ContractDatabase> db;
+  std::vector<QuerySet> query_sets;
+  double build_seconds = 0;
+};
+
+/// Builds a universe with `contracts` contracts of `patterns` clauses each
+/// and `queries_per_level` queries per complexity level.
+Universe BuildUniverse(size_t contracts, size_t contract_patterns,
+                       size_t queries_per_level,
+                       const broker::DatabaseOptions& options = {},
+                       uint64_t seed = 0xC7DB);
+
+/// Generates query texts only (against an existing database's vocabulary).
+QuerySet GenerateQueries(broker::ContractDatabase* db, const char* level,
+                         size_t patterns, size_t count, uint64_t seed);
+
+/// Evaluates every query of `set` and accumulates per-query total times (ms)
+/// and speedup inputs. Aborts the process on query errors (bench data is
+/// generated, so errors are bugs).
+struct EvalResult {
+  RunningStats total_ms;
+  RunningStats candidates;
+  RunningStats matches;
+};
+EvalResult EvaluateAll(broker::ContractDatabase* db,
+                       const std::vector<std::string>& queries,
+                       const broker::QueryOptions& options);
+
+/// The paper's unoptimized configuration (§3: full scan, no projections).
+broker::QueryOptions UnoptimizedOptions();
+/// The paper's optimized configuration (§7: prefilter + bisimulation).
+broker::QueryOptions OptimizedOptions();
+
+/// Prints a header / row with aligned columns.
+void PrintHeader(const std::string& title);
+void PrintRule();
+
+}  // namespace ctdb::bench

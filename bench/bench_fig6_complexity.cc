@@ -1,0 +1,68 @@
+// Reproduces Figure 6: average speedup (optimized vs. unoptimized) and its
+// standard deviation for every combination of contract complexity
+// (simple/medium/complex = 5/6/7 patterns, database of 1000) and query
+// complexity (simple/medium/complex = 1/2/3 patterns, 100 queries).
+//
+// Paper shape: speedups grow with contract complexity (the bisimulation
+// projections discard more of a bigger contract) and shrink with query
+// complexity (more query variables defeat the most aggressive projections).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ctdb;
+  const double scale = bench::Scale();
+  const size_t db_size =
+      std::max<size_t>(3, static_cast<size_t>(1000 * scale));
+  const size_t queries_per_level =
+      std::max<size_t>(3, static_cast<size_t>(100 * scale));
+
+  bench::PrintHeader("Figure 6 — speedup vs contract × query complexity "
+                     "(db size=" + std::to_string(db_size) + ")");
+  std::printf("%-18s | %-22s | %9s %9s | %12s %12s\n", "contracts", "queries",
+              "speedup", "sd", "scan ms", "opt ms");
+  bench::PrintRule();
+
+  const struct {
+    const char* name;
+    size_t patterns;
+  } contract_levels[] = {{"Simple (5)", 5}, {"Medium (6)", 6},
+                         {"Complex (7)", 7}};
+
+  for (const auto& level : contract_levels) {
+    bench::Universe u = bench::BuildUniverse(db_size, level.patterns,
+                                             queries_per_level,
+                                             broker::DatabaseOptions{},
+                                             0xF16'0000 + level.patterns);
+    for (const auto& set : u.query_sets) {
+      RunningStats speedup;
+      RunningStats scan_ms;
+      RunningStats opt_ms;
+      for (const std::string& q : set.queries) {
+        auto opt = u.db->Query(q, bench::OptimizedOptions());
+        auto scan = u.db->Query(q, bench::UnoptimizedOptions());
+        if (!opt.ok() || !scan.ok()) {
+          std::fprintf(stderr, "query failed\n");
+          return 1;
+        }
+        scan_ms.Add(scan->stats.total_ms);
+        opt_ms.Add(opt->stats.total_ms);
+        if (opt->stats.total_ms > 0) {
+          speedup.Add(scan->stats.total_ms / opt->stats.total_ms);
+        }
+      }
+      std::printf("%-18s | %-22s | %9.1f %9.1f | %12.3f %12.3f\n", level.name,
+                  (set.level + " (" + std::to_string(set.patterns) + ")")
+                      .c_str(),
+                  speedup.mean(), speedup.stddev(), scan_ms.mean(),
+                  opt_ms.mean());
+    }
+  }
+  bench::PrintRule();
+  std::printf(
+      "Shape check: speedup increases down the contract axis and decreases\n"
+      "along the query axis (paper Figure 6).\n");
+  return 0;
+}

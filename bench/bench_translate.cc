@@ -1,0 +1,79 @@
+// Micro-benchmarks for the LTL→BA translation pipeline: cost by number of
+// conjoined Dwyer patterns (the paper's contract complexity axis) and the
+// effect of the rewriting / reduction stages.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+#include "translate/ltl_to_ba.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace ctdb;
+
+/// A pool of pre-generated formulas with `patterns` clauses.
+const std::vector<const ltl::Formula*>& FormulaPool(size_t patterns,
+                                                    ltl::FormulaFactory** fac) {
+  struct Pool {
+    Vocabulary vocab;
+    ltl::FormulaFactory factory;
+    std::vector<const ltl::Formula*> formulas;
+  };
+  static std::map<size_t, Pool*>* pools = new std::map<size_t, Pool*>();
+  auto it = pools->find(patterns);
+  if (it == pools->end()) {
+    auto* pool = new Pool();
+    workload::GeneratorOptions options;
+    options.properties = patterns;
+    workload::SpecGenerator generator(options, 0x77A + patterns, &pool->vocab,
+                                      &pool->factory);
+    for (int i = 0; i < 16; ++i) {
+      auto spec = generator.Next();
+      pool->formulas.push_back(spec->formula);
+    }
+    it = pools->emplace(patterns, pool).first;
+  }
+  *fac = &it->second->factory;
+  return it->second->formulas;
+}
+
+void BM_LtlToBuchi(benchmark::State& state) {
+  const size_t patterns = static_cast<size_t>(state.range(0));
+  ltl::FormulaFactory* factory = nullptr;
+  const auto& formulas = FormulaPool(patterns, &factory);
+  size_t i = 0;
+  size_t states_sum = 0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    auto ba = translate::LtlToBuchi(formulas[i % formulas.size()], factory);
+    benchmark::DoNotOptimize(ba);
+    states_sum += ba->StateCount();
+    ++runs;
+    ++i;
+  }
+  state.counters["avg_states"] =
+      static_cast<double>(states_sum) / static_cast<double>(runs);
+}
+BENCHMARK(BM_LtlToBuchi)->Arg(1)->Arg(2)->Arg(3)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_LtlToBuchi_NoReductions(benchmark::State& state) {
+  ltl::FormulaFactory* factory = nullptr;
+  const auto& formulas = FormulaPool(5, &factory);
+  translate::TranslateOptions options;
+  options.simplify_formula = false;
+  options.prune = false;
+  options.reduce = false;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto ba =
+        translate::LtlToBuchi(formulas[i % formulas.size()], factory, options);
+    benchmark::DoNotOptimize(ba);
+    ++i;
+  }
+}
+BENCHMARK(BM_LtlToBuchi_NoReductions);
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Airfare broker: the complete two-stage pipeline the paper sketches in §1.
+//
+// Stage 1 — a relational pre-selection (route, date, price) picks the fares
+// that are available at all; stage 2 — the temporal engine filters those by
+// the customer's required behavior and the cheapest survivor wins. This is
+// exactly the "cheapest fare from San Diego to New York on 10/19 that allows
+// a partial refund or a date change after the first leg has been missed"
+// scenario from the introduction.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "broker/database.h"
+#include "relational/table.h"
+
+namespace {
+
+const char* kCommonClauses =
+    "G(purchase -> !use & !missedFlight & !refund & !dateChange) &"
+    "G(use -> !purchase & !missedFlight & !refund & !dateChange) &"
+    "G(missedFlight -> !purchase & !use & !refund & !dateChange) &"
+    "G(refund -> !purchase & !use & !missedFlight & !dateChange) &"
+    "G(dateChange -> !purchase & !use & !missedFlight & !refund) &"
+    "G(purchase -> X(!F purchase)) &"
+    "(purchase B (use | missedFlight | refund | dateChange)) &"
+    "G((missedFlight -> !F use) W dateChange) &"
+    "G(refund -> X(!F(use | missedFlight | refund | dateChange))) &"
+    "G(use -> X(!F(use | missedFlight | refund | dateChange)))";
+
+struct Fare {
+  const char* airline;
+  const char* route;
+  const char* date;
+  int64_t price;
+  const char* policy;  // ticket-specific temporal clauses
+};
+
+}  // namespace
+
+int main() {
+  using namespace ctdb;
+
+  broker::ContractDatabase db;
+  relational::Table fares;
+
+  const Fare catalog[] = {
+      // San Diego → New York fares with the Example 2 policies.
+      {"United Business", "SAN-NYC", "2010-10-19", 890,
+       "G(dateChange -> !F refund)"},
+      {"AA Economy Platinum", "SAN-NYC", "2010-10-19", 450,
+       "G(missedFlight -> !F dateChange)"},
+      {"Coastal Saver", "SAN-NYC", "2010-10-19", 310,
+       "G(!refund) & G(dateChange -> X(!F dateChange)) & "
+       "G(missedFlight -> !F dateChange)"},
+      // Distractors on other routes / dates.
+      {"United Business", "SAN-BOS", "2010-10-19", 880,
+       "G(dateChange -> !F refund)"},
+      {"AA Economy", "SAN-NYC", "2010-10-20", 410,
+       "G(!refund) & G(missedFlight -> !F dateChange)"},
+  };
+
+  for (const Fare& fare : catalog) {
+    auto id = db.Register(std::string(fare.airline) + " " + fare.route,
+                          std::string(kCommonClauses) + " & " + fare.policy);
+    if (!id.ok()) {
+      std::fprintf(stderr, "register failed: %s\n",
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    fares.Put(*id, relational::Row{
+                       {"airline", std::string(fare.airline)},
+                       {"route", std::string(fare.route)},
+                       {"date", std::string(fare.date)},
+                       {"price", fare.price},
+                   });
+  }
+
+  // ---- The customer's request -------------------------------------------
+  const std::vector<relational::Predicate> relational_filter = {
+      relational::Predicate::Eq("route", std::string("SAN-NYC")),
+      relational::Predicate::Eq("date", std::string("2010-10-19")),
+  };
+  const char* temporal_requirement =
+      "F(missedFlight & F(refund | dateChange))";
+
+  std::printf("request: SAN-NYC on 2010-10-19, cheapest fare that allows a\n"
+              "         refund or a date change after a missed flight\n\n");
+
+  // Stage 1: relational pre-selection (paper assumption (a)).
+  const std::vector<uint32_t> available = fares.Select(relational_filter);
+  std::printf("stage 1 (relational): %zu of %zu fares available\n",
+              available.size(), fares.size());
+
+  // Stage 2: temporal filtering — query once, intersect with availability.
+  auto result = db.Query(temporal_requirement);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("stage 2 (temporal) : %zu of %zu contracts permit the query "
+              "(%0.2f ms, %zu candidates after prefilter)\n",
+              result->matches.size(), db.size(), result->stats.total_ms,
+              result->stats.candidates);
+
+  // Join + cheapest.
+  int64_t best_price = INT64_MAX;
+  std::string best;
+  for (uint32_t id : result->matches) {
+    if (std::find(available.begin(), available.end(), id) ==
+        available.end()) {
+      continue;
+    }
+    auto row = fares.Get(id);
+    const int64_t price = std::get<int64_t>(row->at("price"));
+    std::printf("  eligible: %-28s $%lld\n", db.contract(id).name.c_str(),
+                static_cast<long long>(price));
+    if (price < best_price) {
+      best_price = price;
+      best = db.contract(id).name;
+    }
+  }
+  if (best.empty()) {
+    std::printf("\nno fare satisfies the request\n");
+  } else {
+    std::printf("\nbooked: %s at $%lld\n", best.c_str(),
+                static_cast<long long>(best_price));
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+// broker_shell: an interactive (or scriptable via stdin) front-end to a
+// contract database. Exercises the full public API including persistence
+// and witness extraction.
+//
+//   ./broker_shell [database-file]
+//
+// Commands:
+//   register <name> ::= <ltl>     add a contract
+//   query <ltl>                   contracts permitting the query
+//   explain <ltl>                 like query, plus a witness run per match
+//   show <id>                     contract details
+//   list                          all contracts
+//   vocab                         the event vocabulary
+//   stats                         database statistics
+//   save <path> | load <path>     persistence
+//   help | quit
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "broker/database.h"
+#include "broker/persistence.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ctdb;
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  register <name> ::= <ltl clauses>\n"
+      "  query <ltl>\n"
+      "  explain <ltl>        (query + witness sequences)\n"
+      "  show <id> | list | vocab | stats\n"
+      "  save <path> | load <path>\n"
+      "  help | quit\n");
+}
+
+void DoQuery(broker::ContractDatabase& db, const std::string& ltl,
+             bool explain) {
+  broker::QueryOptions options;
+  options.collect_witnesses = explain;
+  auto result = db.Query(ltl, options);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu of %zu contracts permit the query (%.2f ms, %zu candidates "
+              "after prefiltering)\n",
+              result->matches.size(), db.size(), result->stats.total_ms,
+              result->stats.candidates);
+  for (size_t i = 0; i < result->matches.size(); ++i) {
+    const auto& contract = db.contract(result->matches[i]);
+    std::printf("  #%u %s\n", contract.id, contract.name.c_str());
+    if (explain && i < result->witnesses.size() &&
+        result->witnesses[i].Valid()) {
+      std::printf("     witness: %s\n",
+                  result->witnesses[i].ToString(*db.vocabulary()).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto db = std::make_unique<broker::ContractDatabase>();
+  if (argc > 1) {
+    auto loaded = broker::LoadDatabaseFromFile(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(*loaded);
+    std::printf("loaded %zu contracts from %s\n", db->size(), argv[1]);
+  }
+
+  std::string line;
+  std::printf("ctdb shell — 'help' for commands\n> ");
+  while (std::getline(std::cin, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) {
+      std::printf("> ");
+      continue;
+    }
+    std::istringstream iss{std::string(trimmed)};
+    std::string cmd;
+    iss >> cmd;
+    std::string rest;
+    std::getline(iss, rest);
+    rest = std::string(Trim(rest));
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "register") {
+      const size_t sep = rest.find("::=");
+      if (sep == std::string::npos) {
+        std::printf("usage: register <name> ::= <ltl>\n");
+      } else {
+        const std::string name(Trim(rest.substr(0, sep)));
+        const std::string ltl(Trim(rest.substr(sep + 3)));
+        broker::RegistrationStats stats;
+        auto id = db->Register(name, ltl, &stats);
+        if (id.ok()) {
+          std::printf("registered #%u (%s)\n", *id, stats.ToString().c_str());
+        } else {
+          std::printf("error: %s\n", id.status().ToString().c_str());
+        }
+      }
+    } else if (cmd == "query") {
+      DoQuery(*db, rest, /*explain=*/false);
+    } else if (cmd == "explain") {
+      DoQuery(*db, rest, /*explain=*/true);
+    } else if (cmd == "show") {
+      uint32_t id = 0;
+      if (std::sscanf(rest.c_str(), "%u", &id) != 1 || id >= db->size()) {
+        std::printf("no such contract\n");
+      } else {
+        const auto& c = db->contract(id);
+        std::printf("#%u %s\n  ltl: %s\n  BA: %zu states, %zu transitions\n",
+                    c.id, c.name.c_str(), c.ltl_text.c_str(),
+                    c.automaton().StateCount(),
+                    c.automaton().TransitionCount());
+        std::printf("  events:");
+        for (size_t e : c.events.Indices()) {
+          std::printf(" %s", db->vocabulary()->Name(static_cast<EventId>(e))
+                                 .c_str());
+        }
+        std::printf("\n");
+      }
+    } else if (cmd == "list") {
+      for (uint32_t id = 0; id < db->size(); ++id) {
+        std::printf("  #%u %s\n", id, db->contract(id).name.c_str());
+      }
+    } else if (cmd == "vocab") {
+      for (const std::string& name : db->vocabulary()->names()) {
+        std::printf("  %s\n", name.c_str());
+      }
+    } else if (cmd == "stats") {
+      const auto pf = db->prefilter().Stats();
+      std::printf("contracts: %zu\nprefilter: %zu nodes, %s\n"
+                  "contract BAs: %s\nprojections: %s\n",
+                  db->size(), pf.node_count,
+                  HumanBytes(pf.memory_bytes).c_str(),
+                  HumanBytes(db->ContractMemoryUsage()).c_str(),
+                  HumanBytes(db->ProjectionMemoryUsage()).c_str());
+    } else if (cmd == "save") {
+      auto status = broker::SaveDatabaseToFile(*db, rest);
+      std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
+    } else if (cmd == "load") {
+      auto loaded = broker::LoadDatabaseFromFile(rest);
+      if (loaded.ok()) {
+        db = std::move(*loaded);
+        std::printf("loaded %zu contracts\n", db->size());
+      } else {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+      }
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+    std::printf("> ");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Insurance policies: a second contract domain from the paper's motivation
+// ("airfares, insurances, warranties"). Policies differ in how claims,
+// premium payments, cancellations and payouts may interleave; customers shop
+// by the temporal behavior they need.
+//
+// Vocabulary: enroll, payPremium, fileClaim, approveClaim, payout,
+//             cancel, lapse.
+
+#include <cstdio>
+#include <string>
+
+#include "broker/database.h"
+
+namespace {
+
+// Domain lifecycle clauses, shared by all policies.
+const char* kLifecycle =
+    // One event per instant.
+    "G(enroll -> !payPremium & !fileClaim & !approveClaim & !payout & !cancel & !lapse) &"
+    "G(payPremium -> !enroll & !fileClaim & !approveClaim & !payout & !cancel & !lapse) &"
+    "G(fileClaim -> !enroll & !payPremium & !approveClaim & !payout & !cancel & !lapse) &"
+    "G(approveClaim -> !enroll & !payPremium & !fileClaim & !payout & !cancel & !lapse) &"
+    "G(payout -> !enroll & !payPremium & !fileClaim & !approveClaim & !cancel & !lapse) &"
+    "G(cancel -> !enroll & !payPremium & !fileClaim & !approveClaim & !payout & !lapse) &"
+    "G(lapse -> !enroll & !payPremium & !fileClaim & !approveClaim & !payout & !cancel) &"
+    // One enrollment, before any activity.
+    "G(enroll -> X(!F enroll)) &"
+    "(enroll B (payPremium | fileClaim | approveClaim | payout | cancel | lapse)) &"
+    // Claims must be filed before they are approved; approvals before payout.
+    "(fileClaim B approveClaim) & (approveClaim B payout) &"
+    // Cancellation and lapse are terminal.
+    "G(cancel -> X(!F(payPremium | fileClaim | approveClaim | payout | cancel | lapse))) &"
+    "G(lapse -> X(!F(payPremium | fileClaim | approveClaim | payout | cancel | lapse)))";
+
+}  // namespace
+
+int main() {
+  ctdb::broker::ContractDatabase db;
+
+  const struct {
+    const char* name;
+    const char* clauses;
+  } policies[] = {
+      // Budget: a single claim ever; cancelling forfeits pending claims
+      // (modeled: no payout after cancel is implied by terminal cancel).
+      {"BudgetCare",
+       "G(fileClaim -> X(!F fileClaim)) & G(!payout | F payout)"},
+      // Standard: claims allowed only while premiums keep coming — a claim
+      // must be preceded by a premium payment at some point.
+      {"StandardShield", "(payPremium B fileClaim)"},
+      // Premium: even after a lapse... nothing special; but payouts always
+      // follow approved claims.
+      {"PremiumGuard", "G(approveClaim -> F payout)"},
+      // NoClaims: a cut-rate policy that never approves anything.
+      {"CutRate", "G(!approveClaim)"},
+  };
+  for (const auto& p : policies) {
+    auto id = db.Register(p.name, std::string(kLifecycle) + " & " + p.clauses);
+    if (!id.ok()) {
+      std::fprintf(stderr, "register %s failed: %s\n", p.name,
+                   id.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  const struct {
+    const char* description;
+    const char* ltl;
+  } queries[] = {
+      {"a claim that actually gets approved and paid out",
+       "F(fileClaim & F(approveClaim & F payout))"},
+      {"two separate claims over the policy's life",
+       "F(fileClaim & X F fileClaim)"},
+      {"guaranteed payout once a claim is approved (who even allows "
+       "approval?)",
+       "F approveClaim"},
+      {"file a claim without ever paying a premium",
+       "(!payPremium U fileClaim)"},
+      {"cancel after a payout", "F(payout & F cancel)"},
+  };
+
+  for (const auto& q : queries) {
+    auto result = db.Query(q.ltl);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-62s ->", q.description);
+    if (result->matches.empty()) std::printf(" none");
+    for (uint32_t id : result->matches) {
+      std::printf(" %s", db.contract(id).name.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Spec inspector: a small developer tool over the library's lower layers.
+// Give it an LTL specification (as a command-line argument) and it prints
+// the normalized formula, the translated Büchi automaton (text format and
+// Graphviz dot), its statistics, and — given a second argument — whether the
+// first specification (as a contract) permits the second (as a query).
+//
+//   ./spec_inspector 'G(dateChange -> !F refund)'
+//   ./spec_inspector '<contract ltl>' '<query ltl>'
+
+#include <cstdio>
+#include <string>
+
+#include "automata/dot.h"
+#include "automata/ops.h"
+#include "automata/serialize.h"
+#include "core/permission.h"
+#include "ltl/parser.h"
+#include "ltl/rewriter.h"
+#include "translate/ltl_to_ba.h"
+
+int main(int argc, char** argv) {
+  using namespace ctdb;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s '<ltl contract>' ['<ltl query>']\n", argv[0]);
+    return 2;
+  }
+
+  Vocabulary vocab;
+  ltl::FormulaFactory factory;
+
+  auto contract = ltl::Parse(argv[1], &factory, &vocab);
+  if (!contract.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 contract.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("formula    : %s\n", (*contract)->ToString(vocab).c_str());
+  std::printf("normalized : %s\n",
+              ltl::Normalize(*contract, &factory)->ToString(vocab).c_str());
+
+  translate::TranslateInfo info;
+  auto ba = translate::LtlToBuchi(*contract, &factory, {}, &info);
+  if (!ba.ok()) {
+    std::fprintf(stderr, "translation error: %s\n",
+                 ba.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("tableau    : %zu states;  degeneralized: %zu;  final: %zu "
+              "states / %zu transitions\n",
+              info.tableau_states, info.degeneralized, info.final_states,
+              info.final_transitions);
+  std::printf("language   : %s\n",
+              automata::IsEmptyLanguage(*ba) ? "EMPTY (unsatisfiable)"
+                                             : "non-empty");
+  std::printf("\n-- text serialization --\n%s",
+              automata::Serialize(*ba, vocab).c_str());
+  std::printf("\n-- graphviz --\n%s", automata::ToDot(*ba, vocab).c_str());
+
+  if (argc > 2) {
+    auto query = ltl::Parse(argv[2], &factory, &vocab);
+    if (!query.ok()) {
+      std::fprintf(stderr, "query parse error: %s\n",
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    auto qba = translate::LtlToBuchi(*query, &factory);
+    if (!qba.ok()) {
+      std::fprintf(stderr, "query translation error: %s\n",
+                   qba.status().ToString().c_str());
+      return 1;
+    }
+    Bitset events;
+    (*contract)->CollectEvents(&events);
+    core::PermissionStats stats;
+    const bool permits = core::Permits(*ba, events, *qba, {}, nullptr, &stats);
+    std::printf("\npermission : contract %s the query\n",
+                permits ? "PERMITS" : "does NOT permit");
+    std::printf("  product pairs visited: %llu, cycle searches: %llu\n",
+                static_cast<unsigned long long>(stats.pairs_visited),
+                static_cast<unsigned long long>(stats.cycle_searches));
+  }
+  return 0;
+}

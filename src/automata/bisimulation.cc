@@ -1,0 +1,131 @@
+#include "automata/bisimulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace ctdb::automata {
+
+void Partition::Canonicalize() {
+  std::vector<uint32_t> rename(block_count, UINT32_MAX);
+  uint32_t next = 0;
+  for (uint32_t& b : block_of) {
+    if (rename[b] == UINT32_MAX) rename[b] = next++;
+    b = rename[b];
+  }
+  block_count = next;
+}
+
+bool Partition::Refines(const Partition& coarser) const {
+  assert(block_of.size() == coarser.block_of.size());
+  // For every pair in the same block here, they must share a block there.
+  // Equivalent check: map block -> coarser block must be a function.
+  std::vector<uint32_t> image(block_count, UINT32_MAX);
+  for (size_t s = 0; s < block_of.size(); ++s) {
+    const uint32_t b = block_of[s];
+    if (image[b] == UINT32_MAX) {
+      image[b] = coarser.block_of[s];
+    } else if (image[b] != coarser.block_of[s]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Partition Partition::Discrete(size_t n) {
+  Partition p;
+  p.block_of.resize(n);
+  for (size_t i = 0; i < n; ++i) p.block_of[i] = static_cast<uint32_t>(i);
+  p.block_count = static_cast<uint32_t>(n);
+  return p;
+}
+
+Partition Partition::FinalSplit(const Buchi& ba) {
+  Partition p;
+  p.block_of.resize(ba.StateCount());
+  for (StateId s = 0; s < ba.StateCount(); ++s) {
+    p.block_of[s] = ba.IsFinal(s) ? 1 : 0;
+  }
+  p.block_count = 2;
+  p.Canonicalize();
+  return p;
+}
+
+Partition CoarsestBisimulation(const Buchi& ba,
+                               const BisimulationOptions& options) {
+  const size_t n = ba.StateCount();
+  Partition part =
+      options.start != nullptr ? *options.start : Partition::FinalSplit(ba);
+  assert(part.block_of.size() == n);
+  part.Canonicalize();
+
+  // Intern (possibly projected) labels to dense ids once.
+  struct LabelRef {
+    uint32_t label_id;
+    StateId to;
+  };
+  std::vector<std::vector<LabelRef>> out(n);
+  {
+    std::unordered_map<uint64_t, std::vector<std::pair<Label, uint32_t>>>
+        intern;
+    uint32_t next_label = 0;
+    auto intern_label = [&](const Label& raw) -> uint32_t {
+      Label label = raw;
+      if (options.retained_pos != nullptr && options.retained_neg != nullptr) {
+        label = raw.ProjectOnto(*options.retained_pos, *options.retained_neg);
+      }
+      auto& bucket = intern[label.Hash()];
+      for (const auto& [existing, id] : bucket) {
+        if (existing == label) return id;
+      }
+      bucket.emplace_back(label, next_label);
+      return next_label++;
+    };
+    for (StateId s = 0; s < n; ++s) {
+      for (const Transition& t : ba.Out(s)) {
+        out[s].push_back(LabelRef{intern_label(t.label), t.to});
+      }
+    }
+  }
+
+  // Signature refinement to fixpoint.
+  while (true) {
+    bool changed = false;
+    std::unordered_map<std::vector<uint32_t>, uint32_t, U32VectorHash>
+        sig_to_block;
+    std::vector<uint32_t> new_block(n);
+    uint32_t next_block = 0;
+    for (StateId s = 0; s < n; ++s) {
+      // Signature: current block, then sorted distinct (label, target block)
+      // pairs packed as single u32... labels and blocks both fit comfortably;
+      // pack as two entries to avoid overflow concerns.
+      std::vector<uint32_t> sig;
+      sig.reserve(2 + out[s].size() * 2);
+      sig.push_back(part.block_of[s]);
+      std::vector<std::pair<uint32_t, uint32_t>> moves;
+      moves.reserve(out[s].size());
+      for (const LabelRef& r : out[s]) {
+        moves.emplace_back(r.label_id, part.block_of[r.to]);
+      }
+      std::sort(moves.begin(), moves.end());
+      moves.erase(std::unique(moves.begin(), moves.end()), moves.end());
+      for (const auto& [label, block] : moves) {
+        sig.push_back(label);
+        sig.push_back(block);
+      }
+      auto [it, inserted] = sig_to_block.emplace(std::move(sig), next_block);
+      if (inserted) ++next_block;
+      new_block[s] = it->second;
+    }
+    if (next_block != part.block_count) changed = true;
+    part.block_of = std::move(new_block);
+    part.block_count = next_block;
+    if (!changed) break;
+  }
+  part.Canonicalize();
+  return part;
+}
+
+}  // namespace ctdb::automata

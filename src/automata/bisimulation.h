@@ -1,0 +1,66 @@
+// Bisimulation partition refinement (Definition 9 and Section 5.3).
+//
+// Computes the coarsest partition of a BA's states such that two states in a
+// block (1) agree on finality and (2) have matching outgoing transitions
+// (same label, into the same block). Labels can be projected onto a retained
+// literal set on the fly, so the projection BAs of Section 5 never need to be
+// materialized during precomputation.
+//
+// The refinement loop is signature-based (Kanellakis–Smolka): each round
+// recomputes, per state, the set of (label, target-block) pairs and splits
+// blocks whose states disagree. An optional starting partition supports the
+// lattice-order precomputation of Section 5.3 (Theorem 3: the partition for
+// L' ⊇ L refines the partition for L, so refinement may start from it).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/buchi.h"
+#include "util/bitset.h"
+
+namespace ctdb::automata {
+
+/// \brief A partition of states into blocks: `block_of[s]` is the block id of
+/// state s. Canonical form: block ids are dense and assigned in order of
+/// first occurrence (state 0's block is 0, the next distinct block is 1, ...).
+struct Partition {
+  std::vector<uint32_t> block_of;
+  uint32_t block_count = 0;
+
+  bool operator==(const Partition& other) const {
+    return block_of == other.block_of;
+  }
+
+  /// Renumbers blocks into canonical order-of-first-occurrence form.
+  void Canonicalize();
+
+  /// True iff this partition refines `coarser` (every block of this is
+  /// contained in a block of `coarser`).
+  bool Refines(const Partition& coarser) const;
+
+  /// The partition with every state in its own block.
+  static Partition Discrete(size_t n);
+  /// The partition separating final from non-final states of `ba`.
+  static Partition FinalSplit(const Buchi& ba);
+};
+
+/// Options for CoarsestBisimulation.
+struct BisimulationOptions {
+  /// When non-null, labels are first projected onto these retained polarities
+  /// (see Label::ProjectOnto) before comparison — equivalent to running on
+  /// π_L(A) without building it.
+  const Bitset* retained_pos = nullptr;
+  const Bitset* retained_neg = nullptr;
+  /// When non-null, refinement starts from this partition instead of the
+  /// final/non-final split. Must itself refine the final split.
+  const Partition* start = nullptr;
+};
+
+/// \brief Computes the coarsest bisimulation partition of `ba` under
+/// `options` (Definition 9, with label projection per Definition 8).
+Partition CoarsestBisimulation(const Buchi& ba,
+                               const BisimulationOptions& options = {});
+
+}  // namespace ctdb::automata

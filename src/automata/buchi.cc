@@ -1,0 +1,130 @@
+#include "automata/buchi.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace ctdb::automata {
+
+Buchi::Buchi() { AddState(); }
+
+StateId Buchi::AddState() {
+  const StateId id = static_cast<StateId>(out_.size());
+  out_.emplace_back();
+  finals_.Resize(out_.size());
+  return id;
+}
+
+StateId Buchi::AddStates(size_t count) {
+  const StateId first = static_cast<StateId>(out_.size());
+  for (size_t i = 0; i < count; ++i) AddState();
+  return first;
+}
+
+void Buchi::AddTransition(StateId from, Label label, StateId to) {
+  if (!label.IsSatisfiable()) return;
+  out_[from].push_back(Transition{to, std::move(label)});
+}
+
+size_t Buchi::TransitionCount() const {
+  size_t n = 0;
+  for (const auto& ts : out_) n += ts.size();
+  return n;
+}
+
+Bitset Buchi::CitedEvents() const {
+  Bitset events;
+  for (const auto& ts : out_) {
+    for (const Transition& t : ts) {
+      events |= t.label.positive();
+      events |= t.label.negative();
+    }
+  }
+  return events;
+}
+
+std::vector<Label> Buchi::DistinctLabels() const {
+  std::vector<Label> labels;
+  std::unordered_set<uint64_t> seen;
+  for (const auto& ts : out_) {
+    for (const Transition& t : ts) {
+      // Hash pre-filter; resolve rare collisions by linear check.
+      const uint64_t h = t.label.Hash();
+      if (seen.insert(h).second) {
+        labels.push_back(t.label);
+      } else {
+        bool found = false;
+        for (const Label& l : labels) {
+          if (l == t.label) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) labels.push_back(t.label);
+      }
+    }
+  }
+  return labels;
+}
+
+void Buchi::DedupTransitions() {
+  for (auto& ts : out_) {
+    std::vector<Transition> unique;
+    for (Transition& t : ts) {
+      bool dup = false;
+      for (const Transition& u : unique) {
+        if (u.to == t.to && u.label == t.label) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) unique.push_back(std::move(t));
+    }
+    ts = std::move(unique);
+  }
+}
+
+Status Buchi::Validate() const {
+  if (initial_ >= out_.size()) {
+    return Status::Internal("initial state out of range");
+  }
+  for (size_t s = 0; s < out_.size(); ++s) {
+    for (const Transition& t : out_[s]) {
+      if (t.to >= out_.size()) {
+        return Status::Internal(
+            StringFormat("transition %zu -> %u out of range", s, t.to));
+      }
+      if (!t.label.IsSatisfiable()) {
+        return Status::Internal(
+            StringFormat("unsatisfiable label on transition from %zu", s));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t Buchi::MemoryUsage() const {
+  size_t bytes = finals_.MemoryUsage() + out_.capacity() * sizeof(out_[0]);
+  for (const auto& ts : out_) {
+    bytes += ts.capacity() * sizeof(Transition);
+    for (const Transition& t : ts) {
+      bytes += t.label.positive().MemoryUsage() +
+               t.label.negative().MemoryUsage();
+    }
+  }
+  return bytes;
+}
+
+std::vector<std::vector<std::pair<StateId, uint32_t>>>
+Buchi::BuildReverseAdjacency() const {
+  std::vector<std::vector<std::pair<StateId, uint32_t>>> in(out_.size());
+  for (StateId s = 0; s < out_.size(); ++s) {
+    for (uint32_t i = 0; i < out_[s].size(); ++i) {
+      in[out_[s][i].to].emplace_back(s, i);
+    }
+  }
+  return in;
+}
+
+}  // namespace ctdb::automata

@@ -1,0 +1,87 @@
+// Büchi automata over snapshot sequences (Sections 2.3 and 6.2.1).
+//
+// States are dense ids; transitions are labeled with conjunctions of literals
+// (base/label.h). Following §6.2.2 ("w.l.o.g. they have a single initial
+// state"), a Buchi has exactly one initial state. Acceptance: a run is
+// accepted iff it satisfies a lasso path through a final state.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/label.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace ctdb::automata {
+
+using StateId = uint32_t;
+
+/// \brief A labeled transition.
+struct Transition {
+  StateId to = 0;
+  Label label;
+};
+
+/// \brief A transition-labeled Büchi automaton with a single initial state.
+class Buchi {
+ public:
+  /// Creates an automaton with a single (initial, non-final) state and no
+  /// transitions: the empty language.
+  Buchi();
+
+  /// Appends a fresh non-final state and returns its id.
+  StateId AddState();
+
+  /// Adds `count` fresh states; returns the first new id.
+  StateId AddStates(size_t count);
+
+  size_t StateCount() const { return out_.size(); }
+
+  StateId initial() const { return initial_; }
+  void SetInitial(StateId s) { initial_ = s; }
+
+  bool IsFinal(StateId s) const { return finals_.Test(s); }
+  void SetFinal(StateId s) { finals_.Set(s); }
+  const Bitset& finals() const { return finals_; }
+  size_t FinalCount() const { return finals_.Count(); }
+
+  /// Adds a transition; unsatisfiable labels (p ∧ ¬p) are silently dropped —
+  /// they can never be enabled by any snapshot.
+  void AddTransition(StateId from, Label label, StateId to);
+
+  /// Outgoing transitions of `s`.
+  const std::vector<Transition>& Out(StateId s) const { return out_[s]; }
+
+  /// Total number of transitions.
+  size_t TransitionCount() const;
+
+  /// Union of events cited on any transition label.
+  Bitset CitedEvents() const;
+
+  /// Every distinct label (deduplicated, arbitrary order).
+  std::vector<Label> DistinctLabels() const;
+
+  /// Removes duplicate (same target, same label) transitions.
+  void DedupTransitions();
+
+  /// Structural invariants: state ids in range, labels satisfiable.
+  Status Validate() const;
+
+  /// Approximate heap footprint, for the §7.4 index-size report.
+  size_t MemoryUsage() const;
+
+  /// Reverse adjacency: predecessors[to] lists (from, transition index in
+  /// Out(from)). Computed on demand; invalidated by mutation.
+  std::vector<std::vector<std::pair<StateId, uint32_t>>> BuildReverseAdjacency()
+      const;
+
+ private:
+  StateId initial_ = 0;
+  Bitset finals_;
+  std::vector<std::vector<Transition>> out_;
+};
+
+}  // namespace ctdb::automata

@@ -1,0 +1,26 @@
+#include "automata/dot.h"
+
+#include "util/string_util.h"
+
+namespace ctdb::automata {
+
+std::string ToDot(const Buchi& ba, const Vocabulary& vocab,
+                  const std::string& name) {
+  std::string out = "digraph " + name + " {\n  rankdir=LR;\n";
+  out += "  __init [shape=point];\n";
+  for (StateId s = 0; s < ba.StateCount(); ++s) {
+    out += StringFormat("  s%u [shape=%s, label=\"%u\"];\n", s,
+                        ba.IsFinal(s) ? "doublecircle" : "circle", s);
+  }
+  out += StringFormat("  __init -> s%u;\n", ba.initial());
+  for (StateId s = 0; s < ba.StateCount(); ++s) {
+    for (const Transition& t : ba.Out(s)) {
+      out += StringFormat("  s%u -> s%u [label=\"%s\"];\n", s, t.to,
+                          t.label.ToString(vocab).c_str());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ctdb::automata

@@ -1,0 +1,17 @@
+// Graphviz export, for debugging and for rendering the paper's figures.
+
+#pragma once
+
+#include <string>
+
+#include "automata/buchi.h"
+#include "base/vocabulary.h"
+
+namespace ctdb::automata {
+
+/// Renders `ba` in Graphviz dot syntax. Final states are double circles,
+/// matching the paper's figures.
+std::string ToDot(const Buchi& ba, const Vocabulary& vocab,
+                  const std::string& name = "ba");
+
+}  // namespace ctdb::automata

@@ -1,0 +1,40 @@
+#include "automata/quotient.h"
+
+#include <cassert>
+
+namespace ctdb::automata {
+
+Buchi BuildQuotient(const Buchi& ba, const Partition& partition,
+                    const Bitset* retained_pos, const Bitset* retained_neg) {
+  assert(partition.block_of.size() == ba.StateCount());
+  Buchi out;
+  if (partition.block_count > 1) out.AddStates(partition.block_count - 1);
+  out.SetInitial(partition.block_of[ba.initial()]);
+
+  // All states of a block have, by Definition 9, the same finality and the
+  // same set of (projected label, target block) moves — so one representative
+  // per block suffices to enumerate the quotient's edges. This keeps the
+  // per-query quotient materialization cost proportional to the *quotient*
+  // size, the "some care in the implementation" of §5.2.
+  std::vector<StateId> representative(partition.block_count, UINT32_MAX);
+  for (StateId s = 0; s < ba.StateCount(); ++s) {
+    const uint32_t b = partition.block_of[s];
+    if (representative[b] == UINT32_MAX) representative[b] = s;
+    if (ba.IsFinal(s)) out.SetFinal(b);
+  }
+  for (uint32_t b = 0; b < partition.block_count; ++b) {
+    const StateId s = representative[b];
+    if (s == UINT32_MAX) continue;
+    for (const Transition& t : ba.Out(s)) {
+      Label label = t.label;
+      if (retained_pos != nullptr && retained_neg != nullptr) {
+        label = label.ProjectOnto(*retained_pos, *retained_neg);
+      }
+      out.AddTransition(b, std::move(label), partition.block_of[t.to]);
+    }
+  }
+  out.DedupTransitions();
+  return out;
+}
+
+}  // namespace ctdb::automata

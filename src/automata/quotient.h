@@ -1,0 +1,22 @@
+// Quotient BA construction (Definition 10): states are bisimulation classes.
+
+#pragma once
+
+#include "automata/bisimulation.h"
+#include "automata/buchi.h"
+#include "util/bitset.h"
+
+namespace ctdb::automata {
+
+/// \brief Builds the simplification A_s of `ba` under `partition`
+/// (Definition 10). When retained polarities are given, transition labels are
+/// projected first (so the result is the simplification of the relevant BA,
+/// (A^r)_s of Theorem 9).
+///
+/// `partition` must refine the final/non-final split, so every block is
+/// uniformly final or non-final.
+Buchi BuildQuotient(const Buchi& ba, const Partition& partition,
+                    const Bitset* retained_pos = nullptr,
+                    const Bitset* retained_neg = nullptr);
+
+}  // namespace ctdb::automata

@@ -1,0 +1,83 @@
+#include "automata/scc.h"
+
+#include <algorithm>
+
+namespace ctdb::automata {
+
+SccInfo ComputeScc(const Buchi& ba) {
+  const size_t n = ba.StateCount();
+  SccInfo info;
+  info.component.assign(n, 0);
+
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<StateId> stack;
+  uint32_t next_index = 0;
+
+  // Explicit DFS frames: (state, next outgoing transition to visit).
+  struct Frame {
+    StateId state;
+    uint32_t edge;
+  };
+  std::vector<Frame> frames;
+
+  for (StateId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& out = ba.Out(f.state);
+      if (f.edge < out.size()) {
+        const StateId w = out[f.edge].to;
+        ++f.edge;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.state] = std::min(lowlink[f.state], index[w]);
+        }
+        continue;
+      }
+      // All edges explored: close the frame.
+      const StateId v = f.state;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().state] =
+            std::min(lowlink[frames.back().state], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        // v is the root of a component.
+        const uint32_t comp = info.count++;
+        while (true) {
+          const StateId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          info.component[w] = comp;
+          if (w == v) break;
+        }
+      }
+    }
+  }
+
+  // Tarjan emits components in reverse topological order already.
+  info.cyclic.assign(info.count, false);
+  info.has_final.assign(info.count, false);
+  for (StateId s = 0; s < n; ++s) {
+    const uint32_t c = info.component[s];
+    if (ba.IsFinal(s)) info.has_final[c] = true;
+    for (const Transition& t : ba.Out(s)) {
+      if (info.component[t.to] == c) info.cyclic[c] = true;
+    }
+  }
+  return info;
+}
+
+}  // namespace ctdb::automata

@@ -1,0 +1,39 @@
+// Strongly connected components of a Büchi automaton's state graph.
+// Used by the pruning-condition extraction (Algorithm 1), the seeds
+// optimization (§6.2.4), dead-state pruning and the SCC permission checker.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/buchi.h"
+
+namespace ctdb::automata {
+
+/// \brief SCC decomposition result.
+struct SccInfo {
+  /// Component id per state; ids are in reverse topological order
+  /// (a transition u→v with scc[u] != scc[v] implies scc[u] > scc[v]).
+  std::vector<uint32_t> component;
+  /// Number of components.
+  uint32_t count = 0;
+  /// Per component: true iff it contains an edge between two of its states
+  /// (i.e. a cycle exists through its states; single states need a
+  /// self-loop).
+  std::vector<bool> cyclic;
+  /// Per component: true iff it contains a final state.
+  std::vector<bool> has_final;
+
+  /// True iff state `s` lies on some cycle that contains a final state —
+  /// the seed criterion of §6.2.4.
+  bool OnFinalCycle(StateId s) const {
+    const uint32_t c = component[s];
+    return cyclic[c] && has_final[c];
+  }
+};
+
+/// Computes the SCCs of `ba` (iterative Tarjan; safe for deep graphs).
+SccInfo ComputeScc(const Buchi& ba);
+
+}  // namespace ctdb::automata

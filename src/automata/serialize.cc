@@ -1,0 +1,115 @@
+#include "automata/serialize.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace ctdb::automata {
+
+std::string Serialize(const Buchi& ba, const Vocabulary& vocab) {
+  std::string out =
+      StringFormat("ba states=%zu initial=%u\n", ba.StateCount(), ba.initial());
+  out += "finals";
+  for (size_t s : ba.finals().Indices()) {
+    out += StringFormat(" %zu", s);
+  }
+  out += "\n";
+  for (StateId s = 0; s < ba.StateCount(); ++s) {
+    for (const Transition& t : ba.Out(s)) {
+      out += StringFormat("t %u %u %s\n", s, t.to,
+                          t.label.ToString(vocab).c_str());
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<Buchi> Deserialize(std::string_view text, Vocabulary* vocab) {
+  Buchi ba;
+  bool saw_header = false;
+  bool done = false;
+  size_t declared_states = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    const std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    if (done) {
+      return Status::InvalidArgument("content after 'end'");
+    }
+    if (StartsWith(line, "ba ")) {
+      size_t n = 0;
+      unsigned init = 0;
+      if (std::sscanf(std::string(line).c_str(), "ba states=%zu initial=%u",
+                      &n, &init) != 2) {
+        return Status::InvalidArgument("malformed 'ba' header: " +
+                                       std::string(line));
+      }
+      if (n == 0) return Status::InvalidArgument("automaton needs >= 1 state");
+      declared_states = n;
+      ba.AddStates(n - 1);  // One state exists already.
+      if (init >= n) return Status::InvalidArgument("initial out of range");
+      ba.SetInitial(init);
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return Status::InvalidArgument("expected 'ba' header first");
+    }
+    if (StartsWith(line, "finals")) {
+      for (const std::string& tok : Split(line.substr(6), ' ')) {
+        const std::string_view t = Trim(tok);
+        if (t.empty()) continue;
+        size_t s = 0;
+        if (std::sscanf(std::string(t).c_str(), "%zu", &s) != 1 ||
+            s >= declared_states) {
+          return Status::InvalidArgument("bad final state: " + std::string(t));
+        }
+        ba.SetFinal(static_cast<StateId>(s));
+      }
+      continue;
+    }
+    if (StartsWith(line, "t ")) {
+      unsigned from = 0;
+      unsigned to = 0;
+      int consumed = 0;
+      if (std::sscanf(std::string(line).c_str(), "t %u %u %n", &from, &to,
+                      &consumed) != 2) {
+        return Status::InvalidArgument("malformed transition: " +
+                                       std::string(line));
+      }
+      if (from >= declared_states || to >= declared_states) {
+        return Status::InvalidArgument("transition endpoint out of range");
+      }
+      const std::string_view label_text =
+          Trim(line.substr(static_cast<size_t>(consumed)));
+      Label label;
+      if (label_text != "true") {
+        for (const std::string& lit_tok : Split(label_text, '&')) {
+          std::string_view lit = Trim(lit_tok);
+          if (lit.empty()) {
+            return Status::InvalidArgument("empty literal in label: " +
+                                           std::string(label_text));
+          }
+          bool negated = false;
+          if (lit[0] == '!') {
+            negated = true;
+            lit = Trim(lit.substr(1));
+          }
+          CTDB_ASSIGN_OR_RETURN(EventId e, vocab->Intern(lit));
+          label.Add(Literal{e, negated});
+        }
+      }
+      ba.AddTransition(from, std::move(label), to);
+      continue;
+    }
+    if (line == "end") {
+      done = true;
+      continue;
+    }
+    return Status::InvalidArgument("unrecognized line: " + std::string(line));
+  }
+  if (!saw_header) return Status::InvalidArgument("missing 'ba' header");
+  if (!done) return Status::InvalidArgument("missing 'end'");
+  return ba;
+}
+
+}  // namespace ctdb::automata

@@ -1,0 +1,32 @@
+// Text serialization of Büchi automata.
+//
+// The paper's prototype passes contract BAs between its four modules as text
+// files (§7.1); this is the equivalent format. One automaton per block:
+//
+//   ba states=<n> initial=<s>
+//   finals <s1> <s2> ...
+//   t <from> <to> <label>
+//   ...
+//   end
+//
+// where <label> is `true` or literals joined by '&' (e.g. `refund & !use`).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "automata/buchi.h"
+#include "base/vocabulary.h"
+#include "util/result.h"
+
+namespace ctdb::automata {
+
+/// Serializes `ba` using event names from `vocab`.
+std::string Serialize(const Buchi& ba, const Vocabulary& vocab);
+
+/// Parses one automaton serialized by Serialize. Unknown events are interned
+/// into `vocab`.
+Result<Buchi> Deserialize(std::string_view text, Vocabulary* vocab);
+
+}  // namespace ctdb::automata

@@ -1,0 +1,129 @@
+#include "automata/word.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace ctdb::automata {
+namespace {
+
+/// Product node (automaton state, distinct word position) as a dense index.
+struct ProductGraph {
+  const Buchi& ba;
+  const LassoWord& word;
+  size_t positions;
+
+  size_t NodeCount() const { return ba.StateCount() * positions; }
+  size_t Encode(StateId s, size_t pos) const { return s * positions + pos; }
+  StateId StateOf(size_t node) const {
+    return static_cast<StateId>(node / positions);
+  }
+  size_t PosOf(size_t node) const { return node % positions; }
+};
+
+}  // namespace
+
+bool AcceptsWord(const Buchi& ba, const LassoWord& word) {
+  assert(word.Valid());
+  const ProductGraph g{ba, word, word.PositionCount()};
+
+  // Iterative Tarjan over the product graph, explored on the fly from
+  // (initial, 0). Accept iff some component is cyclic and contains a node
+  // whose automaton state is final.
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(g.NodeCount(), kUnvisited);
+  std::vector<uint32_t> lowlink(g.NodeCount(), 0);
+  std::vector<bool> on_stack(g.NodeCount(), false);
+  std::vector<size_t> stack;
+  uint32_t next_index = 0;
+
+  struct Frame {
+    size_t node;
+    uint32_t edge;
+  };
+  std::vector<Frame> frames;
+
+  const size_t root = g.Encode(ba.initial(), 0);
+  frames.push_back({root, 0});
+  index[root] = lowlink[root] = next_index++;
+  stack.push_back(root);
+  on_stack[root] = true;
+
+  auto enabled = [&](size_t node, uint32_t edge, size_t* succ) {
+    const StateId s = g.StateOf(node);
+    const size_t pos = g.PosOf(node);
+    const auto& out = ba.Out(s);
+    if (edge >= out.size()) return false;
+    const Transition& t = out[edge];
+    if (!Satisfies(word.At(pos), t.label)) {
+      *succ = SIZE_MAX;
+      return true;  // Edge exists but is disabled; caller skips it.
+    }
+    *succ = g.Encode(t.to, word.Successor(pos));
+    return true;
+  };
+
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    size_t succ;
+    if (enabled(f.node, f.edge, &succ)) {
+      ++f.edge;
+      if (succ == SIZE_MAX) continue;  // disabled transition
+      if (index[succ] == kUnvisited) {
+        index[succ] = lowlink[succ] = next_index++;
+        stack.push_back(succ);
+        on_stack[succ] = true;
+        frames.push_back({succ, 0});
+      } else if (on_stack[succ]) {
+        lowlink[f.node] = std::min(lowlink[f.node], index[succ]);
+      }
+      continue;
+    }
+    const size_t v = f.node;
+    frames.pop_back();
+    if (!frames.empty()) {
+      lowlink[frames.back().node] =
+          std::min(lowlink[frames.back().node], lowlink[v]);
+    }
+    if (lowlink[v] == index[v]) {
+      // Collect the component; check acceptance.
+      std::vector<size_t> comp;
+      while (true) {
+        const size_t w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      bool has_final = false;
+      for (size_t node : comp) {
+        if (ba.IsFinal(g.StateOf(node))) {
+          has_final = true;
+          break;
+        }
+      }
+      if (!has_final) continue;
+      // Cyclic? Any enabled edge between two members (self-loop included).
+      // Membership test: on the component list (small) — use a mark vector.
+      bool cyclic = false;
+      for (size_t node : comp) {
+        const StateId s = g.StateOf(node);
+        const size_t pos = g.PosOf(node);
+        const size_t next_pos = word.Successor(pos);
+        for (const Transition& t : ba.Out(s)) {
+          if (!Satisfies(word.At(pos), t.label)) continue;
+          const size_t succ_node = g.Encode(t.to, next_pos);
+          if (std::find(comp.begin(), comp.end(), succ_node) != comp.end()) {
+            cyclic = true;
+            break;
+          }
+        }
+        if (cyclic) break;
+      }
+      if (cyclic) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ctdb::automata

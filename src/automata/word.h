@@ -1,0 +1,19 @@
+// Acceptance of an ultimately periodic word by a Büchi automaton.
+// Test-oracle companion of ltl/evaluator.h: BA(ϕ) accepts w ⇔ w ⊨ ϕ.
+
+#pragma once
+
+#include "automata/buchi.h"
+#include "base/run.h"
+
+namespace ctdb::automata {
+
+/// \brief True iff `ba` accepts the run `word` = u·vʷ, i.e. some run of the
+/// automaton over the word visits a final state infinitely often.
+///
+/// Decided exactly by an SCC analysis of the (state × word-position) product
+/// graph: the word is accepted iff a cyclic product SCC containing a final
+/// automaton state is reachable from (initial, 0).
+bool AcceptsWord(const Buchi& ba, const LassoWord& word);
+
+}  // namespace ctdb::automata

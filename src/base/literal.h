@@ -1,0 +1,57 @@
+// Literals: an event cited positively or negatively in a transition label.
+// Encoded as a dense id so literal sets can be sorted vectors / bitsets.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/vocabulary.h"
+
+namespace ctdb {
+
+/// Dense literal id: event `e` positive -> 2e, negative -> 2e+1.
+using LiteralId = uint32_t;
+
+/// \brief A single literal (event + polarity).
+struct Literal {
+  EventId event = 0;
+  bool negated = false;
+
+  LiteralId id() const {
+    return (static_cast<LiteralId>(event) << 1) | (negated ? 1u : 0u);
+  }
+
+  static Literal FromId(LiteralId id) {
+    return Literal{id >> 1, (id & 1u) != 0};
+  }
+
+  /// The same event with opposite polarity.
+  Literal Negation() const { return Literal{event, !negated}; }
+
+  /// Id of the negation of literal `id`.
+  static LiteralId NegationOf(LiteralId id) { return id ^ 1u; }
+
+  /// Event of literal `id`.
+  static EventId EventOf(LiteralId id) { return id >> 1; }
+
+  /// True iff literal `id` is negative.
+  static bool IsNegated(LiteralId id) { return (id & 1u) != 0; }
+
+  bool operator==(const Literal& other) const {
+    return event == other.event && negated == other.negated;
+  }
+  bool operator<(const Literal& other) const { return id() < other.id(); }
+
+  /// e.g. "refund" or "!refund".
+  std::string ToString(const Vocabulary& vocab) const {
+    return (negated ? "!" : "") + vocab.Name(event);
+  }
+};
+
+/// A canonical literal-set key: sorted, deduplicated literal ids. Used by the
+/// prefilter index and the projection store.
+using LiteralKey = std::vector<LiteralId>;
+
+}  // namespace ctdb

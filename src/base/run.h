@@ -1,0 +1,77 @@
+// Runs and their finite lasso representations (Section 6.1).
+//
+// A run assigns a truth value to every vocabulary event at every instant; a
+// snapshot is one instant's assignment, represented as the set of events that
+// happen. Infinite runs with finitely many distinct suffixes are represented
+// as lasso words u·vʷ (finite prefix u, cycle v repeated forever) — exactly
+// the runs that matter for Büchi acceptance and for the test oracles.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/label.h"
+#include "util/bitset.h"
+
+namespace ctdb {
+
+/// \brief One instant of a run: the set of events that happen.
+using Snapshot = Bitset;
+
+/// True iff `snapshot` satisfies conjunction `label` (all positive literals'
+/// events happen, no negative literal's event does).
+inline bool Satisfies(const Snapshot& snapshot, const Label& label) {
+  return label.positive().IsSubsetOf(snapshot) &&
+         label.negative().DisjointWith(snapshot);
+}
+
+/// \brief An ultimately periodic run u·vʷ.
+struct LassoWord {
+  std::vector<Snapshot> prefix;  ///< u — may be empty.
+  std::vector<Snapshot> cycle;   ///< v — must be non-empty for a valid word.
+
+  /// Number of distinct positions (|u| + |v|).
+  size_t PositionCount() const { return prefix.size() + cycle.size(); }
+
+  /// The snapshot at distinct-position index i ∈ [0, PositionCount()).
+  const Snapshot& At(size_t i) const {
+    return i < prefix.size() ? prefix[i] : cycle[i - prefix.size()];
+  }
+
+  /// Successor of distinct-position i (wraps the cycle back to its start).
+  size_t Successor(size_t i) const {
+    return i + 1 < PositionCount() ? i + 1 : prefix.size();
+  }
+
+  /// The snapshot at absolute instant t of the infinite run.
+  const Snapshot& AtInstant(size_t t) const {
+    if (t < prefix.size()) return prefix[t];
+    return cycle[(t - prefix.size()) % cycle.size()];
+  }
+
+  bool Valid() const { return !cycle.empty(); }
+
+  /// e.g. "{purchase}{use}({})^w".
+  std::string ToString(const Vocabulary& vocab) const {
+    std::string out;
+    auto render = [&](const Snapshot& s) {
+      out += "{";
+      bool first = true;
+      for (size_t e : s.Indices()) {
+        if (!first) out += ",";
+        out += vocab.Name(static_cast<EventId>(e));
+        first = false;
+      }
+      out += "}";
+    };
+    for (const Snapshot& s : prefix) render(s);
+    out += "(";
+    for (const Snapshot& s : cycle) render(s);
+    out += ")^w";
+    return out;
+  }
+};
+
+}  // namespace ctdb

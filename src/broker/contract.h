@@ -1,0 +1,34 @@
+// A registered contract: its specification, BA representation and the
+// per-contract precomputed data both optimizations rely on.
+
+#pragma once
+
+#include <string>
+
+#include "automata/buchi.h"
+#include "projection/store.h"
+#include "util/bitset.h"
+
+namespace ctdb::broker {
+
+/// \brief One contract in the database.
+struct Contract {
+  uint32_t id = 0;
+  std::string name;
+  std::string ltl_text;  ///< as registered (conjunction of clauses)
+
+  /// Events cited by the LTL specification — the vocabulary V of
+  /// Definition 5 (may strictly contain the events on BA labels).
+  Bitset events;
+
+  /// Contract states lying on a cycle through a final state (§6.2.4).
+  Bitset seed_states;
+
+  /// The contract BA plus its precomputed simplified projections (§5); the
+  /// registered automaton itself is `projections.original()`.
+  projection::ContractProjections projections;
+
+  const automata::Buchi& automaton() const { return projections.original(); }
+};
+
+}  // namespace ctdb::broker

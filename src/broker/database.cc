@@ -1,0 +1,310 @@
+#include "broker/database.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/compatibility.h"
+#include "core/witness.h"
+#include "ltl/parser.h"
+#include "util/timer.h"
+
+namespace ctdb::broker {
+
+ContractDatabase::ContractDatabase(const DatabaseOptions& options)
+    : options_(options), prefilter_(options.prefilter) {}
+
+Result<uint32_t> ContractDatabase::Register(std::string name,
+                                            std::string_view ltl_text,
+                                            RegistrationStats* stats) {
+  CTDB_ASSIGN_OR_RETURN(const ltl::Formula* spec,
+                        ltl::Parse(ltl_text, &factory_, &vocab_));
+  return RegisterFormula(std::move(name), spec, std::string(ltl_text), stats);
+}
+
+Result<uint32_t> ContractDatabase::RegisterFormula(std::string name,
+                                                   const ltl::Formula* spec,
+                                                   std::string ltl_text,
+                                                   RegistrationStats* stats) {
+  Bitset events;
+  spec->CollectEvents(&events);
+  if (ltl_text.empty()) ltl_text = spec->ToString(vocab_);
+
+  Timer timer;
+  CTDB_ASSIGN_OR_RETURN(
+      automata::Buchi ba,
+      translate::LtlToBuchi(spec, &factory_, options_.translate));
+  if (stats != nullptr) stats->translate_ms = timer.ElapsedMillis();
+  return RegisterAutomaton(std::move(name), std::move(ltl_text),
+                           std::move(ba), std::move(events), stats);
+}
+
+Result<uint32_t> ContractDatabase::RegisterAutomaton(std::string name,
+                                                     std::string ltl_text,
+                                                     automata::Buchi ba,
+                                                     Bitset events,
+                                                     RegistrationStats* stats) {
+  CTDB_RETURN_NOT_OK(ba.Validate());
+  auto contract = std::make_unique<Contract>();
+  contract->id = static_cast<uint32_t>(contracts_.size());
+  contract->name = std::move(name);
+  contract->ltl_text = std::move(ltl_text);
+  contract->events = std::move(events);
+  if (stats != nullptr) {
+    stats->ba_states = ba.StateCount();
+    stats->ba_transitions = ba.TransitionCount();
+  }
+
+  Timer timer;
+  contract->seed_states = core::ComputeSeedStates(ba);
+
+  timer.Reset();
+  if (options_.build_projections) {
+    contract->projections = projection::ContractProjections::Precompute(
+        std::move(ba), options_.projections);
+    if (stats != nullptr) {
+      stats->projection_precompute_ms = timer.ElapsedMillis();
+      const projection::ProjectionStats ps = contract->projections.stats();
+      stats->projection_subsets = ps.subsets_computed;
+      stats->projection_distinct = ps.distinct_partitions;
+    }
+  } else {
+    contract->projections =
+        projection::ContractProjections::WrapOnly(std::move(ba));
+  }
+
+  if (options_.build_prefilter) {
+    timer.Reset();
+    prefilter_.Insert(contract->id, contract->projections.original(),
+                      contract->events);
+    if (stats != nullptr) stats->prefilter_insert_ms = timer.ElapsedMillis();
+  }
+
+  const uint32_t id = contract->id;
+  contracts_.push_back(std::move(contract));
+  return id;
+}
+
+Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
+    const std::vector<BatchEntry>& entries, size_t threads) {
+  // Phase 1 (serial): parse against the shared vocabulary so every event is
+  // interned with its final id, and collect each contract's cited events.
+  std::vector<Bitset> events(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    CTDB_ASSIGN_OR_RETURN(const ltl::Formula* spec,
+                          ltl::Parse(entries[i].ltl_text, &factory_, &vocab_));
+    spec->CollectEvents(&events[i]);
+  }
+
+  // Phase 2 (parallel): each worker re-parses into a thread-local factory
+  // and vocabulary copy (event ids are already fixed), translates, and runs
+  // the expensive precomputations. No shared mutable state.
+  struct Built {
+    Status status = Status::OK();
+    std::unique_ptr<Contract> contract;
+  };
+  std::vector<Built> built(entries.size());
+  const Vocabulary vocab_snapshot = vocab_;
+
+  auto build_range = [&](size_t start, size_t stride) {
+    ltl::FormulaFactory local_factory;
+    Vocabulary local_vocab = vocab_snapshot;
+    for (size_t i = start; i < entries.size(); i += stride) {
+      auto spec = ltl::Parse(entries[i].ltl_text, &local_factory,
+                             &local_vocab);
+      if (!spec.ok()) {
+        built[i].status = spec.status();
+        continue;
+      }
+      auto ba = translate::LtlToBuchi(*spec, &local_factory,
+                                      options_.translate);
+      if (!ba.ok()) {
+        built[i].status = ba.status();
+        continue;
+      }
+      auto contract = std::make_unique<Contract>();
+      contract->name = entries[i].name;
+      contract->ltl_text = entries[i].ltl_text;
+      contract->events = events[i];
+      contract->seed_states = core::ComputeSeedStates(*ba);
+      contract->projections =
+          options_.build_projections
+              ? projection::ContractProjections::Precompute(
+                    std::move(*ba), options_.projections)
+              : projection::ContractProjections::WrapOnly(std::move(*ba));
+      built[i].contract = std::move(contract);
+    }
+  };
+
+  const size_t workers = std::max<size_t>(
+      1, std::min(threads, entries.size() == 0 ? 1 : entries.size()));
+  if (workers <= 1) {
+    build_range(0, 1);
+  } else {
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < workers; ++t) {
+      pool.emplace_back(build_range, t, workers);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  for (const Built& b : built) {
+    CTDB_RETURN_NOT_OK(b.status);
+  }
+
+  // Phase 3 (serial): assign ids, fill the shared index, commit.
+  std::vector<uint32_t> ids;
+  ids.reserve(entries.size());
+  for (Built& b : built) {
+    b.contract->id = static_cast<uint32_t>(contracts_.size());
+    if (options_.build_prefilter) {
+      prefilter_.Insert(b.contract->id, b.contract->projections.original(),
+                        b.contract->events);
+    }
+    ids.push_back(b.contract->id);
+    contracts_.push_back(std::move(b.contract));
+  }
+  return ids;
+}
+
+Result<QueryResult> ContractDatabase::Query(std::string_view ltl_text,
+                                            const QueryOptions& options) {
+  ltl::ParseOptions parse_options;
+  parse_options.require_known_events = true;
+  CTDB_ASSIGN_OR_RETURN(const ltl::Formula* query,
+                        ltl::Parse(ltl_text, &factory_, &vocab_,
+                                   parse_options));
+  return QueryFormula(query, options);
+}
+
+Result<QueryResult> ContractDatabase::QueryFormula(const ltl::Formula* query,
+                                                   const QueryOptions& options) {
+  QueryResult result;
+  result.stats.database_size = contracts_.size();
+  Timer total;
+
+  // 1. LTL → BA (charged to the query in both modes, §7.3).
+  Timer phase;
+  CTDB_ASSIGN_OR_RETURN(
+      const automata::Buchi query_ba,
+      translate::LtlToBuchi(query, &factory_, options_.translate));
+  result.stats.translate_ms = phase.ElapsedMillis();
+  result.stats.query_states = query_ba.StateCount();
+  result.stats.query_transitions = query_ba.TransitionCount();
+
+  // 2. Prefilter: pruning condition → candidate set (§4).
+  phase.Reset();
+  Bitset candidates;
+  if (options.use_prefilter && options_.build_prefilter) {
+    const index::Condition condition =
+        index::ExtractPruningCondition(query_ba, options.pruning);
+    candidates = condition.Evaluate(prefilter_);
+  } else {
+    candidates = Bitset::AllSet(contracts_.size());
+  }
+  candidates.Resize(contracts_.size());
+  result.stats.prefilter_ms = phase.ElapsedMillis();
+  result.stats.candidates = candidates.Count();
+
+  // 3. Permission checks over candidates (§3.1 / §5.2).
+  phase.Reset();
+  const Bitset query_events = query_ba.CitedEvents();
+  const bool use_projection =
+      options.use_projections && options_.build_projections;
+
+  // Checks one candidate; appends to the given output buffers.
+  auto check = [&](size_t idx, std::vector<uint32_t>* matches,
+                   std::vector<LassoWord>* witnesses,
+                   core::PermissionStats* stats) {
+    Contract& contract = *contracts_[idx];
+    const automata::Buchi& contract_ba =
+        use_projection ? contract.projections.ForQueryEvents(query_events)
+                       : contract.automaton();
+    // Seed states were computed on the registered automaton; the quotient has
+    // different state ids, so only pass them through when applicable.
+    const Bitset* seeds = use_projection ? nullptr : &contract.seed_states;
+    if (core::Permits(contract_ba, contract.events, query_ba,
+                      options.permission, seeds, stats)) {
+      matches->push_back(contract.id);
+      if (options.collect_witnesses) {
+        // Witnesses come from the *registered* automaton: the simplified
+        // projection's labels are projected, so its runs are not directly
+        // presentable contract behavior.
+        auto witness = core::FindWitness(contract.automaton(),
+                                         contract.events, query_ba);
+        witnesses->push_back(witness.has_value() ? std::move(*witness)
+                                                 : LassoWord{});
+      }
+    }
+  };
+
+  const std::vector<size_t> candidate_ids = candidates.ToVector();
+  const size_t threads =
+      std::min(options.threads == 0 ? size_t{1} : options.threads,
+               candidate_ids.size() == 0 ? size_t{1} : candidate_ids.size());
+  if (threads <= 1) {
+    for (size_t idx : candidate_ids) {
+      check(idx, &result.matches, &result.witnesses,
+            &result.stats.permission);
+    }
+  } else {
+    // Strided static partition (thread t takes candidates t, t+threads, …):
+    // spreads expensive contracts across threads, and each contract (and
+    // thus each lazy quotient cache) is touched by exactly one thread, so no
+    // locking is needed. Results are re-sorted by contract id afterwards.
+    struct Shard {
+      std::vector<uint32_t> matches;
+      std::vector<LassoWord> witnesses;
+      core::PermissionStats stats;
+    };
+    std::vector<Shard> shards(threads);
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (size_t i = t; i < candidate_ids.size(); i += threads) {
+          check(candidate_ids[i], &shards[t].matches, &shards[t].witnesses,
+                &shards[t].stats);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    std::vector<std::pair<uint32_t, LassoWord>> merged;
+    for (Shard& shard : shards) {
+      for (size_t i = 0; i < shard.matches.size(); ++i) {
+        merged.emplace_back(shard.matches[i],
+                            options.collect_witnesses
+                                ? std::move(shard.witnesses[i])
+                                : LassoWord{});
+      }
+      result.stats.permission.MergeFrom(shard.stats);
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [id, witness] : merged) {
+      result.matches.push_back(id);
+      if (options.collect_witnesses) {
+        result.witnesses.push_back(std::move(witness));
+      }
+    }
+  }
+  result.stats.permission_ms = phase.ElapsedMillis();
+  result.stats.matches = result.matches.size();
+  result.stats.total_ms = total.ElapsedMillis();
+  return result;
+}
+
+size_t ContractDatabase::ContractMemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& c : contracts_) {
+    bytes += c->automaton().MemoryUsage();
+  }
+  return bytes;
+}
+
+size_t ContractDatabase::ProjectionMemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& c : contracts_) {
+    bytes += c->projections.stats().partition_memory_bytes;
+  }
+  return bytes;
+}
+
+}  // namespace ctdb::broker

@@ -1,0 +1,150 @@
+// The contract database / temporal broker (Section 3).
+//
+// Registration translates a contract's LTL specification to a BA, inserts it
+// into the prefiltering index (§4) and precomputes its simplified projections
+// (§5). Query evaluation translates the query, extracts its pruning
+// condition, evaluates the condition against the index to obtain candidates,
+// and runs the permission algorithm on each candidate's best simplified
+// projection. Every optimization can be toggled, which is how the benchmarks
+// compare the unoptimized scan of §3 against the optimized system of §7.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/buchi.h"
+#include "base/run.h"
+#include "base/vocabulary.h"
+#include "broker/contract.h"
+#include "broker/stats.h"
+#include "core/permission.h"
+#include "index/prefilter.h"
+#include "index/pruning.h"
+#include "ltl/formula.h"
+#include "projection/store.h"
+#include "translate/ltl_to_ba.h"
+#include "util/result.h"
+
+namespace ctdb::broker {
+
+/// Registration-time configuration.
+struct DatabaseOptions {
+  /// Maintain the prefiltering index (§4).
+  bool build_prefilter = true;
+  index::PrefilterOptions prefilter;
+
+  /// Precompute simplified projections (§5).
+  bool build_projections = true;
+  projection::ProjectionStoreOptions projections;
+
+  /// LTL → BA pipeline settings.
+  translate::TranslateOptions translate;
+};
+
+/// Query-time configuration.
+struct QueryOptions {
+  /// Use the prefiltering index to restrict permission checks to candidates.
+  bool use_prefilter = true;
+  /// Use the precomputed simplified projections for the permission checks.
+  bool use_projections = true;
+  /// Also extract, for every match, a concrete allowed event sequence that
+  /// satisfies the query (a witness; see core/witness.h). Witnesses are
+  /// computed on the registered automata, so they are real contract runs.
+  bool collect_witnesses = false;
+  /// Number of worker threads for the per-candidate permission checks.
+  /// 1 (the default) reproduces the paper's single-threaded prototype; the
+  /// workload is embarrassingly parallel across candidates (§7.4 makes the
+  /// same observation for the registration-time precompute).
+  size_t threads = 1;
+  /// Permission algorithm knobs (Algorithm 2 vs SCC, seeds).
+  core::PermissionOptions permission;
+  index::PruningOptions pruning;
+};
+
+/// A query's outcome.
+struct QueryResult {
+  std::vector<uint32_t> matches;  ///< ids of contracts permitting the query
+  /// When QueryOptions::collect_witnesses is set: witnesses[i] demonstrates
+  /// matches[i] (same order and length as `matches`).
+  std::vector<LassoWord> witnesses;
+  QueryStats stats;
+};
+
+/// \brief The broker's temporal-specification store.
+///
+/// Owns the vocabulary and the formula factory; contracts and queries are
+/// expressed against the shared vocabulary (Section 1, requirement ii).
+class ContractDatabase {
+ public:
+  explicit ContractDatabase(const DatabaseOptions& options = {});
+
+  /// Registers a contract given as LTL text (clauses conjoined with '&').
+  /// New event names are interned into the vocabulary.
+  Result<uint32_t> Register(std::string name, std::string_view ltl_text,
+                            RegistrationStats* stats = nullptr);
+
+  /// Registers a pre-parsed contract formula.
+  Result<uint32_t> RegisterFormula(std::string name, const ltl::Formula* spec,
+                                   std::string ltl_text = {},
+                                   RegistrationStats* stats = nullptr);
+
+  /// Registers a contract from its already-translated automaton (the
+  /// persistence loader's path): skips the LTL→BA translation but performs
+  /// every other registration-time precomputation. `events` must be the
+  /// events cited by the contract's specification (Definition 5).
+  Result<uint32_t> RegisterAutomaton(std::string name, std::string ltl_text,
+                                     automata::Buchi ba, Bitset events,
+                                     RegistrationStats* stats = nullptr);
+
+  /// One contract of a batch registration.
+  struct BatchEntry {
+    std::string name;
+    std::string ltl_text;
+  };
+
+  /// Registers many contracts at once, running the expensive per-contract
+  /// work (LTL→BA translation, seed computation, projection precomputation —
+  /// §7.4 observes this workload is "completely parallel") on `threads`
+  /// worker threads. Equivalent to registering the entries in order; returns
+  /// their ids. On any error nothing is registered.
+  Result<std::vector<uint32_t>> RegisterBatch(
+      const std::vector<BatchEntry>& entries, size_t threads = 1);
+
+  /// Evaluates an LTL query. Queries must cite only registered events
+  /// (unknown events cannot be permitted by any contract — they are an
+  /// error, to catch typos early). Non-const: query evaluation warms the
+  /// per-contract quotient caches and interns formula nodes.
+  Result<QueryResult> Query(std::string_view ltl_text,
+                            const QueryOptions& options = {});
+
+  /// Evaluates a pre-parsed query formula.
+  Result<QueryResult> QueryFormula(const ltl::Formula* query,
+                                   const QueryOptions& options = {});
+
+  size_t size() const { return contracts_.size(); }
+  const Contract& contract(uint32_t id) const { return *contracts_[id]; }
+
+  Vocabulary* vocabulary() { return &vocab_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+  ltl::FormulaFactory* factory() { return &factory_; }
+
+  const index::PrefilterIndex& prefilter() const { return prefilter_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Aggregate footprint of the auxiliary structures (§7.4).
+  size_t PrefilterMemoryUsage() const { return prefilter_.Stats().memory_bytes; }
+  size_t ContractMemoryUsage() const;
+  size_t ProjectionMemoryUsage() const;
+
+ private:
+  DatabaseOptions options_;
+  Vocabulary vocab_;
+  ltl::FormulaFactory factory_;
+  std::vector<std::unique_ptr<Contract>> contracts_;
+  index::PrefilterIndex prefilter_;
+};
+
+}  // namespace ctdb::broker

@@ -1,0 +1,168 @@
+#include "broker/persistence.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "automata/serialize.h"
+#include "util/string_util.h"
+
+namespace ctdb::broker {
+
+namespace {
+
+constexpr const char* kHeader = "ctdb-database-v1";
+
+std::string OneLine(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
+Status SaveDatabase(const ContractDatabase& db, std::ostream* out) {
+  const Vocabulary& vocab = db.vocabulary();
+  *out << kHeader << "\n";
+  *out << "vocabulary " << vocab.size() << "\n";
+  for (const std::string& name : vocab.names()) {
+    *out << "v " << name << "\n";
+  }
+  *out << "contracts " << db.size() << "\n";
+  for (uint32_t id = 0; id < db.size(); ++id) {
+    const Contract& contract = db.contract(id);
+    *out << "contract " << id << "\n";
+    *out << "name " << OneLine(contract.name) << "\n";
+    *out << "ltl " << OneLine(contract.ltl_text) << "\n";
+    *out << "events";
+    for (size_t e : contract.events.Indices()) *out << " " << e;
+    *out << "\n";
+    *out << automata::Serialize(contract.automaton(), vocab);
+  }
+  *out << "end-database\n";
+  if (!out->good()) return Status::Internal("write failure while saving");
+  return Status::OK();
+}
+
+Status SaveDatabaseToFile(const ContractDatabase& db,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  return SaveDatabase(db, &out);
+}
+
+Result<std::unique_ptr<ContractDatabase>> LoadDatabase(
+    std::istream& in, const DatabaseOptions& options) {
+  auto db = std::make_unique<ContractDatabase>(options);
+  std::string line;
+
+  auto next_line = [&](const char* what) -> Result<std::string> {
+    while (std::getline(in, line)) {
+      const std::string_view trimmed = Trim(line);
+      if (!trimmed.empty()) return std::string(trimmed);
+    }
+    return Status::InvalidArgument(std::string("unexpected end of input, ") +
+                                   "expected " + what);
+  };
+
+  CTDB_ASSIGN_OR_RETURN(std::string header, next_line("header"));
+  if (header != kHeader) {
+    return Status::InvalidArgument("not a ctdb database: bad header");
+  }
+
+  CTDB_ASSIGN_OR_RETURN(std::string vocab_line, next_line("vocabulary"));
+  size_t vocab_count = 0;
+  if (std::sscanf(vocab_line.c_str(), "vocabulary %zu", &vocab_count) != 1) {
+    return Status::InvalidArgument("malformed vocabulary line");
+  }
+  for (size_t i = 0; i < vocab_count; ++i) {
+    CTDB_ASSIGN_OR_RETURN(std::string v, next_line("vocabulary entry"));
+    if (!StartsWith(v, "v ")) {
+      return Status::InvalidArgument("malformed vocabulary entry: " + v);
+    }
+    CTDB_RETURN_NOT_OK(
+        db->vocabulary()->Intern(Trim(std::string_view(v).substr(2)))
+            .status());
+  }
+
+  CTDB_ASSIGN_OR_RETURN(std::string contracts_line, next_line("contracts"));
+  size_t contract_count = 0;
+  if (std::sscanf(contracts_line.c_str(), "contracts %zu",
+                  &contract_count) != 1) {
+    return Status::InvalidArgument("malformed contracts line");
+  }
+
+  for (size_t c = 0; c < contract_count; ++c) {
+    CTDB_ASSIGN_OR_RETURN(std::string contract_line, next_line("contract"));
+    size_t declared_id = 0;
+    if (std::sscanf(contract_line.c_str(), "contract %zu", &declared_id) !=
+        1) {
+      return Status::InvalidArgument("malformed contract line: " +
+                                     contract_line);
+    }
+    if (declared_id != c) {
+      return Status::InvalidArgument("contract ids must be dense and "
+                                     "in-order");
+    }
+    CTDB_ASSIGN_OR_RETURN(std::string name_line, next_line("name"));
+    if (!StartsWith(name_line, "name ")) {
+      return Status::InvalidArgument("expected 'name', got: " + name_line);
+    }
+    CTDB_ASSIGN_OR_RETURN(std::string ltl_line, next_line("ltl"));
+    if (!StartsWith(ltl_line, "ltl ")) {
+      return Status::InvalidArgument("expected 'ltl', got: " + ltl_line);
+    }
+    CTDB_ASSIGN_OR_RETURN(std::string events_line, next_line("events"));
+    if (!StartsWith(events_line, "events")) {
+      return Status::InvalidArgument("expected 'events', got: " + events_line);
+    }
+    Bitset events;
+    for (const std::string& tok : Split(events_line.substr(6), ' ')) {
+      const std::string_view t = Trim(tok);
+      if (t.empty()) continue;
+      size_t e = 0;
+      if (std::sscanf(std::string(t).c_str(), "%zu", &e) != 1 ||
+          e >= db->vocabulary()->size()) {
+        return Status::InvalidArgument("bad event id in: " + events_line);
+      }
+      events.Resize(e + 1);
+      events.Set(e);
+    }
+    // Collect the BA block up to and including its 'end'.
+    std::string ba_text;
+    while (true) {
+      CTDB_ASSIGN_OR_RETURN(std::string ba_line, next_line("ba body"));
+      ba_text += ba_line;
+      ba_text += "\n";
+      if (ba_line == "end") break;
+    }
+    CTDB_ASSIGN_OR_RETURN(automata::Buchi ba,
+                          automata::Deserialize(ba_text, db->vocabulary()));
+    CTDB_ASSIGN_OR_RETURN(
+        uint32_t id,
+        db->RegisterAutomaton(name_line.substr(5), ltl_line.substr(4),
+                              std::move(ba), std::move(events)));
+    (void)id;
+  }
+
+  CTDB_ASSIGN_OR_RETURN(std::string footer, next_line("end-database"));
+  if (footer != "end-database") {
+    return Status::InvalidArgument("missing end-database footer");
+  }
+  return db;
+}
+
+Result<std::unique_ptr<ContractDatabase>> LoadDatabaseFromFile(
+    const std::string& path, const DatabaseOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  return LoadDatabase(in, options);
+}
+
+}  // namespace ctdb::broker

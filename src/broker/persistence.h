@@ -1,0 +1,42 @@
+// Saving and loading contract databases.
+//
+// The paper's architecture (§3, §7.1) precomputes registration-time data for
+// a "fairly static" contract database whose contracts are each queried many
+// times; persisting the registered automata lets a broker restart without
+// re-running the LTL→BA translation for every contract. The format is plain
+// text (the paper's modules exchange text files): a header, the vocabulary,
+// then per contract its name, LTL text, cited events and serialized BA.
+// Prefilter index, seed sets and projection partitions are recomputed at
+// load time from the stored automata (they are deterministic functions of
+// them and of the load-time DatabaseOptions).
+
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "broker/database.h"
+#include "util/result.h"
+
+namespace ctdb::broker {
+
+/// Serializes `db` (vocabulary + every contract) to `out`.
+/// Newlines inside contract names or LTL text are replaced by spaces (LTL is
+/// whitespace-insensitive; names are labels).
+Status SaveDatabase(const ContractDatabase& db, std::ostream* out);
+
+/// Writes SaveDatabase output to `path`.
+Status SaveDatabaseToFile(const ContractDatabase& db, const std::string& path);
+
+/// Rebuilds a database from a SaveDatabase stream. Contract ids are
+/// preserved; per-contract precomputations (seeds, prefilter entries,
+/// projection partitions) are rebuilt under `options`.
+Result<std::unique_ptr<ContractDatabase>> LoadDatabase(
+    std::istream& in, const DatabaseOptions& options = {});
+
+/// Reads LoadDatabase input from `path`.
+Result<std::unique_ptr<ContractDatabase>> LoadDatabaseFromFile(
+    const std::string& path, const DatabaseOptions& options = {});
+
+}  // namespace ctdb::broker

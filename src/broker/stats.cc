@@ -1,0 +1,23 @@
+#include "broker/stats.h"
+
+#include "util/string_util.h"
+
+namespace ctdb::broker {
+
+std::string QueryStats::ToString() const {
+  return StringFormat(
+      "total=%.2fms translate=%.2fms prefilter=%.2fms permission=%.2fms "
+      "db=%zu candidates=%zu matches=%zu query_ba=%zus/%zut",
+      total_ms, translate_ms, prefilter_ms, permission_ms, database_size,
+      candidates, matches, query_states, query_transitions);
+}
+
+std::string RegistrationStats::ToString() const {
+  return StringFormat(
+      "translate=%.2fms prefilter=%.2fms projections=%.2fms ba=%zus/%zut "
+      "subsets=%zu distinct=%zu",
+      translate_ms, prefilter_insert_ms, projection_precompute_ms, ba_states,
+      ba_transitions, projection_subsets, projection_distinct);
+}
+
+}  // namespace ctdb::broker

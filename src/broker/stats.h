@@ -1,0 +1,45 @@
+// Statistics surfaced by the broker, matching the measurements of §7.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/permission.h"
+
+namespace ctdb::broker {
+
+/// Per-query evaluation statistics.
+struct QueryStats {
+  double translate_ms = 0;   ///< LTL → BA conversion (counted in both modes)
+  double prefilter_ms = 0;   ///< condition extraction + index evaluation
+  double permission_ms = 0;  ///< permission checks over candidates
+  double total_ms = 0;
+
+  size_t database_size = 0;  ///< contracts in the database
+  size_t candidates = 0;     ///< contracts surviving the prefilter
+  size_t matches = 0;        ///< contracts permitting the query
+
+  size_t query_states = 0;       ///< states of the query BA
+  size_t query_transitions = 0;  ///< transitions of the query BA
+
+  core::PermissionStats permission;
+
+  std::string ToString() const;
+};
+
+/// Per-registration statistics.
+struct RegistrationStats {
+  double translate_ms = 0;
+  double prefilter_insert_ms = 0;
+  double projection_precompute_ms = 0;
+  size_t ba_states = 0;
+  size_t ba_transitions = 0;
+  size_t projection_subsets = 0;
+  size_t projection_distinct = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace ctdb::broker

@@ -1,0 +1,21 @@
+// Label compatibility (Definition 7, point 3): a contract transition label θ
+// is compatible with a query transition label τ iff
+//   (i)  τ cites only events of the contract's vocabulary, and
+//   (ii) θ ∧ τ is satisfiable (no opposite literals).
+
+#pragma once
+
+#include "base/label.h"
+#include "util/bitset.h"
+
+namespace ctdb::core {
+
+/// \brief True iff contract label θ and query label τ are compatible with
+/// respect to a contract citing exactly `contract_events`.
+inline bool Compatible(const Label& contract_label, const Label& query_label,
+                       const Bitset& contract_events) {
+  return query_label.CitesOnly(contract_events) &&
+         contract_label.ConsistentWith(query_label);
+}
+
+}  // namespace ctdb::core

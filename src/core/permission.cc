@@ -1,0 +1,252 @@
+#include "core/permission.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "automata/scc.h"
+#include "core/compatibility.h"
+
+namespace ctdb::core {
+
+using automata::Buchi;
+using automata::StateId;
+using automata::Transition;
+
+namespace {
+
+/// Packs a product pair into one 64-bit key.
+inline uint64_t PairKey(StateId s, StateId q) {
+  return (static_cast<uint64_t>(s) << 32) | q;
+}
+
+/// Enumerates the product successors of (s, q): all (θ.to, τ.to) with
+/// compatible labels.
+template <typename Fn>
+void ForEachSuccessor(const Buchi& contract, const Bitset& contract_events,
+                      const Buchi& query, StateId s, StateId q, Fn&& fn) {
+  for (const Transition& theta : contract.Out(s)) {
+    for (const Transition& tau : query.Out(q)) {
+      if (Compatible(theta.label, tau.label, contract_events)) {
+        fn(theta.to, tau.to);
+      }
+    }
+  }
+}
+
+/// Inner search of Algorithm 2 (procedure cycle_search), memoized: looks for
+/// a cycle from `seed` back to `seed` containing a contract-final pair.
+/// Nodes are (pair, seen-final) and each is visited at most once.
+bool CycleSearch(const Buchi& contract, const Bitset& contract_events,
+                 const Buchi& query, StateId seed_s, StateId seed_q,
+                 PermissionStats* stats) {
+  const bool seed_final = contract.IsFinal(seed_s);
+  // Node key: pair key shifted, low bit = seen-contract-final flag.
+  std::unordered_set<uint64_t> visited;
+  std::vector<std::pair<uint64_t, bool>> stack;  // (pair key, flag)
+
+  bool found = false;
+  ForEachSuccessor(contract, contract_events, query, seed_s, seed_q,
+                   [&](StateId s2, StateId q2) {
+                     if (found) return;
+                     const bool flag =
+                         seed_final || contract.IsFinal(s2);
+                     if (s2 == seed_s && q2 == seed_q && flag) {
+                       found = true;
+                       return;
+                     }
+                     const uint64_t key = (PairKey(s2, q2) << 1) |
+                                          (flag ? 1u : 0u);
+                     if (visited.insert(key).second) {
+                       stack.emplace_back(PairKey(s2, q2), flag);
+                     }
+                   });
+  while (!found && !stack.empty()) {
+    const auto [pair, flag] = stack.back();
+    stack.pop_back();
+    if (stats != nullptr) ++stats->cycle_pairs;
+    const StateId s = static_cast<StateId>(pair >> 32);
+    const StateId q = static_cast<StateId>(pair & 0xffffffffu);
+    ForEachSuccessor(contract, contract_events, query, s, q,
+                     [&](StateId s2, StateId q2) {
+                       if (found) return;
+                       const bool flag2 = flag || contract.IsFinal(s2);
+                       if (s2 == seed_s && q2 == seed_q && flag2) {
+                         found = true;
+                         return;
+                       }
+                       const uint64_t key = (PairKey(s2, q2) << 1) |
+                                            (flag2 ? 1u : 0u);
+                       if (visited.insert(key).second) {
+                         stack.emplace_back(PairKey(s2, q2), flag2);
+                       }
+                     });
+  }
+  return found;
+}
+
+/// Algorithm 2: outer DFS over product pairs; inner cycle search at seeds.
+bool PermitsNestedDfs(const Buchi& contract, const Bitset& contract_events,
+                      const Buchi& query, const Bitset* seed_states,
+                      bool use_seeds, PermissionStats* stats) {
+  Bitset local_seeds;
+  if (use_seeds && seed_states == nullptr) {
+    local_seeds = ComputeSeedStates(contract);
+    seed_states = &local_seeds;
+  }
+
+  std::unordered_set<uint64_t> visited;
+  std::vector<uint64_t> stack;
+  const uint64_t root = PairKey(contract.initial(), query.initial());
+  visited.insert(root);
+  stack.push_back(root);
+
+  while (!stack.empty()) {
+    const uint64_t pair = stack.back();
+    stack.pop_back();
+    if (stats != nullptr) ++stats->pairs_visited;
+    const StateId s = static_cast<StateId>(pair >> 32);
+    const StateId q = static_cast<StateId>(pair & 0xffffffffu);
+
+    // Seed test: query state final, and (seeds optimization, §6.2.4) the
+    // contract state lies on a contract cycle through a contract-final state.
+    if (query.IsFinal(q) && (!use_seeds || seed_states->Test(s))) {
+      if (stats != nullptr) ++stats->cycle_searches;
+      if (CycleSearch(contract, contract_events, query, s, q, stats)) {
+        return true;
+      }
+    }
+
+    ForEachSuccessor(contract, contract_events, query, s, q,
+                     [&](StateId s2, StateId q2) {
+                       const uint64_t key = PairKey(s2, q2);
+                       if (visited.insert(key).second) stack.push_back(key);
+                     });
+  }
+  return false;
+}
+
+/// SCC-based variant: explore the reachable product, then decide via Tarjan
+/// whether some cyclic SCC contains both a contract-final and a query-final
+/// pair.
+bool PermitsScc(const Buchi& contract, const Bitset& contract_events,
+                const Buchi& query, PermissionStats* stats) {
+  // Materialize the reachable product as a small graph.
+  std::unordered_map<uint64_t, uint32_t> id_of;
+  std::vector<std::pair<StateId, StateId>> nodes;
+  std::vector<std::vector<uint32_t>> adj;
+
+  const uint64_t root = PairKey(contract.initial(), query.initial());
+  id_of.emplace(root, 0);
+  nodes.emplace_back(contract.initial(), query.initial());
+  adj.emplace_back();
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    const auto [s, q] = nodes[i];
+    if (stats != nullptr) ++stats->pairs_visited;
+    ForEachSuccessor(contract, contract_events, query, s, q,
+                     [&](StateId s2, StateId q2) {
+                       const uint64_t key = PairKey(s2, q2);
+                       auto [it, inserted] =
+                           id_of.emplace(key, static_cast<uint32_t>(nodes.size()));
+                       if (inserted) {
+                         nodes.emplace_back(s2, q2);
+                         adj.emplace_back();
+                       }
+                       adj[i].push_back(it->second);
+                     });
+  }
+
+  // Iterative Tarjan on the materialized product.
+  const size_t n = nodes.size();
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> scc_stack;
+  uint32_t next_index = 0;
+
+  struct Frame {
+    uint32_t node;
+    uint32_t edge;
+  };
+  std::vector<Frame> frames;
+  frames.push_back({0, 0});
+  index[0] = lowlink[0] = next_index++;
+  scc_stack.push_back(0);
+  on_stack[0] = true;
+
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.edge < adj[f.node].size()) {
+      const uint32_t w = adj[f.node][f.edge];
+      ++f.edge;
+      if (index[w] == kUnvisited) {
+        index[w] = lowlink[w] = next_index++;
+        scc_stack.push_back(w);
+        on_stack[w] = true;
+        frames.push_back({w, 0});
+      } else if (on_stack[w]) {
+        lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+      }
+      continue;
+    }
+    const uint32_t v = f.node;
+    frames.pop_back();
+    if (!frames.empty()) {
+      lowlink[frames.back().node] =
+          std::min(lowlink[frames.back().node], lowlink[v]);
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<uint32_t> comp;
+      while (true) {
+        const uint32_t w = scc_stack.back();
+        scc_stack.pop_back();
+        on_stack[w] = false;
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      bool contract_final = false;
+      bool query_final = false;
+      for (uint32_t w : comp) {
+        if (contract.IsFinal(nodes[w].first)) contract_final = true;
+        if (query.IsFinal(nodes[w].second)) query_final = true;
+      }
+      if (!contract_final || !query_final) continue;
+      // Cyclic: an edge between two members (self-loops included).
+      std::unordered_set<uint32_t> members(comp.begin(), comp.end());
+      for (uint32_t w : comp) {
+        for (uint32_t succ : adj[w]) {
+          if (members.count(succ) > 0) return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Bitset ComputeSeedStates(const Buchi& contract) {
+  const automata::SccInfo scc = automata::ComputeScc(contract);
+  Bitset seeds(contract.StateCount());
+  for (StateId s = 0; s < contract.StateCount(); ++s) {
+    if (scc.OnFinalCycle(s)) seeds.Set(s);
+  }
+  return seeds;
+}
+
+bool Permits(const Buchi& contract, const Bitset& contract_events,
+             const Buchi& query, const PermissionOptions& options,
+             const Bitset* seed_states, PermissionStats* stats) {
+  switch (options.algorithm) {
+    case PermissionAlgorithm::kNestedDfs:
+      return PermitsNestedDfs(contract, contract_events, query, seed_states,
+                              options.use_seeds, stats);
+    case PermissionAlgorithm::kScc:
+      return PermitsScc(contract, contract_events, query, stats);
+  }
+  return false;
+}
+
+}  // namespace ctdb::core

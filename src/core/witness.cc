@@ -1,0 +1,238 @@
+#include "core/witness.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compatibility.h"
+
+namespace ctdb::core {
+
+using automata::Buchi;
+using automata::StateId;
+using automata::Transition;
+
+namespace {
+
+/// Materialized product graph with one chosen snapshot per edge: the
+/// assignment making all positive literals of θ ∧ τ true and everything else
+/// false (satisfies the conjunction because labels are conflict-free).
+struct Product {
+  std::vector<std::pair<StateId, StateId>> nodes;
+  struct Edge {
+    uint32_t to;
+    Snapshot snapshot;
+  };
+  std::vector<std::vector<Edge>> adj;
+
+  static Product Build(const Buchi& contract, const Bitset& contract_events,
+                       const Buchi& query) {
+    Product p;
+    std::unordered_map<uint64_t, uint32_t> id_of;
+    auto key = [](StateId s, StateId q) {
+      return (static_cast<uint64_t>(s) << 32) | q;
+    };
+    id_of.emplace(key(contract.initial(), query.initial()), 0);
+    p.nodes.emplace_back(contract.initial(), query.initial());
+    p.adj.emplace_back();
+    for (uint32_t i = 0; i < p.nodes.size(); ++i) {
+      const auto [s, q] = p.nodes[i];
+      for (const Transition& theta : contract.Out(s)) {
+        for (const Transition& tau : query.Out(q)) {
+          if (!Compatible(theta.label, tau.label, contract_events)) continue;
+          const uint64_t k = key(theta.to, tau.to);
+          auto [it, inserted] =
+              id_of.emplace(k, static_cast<uint32_t>(p.nodes.size()));
+          if (inserted) {
+            p.nodes.emplace_back(theta.to, tau.to);
+            p.adj.emplace_back();
+          }
+          Snapshot snapshot = theta.label.positive();
+          snapshot |= tau.label.positive();
+          p.adj[i].push_back(Edge{it->second, std::move(snapshot)});
+        }
+      }
+    }
+    return p;
+  }
+};
+
+/// Iterative Tarjan over the product.
+struct SccResult {
+  std::vector<uint32_t> comp;
+  uint32_t count = 0;
+};
+
+SccResult ProductScc(const Product& p) {
+  const size_t n = p.nodes.size();
+  SccResult r;
+  r.comp.assign(n, 0);
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  uint32_t next = 0;
+  struct Frame {
+    uint32_t node;
+    uint32_t edge;
+  };
+  std::vector<Frame> frames;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < p.adj[f.node].size()) {
+        const uint32_t w = p.adj[f.node][f.edge].to;
+        ++f.edge;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+        continue;
+      }
+      const uint32_t v = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        const uint32_t c = r.count++;
+        while (true) {
+          const uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          r.comp[w] = c;
+          if (w == v) break;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+/// BFS path `from` → `to` through the product; when `within` is non-null the
+/// walk stays inside that component. Returns the edge snapshots along the
+/// path (empty when from == to). Requires reachability (callers guarantee
+/// it; asserts in debug builds).
+std::vector<Snapshot> BfsPath(const Product& p, const SccResult& scc,
+                              uint32_t from, uint32_t to,
+                              const uint32_t* within) {
+  if (from == to) return {};
+  std::vector<int64_t> parent(p.nodes.size(), -1);
+  std::vector<const Snapshot*> via(p.nodes.size(), nullptr);
+  std::queue<uint32_t> queue;
+  queue.push(from);
+  parent[from] = from;
+  while (!queue.empty()) {
+    const uint32_t u = queue.front();
+    queue.pop();
+    for (const Product::Edge& e : p.adj[u]) {
+      if (within != nullptr && scc.comp[e.to] != *within) continue;
+      if (parent[e.to] != -1) continue;
+      parent[e.to] = u;
+      via[e.to] = &e.snapshot;
+      if (e.to == to) {
+        std::vector<Snapshot> path;
+        uint32_t cur = to;
+        while (cur != from) {
+          path.push_back(*via[cur]);
+          cur = static_cast<uint32_t>(parent[cur]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push(e.to);
+    }
+  }
+  return {};  // unreachable under the callers' preconditions
+}
+
+/// A (possibly empty-start) cycle through `node` inside its component, as
+/// snapshots: first a path node → mid, then mid → node. `mid` may equal
+/// `node`, in which case the result is a simple cycle node → node of length
+/// ≥ 1 (found via node's in-component successors).
+std::vector<Snapshot> CycleThrough(const Product& p, const SccResult& scc,
+                                   uint32_t node, uint32_t mid) {
+  const uint32_t comp = scc.comp[node];
+  std::vector<Snapshot> path;
+  if (mid != node) {
+    std::vector<Snapshot> there = BfsPath(p, scc, node, mid, &comp);
+    std::vector<Snapshot> back = BfsPath(p, scc, mid, node, &comp);
+    path = std::move(there);
+    path.insert(path.end(), back.begin(), back.end());
+    return path;
+  }
+  // Simple cycle node → node: step to an in-component successor first.
+  for (const Product::Edge& e : p.adj[node]) {
+    if (scc.comp[e.to] != comp) continue;
+    std::vector<Snapshot> back = BfsPath(p, scc, e.to, node, &comp);
+    if (e.to == node || !back.empty()) {
+      path.push_back(e.snapshot);
+      path.insert(path.end(), back.begin(), back.end());
+      return path;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::optional<LassoWord> FindWitness(const Buchi& contract,
+                                     const Bitset& contract_events,
+                                     const Buchi& query) {
+  const Product p = Product::Build(contract, contract_events, query);
+  const SccResult scc = ProductScc(p);
+
+  // Per component: a contract-final member, a query-final member, and
+  // whether the component is cyclic.
+  std::vector<int64_t> contract_final(scc.count, -1);
+  std::vector<int64_t> query_final(scc.count, -1);
+  std::vector<bool> cyclic(scc.count, false);
+  for (uint32_t i = 0; i < p.nodes.size(); ++i) {
+    const uint32_t c = scc.comp[i];
+    if (contract.IsFinal(p.nodes[i].first) && contract_final[c] < 0) {
+      contract_final[c] = i;
+    }
+    if (query.IsFinal(p.nodes[i].second) && query_final[c] < 0) {
+      query_final[c] = i;
+    }
+    for (const Product::Edge& e : p.adj[i]) {
+      if (scc.comp[e.to] == c) cyclic[c] = true;
+    }
+  }
+
+  for (uint32_t i = 0; i < p.nodes.size(); ++i) {
+    const uint32_t c = scc.comp[i];
+    if (!cyclic[c] || contract_final[c] < 0 || query_final[c] < 0) continue;
+    // Anchor the lasso at the component's query-final pair (the knot of
+    // Definition 2), route the cycle through the contract-final pair.
+    const uint32_t knot = static_cast<uint32_t>(query_final[c]);
+    LassoWord word;
+    word.prefix = BfsPath(p, scc, 0, knot, nullptr);
+    word.cycle = CycleThrough(p, scc, knot,
+                              static_cast<uint32_t>(contract_final[c]));
+    if (word.cycle.empty()) continue;  // defensive: no usable cycle
+    // Normalize snapshot widths for readability.
+    size_t width = contract_events.size();
+    for (const Snapshot& s : word.prefix) width = std::max(width, s.size());
+    for (const Snapshot& s : word.cycle) width = std::max(width, s.size());
+    for (Snapshot& s : word.prefix) s.Resize(width);
+    for (Snapshot& s : word.cycle) s.Resize(width);
+    return word;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ctdb::core

@@ -1,0 +1,32 @@
+// Witness extraction: when a contract permits a query, produce a concrete
+// allowed sequence of snapshots (a lasso word) that demonstrates it.
+//
+// Theorem 4's ⇒ direction is constructive: from a simultaneous lasso path,
+// picking any truth assignment satisfying θᵢ ∧ τᵢ at every step yields a run
+// that the contract allows and that satisfies the query. This module walks
+// the product SCC structure to recover such a path and materializes the
+// snapshots (events outside the contract's vocabulary stay false — the
+// witness lies inside the projection class of Definition 5).
+
+#pragma once
+
+#include <optional>
+
+#include "automata/buchi.h"
+#include "base/run.h"
+#include "util/bitset.h"
+
+namespace ctdb::core {
+
+/// \brief Finds a witness run for `contract` permitting `query`, or
+/// std::nullopt when the contract does not permit the query.
+///
+/// The returned word satisfies:
+///   * the contract BA accepts it (the sequence is allowed), and
+///   * the query BA accepts it (the property holds),
+/// which tests verify against the independent acceptance checker.
+std::optional<LassoWord> FindWitness(const automata::Buchi& contract,
+                                     const Bitset& contract_events,
+                                     const automata::Buchi& query);
+
+}  // namespace ctdb::core

@@ -1,0 +1,128 @@
+#include "index/prefilter.h"
+
+#include <algorithm>
+
+#include "base/literal.h"
+
+namespace ctdb::index {
+
+PrefilterIndex::PrefilterIndex(const PrefilterOptions& options)
+    : options_(options) {}
+
+void PrefilterIndex::Insert(uint32_t contract_id, const automata::Buchi& ba,
+                            const Bitset& contract_events) {
+  if (contract_id >= universe_.size()) universe_.Resize(contract_id + 1);
+  universe_.Set(contract_id);
+  contract_count_ = universe_.Count();
+  for (const Label& label : ba.DistinctLabels()) {
+    InsertSubsets(contract_id, label.Expansion(contract_events));
+  }
+}
+
+void PrefilterIndex::InsertSubsets(uint32_t contract_id,
+                                   const LiteralKey& expansion) {
+  // Enumerate subsets of `expansion` of size 1..k via a combination cursor,
+  // skipping subsets containing an event with both polarities: a query label
+  // is a satisfiable conjunction, so such nodes are never looked up.
+  const size_t n = expansion.size();
+  const size_t k = std::min(options_.max_depth, n);
+  LiteralKey subset;
+  std::vector<size_t> cursor;
+
+  // Depth-first enumeration of index combinations.
+  struct Frame {
+    size_t next;  // next candidate index into `expansion`
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (subset.size() == k || f.next >= n) {
+      stack.pop_back();
+      if (!subset.empty()) subset.pop_back();
+      continue;
+    }
+    const LiteralId lit = expansion[f.next];
+    ++f.next;
+    // Skip contradictory extensions (expansion lists both polarities of
+    // uncited events adjacently; keys are sorted so the mate is adjacent,
+    // but check the whole subset for safety).
+    bool contradictory = false;
+    for (LiteralId existing : subset) {
+      if (Literal::NegationOf(existing) == lit) {
+        contradictory = true;
+        break;
+      }
+    }
+    if (contradictory) continue;
+    subset.push_back(lit);
+    auto [it, inserted] = nodes_.try_emplace(subset);
+    Bitset& contracts = it->second;
+    if (contract_id >= contracts.size()) contracts.Resize(contract_id + 1);
+    contracts.Set(contract_id);
+    stack.push_back({f.next});
+  }
+}
+
+const Bitset* PrefilterIndex::FindNode(const LiteralKey& key) const {
+  auto it = nodes_.find(key);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+Bitset PrefilterIndex::Lookup(const Label& query_label) const {
+  const LiteralKey key = query_label.Key();
+  if (key.empty()) return universe_;  // S(true) = all contracts
+
+  if (key.size() <= options_.max_depth) {
+    const Bitset* node = FindNode(key);
+    if (node == nullptr) return Bitset(universe_.size());
+    Bitset result = *node;
+    result.Resize(universe_.size());
+    return result;
+  }
+
+  // |λ| > k: intersect S(l) over all k-subsets l of λ.
+  Bitset result = universe_;
+  const size_t k = options_.max_depth;
+  const size_t n = key.size();
+  std::vector<size_t> comb(k);
+  for (size_t i = 0; i < k; ++i) comb[i] = i;
+  LiteralKey sub(k);
+
+  // Advances `comb` to the next k-combination of [0, n); false when done.
+  auto next_combination = [&]() {
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (comb[i] != i + n - k) {
+        ++comb[i];
+        for (size_t j = i + 1; j < k; ++j) comb[j] = comb[j - 1] + 1;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  do {
+    for (size_t i = 0; i < k; ++i) sub[i] = key[comb[i]];
+    const Bitset* node = FindNode(sub);
+    if (node == nullptr) return Bitset(universe_.size());  // S(l) empty
+    result &= *node;
+    if (result.None()) return result;
+  } while (next_combination());
+  return result;
+}
+
+PrefilterStats PrefilterIndex::Stats() const {
+  PrefilterStats stats;
+  stats.node_count = nodes_.size();
+  stats.contract_count = contract_count_;
+  stats.memory_bytes = 0;
+  for (const auto& [key, contracts] : nodes_) {
+    stats.memory_bytes += key.capacity() * sizeof(LiteralId) +
+                          contracts.MemoryUsage() + sizeof(Bitset);
+  }
+  return stats;
+}
+
+}  // namespace ctdb::index

@@ -1,0 +1,76 @@
+// The prefiltering index data structure (Section 4.2).
+//
+// Conceptually the paper's structure is a TRIE relaxed to a DAG: nodes are
+// labeled with literal sets of size ≤ k, and each node holds the set of
+// contracts having a transition label γ whose expansion E(γ) contains the
+// node's literals. Navigating the DAG to the node labeled with the literals
+// of a query label λ yields S(λ) in time linear in |λ|. This implementation
+// realizes the same abstract map with canonical sorted-literal keys in a hash
+// table — node identity and lookup cost are identical, without materializing
+// DAG edges.
+//
+// For |λ| > k (the depth cap that prevents the exponential blow-up discussed
+// in §4.2), S'(λ) is returned instead: the intersection of S(l) over the
+// k-subsets l ⊆ λ. Each S(l) ⊇ S(λ), so S'(λ) ⊇ S(λ) — a sound
+// over-approximation (and tighter than the paper's "any one subset").
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "automata/buchi.h"
+#include "base/label.h"
+#include "util/bitset.h"
+#include "util/hash.h"
+
+namespace ctdb::index {
+
+/// Index configuration.
+struct PrefilterOptions {
+  /// Maximum node-label size k (number of literals). The paper's Figure 3
+  /// shows two levels; 2 is the default.
+  size_t max_depth = 2;
+};
+
+/// Build/size statistics (§7.4 "Index building and size").
+struct PrefilterStats {
+  size_t node_count = 0;
+  size_t contract_count = 0;
+  size_t memory_bytes = 0;
+};
+
+/// \brief The S(λ) index: literal sets → contract-id sets.
+class PrefilterIndex {
+ public:
+  explicit PrefilterIndex(const PrefilterOptions& options = {});
+
+  /// Registers contract `contract_id`: for every distinct transition label γ
+  /// of `ba`, inserts every satisfiable subset (of size ≤ k) of the expansion
+  /// E(γ) taken w.r.t. `contract_events` (the events cited by the contract).
+  void Insert(uint32_t contract_id, const automata::Buchi& ba,
+              const Bitset& contract_events);
+
+  /// S(λ) for |λ| ≤ k, S'(λ) (superset, see header comment) otherwise.
+  /// The empty label (`true`) maps to the universe.
+  Bitset Lookup(const Label& query_label) const;
+
+  /// Set of all registered contract ids.
+  const Bitset& universe() const { return universe_; }
+
+  /// Number of contracts inserted.
+  size_t contract_count() const { return contract_count_; }
+
+  PrefilterStats Stats() const;
+
+ private:
+  void InsertSubsets(uint32_t contract_id, const LiteralKey& expansion);
+  const Bitset* FindNode(const LiteralKey& key) const;
+
+  PrefilterOptions options_;
+  std::unordered_map<LiteralKey, Bitset, U32VectorHash> nodes_;
+  Bitset universe_;
+  size_t contract_count_ = 0;
+};
+
+}  // namespace ctdb::index

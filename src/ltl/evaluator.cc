@@ -1,0 +1,179 @@
+#include "ltl/evaluator.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace ctdb::ltl {
+namespace {
+
+/// Evaluates each subformula to a truth vector over the lasso's distinct
+/// positions, memoized by node pointer (hash-consing makes pointers unique
+/// per structure).
+class Evaluator {
+ public:
+  explicit Evaluator(const LassoWord& word) : word_(word), n_(word.PositionCount()) {
+    assert(word.Valid());
+  }
+
+  const std::vector<bool>& Eval(const Formula* f) {
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+    std::vector<bool> v = EvalImpl(f);
+    return memo_.emplace(f, std::move(v)).first->second;
+  }
+
+ private:
+  std::vector<bool> EvalImpl(const Formula* f) {
+    std::vector<bool> v(n_);
+    switch (f->op()) {
+      case Op::kTrue:
+        v.assign(n_, true);
+        break;
+      case Op::kFalse:
+        v.assign(n_, false);
+        break;
+      case Op::kProp:
+        for (size_t i = 0; i < n_; ++i) v[i] = word_.At(i).Test(f->prop());
+        break;
+      case Op::kNot: {
+        const auto& a = Eval(f->left());
+        for (size_t i = 0; i < n_; ++i) v[i] = !a[i];
+        break;
+      }
+      case Op::kAnd: {
+        const auto& a = Eval(f->left());
+        const auto& b = Eval(f->right());
+        for (size_t i = 0; i < n_; ++i) v[i] = a[i] && b[i];
+        break;
+      }
+      case Op::kOr: {
+        const auto& a = Eval(f->left());
+        const auto& b = Eval(f->right());
+        for (size_t i = 0; i < n_; ++i) v[i] = a[i] || b[i];
+        break;
+      }
+      case Op::kImplies: {
+        const auto& a = Eval(f->left());
+        const auto& b = Eval(f->right());
+        for (size_t i = 0; i < n_; ++i) v[i] = !a[i] || b[i];
+        break;
+      }
+      case Op::kIff: {
+        const auto& a = Eval(f->left());
+        const auto& b = Eval(f->right());
+        for (size_t i = 0; i < n_; ++i) v[i] = a[i] == b[i];
+        break;
+      }
+      case Op::kNext: {
+        const auto& a = Eval(f->left());
+        for (size_t i = 0; i < n_; ++i) v[i] = a[word_.Successor(i)];
+        break;
+      }
+      case Op::kFinally: {
+        // Least fixpoint of v[i] = a[i] ∨ v[succ(i)].
+        const auto& a = Eval(f->left());
+        v = Lfp(a, /*guard=*/std::vector<bool>(n_, true));
+        break;
+      }
+      case Op::kGlobally: {
+        // Greatest fixpoint of v[i] = a[i] ∧ v[succ(i)].
+        const auto& a = Eval(f->left());
+        v = Gfp(std::vector<bool>(n_, false), a);
+        break;
+      }
+      case Op::kUntil: {
+        const auto& a = Eval(f->left());
+        const auto& b = Eval(f->right());
+        v = Lfp(b, a);
+        break;
+      }
+      case Op::kRelease: {
+        // a R b: gfp of v[i] = b[i] ∧ (a[i] ∨ v[succ(i)]).
+        const auto& a = Eval(f->left());
+        const auto& b = Eval(f->right());
+        v = Gfp(a, b);
+        break;
+      }
+      case Op::kWeakUntil: {
+        // a W b ≡ (a U b) ∨ G a.
+        const auto& a = Eval(f->left());
+        const auto& b = Eval(f->right());
+        const std::vector<bool> until = Lfp(b, a);
+        const std::vector<bool> always =
+            Gfp(std::vector<bool>(n_, false), a);
+        for (size_t i = 0; i < n_; ++i) v[i] = until[i] || always[i];
+        break;
+      }
+      case Op::kBefore: {
+        // a B b ≡ ¬(¬a U b).
+        const auto& a = Eval(f->left());
+        const auto& b = Eval(f->right());
+        std::vector<bool> na(n_);
+        for (size_t i = 0; i < n_; ++i) na[i] = !a[i];
+        const std::vector<bool> until = Lfp(b, na);
+        for (size_t i = 0; i < n_; ++i) v[i] = !until[i];
+        break;
+      }
+    }
+    return v;
+  }
+
+  /// Least fixpoint of v[i] = base[i] ∨ (guard[i] ∧ v[succ(i)])
+  /// — the semantics of guard U base.
+  std::vector<bool> Lfp(const std::vector<bool>& base,
+                        const std::vector<bool>& guard) {
+    std::vector<bool> v = base;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t ii = n_; ii > 0; --ii) {
+        const size_t i = ii - 1;
+        const bool next = base[i] || (guard[i] && v[word_.Successor(i)]);
+        if (next && !v[i]) {
+          v[i] = true;
+          changed = true;
+        }
+      }
+    }
+    return v;
+  }
+
+  /// Greatest fixpoint of v[i] = hold[i] ∧ (release[i] ∨ v[succ(i)])
+  /// — the semantics of release R hold.
+  std::vector<bool> Gfp(const std::vector<bool>& release,
+                        const std::vector<bool>& hold) {
+    std::vector<bool> v(n_, true);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t ii = n_; ii > 0; --ii) {
+        const size_t i = ii - 1;
+        const bool next = hold[i] && (release[i] || v[word_.Successor(i)]);
+        if (!next && v[i]) {
+          v[i] = false;
+          changed = true;
+        }
+      }
+    }
+    return v;
+  }
+
+  const LassoWord& word_;
+  const size_t n_;
+  std::unordered_map<const Formula*, std::vector<bool>> memo_;
+};
+
+}  // namespace
+
+bool EvaluateAt(const Formula* f, const LassoWord& word, size_t position) {
+  assert(position < word.PositionCount());
+  Evaluator ev(word);
+  return ev.Eval(f)[position];
+}
+
+bool Evaluate(const Formula* f, const LassoWord& word) {
+  return EvaluateAt(f, word, 0);
+}
+
+}  // namespace ctdb::ltl

@@ -1,0 +1,28 @@
+// Reference semantics of LTL over ultimately periodic runs (Section 6.1).
+//
+// This evaluator is the ground-truth oracle the test suite uses to validate
+// the tableau translation: for random formulas ϕ and random lasso words w,
+//   w ⊨ ϕ  ⇔  BA(ϕ) accepts w.
+// It is deliberately simple (per-position fixpoint iteration) rather than
+// fast.
+
+#pragma once
+
+#include "base/run.h"
+#include "ltl/formula.h"
+
+namespace ctdb::ltl {
+
+/// \brief Evaluates `f` on the infinite run represented by `word`, returning
+/// the truth value at instant 0.
+///
+/// Every LTL operator (including the derived F, G, W, B and the boolean
+/// connectives) is evaluated directly from its semantics; U is a least
+/// fixpoint and R a greatest fixpoint over the lasso's distinct positions.
+bool Evaluate(const Formula* f, const LassoWord& word);
+
+/// \brief Evaluates `f` at distinct-position `position` of `word`
+/// (0 ≤ position < word.PositionCount()).
+bool EvaluateAt(const Formula* f, const LassoWord& word, size_t position);
+
+}  // namespace ctdb::ltl

@@ -1,0 +1,306 @@
+#include "ltl/formula.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace ctdb::ltl {
+
+const char* OpSymbol(Op op) {
+  switch (op) {
+    case Op::kTrue: return "true";
+    case Op::kFalse: return "false";
+    case Op::kProp: return "<prop>";
+    case Op::kNot: return "!";
+    case Op::kAnd: return "&";
+    case Op::kOr: return "|";
+    case Op::kImplies: return "->";
+    case Op::kIff: return "<->";
+    case Op::kNext: return "X";
+    case Op::kFinally: return "F";
+    case Op::kGlobally: return "G";
+    case Op::kUntil: return "U";
+    case Op::kWeakUntil: return "W";
+    case Op::kRelease: return "R";
+    case Op::kBefore: return "B";
+  }
+  return "?";
+}
+
+bool IsUnary(Op op) {
+  return op == Op::kNot || op == Op::kNext || op == Op::kFinally ||
+         op == Op::kGlobally;
+}
+
+bool IsBinary(Op op) {
+  return op == Op::kAnd || op == Op::kOr || op == Op::kImplies ||
+         op == Op::kIff || IsBinaryTemporal(op);
+}
+
+bool IsBinaryTemporal(Op op) {
+  return op == Op::kUntil || op == Op::kWeakUntil || op == Op::kRelease ||
+         op == Op::kBefore;
+}
+
+size_t Formula::Size() const {
+  size_t n = 1;
+  if (left_ != nullptr) n += left_->Size();
+  if (right_ != nullptr) n += right_->Size();
+  return n;
+}
+
+void Formula::CollectEvents(Bitset* events) const {
+  if (op_ == Op::kProp) {
+    if (prop_ >= events->size()) events->Resize(prop_ + 1);
+    events->Set(prop_);
+    return;
+  }
+  if (left_ != nullptr) left_->CollectEvents(events);
+  if (right_ != nullptr) right_->CollectEvents(events);
+}
+
+bool Formula::IsTemporal() const {
+  switch (op_) {
+    case Op::kNext:
+    case Op::kFinally:
+    case Op::kGlobally:
+    case Op::kUntil:
+    case Op::kWeakUntil:
+    case Op::kRelease:
+    case Op::kBefore:
+      return true;
+    default:
+      break;
+  }
+  return (left_ != nullptr && left_->IsTemporal()) ||
+         (right_ != nullptr && right_->IsTemporal());
+}
+
+namespace {
+
+// Printing precedence, higher binds tighter. Matches the parser in parser.cc.
+int Precedence(Op op) {
+  switch (op) {
+    case Op::kIff: return 1;
+    case Op::kImplies: return 2;
+    case Op::kOr: return 3;
+    case Op::kAnd: return 4;
+    case Op::kUntil:
+    case Op::kWeakUntil:
+    case Op::kRelease:
+    case Op::kBefore: return 5;
+    case Op::kNot:
+    case Op::kNext:
+    case Op::kFinally:
+    case Op::kGlobally: return 6;
+    default: return 7;  // atoms
+  }
+}
+
+void Print(const Formula* f, const Vocabulary& vocab, int parent_prec,
+           std::string* out) {
+  const int prec = Precedence(f->op());
+  const bool parens = prec < parent_prec;
+  if (parens) *out += "(";
+  switch (f->op()) {
+    case Op::kTrue:
+      *out += "true";
+      break;
+    case Op::kFalse:
+      *out += "false";
+      break;
+    case Op::kProp:
+      *out += vocab.Name(f->prop());
+      break;
+    case Op::kNot:
+    case Op::kNext:
+    case Op::kFinally:
+    case Op::kGlobally: {
+      *out += OpSymbol(f->op());
+      if (f->op() != Op::kNot) *out += " ";
+      // Unary operators chain without parens: "!F p".
+      Print(f->left(), vocab, prec, out);
+      break;
+    }
+    default: {
+      // Binary operators are printed non-associatively: both operands are
+      // parenthesized at the same precedence level, so "aUb U c" never prints
+      // ambiguously.
+      Print(f->left(), vocab, prec + 1, out);
+      *out += " ";
+      *out += OpSymbol(f->op());
+      *out += " ";
+      Print(f->right(), vocab, prec + 1, out);
+      break;
+    }
+  }
+  if (parens) *out += ")";
+}
+
+}  // namespace
+
+std::string Formula::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  Print(this, vocab, 0, &out);
+  return out;
+}
+
+size_t FormulaFactory::NodeKeyHash::operator()(const NodeKey& k) const {
+  uint64_t h = static_cast<uint64_t>(k.op);
+  h = HashCombine(h, k.prop);
+  h = HashCombine(h, reinterpret_cast<uintptr_t>(k.left));
+  h = HashCombine(h, reinterpret_cast<uintptr_t>(k.right));
+  return static_cast<size_t>(h);
+}
+
+FormulaFactory::FormulaFactory() {
+  true_ = Intern(Op::kTrue, 0, nullptr, nullptr);
+  false_ = Intern(Op::kFalse, 0, nullptr, nullptr);
+}
+
+const Formula* FormulaFactory::Intern(Op op, EventId prop, const Formula* left,
+                                      const Formula* right) {
+  const NodeKey key{op, prop, left, right};
+  auto it = interned_.find(key);
+  if (it != interned_.end()) return it->second;
+  nodes_.push_back(
+      Formula(op, prop, left, right, static_cast<uint32_t>(nodes_.size())));
+  const Formula* node = &nodes_.back();
+  interned_.emplace(key, node);
+  return node;
+}
+
+const Formula* FormulaFactory::Prop(EventId event) {
+  return Intern(Op::kProp, event, nullptr, nullptr);
+}
+
+const Formula* FormulaFactory::Not(const Formula* f) {
+  if (f == true_) return false_;
+  if (f == false_) return true_;
+  if (f->op() == Op::kNot) return f->left();
+  return Intern(Op::kNot, 0, f, nullptr);
+}
+
+const Formula* FormulaFactory::And(const Formula* a, const Formula* b) {
+  if (a == true_) return b;
+  if (b == true_) return a;
+  if (a == false_ || b == false_) return false_;
+  if (a == b) return a;
+  return Intern(Op::kAnd, 0, a, b);
+}
+
+const Formula* FormulaFactory::Or(const Formula* a, const Formula* b) {
+  if (a == false_) return b;
+  if (b == false_) return a;
+  if (a == true_ || b == true_) return true_;
+  if (a == b) return a;
+  return Intern(Op::kOr, 0, a, b);
+}
+
+const Formula* FormulaFactory::Implies(const Formula* a, const Formula* b) {
+  if (a == true_) return b;
+  if (a == false_) return true_;
+  if (b == true_) return true_;
+  return Intern(Op::kImplies, 0, a, b);
+}
+
+const Formula* FormulaFactory::Iff(const Formula* a, const Formula* b) {
+  if (a == b) return true_;
+  return Intern(Op::kIff, 0, a, b);
+}
+
+const Formula* FormulaFactory::Next(const Formula* f) {
+  if (f == true_) return true_;
+  if (f == false_) return false_;
+  return Intern(Op::kNext, 0, f, nullptr);
+}
+
+const Formula* FormulaFactory::Finally(const Formula* f) {
+  if (f == true_) return true_;
+  if (f == false_) return false_;
+  if (f->op() == Op::kFinally) return f;  // FFp = Fp
+  return Intern(Op::kFinally, 0, f, nullptr);
+}
+
+const Formula* FormulaFactory::Globally(const Formula* f) {
+  if (f == true_) return true_;
+  if (f == false_) return false_;
+  if (f->op() == Op::kGlobally) return f;  // GGp = Gp
+  return Intern(Op::kGlobally, 0, f, nullptr);
+}
+
+const Formula* FormulaFactory::Until(const Formula* a, const Formula* b) {
+  if (b == true_) return true_;
+  if (b == false_) return false_;
+  if (a == false_) return b;  // false U b = b
+  if (a == b) return b;
+  // Note: true U b is *not* folded to F b, so NNF output stays within
+  // {∧, ∨, X, U, R} (see rewriter.h).
+  return Intern(Op::kUntil, 0, a, b);
+}
+
+const Formula* FormulaFactory::WeakUntil(const Formula* a, const Formula* b) {
+  if (b == true_) return true_;
+  if (a == true_) return true_;
+  if (b == false_) return Globally(a);
+  if (a == false_) return b;
+  return Intern(Op::kWeakUntil, 0, a, b);
+}
+
+const Formula* FormulaFactory::Release(const Formula* a, const Formula* b) {
+  if (b == true_) return true_;
+  if (b == false_) return false_;
+  if (a == true_) return b;  // true R b = b
+  if (a == b) return b;
+  // false R b is *not* folded to G b (same NNF-purity reason as Until).
+  return Intern(Op::kRelease, 0, a, b);
+}
+
+const Formula* FormulaFactory::Before(const Formula* a, const Formula* b) {
+  // pBq ≡ ¬(¬p U q): keep the B node for faithful printing; constant-fold
+  // the trivial cases through that identity.
+  if (b == false_) return true_;     // ¬(¬p U false) = ¬false = true
+  if (a == true_) {
+    // true B q ≡ ¬(false U q) ≡ ¬q  -- false U q = q.
+    return Not(b);
+  }
+  return Intern(Op::kBefore, 0, a, b);
+}
+
+const Formula* FormulaFactory::AndAll(const std::vector<const Formula*>& fs) {
+  const Formula* acc = true_;
+  for (const Formula* f : fs) acc = And(acc, f);
+  return acc;
+}
+
+const Formula* FormulaFactory::OrAll(const std::vector<const Formula*>& fs) {
+  const Formula* acc = false_;
+  for (const Formula* f : fs) acc = Or(acc, f);
+  return acc;
+}
+
+const Formula* FormulaFactory::Make(Op op, const Formula* left,
+                                    const Formula* right) {
+  switch (op) {
+    case Op::kTrue: return true_;
+    case Op::kFalse: return false_;
+    case Op::kNot: return Not(left);
+    case Op::kAnd: return And(left, right);
+    case Op::kOr: return Or(left, right);
+    case Op::kImplies: return Implies(left, right);
+    case Op::kIff: return Iff(left, right);
+    case Op::kNext: return Next(left);
+    case Op::kFinally: return Finally(left);
+    case Op::kGlobally: return Globally(left);
+    case Op::kUntil: return Until(left, right);
+    case Op::kWeakUntil: return WeakUntil(left, right);
+    case Op::kRelease: return Release(left, right);
+    case Op::kBefore: return Before(left, right);
+    case Op::kProp:
+      assert(false && "use Prop(event)");
+      break;
+  }
+  return true_;
+}
+
+}  // namespace ctdb::ltl

@@ -1,0 +1,161 @@
+// Linear Temporal Logic formulas (Section 2.2 / 6.1 of the paper).
+//
+// Formulas are immutable, hash-consed nodes owned by a FormulaFactory:
+// structurally equal formulas are the same pointer, so equality checks are
+// O(1) and the tableau construction can key sets of formulas by pointer.
+//
+// Operator glossary (paper Section 2.2):
+//   Xp   next          Fp  eventually      Gp  globally
+//   pUq  until         pWq weak until      pRq release (dual of U)
+//   pBq  before        — defined in the paper as  pBq ≡ ¬(¬p U q)
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/vocabulary.h"
+#include "util/bitset.h"
+
+namespace ctdb::ltl {
+
+/// LTL operator kinds.
+enum class Op : uint8_t {
+  kTrue,
+  kFalse,
+  kProp,       ///< An event variable from the vocabulary.
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kNext,       ///< X
+  kFinally,    ///< F
+  kGlobally,   ///< G
+  kUntil,      ///< U
+  kWeakUntil,  ///< W
+  kRelease,    ///< R
+  kBefore,     ///< B (paper-specific; pBq ≡ ¬(¬pUq))
+};
+
+/// Human-readable operator symbol ("U", "&", ...).
+const char* OpSymbol(Op op);
+
+/// True for X, F, G, and unary ¬.
+bool IsUnary(Op op);
+/// True for ∧, ∨, →, ↔, U, W, R, B.
+bool IsBinary(Op op);
+/// True for U, W, R, B (binary temporal operators).
+bool IsBinaryTemporal(Op op);
+
+class FormulaFactory;
+
+/// \brief An immutable LTL formula node. Obtain instances only through a
+/// FormulaFactory; compare with pointer equality.
+class Formula {
+ public:
+  Op op() const { return op_; }
+  /// Event id; valid only when op() == kProp.
+  EventId prop() const { return prop_; }
+  /// Operand of a unary node / left operand of a binary node.
+  const Formula* left() const { return left_; }
+  /// Right operand of a binary node.
+  const Formula* right() const { return right_; }
+
+  /// Monotonically increasing id within the owning factory; gives a stable
+  /// total order for canonical printing and set keys.
+  uint32_t id() const { return id_; }
+
+  /// Number of AST nodes.
+  size_t Size() const;
+
+  /// Marks in `events` every vocabulary event cited in the formula. The
+  /// bitset is grown as needed.
+  void CollectEvents(Bitset* events) const;
+
+  /// True iff the formula contains a temporal operator (X F G U W R B).
+  bool IsTemporal() const;
+
+  /// Renders with minimal parentheses, e.g. "G(dateChange -> !F refund)".
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  friend class FormulaFactory;
+  Formula(Op op, EventId prop, const Formula* left, const Formula* right,
+          uint32_t id)
+      : op_(op), prop_(prop), left_(left), right_(right), id_(id) {}
+
+  Op op_;
+  EventId prop_;
+  const Formula* left_;
+  const Formula* right_;
+  uint32_t id_;
+};
+
+/// \brief Arena + hash-consing table for Formula nodes.
+///
+/// The factory applies only identity-preserving local canonicalizations
+/// (¬¬p → p, conjunction/disjunction with constants, idempotence); deeper
+/// rewriting lives in rewriter.h.
+class FormulaFactory {
+ public:
+  FormulaFactory();
+  FormulaFactory(const FormulaFactory&) = delete;
+  FormulaFactory& operator=(const FormulaFactory&) = delete;
+
+  const Formula* True() { return true_; }
+  const Formula* False() { return false_; }
+  const Formula* Prop(EventId event);
+
+  const Formula* Not(const Formula* f);
+  const Formula* And(const Formula* a, const Formula* b);
+  const Formula* Or(const Formula* a, const Formula* b);
+  const Formula* Implies(const Formula* a, const Formula* b);
+  const Formula* Iff(const Formula* a, const Formula* b);
+  const Formula* Next(const Formula* f);
+  const Formula* Finally(const Formula* f);
+  const Formula* Globally(const Formula* f);
+  const Formula* Until(const Formula* a, const Formula* b);
+  const Formula* WeakUntil(const Formula* a, const Formula* b);
+  const Formula* Release(const Formula* a, const Formula* b);
+  const Formula* Before(const Formula* a, const Formula* b);
+
+  /// n-ary conjunction of `fs` (True for empty input).
+  const Formula* AndAll(const std::vector<const Formula*>& fs);
+  /// n-ary disjunction of `fs` (False for empty input).
+  const Formula* OrAll(const std::vector<const Formula*>& fs);
+
+  /// Generic construction by op kind.
+  const Formula* Make(Op op, const Formula* left, const Formula* right);
+
+  /// Number of distinct nodes created (diagnostics).
+  size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  const Formula* Intern(Op op, EventId prop, const Formula* left,
+                        const Formula* right);
+
+  struct NodeKey {
+    Op op;
+    EventId prop;
+    const Formula* left;
+    const Formula* right;
+    bool operator==(const NodeKey& other) const {
+      return op == other.op && prop == other.prop && left == other.left &&
+             right == other.right;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const;
+  };
+
+  std::deque<Formula> nodes_;
+  std::unordered_map<NodeKey, const Formula*, NodeKeyHash> interned_;
+  const Formula* true_;
+  const Formula* false_;
+};
+
+}  // namespace ctdb::ltl

@@ -1,0 +1,291 @@
+#include "ltl/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace ctdb::ltl {
+namespace {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kTrue,
+  kFalse,
+  kNot,      // !  or ~
+  kAnd,      // &  or &&
+  kOr,       // |  or ||
+  kImplies,  // ->
+  kIff,      // <->
+  kLParen,
+  kRParen,
+  kNext,       // X
+  kFinally,    // F
+  kGlobally,   // G
+  kUntil,      // U
+  kWeakUntil,  // W
+  kRelease,    // R
+  kBefore,     // B
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<Token> Next() {
+    SkipSpace();
+    Token tok;
+    tok.pos = pos_;
+    if (pos_ >= input_.size()) {
+      tok.kind = TokenKind::kEnd;
+      return tok;
+    }
+    const char c = input_[pos_];
+    switch (c) {
+      case '(': ++pos_; tok.kind = TokenKind::kLParen; return tok;
+      case ')': ++pos_; tok.kind = TokenKind::kRParen; return tok;
+      case '!': case '~': ++pos_; tok.kind = TokenKind::kNot; return tok;
+      case '&':
+        ++pos_;
+        if (pos_ < input_.size() && input_[pos_] == '&') ++pos_;
+        tok.kind = TokenKind::kAnd;
+        return tok;
+      case '|':
+        ++pos_;
+        if (pos_ < input_.size() && input_[pos_] == '|') ++pos_;
+        tok.kind = TokenKind::kOr;
+        return tok;
+      case '-':
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '>') {
+          pos_ += 2;
+          tok.kind = TokenKind::kImplies;
+          return tok;
+        }
+        return Error("expected '->'");
+      case '<':
+        if (pos_ + 2 < input_.size() && input_[pos_ + 1] == '-' &&
+            input_[pos_ + 2] == '>') {
+          pos_ += 3;
+          tok.kind = TokenKind::kIff;
+          return tok;
+        }
+        return Error("expected '<->'");
+      default:
+        break;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok.text = std::string(input_.substr(start, pos_ - start));
+      if (tok.text == "true") {
+        tok.kind = TokenKind::kTrue;
+      } else if (tok.text == "false") {
+        tok.kind = TokenKind::kFalse;
+      } else if (tok.text == "X") {
+        tok.kind = TokenKind::kNext;
+      } else if (tok.text == "F") {
+        tok.kind = TokenKind::kFinally;
+      } else if (tok.text == "G") {
+        tok.kind = TokenKind::kGlobally;
+      } else if (tok.text == "U") {
+        tok.kind = TokenKind::kUntil;
+      } else if (tok.text == "W") {
+        tok.kind = TokenKind::kWeakUntil;
+      } else if (tok.text == "R") {
+        tok.kind = TokenKind::kRelease;
+      } else if (tok.text == "B") {
+        tok.kind = TokenKind::kBefore;
+      } else {
+        tok.kind = TokenKind::kIdent;
+      }
+      return tok;
+    }
+    return Error(StringFormat("unexpected character '%c'", c));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StringFormat("LTL parse error at offset %zu: %s", pos_, msg.c_str()));
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view input, FormulaFactory* factory, Vocabulary* vocab,
+         const ParseOptions& options)
+      : lexer_(input), factory_(factory), vocab_(vocab), options_(options) {}
+
+  Result<const Formula*> Run() {
+    CTDB_RETURN_NOT_OK(Advance());
+    CTDB_ASSIGN_OR_RETURN(const Formula* f, ParseIff());
+    if (current_.kind != TokenKind::kEnd) {
+      return Error("trailing input after formula");
+    }
+    return f;
+  }
+
+ private:
+  Status Advance() {
+    CTDB_ASSIGN_OR_RETURN(current_, lexer_.Next());
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(StringFormat(
+        "LTL parse error at offset %zu: %s", current_.pos, msg.c_str()));
+  }
+
+  Result<const Formula*> ParseIff() {
+    CTDB_ASSIGN_OR_RETURN(const Formula* lhs, ParseImplies());
+    while (current_.kind == TokenKind::kIff) {
+      CTDB_RETURN_NOT_OK(Advance());
+      CTDB_ASSIGN_OR_RETURN(const Formula* rhs, ParseImplies());
+      lhs = factory_->Iff(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<const Formula*> ParseImplies() {
+    CTDB_ASSIGN_OR_RETURN(const Formula* lhs, ParseOr());
+    if (current_.kind == TokenKind::kImplies) {
+      CTDB_RETURN_NOT_OK(Advance());
+      CTDB_ASSIGN_OR_RETURN(const Formula* rhs, ParseImplies());
+      return factory_->Implies(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<const Formula*> ParseOr() {
+    CTDB_ASSIGN_OR_RETURN(const Formula* lhs, ParseAnd());
+    while (current_.kind == TokenKind::kOr) {
+      CTDB_RETURN_NOT_OK(Advance());
+      CTDB_ASSIGN_OR_RETURN(const Formula* rhs, ParseAnd());
+      lhs = factory_->Or(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<const Formula*> ParseAnd() {
+    CTDB_ASSIGN_OR_RETURN(const Formula* lhs, ParseTemporal());
+    while (current_.kind == TokenKind::kAnd) {
+      CTDB_RETURN_NOT_OK(Advance());
+      CTDB_ASSIGN_OR_RETURN(const Formula* rhs, ParseTemporal());
+      lhs = factory_->And(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<const Formula*> ParseTemporal() {
+    CTDB_ASSIGN_OR_RETURN(const Formula* lhs, ParseUnary());
+    Op op;
+    switch (current_.kind) {
+      case TokenKind::kUntil: op = Op::kUntil; break;
+      case TokenKind::kWeakUntil: op = Op::kWeakUntil; break;
+      case TokenKind::kRelease: op = Op::kRelease; break;
+      case TokenKind::kBefore: op = Op::kBefore; break;
+      default: return lhs;
+    }
+    CTDB_RETURN_NOT_OK(Advance());
+    CTDB_ASSIGN_OR_RETURN(const Formula* rhs, ParseTemporal());
+    return factory_->Make(op, lhs, rhs);
+  }
+
+  Result<const Formula*> ParseUnary() {
+    switch (current_.kind) {
+      case TokenKind::kNot: {
+        CTDB_RETURN_NOT_OK(Advance());
+        CTDB_ASSIGN_OR_RETURN(const Formula* f, ParseUnary());
+        return factory_->Not(f);
+      }
+      case TokenKind::kNext: {
+        CTDB_RETURN_NOT_OK(Advance());
+        CTDB_ASSIGN_OR_RETURN(const Formula* f, ParseUnary());
+        return factory_->Next(f);
+      }
+      case TokenKind::kFinally: {
+        CTDB_RETURN_NOT_OK(Advance());
+        CTDB_ASSIGN_OR_RETURN(const Formula* f, ParseUnary());
+        return factory_->Finally(f);
+      }
+      case TokenKind::kGlobally: {
+        CTDB_RETURN_NOT_OK(Advance());
+        CTDB_ASSIGN_OR_RETURN(const Formula* f, ParseUnary());
+        return factory_->Globally(f);
+      }
+      default:
+        return ParseAtom();
+    }
+  }
+
+  Result<const Formula*> ParseAtom() {
+    switch (current_.kind) {
+      case TokenKind::kTrue:
+        CTDB_RETURN_NOT_OK(Advance());
+        return factory_->True();
+      case TokenKind::kFalse:
+        CTDB_RETURN_NOT_OK(Advance());
+        return factory_->False();
+      case TokenKind::kLParen: {
+        CTDB_RETURN_NOT_OK(Advance());
+        CTDB_ASSIGN_OR_RETURN(const Formula* f, ParseIff());
+        if (current_.kind != TokenKind::kRParen) {
+          return Error("expected ')'");
+        }
+        CTDB_RETURN_NOT_OK(Advance());
+        return f;
+      }
+      case TokenKind::kIdent: {
+        const std::string name = current_.text;
+        CTDB_RETURN_NOT_OK(Advance());
+        if (options_.require_known_events) {
+          CTDB_ASSIGN_OR_RETURN(EventId id, vocab_->Find(name));
+          return factory_->Prop(id);
+        }
+        CTDB_ASSIGN_OR_RETURN(EventId id, vocab_->Intern(name));
+        return factory_->Prop(id);
+      }
+      case TokenKind::kEnd:
+        return Error("unexpected end of input");
+      default:
+        return Error("expected an atom");
+    }
+  }
+
+  Lexer lexer_;
+  Token current_;
+  FormulaFactory* factory_;
+  Vocabulary* vocab_;
+  ParseOptions options_;
+};
+
+}  // namespace
+
+Result<const Formula*> Parse(std::string_view text, FormulaFactory* factory,
+                             Vocabulary* vocab, const ParseOptions& options) {
+  Parser parser(text, factory, vocab, options);
+  return parser.Run();
+}
+
+}  // namespace ctdb::ltl

@@ -1,0 +1,46 @@
+// Text parser for LTL formulas.
+//
+// Grammar (lowest to highest precedence; -> and <-> are right-associative,
+// the binary temporal operators U W R B are right-associative as usual in
+// LTL):
+//
+//   iff     := implies ('<->' implies)*
+//   implies := or ('->' implies)?
+//   or      := and (('|' | '||') and)*
+//   and     := temporal (('&' | '&&') temporal)*
+//   temporal:= unary (('U' | 'W' | 'R' | 'B') temporal)?
+//   unary   := ('!' | 'X' | 'F' | 'G') unary | atom
+//   atom    := 'true' | 'false' | identifier | '(' iff ')'
+//
+// Identifiers are [A-Za-z_][A-Za-z0-9_]* excluding the reserved operator
+// letters (U W R B X F G) and keywords (true false). By default unknown
+// identifiers are interned into the vocabulary; a strict mode rejects them
+// (used for queries, which must cite only registered events).
+
+#pragma once
+
+#include <string_view>
+
+#include "base/vocabulary.h"
+#include "ltl/formula.h"
+#include "util/result.h"
+
+namespace ctdb::ltl {
+
+/// Parsing options.
+struct ParseOptions {
+  /// When true, identifiers not present in the vocabulary are an error;
+  /// when false they are interned on first sight.
+  bool require_known_events = false;
+};
+
+/// \brief Parses `text` into a formula owned by `factory`.
+///
+/// Event identifiers are resolved against (and, unless
+/// `options.require_known_events`, added to) `vocab`. Errors carry the
+/// offending position.
+Result<const Formula*> Parse(std::string_view text, FormulaFactory* factory,
+                             Vocabulary* vocab,
+                             const ParseOptions& options = {});
+
+}  // namespace ctdb::ltl

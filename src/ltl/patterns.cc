@@ -1,0 +1,202 @@
+#include "ltl/patterns.h"
+
+#include <cassert>
+
+namespace ctdb::ltl {
+
+const char* PatternBehaviorName(PatternBehavior b) {
+  switch (b) {
+    case PatternBehavior::kAbsence: return "absence";
+    case PatternBehavior::kExistence: return "existence";
+    case PatternBehavior::kUniversality: return "universality";
+    case PatternBehavior::kPrecedence: return "precedence";
+    case PatternBehavior::kResponse: return "response";
+  }
+  return "?";
+}
+
+const char* PatternScopeName(PatternScope s) {
+  switch (s) {
+    case PatternScope::kGlobal: return "global";
+    case PatternScope::kBefore: return "before";
+    case PatternScope::kAfter: return "after";
+    case PatternScope::kBetween: return "between";
+  }
+  return "?";
+}
+
+int PatternArity(PatternBehavior behavior, PatternScope scope) {
+  int n = 1;  // p
+  if (behavior == PatternBehavior::kPrecedence ||
+      behavior == PatternBehavior::kResponse) {
+    ++n;  // s
+  }
+  switch (scope) {
+    case PatternScope::kGlobal: break;
+    case PatternScope::kBefore: ++n; break;   // r
+    case PatternScope::kAfter: ++n; break;    // q
+    case PatternScope::kBetween: n += 2; break;  // q, r
+  }
+  return n;
+}
+
+const Formula* MakePattern(PatternBehavior behavior, PatternScope scope,
+                           const Formula* p, const Formula* s,
+                           const Formula* q, const Formula* r,
+                           FormulaFactory* fac) {
+  switch (behavior) {
+    case PatternBehavior::kAbsence:
+      switch (scope) {
+        case PatternScope::kGlobal:
+          // G(¬p)
+          return fac->Globally(fac->Not(p));
+        case PatternScope::kBefore:
+          // Fr → (¬p U r)
+          return fac->Implies(fac->Finally(r), fac->Until(fac->Not(p), r));
+        case PatternScope::kAfter:
+          // G(q → G(¬p))
+          return fac->Globally(fac->Implies(q, fac->Globally(fac->Not(p))));
+        case PatternScope::kBetween:
+          // G((q ∧ ¬r ∧ Fr) → (¬p U r))
+          return fac->Globally(fac->Implies(
+              fac->And(fac->And(q, fac->Not(r)), fac->Finally(r)),
+              fac->Until(fac->Not(p), r)));
+      }
+      break;
+    case PatternBehavior::kExistence:
+      switch (scope) {
+        case PatternScope::kGlobal:
+          // F p
+          return fac->Finally(p);
+        case PatternScope::kBefore:
+          // ¬r W (p ∧ ¬r)
+          return fac->WeakUntil(fac->Not(r), fac->And(p, fac->Not(r)));
+        case PatternScope::kAfter:
+          // G(¬q) ∨ F(q ∧ F p)
+          return fac->Or(fac->Globally(fac->Not(q)),
+                         fac->Finally(fac->And(q, fac->Finally(p))));
+        case PatternScope::kBetween:
+          // G(q ∧ ¬r → (¬r W (p ∧ ¬r)))
+          return fac->Globally(fac->Implies(
+              fac->And(q, fac->Not(r)),
+              fac->WeakUntil(fac->Not(r), fac->And(p, fac->Not(r)))));
+      }
+      break;
+    case PatternBehavior::kUniversality:
+      switch (scope) {
+        case PatternScope::kGlobal:
+          // G p
+          return fac->Globally(p);
+        case PatternScope::kBefore:
+          // Fr → (p U r)
+          return fac->Implies(fac->Finally(r), fac->Until(p, r));
+        case PatternScope::kAfter:
+          // G(q → G p)   [original form of [8]; the paper's Table 3 row is a
+          // transcription typo of the Between row]
+          return fac->Globally(fac->Implies(q, fac->Globally(p)));
+        case PatternScope::kBetween:
+          // G((q ∧ ¬r ∧ Fr) → (p U r))
+          return fac->Globally(fac->Implies(
+              fac->And(fac->And(q, fac->Not(r)), fac->Finally(r)),
+              fac->Until(p, r)));
+      }
+      break;
+    case PatternBehavior::kPrecedence:
+      switch (scope) {
+        case PatternScope::kGlobal:
+          // Fp → (¬p U (s ∨ G(¬p)))
+          return fac->Implies(
+              fac->Finally(p),
+              fac->Until(fac->Not(p),
+                         fac->Or(s, fac->Globally(fac->Not(p)))));
+        case PatternScope::kBefore:
+          // Fr → (¬p U (s ∨ r))
+          return fac->Implies(fac->Finally(r),
+                              fac->Until(fac->Not(p), fac->Or(s, r)));
+        case PatternScope::kAfter:
+          // G(¬q) ∨ F(q ∧ (¬p U (s ∨ G(¬p))))
+          return fac->Or(
+              fac->Globally(fac->Not(q)),
+              fac->Finally(fac->And(
+                  q, fac->Until(fac->Not(p),
+                                fac->Or(s, fac->Globally(fac->Not(p)))))));
+        case PatternScope::kBetween:
+          // G((q ∧ ¬r ∧ Fr) → (¬p U (s ∨ r)))
+          return fac->Globally(fac->Implies(
+              fac->And(fac->And(q, fac->Not(r)), fac->Finally(r)),
+              fac->Until(fac->Not(p), fac->Or(s, r))));
+      }
+      break;
+    case PatternBehavior::kResponse:
+      switch (scope) {
+        case PatternScope::kGlobal:
+          // G(p → F s)
+          return fac->Globally(fac->Implies(p, fac->Finally(s)));
+        case PatternScope::kBefore:
+          // Fr → (p → (¬r U (s ∧ ¬r))) U r
+          return fac->Implies(
+              fac->Finally(r),
+              fac->Until(fac->Implies(p, fac->Until(fac->Not(r),
+                                                    fac->And(s, fac->Not(r)))),
+                         r));
+        case PatternScope::kAfter:
+          // G(q → G(p → F s))
+          return fac->Globally(fac->Implies(
+              q, fac->Globally(fac->Implies(p, fac->Finally(s)))));
+        case PatternScope::kBetween:
+          // G((q ∧ ¬r ∧ Fr) → (p → (¬r U (s ∧ ¬r))) U r)
+          return fac->Globally(fac->Implies(
+              fac->And(fac->And(q, fac->Not(r)), fac->Finally(r)),
+              fac->Until(fac->Implies(p, fac->Until(fac->Not(r),
+                                                    fac->And(s, fac->Not(r)))),
+                         r)));
+      }
+      break;
+  }
+  assert(false && "unhandled pattern");
+  return fac->True();
+}
+
+PatternFrequencies PatternFrequencies::Survey() {
+  PatternFrequencies f;
+  // Matched-specification counts from Dwyer, Avrunin & Corbett [8]
+  // (555 surveyed specs; the 5 base behaviors cover ~92%). Indexed by
+  // PatternBehavior: absence, existence, universality, precedence, response.
+  f.behavior = {85.0, 27.0, 119.0, 26.0, 245.0};
+  // Scope counts, indexed by PatternScope: global, before, after, between
+  // ("after-until" folded into between, as the paper uses four scopes).
+  f.scope = {423.0, 10.0, 117.0, 45.0};
+  return f;
+}
+
+const Formula* MakePrecedenceChain(const Formula* s, const Formula* t,
+                                   const Formula* p, FormulaFactory* fac) {
+  // F p → (¬p U (s ∧ ¬p ∧ X(¬p U t))).
+  const Formula* np = fac->Not(p);
+  return fac->Implies(
+      fac->Finally(p),
+      fac->Until(np, fac->And(fac->And(s, np),
+                              fac->Next(fac->Until(np, t)))));
+}
+
+const Formula* MakeResponseChain(const Formula* p, const Formula* s,
+                                 const Formula* t, FormulaFactory* fac) {
+  // G(p → F(s ∧ X F t)).
+  return fac->Globally(fac->Implies(
+      p, fac->Finally(fac->And(s, fac->Next(fac->Finally(t))))));
+}
+
+const Formula* MakeBoundedExistence(const Formula* p, int k,
+                                    FormulaFactory* fac) {
+  assert(k >= 0);
+  // "p occurs at most k times": nested  ¬p W (p ∧ ¬p W (...))  unrolling from
+  // Dwyer et al.; we use the equivalent  G-free form built from U/W:
+  //   at_most(0) = G ¬p
+  //   at_most(k) = ¬p W (p ∧ X at_most(k-1))
+  if (k == 0) return fac->Globally(fac->Not(p));
+  const Formula* inner = MakeBoundedExistence(p, k - 1, fac);
+  return fac->WeakUntil(fac->Not(p),
+                        fac->And(p, fac->Next(inner)));
+}
+
+}  // namespace ctdb::ltl

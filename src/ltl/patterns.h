@@ -1,0 +1,81 @@
+// The Dwyer–Avrunin–Corbett property-specification patterns (paper §7.2,
+// Tables 1 and 3) used to generate realistic contract and query clauses.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ltl/formula.h"
+
+namespace ctdb::ltl {
+
+/// The five pattern behaviors the paper's generator uses (§7.2).
+enum class PatternBehavior : uint8_t {
+  kAbsence,       ///< p never occurs in the scope.
+  kExistence,     ///< p occurs within the scope.
+  kUniversality,  ///< p holds throughout the scope.
+  kPrecedence,    ///< s precedes p within the scope.
+  kResponse,      ///< s follows p within the scope.
+};
+
+/// The four scopes of §7.2.
+enum class PatternScope : uint8_t {
+  kGlobal,   ///< the whole timeline
+  kBefore,   ///< up to event r
+  kAfter,    ///< after event q
+  kBetween,  ///< between events q and r
+};
+
+const char* PatternBehaviorName(PatternBehavior b);
+const char* PatternScopeName(PatternScope s);
+
+/// Number of event parameters a (behavior, scope) combination consumes:
+/// 1 for p (+1 for s on precedence/response), +1 for r (before), +1 for q
+/// (after), +2 for q and r (between).
+int PatternArity(PatternBehavior behavior, PatternScope scope);
+
+/// \brief Instantiates the LTL formula of Table 3 for the given behavior and
+/// scope over event propositions p, s (behavior events) and q, r (scope
+/// delimiters). Unused parameters are ignored.
+///
+/// Two rows of the paper's Table 3 contain transcription typos
+/// (universality/after and response/between); this implementation uses the
+/// original formulas from Dwyer et al. [8], which the surrounding rows match.
+const Formula* MakePattern(PatternBehavior behavior, PatternScope scope,
+                           const Formula* p, const Formula* s,
+                           const Formula* q, const Formula* r,
+                           FormulaFactory* factory);
+
+/// \brief Survey frequencies from Dwyer et al. [8] (555 surveyed
+/// specifications), restricted to the 5 behaviors / 4 scopes the paper's
+/// generator samples from. Rows sum to the behavior's matched-spec count.
+struct PatternFrequencies {
+  /// Relative weight of each behavior, indexed by PatternBehavior.
+  std::vector<double> behavior;
+  /// Relative weight of each scope, indexed by PatternScope.
+  std::vector<double> scope;
+
+  /// The published distribution.
+  static PatternFrequencies Survey();
+};
+
+/// Extension (a "variation" noted in §7.2): bounded existence — p occurs at
+/// most `k` times in the global scope.
+const Formula* MakeBoundedExistence(const Formula* p, int k,
+                                    FormulaFactory* factory);
+
+/// Extension: the Dwyer chain patterns (global scope) covering most of the
+/// surveyed specifications beyond the five base behaviors.
+/// Precedence chain (2 cause, 1 effect): p occurs only after s followed by t:
+///   F p → (¬p U (s ∧ ¬p ∧ X(¬p U t))).
+const Formula* MakePrecedenceChain(const Formula* s, const Formula* t,
+                                   const Formula* p, FormulaFactory* factory);
+
+/// Response chain (1 stimulus, 2 responses): every p is eventually followed
+/// by s and then (strictly later) t:
+///   G(p → F(s ∧ X F t)).
+const Formula* MakeResponseChain(const Formula* p, const Formula* s,
+                                 const Formula* t, FormulaFactory* factory);
+
+}  // namespace ctdb::ltl

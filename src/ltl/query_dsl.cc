@@ -1,0 +1,84 @@
+#include "ltl/query_dsl.h"
+
+namespace ctdb::ltl::dsl {
+
+const Formula* Sequence(const std::vector<const Formula*>& steps,
+                        FormulaFactory* fac) {
+  if (steps.empty()) return fac->True();
+  // Build from the right: F(s1 ∧ X F(s2 ∧ X F(...))).
+  const Formula* chain = steps.back();
+  for (size_t i = steps.size() - 1; i > 0; --i) {
+    chain = fac->And(steps[i - 1], fac->Next(fac->Finally(chain)));
+  }
+  return fac->Finally(chain);
+}
+
+const Formula* EventuallyHappens(const Formula* f, FormulaFactory* fac) {
+  return fac->Finally(f);
+}
+
+const Formula* Never(const Formula* f, FormulaFactory* fac) {
+  return fac->Globally(fac->Not(f));
+}
+
+const Formula* AlwaysHolds(const Formula* f, FormulaFactory* fac) {
+  return fac->Globally(f);
+}
+
+const Formula* NeverAfter(const Formula* banned, const Formula* trigger,
+                          FormulaFactory* fac) {
+  return fac->Globally(fac->Implies(
+      trigger, fac->Next(fac->Globally(fac->Not(banned)))));
+}
+
+const Formula* PossibleAfter(const Formula* wanted, const Formula* trigger,
+                             FormulaFactory* fac) {
+  return fac->Finally(
+      fac->And(trigger, fac->Next(fac->Finally(wanted))));
+}
+
+const Formula* RespondsTo(const Formula* response, const Formula* trigger,
+                          FormulaFactory* fac) {
+  return fac->Globally(fac->Implies(trigger, fac->Finally(response)));
+}
+
+const Formula* Precedes(const Formula* first, const Formula* later,
+                        FormulaFactory* fac) {
+  return fac->Before(first, later);
+}
+
+const Formula* AtMostOnce(const Formula* f, FormulaFactory* fac) {
+  return fac->Globally(
+      fac->Implies(f, fac->Next(fac->Globally(fac->Not(f)))));
+}
+
+const Formula* ExactlyOnce(const Formula* f, FormulaFactory* fac) {
+  return fac->And(fac->Finally(f), AtMostOnce(f, fac));
+}
+
+const Formula* MutuallyExclusive(const std::vector<const Formula*>& events,
+                                 FormulaFactory* fac) {
+  const Formula* all = fac->True();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Formula* others = fac->True();
+    for (size_t j = 0; j < events.size(); ++j) {
+      if (j == i) continue;
+      others = fac->And(others, fac->Not(events[j]));
+    }
+    all = fac->And(all, fac->Globally(fac->Implies(events[i], others)));
+  }
+  return all;
+}
+
+const Formula* Terminal(const Formula* terminal,
+                        const std::vector<const Formula*>& events,
+                        FormulaFactory* fac) {
+  const Formula* none = fac->True();
+  for (const Formula* e : events) {
+    none = fac->And(none, fac->Not(e));
+  }
+  return fac->Globally(fac->Implies(
+      terminal, fac->Next(fac->Globally(none))));
+}
+
+}  // namespace ctdb::ltl::dsl

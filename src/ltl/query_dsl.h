@@ -1,0 +1,73 @@
+// A small intention-level DSL for building temporal queries and contract
+// clauses without writing raw LTL.
+//
+// The paper positions LTL as a developer language behind friendlier
+// front-ends (§2.2, citing [5]); this header is the programmatic front-end.
+// It also bakes in the subtle strictness conventions that raw LTL makes easy
+// to get wrong — e.g. `F` includes the present instant, so "a then later b"
+// must be F(a ∧ X F b), not F(a ∧ F b) (which a single simultaneous-ish
+// event can satisfy).
+
+#pragma once
+
+#include <vector>
+
+#include "ltl/formula.h"
+
+namespace ctdb::ltl::dsl {
+
+/// "The steps happen in this order, each strictly after the previous one":
+///   Sequence({a, b, c}) = F(a ∧ X F(b ∧ X F c)).
+/// Empty input yields `true`.
+const Formula* Sequence(const std::vector<const Formula*>& steps,
+                        FormulaFactory* factory);
+
+/// "Eventually f": F f.
+const Formula* EventuallyHappens(const Formula* f, FormulaFactory* factory);
+
+/// "f never happens": G ¬f.
+const Formula* Never(const Formula* f, FormulaFactory* factory);
+
+/// "f holds at every instant": G f.
+const Formula* AlwaysHolds(const Formula* f, FormulaFactory* factory);
+
+/// "After any `trigger`, `banned` never happens again (strictly later
+/// occurrences; a simultaneous event is not 'after')":
+///   G(trigger → X G ¬banned).
+const Formula* NeverAfter(const Formula* banned, const Formula* trigger,
+                          FormulaFactory* factory);
+
+/// "Still possible after `trigger`": trigger happens and `wanted` strictly
+/// later: F(trigger ∧ X F wanted).
+const Formula* PossibleAfter(const Formula* wanted, const Formula* trigger,
+                             FormulaFactory* factory);
+
+/// "Whenever `trigger` happens, `response` eventually follows (same instant
+/// allowed)": G(trigger → F response) — the Dwyer response pattern.
+const Formula* RespondsTo(const Formula* response, const Formula* trigger,
+                          FormulaFactory* factory);
+
+/// "`first` happens before any `later`" (the paper's B operator):
+///   first B later ≡ ¬(¬first U later).
+const Formula* Precedes(const Formula* first, const Formula* later,
+                        FormulaFactory* factory);
+
+/// "f happens at most once": G(f → X G ¬f).
+const Formula* AtMostOnce(const Formula* f, FormulaFactory* factory);
+
+/// "f happens exactly once": F f ∧ G(f → X G ¬f).
+const Formula* ExactlyOnce(const Formula* f, FormulaFactory* factory);
+
+/// "At every instant, at most one of the given events happens" — the
+/// pairwise-exclusion clauses C0 of Example 5, generated instead of written
+/// out by hand.
+const Formula* MutuallyExclusive(const std::vector<const Formula*>& events,
+                                 FormulaFactory* factory);
+
+/// "Once `terminal` happens nothing in `events` ever happens again
+/// (strictly later)" — the C4/C5 'terminal event' clauses of Example 5.
+const Formula* Terminal(const Formula* terminal,
+                        const std::vector<const Formula*>& events,
+                        FormulaFactory* factory);
+
+}  // namespace ctdb::ltl::dsl

@@ -1,0 +1,267 @@
+#include "ltl/rewriter.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace ctdb::ltl {
+namespace {
+
+/// Memoized NNF driver. `negate` tracks the polarity with which the node is
+/// being rewritten.
+class NnfRewriter {
+ public:
+  explicit NnfRewriter(FormulaFactory* factory) : factory_(factory) {}
+
+  const Formula* Rewrite(const Formula* f, bool negate) {
+    const Key key{f, negate};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const Formula* result = RewriteImpl(f, negate);
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  const Formula* RewriteImpl(const Formula* f, bool negate) {
+    FormulaFactory& fac = *factory_;
+    switch (f->op()) {
+      case Op::kTrue:
+        return negate ? fac.False() : fac.True();
+      case Op::kFalse:
+        return negate ? fac.True() : fac.False();
+      case Op::kProp:
+        return negate ? fac.Not(f) : f;
+      case Op::kNot:
+        return Rewrite(f->left(), !negate);
+      case Op::kAnd:
+        return negate ? fac.Or(Rewrite(f->left(), true),
+                               Rewrite(f->right(), true))
+                      : fac.And(Rewrite(f->left(), false),
+                                Rewrite(f->right(), false));
+      case Op::kOr:
+        return negate ? fac.And(Rewrite(f->left(), true),
+                                Rewrite(f->right(), true))
+                      : fac.Or(Rewrite(f->left(), false),
+                               Rewrite(f->right(), false));
+      case Op::kImplies:
+        // a -> b  ≡  ¬a ∨ b
+        return negate ? fac.And(Rewrite(f->left(), false),
+                                Rewrite(f->right(), true))
+                      : fac.Or(Rewrite(f->left(), true),
+                               Rewrite(f->right(), false));
+      case Op::kIff: {
+        // a <-> b ≡ (a ∧ b) ∨ (¬a ∧ ¬b); negated: (a ∧ ¬b) ∨ (¬a ∧ b).
+        const Formula* a_pos = Rewrite(f->left(), false);
+        const Formula* a_neg = Rewrite(f->left(), true);
+        const Formula* b_pos = Rewrite(f->right(), false);
+        const Formula* b_neg = Rewrite(f->right(), true);
+        if (negate) {
+          return fac.Or(fac.And(a_pos, b_neg), fac.And(a_neg, b_pos));
+        }
+        return fac.Or(fac.And(a_pos, b_pos), fac.And(a_neg, b_neg));
+      }
+      case Op::kNext:
+        // ¬X a ≡ X ¬a (over infinite runs).
+        return fac.Next(Rewrite(f->left(), negate));
+      case Op::kFinally:
+        // F a ≡ true U a; ¬F a ≡ G ¬a ≡ false R ¬a.
+        return negate ? fac.Release(fac.False(), Rewrite(f->left(), true))
+                      : fac.Until(fac.True(), Rewrite(f->left(), false));
+      case Op::kGlobally:
+        // G a ≡ false R a; ¬G a ≡ F ¬a ≡ true U ¬a.
+        return negate ? fac.Until(fac.True(), Rewrite(f->left(), true))
+                      : fac.Release(fac.False(), Rewrite(f->left(), false));
+      case Op::kUntil:
+        // ¬(a U b) ≡ ¬a R ¬b.
+        return negate ? fac.Release(Rewrite(f->left(), true),
+                                    Rewrite(f->right(), true))
+                      : fac.Until(Rewrite(f->left(), false),
+                                  Rewrite(f->right(), false));
+      case Op::kRelease:
+        // ¬(a R b) ≡ ¬a U ¬b.
+        return negate ? fac.Until(Rewrite(f->left(), true),
+                                  Rewrite(f->right(), true))
+                      : fac.Release(Rewrite(f->left(), false),
+                                    Rewrite(f->right(), false));
+      case Op::kWeakUntil: {
+        // a W b ≡ b R (a ∨ b); ¬(a W b) ≡ ¬b U (¬a ∧ ¬b).
+        if (negate) {
+          const Formula* na = Rewrite(f->left(), true);
+          const Formula* nb = Rewrite(f->right(), true);
+          return fac.Until(nb, fac.And(na, nb));
+        }
+        const Formula* a = Rewrite(f->left(), false);
+        const Formula* b = Rewrite(f->right(), false);
+        return fac.Release(b, fac.Or(a, b));
+      }
+      case Op::kBefore: {
+        // a B b ≡ ¬(¬a U b) ≡ a R ¬b; ¬(a B b) ≡ ¬a U b.
+        if (negate) {
+          return fac.Until(Rewrite(f->left(), true),
+                           Rewrite(f->right(), false));
+        }
+        return fac.Release(Rewrite(f->left(), false),
+                           Rewrite(f->right(), true));
+      }
+    }
+    assert(false && "unhandled op");
+    return fac.True();
+  }
+
+  struct Key {
+    const Formula* f;
+    bool negate;
+    bool operator==(const Key& other) const {
+      return f == other.f && negate == other.negate;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<const void*>()(k.f) ^ (k.negate ? 0x9e3779b9u : 0u);
+    }
+  };
+
+  FormulaFactory* factory_;
+  std::unordered_map<Key, const Formula*, KeyHash> memo_;
+};
+
+}  // namespace
+
+const Formula* ToNnf(const Formula* f, FormulaFactory* factory) {
+  return NnfRewriter(factory).Rewrite(f, /*negate=*/false);
+}
+
+bool IsNnf(const Formula* f) {
+  switch (f->op()) {
+    case Op::kTrue:
+    case Op::kFalse:
+    case Op::kProp:
+      return true;
+    case Op::kNot:
+      return f->left()->op() == Op::kProp;
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kUntil:
+    case Op::kRelease:
+      return IsNnf(f->left()) && IsNnf(f->right());
+    case Op::kNext:
+      return IsNnf(f->left());
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+bool IsEventually(const Formula* f) {
+  return f->op() == Op::kUntil && f->left()->op() == Op::kTrue;
+}
+
+bool IsAlways(const Formula* f) {
+  return f->op() == Op::kRelease && f->left()->op() == Op::kFalse;
+}
+
+class NnfSimplifier {
+ public:
+  explicit NnfSimplifier(FormulaFactory* factory) : factory_(factory) {}
+
+  const Formula* Simplify(const Formula* f) {
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+    const Formula* result = SimplifyImpl(f);
+    memo_.emplace(f, result);
+    return result;
+  }
+
+ private:
+  const Formula* SimplifyImpl(const Formula* f) {
+    FormulaFactory& fac = *factory_;
+    switch (f->op()) {
+      case Op::kTrue:
+      case Op::kFalse:
+      case Op::kProp:
+      case Op::kNot:
+        return f;
+      case Op::kAnd: {
+        const Formula* a = Simplify(f->left());
+        const Formula* b = Simplify(f->right());
+        // (x R b) ∧ (x R c) → x R (b ∧ c); covers G b ∧ G c → G (b ∧ c).
+        if (a->op() == Op::kRelease && b->op() == Op::kRelease &&
+            a->left() == b->left()) {
+          return Simplify(fac.Release(a->left(), fac.And(a->right(), b->right())));
+        }
+        // (b U x) ∧ (c U x) → (b ∧ c) U x.
+        if (a->op() == Op::kUntil && b->op() == Op::kUntil &&
+            a->right() == b->right()) {
+          return Simplify(fac.Until(fac.And(a->left(), b->left()), a->right()));
+        }
+        // X a ∧ X b → X (a ∧ b).
+        if (a->op() == Op::kNext && b->op() == Op::kNext) {
+          return Simplify(fac.Next(fac.And(a->left(), b->left())));
+        }
+        return fac.And(a, b);
+      }
+      case Op::kOr: {
+        const Formula* a = Simplify(f->left());
+        const Formula* b = Simplify(f->right());
+        // (x U b) ∨ (x U c) → x U (b ∨ c); covers F b ∨ F c → F (b ∨ c).
+        if (a->op() == Op::kUntil && b->op() == Op::kUntil &&
+            a->left() == b->left()) {
+          return Simplify(fac.Until(a->left(), fac.Or(a->right(), b->right())));
+        }
+        // (b R x) ∨ (c R x) → (b ∨ c) R x.
+        if (a->op() == Op::kRelease && b->op() == Op::kRelease &&
+            a->right() == b->right()) {
+          return Simplify(fac.Release(fac.Or(a->left(), b->left()), a->right()));
+        }
+        // X a ∨ X b → X (a ∨ b).
+        if (a->op() == Op::kNext && b->op() == Op::kNext) {
+          return Simplify(fac.Next(fac.Or(a->left(), b->left())));
+        }
+        return fac.Or(a, b);
+      }
+      case Op::kNext:
+        return fac.Next(Simplify(f->left()));
+      case Op::kUntil: {
+        const Formula* a = Simplify(f->left());
+        const Formula* b = Simplify(f->right());
+        // F (a U b) → F b.
+        if (a->op() == Op::kTrue && b->op() == Op::kUntil) {
+          return Simplify(fac.Until(fac.True(), b->right()));
+        }
+        // F F b handled by factory; a U F b → F b.
+        if (IsEventually(b)) return b;
+        return fac.Until(a, b);
+      }
+      case Op::kRelease: {
+        const Formula* a = Simplify(f->left());
+        const Formula* b = Simplify(f->right());
+        // G (a R b) → G b.
+        if (a->op() == Op::kFalse && b->op() == Op::kRelease) {
+          return Simplify(fac.Release(fac.False(), b->right()));
+        }
+        // a R G b → G b.
+        if (IsAlways(b)) return b;
+        return fac.Release(a, b);
+      }
+      default:
+        // Not NNF; leave untouched.
+        return f;
+    }
+  }
+
+  FormulaFactory* factory_;
+  std::unordered_map<const Formula*, const Formula*> memo_;
+};
+
+}  // namespace
+
+const Formula* SimplifyNnf(const Formula* f, FormulaFactory* factory) {
+  return NnfSimplifier(factory).Simplify(f);
+}
+
+const Formula* Normalize(const Formula* f, FormulaFactory* factory) {
+  return SimplifyNnf(ToNnf(f, factory), factory);
+}
+
+}  // namespace ctdb::ltl

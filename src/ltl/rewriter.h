@@ -1,0 +1,31 @@
+// Formula rewriting: negation normal form and pre-translation simplification.
+
+#pragma once
+
+#include "ltl/formula.h"
+
+namespace ctdb::ltl {
+
+/// \brief Rewrites `f` into negation normal form.
+///
+/// The result uses only: true, false, propositions, negated propositions,
+/// ∧, ∨, X, U, R. Derived operators are expanded through the standard
+/// identities (F p ≡ true U p, G p ≡ false R p, p W q ≡ q R (p ∨ q)) and the
+/// paper's definition p B q ≡ ¬(¬p U q) ≡ p R ¬q.
+const Formula* ToNnf(const Formula* f, FormulaFactory* factory);
+
+/// True iff `f` is in negation normal form as produced by ToNnf.
+bool IsNnf(const Formula* f);
+
+/// \brief Applies language-preserving simplification rules to an NNF formula
+/// (LTL2BA-style rewriting), e.g. F(a U b) → F b, (a U c) ∨ (b U c) stays,
+/// (a U b) ∨ (a U c) → a U (b ∨ c), (a R b) ∧ (a R c) → a R (b ∧ c).
+///
+/// Shrinking the formula before the tableau construction is the main lever
+/// against the worst-case exponential BA size (Section 3.1).
+const Formula* SimplifyNnf(const Formula* f, FormulaFactory* factory);
+
+/// Convenience: ToNnf followed by SimplifyNnf.
+const Formula* Normalize(const Formula* f, FormulaFactory* factory);
+
+}  // namespace ctdb::ltl

@@ -1,0 +1,30 @@
+#include "projection/projection.h"
+
+#include "automata/ops.h"
+
+namespace ctdb::projection {
+
+RetainedLiterals RetainedLiterals::FromKey(const LiteralKey& key) {
+  RetainedLiterals r;
+  for (LiteralId id : key) {
+    const EventId e = Literal::EventOf(id);
+    Bitset& mask = Literal::IsNegated(id) ? r.neg : r.pos;
+    if (e >= mask.size()) mask.Resize(e + 1);
+    mask.Set(e);
+  }
+  return r;
+}
+
+Bitset NeededEvents(const Bitset& query_label_events,
+                    const Bitset& contract_label_events) {
+  Bitset needed = query_label_events;
+  needed &= contract_label_events;
+  return needed;
+}
+
+automata::Buchi Project(const automata::Buchi& ba,
+                        const RetainedLiterals& retained) {
+  return automata::ProjectLabels(ba, retained.pos, retained.neg);
+}
+
+}  // namespace ctdb::projection

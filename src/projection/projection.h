@@ -1,0 +1,42 @@
+// Projections of contract BAs on literal sets (Section 5.1, Definition 8).
+
+#pragma once
+
+#include "automata/buchi.h"
+#include "base/label.h"
+#include "base/literal.h"
+#include "util/bitset.h"
+
+namespace ctdb::projection {
+
+/// \brief The retained-literal masks of a projection: positive literals
+/// survive for events in `pos`, negative literals for events in `neg`.
+struct RetainedLiterals {
+  Bitset pos;
+  Bitset neg;
+
+  /// Both polarities of every event in `events`.
+  static RetainedLiterals AllOf(const Bitset& events) {
+    return RetainedLiterals{events, events};
+  }
+
+  /// Exactly the literals in `key`.
+  static RetainedLiterals FromKey(const LiteralKey& key);
+};
+
+/// \brief The literals a contract projection must retain to stay equivalent
+/// for a query citing `query_labels_literals` (Definition 8: the negations of
+/// the query's label literals), intersected with the literals the contract's
+/// labels actually use.
+///
+/// Returned as the set of *events* whose literals must be retained — the
+/// store projects per event (both polarities), a sound superset (see §5.2
+/// observation 1 and DESIGN.md).
+Bitset NeededEvents(const Bitset& query_label_events,
+                    const Bitset& contract_label_events);
+
+/// Materializes π_L(ba) (mostly for tests; the store projects on the fly).
+automata::Buchi Project(const automata::Buchi& ba,
+                        const RetainedLiterals& retained);
+
+}  // namespace ctdb::projection

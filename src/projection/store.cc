@@ -1,0 +1,203 @@
+#include "projection/store.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "automata/quotient.h"
+#include "util/hash.h"
+
+namespace ctdb::projection {
+
+using automata::Buchi;
+using automata::CoarsestBisimulation;
+using automata::Partition;
+
+namespace {
+
+/// Interns canonical partitions, deduplicating by content (hash prefilter,
+/// exact comparison on collision).
+class PartitionInterner {
+ public:
+  explicit PartitionInterner(std::vector<Partition>* partitions)
+      : partitions_(partitions) {}
+
+  uint32_t Intern(Partition part) {
+    const uint64_t h =
+        HashRange(part.block_of.begin(), part.block_of.end());
+    auto& bucket = buckets_[h];
+    for (uint32_t i : bucket) {
+      if ((*partitions_)[i] == part) return i;
+    }
+    partitions_->push_back(std::move(part));
+    const uint32_t id = static_cast<uint32_t>(partitions_->size() - 1);
+    bucket.push_back(id);
+    return id;
+  }
+
+ private:
+  std::vector<Partition>* partitions_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+};
+
+}  // namespace
+
+ContractProjections::EventMask ContractProjections::MaskOf(
+    const Bitset& events) const {
+  EventMask mask = 0;
+  for (size_t i = 0; i < event_list_.size(); ++i) {
+    if (events.Test(event_list_[i])) mask |= EventMask{1} << i;
+  }
+  return mask;
+}
+
+Bitset ContractProjections::EventsOf(EventMask mask) const {
+  Bitset events;
+  for (size_t i = 0; i < event_list_.size(); ++i) {
+    if ((mask >> i) & 1) {
+      if (event_list_[i] >= events.size()) events.Resize(event_list_[i] + 1);
+      events.Set(event_list_[i]);
+    }
+  }
+  return events;
+}
+
+ContractProjections ContractProjections::WrapOnly(Buchi ba) {
+  ContractProjections store;
+  store.ba_ = std::move(ba);
+  store.stats_.original_states = store.ba_.StateCount();
+  return store;
+}
+
+ContractProjections ContractProjections::Precompute(
+    Buchi ba, const ProjectionStoreOptions& options) {
+  ContractProjections store;
+  store.ba_ = std::move(ba);
+  const Buchi& automaton = store.ba_;
+
+  const Bitset cited = automaton.CitedEvents();
+  for (size_t e : cited.Indices()) {
+    store.event_list_.push_back(static_cast<EventId>(e));
+  }
+  const size_t m = store.event_list_.size();
+  assert(m <= 64 && "contracts citing > 64 events are not supported");
+  store.full_mask_ = m == 64 ? ~EventMask{0} : (EventMask{1} << m) - 1;
+
+  store.stats_.cited_events = m;
+  store.stats_.original_states = automaton.StateCount();
+
+  const bool enumerate_all = m <= options.max_enumerated_events;
+  PartitionInterner interner(&store.partitions_);
+
+  // Base of the lattice: the empty projection (all labels become `true`).
+  {
+    Bitset none;
+    automata::BisimulationOptions bisim;
+    bisim.retained_pos = &none;
+    bisim.retained_neg = &none;
+    Partition base = CoarsestBisimulation(automaton, bisim);
+    const uint32_t id = interner.Intern(std::move(base));
+    store.partition_of_.emplace(EventMask{0}, id);
+    ++store.stats_.subsets_computed;
+  }
+
+  // Enumerate masks in popcount order so every mask's parent (mask without
+  // its highest bit) is already computed — Theorem 3 makes the parent's
+  // partition a valid refinement starting point.
+  std::vector<EventMask> masks;
+  if (enumerate_all) {
+    for (EventMask mask = 1; mask <= store.full_mask_ && store.full_mask_ != 0;
+         ++mask) {
+      masks.push_back(mask);
+    }
+  } else {
+    // Subsets up to max_subset_size, plus the full set.
+    std::vector<EventMask> current{0};
+    for (size_t size = 1; size <= options.max_subset_size; ++size) {
+      std::vector<EventMask> next;
+      for (EventMask base : current) {
+        const size_t low =
+            base == 0 ? 0 : 64 - static_cast<size_t>(std::countl_zero(base));
+        for (size_t i = low; i < m; ++i) {
+          next.push_back(base | (EventMask{1} << i));
+        }
+      }
+      masks.insert(masks.end(), next.begin(), next.end());
+      current = std::move(next);
+    }
+    if (store.full_mask_ != 0) masks.push_back(store.full_mask_);
+  }
+  std::sort(masks.begin(), masks.end(), [](EventMask a, EventMask b) {
+    const int pa = std::popcount(a);
+    const int pb = std::popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  masks.erase(std::unique(masks.begin(), masks.end()), masks.end());
+
+  for (EventMask mask : masks) {
+    // Parent: drop the highest bit; walk down until a computed entry is found
+    // (always terminates at the empty mask).
+    EventMask parent = mask;
+    const Partition* start = nullptr;
+    while (true) {
+      const int high = 63 - std::countl_zero(parent);
+      parent &= ~(EventMask{1} << high);
+      auto it = store.partition_of_.find(parent);
+      if (it != store.partition_of_.end()) {
+        start = &store.partitions_[it->second];
+        break;
+      }
+      if (parent == 0) break;
+    }
+
+    const Bitset retained = store.EventsOf(mask);
+    automata::BisimulationOptions bisim;
+    bisim.retained_pos = &retained;
+    bisim.retained_neg = &retained;
+    bisim.start = start;
+    Partition part = CoarsestBisimulation(automaton, bisim);
+    const uint32_t id = interner.Intern(std::move(part));
+    store.partition_of_.emplace(mask, id);
+    ++store.stats_.subsets_computed;
+  }
+
+  store.stats_.distinct_partitions = store.partitions_.size();
+  if (store.full_mask_ == 0) {
+    store.stats_.full_partition_blocks = store.partitions_[0].block_count;
+  } else {
+    store.stats_.full_partition_blocks =
+        store.partitions_[store.partition_of_.at(store.full_mask_)]
+            .block_count;
+  }
+  for (const Partition& p : store.partitions_) {
+    store.stats_.partition_memory_bytes +=
+        p.block_of.capacity() * sizeof(uint32_t);
+  }
+  return store;
+}
+
+const Buchi& ContractProjections::ForQueryEvents(
+    const Bitset& query_label_events) {
+  if (partitions_.empty()) return ba_;  // not precomputed
+  EventMask mask = MaskOf(query_label_events);
+  auto entry = partition_of_.find(mask);
+  if (entry == partition_of_.end()) {
+    // No projection precomputed for this exact set: fall back to the full
+    // set (language-preserving minimization) — always present.
+    mask = full_mask_;
+    entry = partition_of_.find(mask);
+    if (entry == partition_of_.end()) return ba_;
+  }
+
+  auto cached = quotients_.find(mask);
+  if (cached != quotients_.end()) return *cached->second;
+
+  const Bitset retained = EventsOf(mask);
+  auto quotient = std::make_unique<Buchi>(automata::BuildQuotient(
+      ba_, partitions_[entry->second], &retained, &retained));
+  const Buchi& ref = *quotient;
+  quotients_.emplace(mask, std::move(quotient));
+  return ref;
+}
+
+}  // namespace ctdb::projection

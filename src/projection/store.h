@@ -1,0 +1,95 @@
+// The precomputed simplified-BA store (Sections 5.2 and 5.3).
+//
+// At registration time the store computes, for subsets of the contract's
+// cited label events, the coarsest bisimulation partition of the contract BA
+// with labels projected onto that subset (both polarities of each retained
+// event — a sound superset of the exact literal set Definition 8 asks for,
+// see DESIGN.md). Partitions are computed in lattice order (Theorem 3: the
+// partition for a superset refines the partition for a subset, so refinement
+// can start from the parent's partition instead of from scratch) and
+// deduplicated — in practice only a small fraction of subsets yield distinct
+// partitions (the paper reports ~5%).
+//
+// Storage follows §5.2: only the partitions (block lists) are kept; quotient
+// automata are materialized lazily at query time and cached.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/bisimulation.h"
+#include "automata/buchi.h"
+#include "util/bitset.h"
+
+namespace ctdb::projection {
+
+/// Precomputation limits (the §5.2 escape hatch for complex contracts).
+struct ProjectionStoreOptions {
+  /// Enumerate every subset of the contract's cited events when there are at
+  /// most this many (2^n subsets).
+  size_t max_enumerated_events = 12;
+  /// Above that, enumerate only subsets up to this size, plus the full set.
+  size_t max_subset_size = 3;
+};
+
+/// Precomputation statistics (for the §7.4 report).
+struct ProjectionStats {
+  size_t cited_events = 0;
+  size_t subsets_computed = 0;
+  size_t distinct_partitions = 0;
+  size_t original_states = 0;
+  /// States of the quotient under the full-event-set partition (the
+  /// language-preserving minimum the store ever uses).
+  size_t full_partition_blocks = 0;
+  size_t partition_memory_bytes = 0;
+};
+
+/// \brief All precomputed projections of one contract BA.
+class ContractProjections {
+ public:
+  ContractProjections() = default;
+
+  /// Runs the lattice-order precomputation over `ba`.
+  static ContractProjections Precompute(
+      automata::Buchi ba, const ProjectionStoreOptions& options = {});
+
+  /// Wraps `ba` with no precomputed projections: ForQueryEvents always
+  /// returns the original automaton (used when the optimization is off).
+  static ContractProjections WrapOnly(automata::Buchi ba);
+
+  /// \brief The simplified automaton to use for a query whose labels cite
+  /// `query_label_events`: the quotient of the smallest precomputed
+  /// projection that retains every contract literal the compatibility test
+  /// can observe. Lazily built and cached.
+  ///
+  /// Always sound: falls back to the full-event-set (language-preserving
+  /// minimized) automaton when no smaller projection applies.
+  const automata::Buchi& ForQueryEvents(const Bitset& query_label_events);
+
+  /// The registered (unprojected) automaton.
+  const automata::Buchi& original() const { return ba_; }
+
+  ProjectionStats stats() const { return stats_; }
+
+ private:
+  using EventMask = uint64_t;
+
+  /// Translates global event ids into a mask over `event_list_`; events
+  /// outside the contract are dropped (they cannot affect compatibility with
+  /// the contract's labels).
+  EventMask MaskOf(const Bitset& events) const;
+  Bitset EventsOf(EventMask mask) const;
+
+  automata::Buchi ba_;
+  std::vector<EventId> event_list_;  ///< cited label events, ascending
+  std::unordered_map<EventMask, uint32_t> partition_of_;  ///< mask → index
+  std::vector<automata::Partition> partitions_;           ///< deduplicated
+  EventMask full_mask_ = 0;
+  std::unordered_map<EventMask, std::unique_ptr<automata::Buchi>> quotients_;
+  ProjectionStats stats_;
+};
+
+}  // namespace ctdb::projection

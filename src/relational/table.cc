@@ -1,0 +1,67 @@
+#include "relational/table.h"
+
+namespace ctdb::relational {
+
+Result<int> Compare(const Value& a, const Value& b) {
+  const bool a_str = std::holds_alternative<std::string>(a);
+  const bool b_str = std::holds_alternative<std::string>(b);
+  if (a_str != b_str) {
+    return Status::InvalidArgument("cannot compare string with number");
+  }
+  if (a_str) {
+    const auto& sa = std::get<std::string>(a);
+    const auto& sb = std::get<std::string>(b);
+    return sa < sb ? -1 : (sa == sb ? 0 : 1);
+  }
+  const double da = std::holds_alternative<int64_t>(a)
+                        ? static_cast<double>(std::get<int64_t>(a))
+                        : std::get<double>(a);
+  const double db = std::holds_alternative<int64_t>(b)
+                        ? static_cast<double>(std::get<int64_t>(b))
+                        : std::get<double>(b);
+  return da < db ? -1 : (da == db ? 0 : 1);
+}
+
+bool Matches(const Row& row, const Predicate& predicate) {
+  auto it = row.find(predicate.attribute);
+  if (it == row.end()) return false;
+  auto cmp = Compare(it->second, predicate.literal);
+  if (!cmp.ok()) return false;
+  switch (predicate.op) {
+    case CompareOp::kEq: return *cmp == 0;
+    case CompareOp::kNe: return *cmp != 0;
+    case CompareOp::kLt: return *cmp < 0;
+    case CompareOp::kLe: return *cmp <= 0;
+    case CompareOp::kGt: return *cmp > 0;
+    case CompareOp::kGe: return *cmp >= 0;
+  }
+  return false;
+}
+
+void Table::Put(uint32_t key, Row row) { rows_[key] = std::move(row); }
+
+Result<Row> Table::Get(uint32_t key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound("no row for key " + std::to_string(key));
+  }
+  return it->second;
+}
+
+std::vector<uint32_t> Table::Select(
+    const std::vector<Predicate>& predicates) const {
+  std::vector<uint32_t> out;
+  for (const auto& [key, row] : rows_) {
+    bool all = true;
+    for (const Predicate& p : predicates) {
+      if (!Matches(row, p)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace ctdb::relational

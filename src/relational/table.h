@@ -1,0 +1,85 @@
+// A deliberately small relational attribute layer.
+//
+// The paper assumes "a traditional DBMS takes care of the features modeled as
+// relational attributes" (problem setting (a)) and uses it to pre-select
+// contracts before the temporal machinery runs. This module provides just
+// enough of that substrate for the examples: contracts carry attribute maps
+// (route, price, dates, ...) and queries conjoin simple predicates.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ctdb::relational {
+
+/// An attribute value: integer, double or string.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Ordered comparison following SQL-ish semantics: numeric types compare
+/// numerically with each other; strings compare lexicographically; numeric
+/// vs string is an error.
+Result<int> Compare(const Value& a, const Value& b);
+
+/// A row: attribute name → value.
+using Row = std::map<std::string, Value>;
+
+/// Comparison operators for predicates.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief One conjunct of a selection: `attribute op literal`.
+/// Rows missing the attribute never match.
+struct Predicate {
+  std::string attribute;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+
+  static Predicate Eq(std::string attr, Value v) {
+    return {std::move(attr), CompareOp::kEq, std::move(v)};
+  }
+  static Predicate Le(std::string attr, Value v) {
+    return {std::move(attr), CompareOp::kLe, std::move(v)};
+  }
+  static Predicate Ge(std::string attr, Value v) {
+    return {std::move(attr), CompareOp::kGe, std::move(v)};
+  }
+  static Predicate Lt(std::string attr, Value v) {
+    return {std::move(attr), CompareOp::kLt, std::move(v)};
+  }
+  static Predicate Gt(std::string attr, Value v) {
+    return {std::move(attr), CompareOp::kGt, std::move(v)};
+  }
+  static Predicate Ne(std::string attr, Value v) {
+    return {std::move(attr), CompareOp::kNe, std::move(v)};
+  }
+};
+
+/// True iff `row` satisfies `predicate` (missing attribute ⇒ false;
+/// incomparable types ⇒ false).
+bool Matches(const Row& row, const Predicate& predicate);
+
+/// \brief Keyed rows: key is the contract id in the broker examples.
+class Table {
+ public:
+  /// Inserts or replaces the row for `key`.
+  void Put(uint32_t key, Row row);
+
+  /// The row for `key`, or NotFound.
+  Result<Row> Get(uint32_t key) const;
+
+  /// Keys of rows satisfying every predicate (ascending order).
+  std::vector<uint32_t> Select(const std::vector<Predicate>& predicates) const;
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  std::map<uint32_t, Row> rows_;
+};
+
+}  // namespace ctdb::relational

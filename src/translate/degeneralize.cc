@@ -1,0 +1,71 @@
+#include "translate/degeneralize.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace ctdb::translate {
+
+automata::Buchi Degeneralize(const GeneralizedBuchi& gba) {
+  using automata::Buchi;
+  using automata::StateId;
+  using automata::Transition;
+
+  const Buchi& in = gba.automaton;
+  const size_t k = gba.acceptance.size();
+
+  if (k == 0) {
+    // Every run is accepting: copy the automaton and mark all states final.
+    Buchi out;
+    out.AddStates(in.StateCount() - 1);
+    out.SetInitial(in.initial());
+    for (StateId s = 0; s < in.StateCount(); ++s) {
+      out.SetFinal(s);
+      for (const Transition& t : in.Out(s)) {
+        out.AddTransition(s, t.label, t.to);
+      }
+    }
+    return out;
+  }
+
+  // BFS over reachable (state, level) pairs.
+  Buchi out;
+  std::unordered_map<std::pair<uint32_t, uint32_t>, StateId, PairHash> ids;
+  std::vector<std::pair<uint32_t, uint32_t>> worklist;
+
+  auto get_id = [&](uint32_t state, uint32_t level) -> StateId {
+    const auto key = std::make_pair(state, level);
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    const StateId id = ids.empty() ? out.initial() : out.AddState();
+    ids.emplace(key, id);
+    if (level == k) out.SetFinal(id);
+    worklist.push_back(key);
+    return id;
+  };
+
+  // Level advancement: starting from `base`, climb while the *target* state
+  // belongs to the next acceptance set.
+  auto advance = [&](uint32_t base, uint32_t target) {
+    uint32_t level = base;
+    while (level < k && gba.acceptance[level].Test(target)) ++level;
+    return level;
+  };
+
+  get_id(in.initial(), 0);
+  while (!worklist.empty()) {
+    const auto [state, level] = worklist.back();
+    worklist.pop_back();
+    const StateId from = ids.at({state, level});
+    const uint32_t base = (level == k) ? 0 : level;
+    for (const Transition& t : in.Out(state)) {
+      const uint32_t next_level = advance(base, t.to);
+      const StateId to = get_id(t.to, next_level);
+      out.AddTransition(from, t.label, to);
+    }
+  }
+  return out;
+}
+
+}  // namespace ctdb::translate

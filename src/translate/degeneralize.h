@@ -1,0 +1,19 @@
+// Degeneralization: generalized (multi-set) Büchi acceptance to plain Büchi
+// acceptance via the standard counter construction.
+
+#pragma once
+
+#include "automata/buchi.h"
+#include "translate/tableau.h"
+
+namespace ctdb::translate {
+
+/// \brief Converts `gba` into an equivalent plain Büchi automaton.
+///
+/// With k acceptance sets the result has states (q, level) for level ∈ [0,k];
+/// advancing from level m requires entering a state of acceptance set m+1,
+/// level k states are final and reset to level 0. With k = 0 every state is
+/// final. Only the reachable part of the product is built.
+automata::Buchi Degeneralize(const GeneralizedBuchi& gba);
+
+}  // namespace ctdb::translate

@@ -1,0 +1,45 @@
+#include "translate/ltl_to_ba.h"
+
+#include "automata/bisimulation.h"
+#include "automata/ops.h"
+#include "automata/quotient.h"
+#include "ltl/rewriter.h"
+#include "translate/degeneralize.h"
+
+namespace ctdb::translate {
+
+Result<automata::Buchi> LtlToBuchi(const ltl::Formula* formula,
+                                   ltl::FormulaFactory* factory,
+                                   const TranslateOptions& options,
+                                   TranslateInfo* info) {
+  const ltl::Formula* nnf = ltl::ToNnf(formula, factory);
+  if (options.simplify_formula) {
+    nnf = ltl::SimplifyNnf(nnf, factory);
+  }
+
+  CTDB_ASSIGN_OR_RETURN(GeneralizedBuchi gba,
+                        BuildTableau(nnf, factory, options.tableau));
+  if (info != nullptr) info->tableau_states = gba.automaton.StateCount();
+
+  automata::Buchi ba = Degeneralize(gba);
+  if (info != nullptr) info->degeneralized = ba.StateCount();
+
+  if (options.prune) {
+    ba = automata::PruneDeadStates(ba);
+  }
+  if (options.reduce) {
+    const automata::Partition partition = automata::CoarsestBisimulation(ba);
+    if (partition.block_count < ba.StateCount()) {
+      ba = automata::BuildQuotient(ba, partition);
+      if (options.prune) ba = automata::PruneDeadStates(ba);
+    }
+  }
+  ba.DedupTransitions();
+  if (info != nullptr) {
+    info->final_states = ba.StateCount();
+    info->final_transitions = ba.TransitionCount();
+  }
+  return ba;
+}
+
+}  // namespace ctdb::translate

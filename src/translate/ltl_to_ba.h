@@ -1,0 +1,45 @@
+// End-to-end LTL → Büchi translation pipeline (the component the paper
+// delegates to the external LTL2BA tool [12]; built from scratch here).
+//
+//   formula → NNF → rewrite simplification → GPVW tableau → degeneralize
+//           → dead-state pruning → bisimulation quotient
+//
+// The result accepts exactly the runs satisfying the formula and its labels
+// cite only the formula's events (the assumption of §6.2.1).
+
+#pragma once
+
+#include "automata/buchi.h"
+#include "ltl/formula.h"
+#include "translate/tableau.h"
+#include "util/result.h"
+
+namespace ctdb::translate {
+
+/// Pipeline configuration.
+struct TranslateOptions {
+  /// Apply ltl::SimplifyNnf rewriting before the tableau.
+  bool simplify_formula = true;
+  /// Remove unreachable states and states with no accepting continuation.
+  bool prune = true;
+  /// Collapse bisimilar states (language-preserving, Theorem 8).
+  bool reduce = true;
+  /// Tableau node budget.
+  TableauOptions tableau;
+};
+
+/// Per-translation diagnostics.
+struct TranslateInfo {
+  size_t tableau_states = 0;    ///< states after GPVW (incl. initial)
+  size_t degeneralized = 0;     ///< states after the counter construction
+  size_t final_states = 0;      ///< states in the returned automaton
+  size_t final_transitions = 0; ///< transitions in the returned automaton
+};
+
+/// \brief Translates `formula` to an equivalent Büchi automaton.
+Result<automata::Buchi> LtlToBuchi(const ltl::Formula* formula,
+                                   ltl::FormulaFactory* factory,
+                                   const TranslateOptions& options = {},
+                                   TranslateInfo* info = nullptr);
+
+}  // namespace ctdb::translate

@@ -1,0 +1,367 @@
+#include "translate/tableau.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace ctdb::translate {
+
+using ltl::Formula;
+using ltl::FormulaFactory;
+using ltl::Op;
+
+namespace {
+
+/// A set of formulas as a sorted (by node id) vector of pointers. Small and
+/// cache-friendly; GPVW sets rarely exceed a few dozen entries.
+using FormulaSet = std::vector<const Formula*>;
+
+bool SetContains(const FormulaSet& set, const Formula* f) {
+  return std::binary_search(
+      set.begin(), set.end(), f,
+      [](const Formula* a, const Formula* b) { return a->id() < b->id(); });
+}
+
+void SetInsert(FormulaSet* set, const Formula* f) {
+  auto it = std::lower_bound(
+      set->begin(), set->end(), f,
+      [](const Formula* a, const Formula* b) { return a->id() < b->id(); });
+  if (it == set->end() || *it != f) set->insert(it, f);
+}
+
+uint64_t SetHash(const FormulaSet& set) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const Formula* f : set) {
+    h ^= f->id();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// True for literals and constants (no further tableau decomposition).
+bool IsBasic(const Formula* f) {
+  return f->op() == Op::kTrue || f->op() == Op::kFalse ||
+         f->op() == Op::kProp ||
+         (f->op() == Op::kNot && f->left()->op() == Op::kProp);
+}
+
+/// An unexpanded tableau node being processed.
+struct WorkNode {
+  /// States (in the result automaton) with an edge into this node. The
+  /// special value kInitMark stands for the fresh initial state.
+  std::vector<uint32_t> incoming;
+  FormulaSet new_set;
+  FormulaSet old_set;
+  FormulaSet next_set;
+};
+
+constexpr uint32_t kInitMark = UINT32_MAX;
+
+struct StateKey {
+  FormulaSet old_set;
+  FormulaSet next_set;
+  bool operator==(const StateKey& other) const {
+    return old_set == other.old_set && next_set == other.next_set;
+  }
+};
+
+struct StateKeyHash {
+  size_t operator()(const StateKey& k) const {
+    return static_cast<size_t>(
+        HashCombine(SetHash(k.old_set), SetHash(k.next_set)));
+  }
+};
+
+/// Collects every Until subformula of an NNF formula (they index the
+/// generalized acceptance sets).
+void CollectUntils(const Formula* f, FormulaSet* untils) {
+  if (f->op() == Op::kUntil) SetInsert(untils, f);
+  if (f->left() != nullptr) CollectUntils(f->left(), untils);
+  if (f->right() != nullptr) CollectUntils(f->right(), untils);
+}
+
+class TableauBuilder {
+ public:
+  TableauBuilder(const Formula* formula, FormulaFactory* factory,
+                 const TableauOptions& options)
+      : formula_(formula), factory_(factory), options_(options) {}
+
+  Result<GeneralizedBuchi> Build() {
+    CollectUntils(formula_, &untils_);
+
+    WorkNode root;
+    root.incoming.push_back(kInitMark);
+    if (formula_->op() != Op::kFalse) {
+      root.new_set.push_back(formula_);
+    } else {
+      // `false` has no consistent expansion: produce the empty automaton.
+      GeneralizedBuchi out;
+      out.acceptance.assign(untils_.size(), Bitset(1));
+      return out;
+    }
+    queue_.push_back(std::move(root));
+    while (!queue_.empty()) {
+      WorkNode next = std::move(queue_.back());
+      queue_.pop_back();
+      CTDB_RETURN_NOT_OK(Expand(std::move(next)));
+    }
+    return Finish();
+  }
+
+ private:
+  /// Expands `node` to saturation, registering fully-expanded states and
+  /// enqueueing their successors. Uses an explicit stack: the branching rules
+  /// (∨, U, R) push two copies.
+  Status Expand(WorkNode node) {
+    const size_t max_work = options_.max_work != 0
+                                ? options_.max_work
+                                : options_.max_nodes * 64;
+    std::vector<WorkNode> pending;
+    pending.push_back(std::move(node));
+    while (!pending.empty()) {
+      if (++work_done_ > max_work) {
+        return Status::ResourceExhausted(
+            StringFormat("tableau exceeded %zu work nodes", max_work));
+      }
+      WorkNode q = std::move(pending.back());
+      pending.pop_back();
+      if (q.new_set.empty()) {
+        CTDB_RETURN_NOT_OK(Register(std::move(q)));
+        continue;
+      }
+      // Prefer non-branching formulas (literals, ∧, X): they populate Old
+      // early, which lets the subsumption checks below prune whole branches
+      // and surfaces contradictions before any split happens.
+      size_t pick = q.new_set.size() - 1;
+      for (size_t i = q.new_set.size(); i > 0; --i) {
+        const Op op = q.new_set[i - 1]->op();
+        if (IsBasic(q.new_set[i - 1]) || op == Op::kAnd || op == Op::kNext) {
+          pick = i - 1;
+          break;
+        }
+      }
+      const Formula* eta = q.new_set[pick];
+      q.new_set.erase(q.new_set.begin() + static_cast<ptrdiff_t>(pick));
+      if (SetContains(q.old_set, eta)) {
+        pending.push_back(std::move(q));
+        continue;
+      }
+      if (IsBasic(eta)) {
+        if (eta->op() == Op::kFalse) continue;  // inconsistent: discard
+        if (eta->op() != Op::kTrue) {
+          // Contradiction check against Old's literals.
+          const Formula* negation = factory_->Not(eta);
+          if (SetContains(q.old_set, negation)) continue;
+          SetInsert(&q.old_set, eta);
+        }
+        pending.push_back(std::move(q));
+        continue;
+      }
+      switch (eta->op()) {
+        case Op::kAnd: {
+          SetInsert(&q.old_set, eta);
+          if (!SetContains(q.old_set, eta->left())) {
+            q.new_set.push_back(eta->left());
+          }
+          if (!SetContains(q.old_set, eta->right())) {
+            q.new_set.push_back(eta->right());
+          }
+          pending.push_back(std::move(q));
+          break;
+        }
+        case Op::kNext: {
+          SetInsert(&q.old_set, eta);
+          SetInsert(&q.next_set, eta->left());
+          pending.push_back(std::move(q));
+          break;
+        }
+        case Op::kOr: {
+          // Subsumption: if either disjunct already holds in this node, the
+          // disjunction holds — the other branch would only build a more
+          // constrained node accepting a subset of the same runs.
+          if (SetContains(q.old_set, eta->left()) ||
+              SetContains(q.old_set, eta->right())) {
+            SetInsert(&q.old_set, eta);
+            pending.push_back(std::move(q));
+            break;
+          }
+          WorkNode q1 = q;
+          SetInsert(&q1.old_set, eta);
+          if (!SetContains(q1.old_set, eta->left())) {
+            q1.new_set.push_back(eta->left());
+          }
+          WorkNode q2 = std::move(q);
+          SetInsert(&q2.old_set, eta);
+          if (!SetContains(q2.old_set, eta->right())) {
+            q2.new_set.push_back(eta->right());
+          }
+          pending.push_back(std::move(q1));
+          pending.push_back(std::move(q2));
+          break;
+        }
+        case Op::kUntil: {
+          // aUb: (a ∧ X(aUb)) ∨ b. Subsumption: b already in Old fulfills
+          // the until with no extra obligation.
+          if (SetContains(q.old_set, eta->right())) {
+            SetInsert(&q.old_set, eta);
+            pending.push_back(std::move(q));
+            break;
+          }
+          WorkNode q1 = q;
+          SetInsert(&q1.old_set, eta);
+          if (!SetContains(q1.old_set, eta->left())) {
+            q1.new_set.push_back(eta->left());
+          }
+          SetInsert(&q1.next_set, eta);
+          WorkNode q2 = std::move(q);
+          SetInsert(&q2.old_set, eta);
+          if (!SetContains(q2.old_set, eta->right())) {
+            q2.new_set.push_back(eta->right());
+          }
+          pending.push_back(std::move(q1));
+          pending.push_back(std::move(q2));
+          break;
+        }
+        case Op::kRelease: {
+          // aRb: (b ∧ X(aRb)) ∨ (a ∧ b). Subsumption: a ∧ b already in Old
+          // releases the obligation outright.
+          if (SetContains(q.old_set, eta->left()) &&
+              SetContains(q.old_set, eta->right())) {
+            SetInsert(&q.old_set, eta);
+            pending.push_back(std::move(q));
+            break;
+          }
+          WorkNode q1 = q;
+          SetInsert(&q1.old_set, eta);
+          if (!SetContains(q1.old_set, eta->right())) {
+            q1.new_set.push_back(eta->right());
+          }
+          SetInsert(&q1.next_set, eta);
+          WorkNode q2 = std::move(q);
+          SetInsert(&q2.old_set, eta);
+          if (!SetContains(q2.old_set, eta->left())) {
+            q2.new_set.push_back(eta->left());
+          }
+          if (!SetContains(q2.old_set, eta->right())) {
+            q2.new_set.push_back(eta->right());
+          }
+          pending.push_back(std::move(q1));
+          pending.push_back(std::move(q2));
+          break;
+        }
+        default:
+          return Status::InvalidArgument(
+              "tableau input must be in negation normal form (found " +
+              std::string(ltl::OpSymbol(eta->op())) + ")");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// A fully-expanded node: merge with an existing state with the same
+  /// (Old, Next), or mint a new state and enqueue its successor.
+  Status Register(WorkNode q) {
+    const StateKey key{q.old_set, q.next_set};
+    auto it = states_.find(key);
+    if (it != states_.end()) {
+      MergeIncoming(it->second, q.incoming);
+      return Status::OK();
+    }
+    if (states_.size() >= options_.max_nodes) {
+      return Status::ResourceExhausted(StringFormat(
+          "tableau exceeded %zu nodes", options_.max_nodes));
+    }
+    const uint32_t id = static_cast<uint32_t>(state_infos_.size());
+    states_.emplace(key, id);
+    state_infos_.push_back(StateInfo{q.old_set, q.next_set, q.incoming});
+
+    WorkNode succ;
+    succ.incoming.push_back(id);
+    succ.new_set = q.next_set;  // becomes New of the successor
+    queue_.push_back(std::move(succ));
+    return Status::OK();
+  }
+
+  void MergeIncoming(uint32_t state, const std::vector<uint32_t>& incoming) {
+    auto& inc = state_infos_[state].incoming;
+    for (uint32_t src : incoming) {
+      if (std::find(inc.begin(), inc.end(), src) == inc.end()) {
+        inc.push_back(src);
+      }
+    }
+  }
+
+  GeneralizedBuchi Finish() {
+    GeneralizedBuchi out;
+    automata::Buchi& ba = out.automaton;
+    // State 0 (made by the constructor) is the fresh initial state; tableau
+    // state i maps to automaton state i+1.
+    ba.AddStates(state_infos_.size());
+    ba.SetInitial(0);
+
+    for (uint32_t i = 0; i < state_infos_.size(); ++i) {
+      const StateInfo& info = state_infos_[i];
+      Label label = LiteralLabel(info.old_set);
+      for (uint32_t src : info.incoming) {
+        const automata::StateId from = src == kInitMark ? 0 : src + 1;
+        ba.AddTransition(from, label, i + 1);
+      }
+    }
+
+    out.acceptance.reserve(untils_.size());
+    for (const Formula* u : untils_) {
+      Bitset f_set(ba.StateCount());
+      // The fresh initial state is never on a cycle; exclude it.
+      for (uint32_t i = 0; i < state_infos_.size(); ++i) {
+        const StateInfo& info = state_infos_[i];
+        if (!SetContains(info.old_set, u) ||
+            SetContains(info.old_set, u->right())) {
+          f_set.Set(i + 1);
+        }
+      }
+      out.acceptance.push_back(std::move(f_set));
+    }
+    return out;
+  }
+
+  static Label LiteralLabel(const FormulaSet& old_set) {
+    Label label;
+    for (const Formula* f : old_set) {
+      if (f->op() == Op::kProp) {
+        label.AddPositive(f->prop());
+      } else if (f->op() == Op::kNot && f->left()->op() == Op::kProp) {
+        label.AddNegative(f->left()->prop());
+      }
+    }
+    return label;
+  }
+
+  struct StateInfo {
+    FormulaSet old_set;
+    FormulaSet next_set;
+    std::vector<uint32_t> incoming;
+  };
+
+  const Formula* formula_;
+  FormulaFactory* factory_;
+  TableauOptions options_;
+  FormulaSet untils_;
+  std::unordered_map<StateKey, uint32_t, StateKeyHash> states_;
+  std::vector<StateInfo> state_infos_;
+  std::vector<WorkNode> queue_;  ///< Fully-expanded states' pending successors.
+  size_t work_done_ = 0;
+};
+
+}  // namespace
+
+Result<GeneralizedBuchi> BuildTableau(const Formula* formula,
+                                      FormulaFactory* factory,
+                                      const TableauOptions& options) {
+  return TableauBuilder(formula, factory, options).Build();
+}
+
+}  // namespace ctdb::translate

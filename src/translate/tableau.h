@@ -1,0 +1,49 @@
+// On-the-fly tableau construction of Gerth, Peled, Vardi & Wolper (GPVW'95):
+// from an NNF LTL formula to a generalized Büchi automaton whose transition
+// labels are conjunctions of literals — the automaton shape the paper's data
+// model requires (Section 2.3).
+//
+// The GPVW graph's nodes carry (Old, Next) formula sets; the transition-
+// labeled automaton adds one fresh initial state, and every edge into a node
+// carries that node's literal conjunction. Acceptance is generalized: one set
+// per Until subformula (a node belongs to F_{aUb} iff aUb ∉ Old or b ∈ Old).
+
+#pragma once
+
+#include <vector>
+
+#include "automata/buchi.h"
+#include "ltl/formula.h"
+#include "util/bitset.h"
+#include "util/result.h"
+
+namespace ctdb::translate {
+
+/// \brief A Büchi automaton with generalized (multi-set, state-based)
+/// acceptance. `automaton.finals()` is unused; `acceptance[i]` is the i-th
+/// acceptance set of states, each of which must be visited infinitely often.
+struct GeneralizedBuchi {
+  automata::Buchi automaton;
+  std::vector<Bitset> acceptance;
+};
+
+/// Tableau construction limits.
+struct TableauOptions {
+  /// Abort with ResourceExhausted when the number of registered states
+  /// exceeds this bound (worst-case node count is exponential in the formula
+  /// size, §3.1).
+  size_t max_nodes = 1u << 18;
+  /// Abort when the number of processed work nodes (including branches that
+  /// merge or die) exceeds this bound; 0 means 64 * max_nodes. Caps runaway
+  /// expansions that register few states.
+  size_t max_work = 0;
+};
+
+/// \brief Runs the GPVW construction on `formula`, which must be in negation
+/// normal form (ltl::ToNnf). Returns the generalized BA accepting exactly the
+/// runs satisfying the formula; its labels cite only the formula's events.
+Result<GeneralizedBuchi> BuildTableau(const ltl::Formula* formula,
+                                      ltl::FormulaFactory* factory,
+                                      const TableauOptions& options = {});
+
+}  // namespace ctdb::translate

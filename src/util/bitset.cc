@@ -1,0 +1,165 @@
+#include "util/bitset.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ctdb {
+
+Bitset::Bitset(size_t size) : size_(size), words_(WordCount(size), 0) {}
+
+Bitset Bitset::AllSet(size_t size) {
+  Bitset b(size);
+  b.SetAll();
+  return b;
+}
+
+void Bitset::Resize(size_t size) {
+  if (size <= size_) return;
+  size_ = size;
+  words_.resize(WordCount(size), 0);
+}
+
+void Bitset::Set(size_t i) {
+  assert(i < size_);
+  words_[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
+}
+
+void Bitset::Clear(size_t i) {
+  assert(i < size_);
+  words_[i / kWordBits] &= ~(uint64_t{1} << (i % kWordBits));
+}
+
+bool Bitset::Test(size_t i) const {
+  if (i >= size_) return false;
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1;
+}
+
+void Bitset::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+  TrimTail();
+}
+
+void Bitset::ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+void Bitset::TrimTail() {
+  const size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
+size_t Bitset::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+bool Bitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+size_t Bitset::FindNext(size_t from) const {
+  if (from >= size_) return npos;
+  size_t wi = from / kWordBits;
+  uint64_t w = words_[wi] & (~uint64_t{0} << (from % kWordBits));
+  while (true) {
+    if (w != 0) {
+      const size_t bit = wi * kWordBits +
+                         static_cast<size_t>(std::countr_zero(w));
+      return bit < size_ ? bit : npos;
+    }
+    if (++wi >= words_.size()) return npos;
+    w = words_[wi];
+  }
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  Resize(other.size_);
+  for (size_t i = 0; i < other.words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  const size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < common; ++i) words_[i] &= other.words_[i];
+  for (size_t i = common; i < words_.size(); ++i) words_[i] = 0;
+  return *this;
+}
+
+Bitset& Bitset::operator^=(const Bitset& other) {
+  Resize(other.size_);
+  for (size_t i = 0; i < other.words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::Subtract(const Bitset& other) {
+  const size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < common; ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool Bitset::DisjointWith(const Bitset& other) const {
+  const size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < common; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    const uint64_t theirs = i < other.words_.size() ? other.words_[i] : 0;
+    if ((words_[i] & ~theirs) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::operator==(const Bitset& other) const {
+  const size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (words_[i] != other.words_[i]) return false;
+  }
+  for (size_t i = common; i < words_.size(); ++i) {
+    if (words_[i] != 0) return false;
+  }
+  for (size_t i = common; i < other.words_.size(); ++i) {
+    if (other.words_[i] != 0) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> Bitset::ToVector() const {
+  std::vector<size_t> out;
+  for (size_t i : Indices()) out.push_back(i);
+  return out;
+}
+
+std::string Bitset::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i : Indices()) {
+    if (!first) out += ", ";
+    out += std::to_string(i);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+uint64_t Bitset::Hash() const {
+  uint64_t h = 1469598103934665603ULL;
+  // Skip trailing zero words so equal sets of different capacity hash alike.
+  size_t last = words_.size();
+  while (last > 0 && words_[last - 1] == 0) --last;
+  for (size_t i = 0; i < last; ++i) {
+    h ^= words_[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace ctdb

@@ -1,0 +1,127 @@
+// Dynamic bitset used for contract-id sets (prefilter index), event sets and
+// state sets. Sized at runtime; word-parallel boolean algebra.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctdb {
+
+/// \brief A fixed-capacity (chosen at construction) bitset with set-algebra
+/// operations.
+///
+/// Unlike std::bitset the capacity is a runtime value; unlike
+/// std::vector<bool> the representation supports word-at-a-time union,
+/// intersection, difference and population counts, which the prefilter index
+/// evaluation relies on.
+class Bitset {
+ public:
+  /// Creates an empty bitset with capacity 0.
+  Bitset() = default;
+
+  /// Creates a bitset able to hold bits [0, size); all bits clear.
+  explicit Bitset(size_t size);
+
+  /// Creates a bitset with all bits in [0, size) set.
+  static Bitset AllSet(size_t size);
+
+  /// Number of addressable bits.
+  size_t size() const { return size_; }
+
+  /// Grows capacity to at least `size` bits (new bits clear). Never shrinks.
+  void Resize(size_t size);
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// Sets every bit in [0, size).
+  void SetAll();
+  /// Clears every bit.
+  void ClearAll();
+
+  /// Number of set bits.
+  size_t Count() const;
+  /// True iff no bit is set.
+  bool None() const;
+  /// True iff at least one bit is set.
+  bool Any() const { return !None(); }
+
+  /// Index of the lowest set bit at or after `from`, or npos if none.
+  size_t FindNext(size_t from) const;
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  /// \name In-place set algebra. Operands may differ in size; the receiver is
+  /// grown as needed (union/xor) or truncated logically (intersection treats
+  /// missing bits as 0).
+  /// @{
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator&=(const Bitset& other);
+  Bitset& operator^=(const Bitset& other);
+  /// Removes from this set every bit present in `other`.
+  Bitset& Subtract(const Bitset& other);
+  /// @}
+
+  friend Bitset operator|(Bitset lhs, const Bitset& rhs) { return lhs |= rhs; }
+  friend Bitset operator&(Bitset lhs, const Bitset& rhs) { return lhs &= rhs; }
+
+  /// True iff this and `other` share no set bit.
+  bool DisjointWith(const Bitset& other) const;
+  /// True iff every set bit of this is also set in `other`.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  bool operator==(const Bitset& other) const;
+  bool operator!=(const Bitset& other) const { return !(*this == other); }
+
+  /// Indices of set bits, ascending.
+  std::vector<size_t> ToVector() const;
+
+  /// e.g. "{1, 5, 9}".
+  std::string ToString() const;
+
+  /// FNV-style hash over the significant words.
+  uint64_t Hash() const;
+
+  /// Approximate heap footprint in bytes (for index-size reporting).
+  size_t MemoryUsage() const { return words_.capacity() * sizeof(uint64_t); }
+
+  /// Iterates over set bits: `for (size_t i : bits.Indices())`.
+  class IndexRange {
+   public:
+    class Iterator {
+     public:
+      Iterator(const Bitset* bs, size_t pos) : bs_(bs), pos_(pos) {}
+      size_t operator*() const { return pos_; }
+      Iterator& operator++() {
+        pos_ = (pos_ == npos) ? npos : bs_->FindNext(pos_ + 1);
+        return *this;
+      }
+      bool operator!=(const Iterator& other) const { return pos_ != other.pos_; }
+
+     private:
+      const Bitset* bs_;
+      size_t pos_;
+    };
+    explicit IndexRange(const Bitset* bs) : bs_(bs) {}
+    Iterator begin() const { return Iterator(bs_, bs_->FindNext(0)); }
+    Iterator end() const { return Iterator(bs_, npos); }
+
+   private:
+    const Bitset* bs_;
+  };
+  IndexRange Indices() const { return IndexRange(this); }
+
+ private:
+  static constexpr size_t kWordBits = 64;
+  static size_t WordCount(size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+  /// Clears bits at positions >= size_ in the last word.
+  void TrimTail();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ctdb

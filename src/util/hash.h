@@ -1,0 +1,50 @@
+// Small hashing helpers shared across modules.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ctdb {
+
+/// \brief Mixes `v` into seed `h` (boost::hash_combine flavor, 64-bit).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  v *= 0x9e3779b97f4a7c15ULL;
+  v ^= v >> 32;
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// \brief FNV-1a over a sequence of integral values.
+template <typename It>
+uint64_t HashRange(It begin, It end) {
+  uint64_t h = 1469598103934665603ULL;
+  for (It it = begin; it != end; ++it) {
+    h ^= static_cast<uint64_t>(*it);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// \brief std::hash adapter for pair<uint32_t, uint32_t> keys (product-state
+/// pairs in the permission checker).
+struct PairHash {
+  size_t operator()(const std::pair<uint32_t, uint32_t>& p) const {
+    const uint64_t key = (static_cast<uint64_t>(p.first) << 32) | p.second;
+    // Fibonacci hashing of the packed key.
+    return static_cast<size_t>(key * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+/// \brief std::hash adapter for vector<uint32_t> keys (literal-set index keys,
+/// bisimulation signatures).
+struct U32VectorHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    return static_cast<size_t>(HashRange(v.begin(), v.end()));
+  }
+};
+
+}  // namespace ctdb

@@ -1,0 +1,76 @@
+// Result<T>: a value or a Status, in the style of arrow::Result.
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace ctdb {
+
+/// \brief Holds either a successfully computed `T` or the `Status` explaining
+/// why it could not be computed.
+///
+/// Accessing the value of an error Result is a programming error (checked by
+/// assertion in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result built from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace ctdb
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define CTDB_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  CTDB_ASSIGN_OR_RETURN_IMPL_(                        \
+      CTDB_CONCAT_(_ctdb_result_, __COUNTER__), lhs, rexpr)
+
+#define CTDB_CONCAT_INNER_(x, y) x##y
+#define CTDB_CONCAT_(x, y) CTDB_CONCAT_INNER_(x, y)
+#define CTDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()

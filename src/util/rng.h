@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// The workload generator and all property tests must be reproducible from a
+// seed, so ctdb does not use std::mt19937 (whose distributions are not
+// portable across standard libraries) but its own generator + distributions.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ctdb {
+
+/// \brief xoshiro256** PRNG with splitmix64 seeding.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams on every platform.
+  explicit Rng(uint64_t seed = 0x5eed'c7db'2011ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling (unbiased).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Index sampled from non-negative `weights` proportionally; the weights
+  /// need not sum to one. Returns weights.size()-1 on all-zero input.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Forks an independent stream (for parallel generation): deterministic
+  /// function of the current state and `stream_id`.
+  Rng Fork(uint64_t stream_id) const;
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ctdb

@@ -1,0 +1,41 @@
+// Streaming statistics accumulator (Welford) used for the Table 2 / Figure 5 /
+// Figure 6 reports.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ctdb {
+
+/// \brief Accumulates a stream of doubles and reports count/mean/stddev/min/max
+/// in a numerically stable way (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Population variance helper used by stddev().
+  double variance() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// "n=<count> mean=<mean> sd=<sd> min=<min> max=<max>".
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ctdb

@@ -1,0 +1,105 @@
+// Status: error propagation without exceptions across library boundaries.
+//
+// Follows the Arrow/RocksDB idiom: every fallible public API returns a
+// `Status` (or a `Result<T>`, see result.h) instead of throwing. A Status is
+// cheap to copy when OK (single pointer-sized enum); error states carry a
+// message.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ctdb {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller supplied a malformed input (e.g. parse error).
+  kNotFound = 2,          ///< A requested entity does not exist.
+  kAlreadyExists = 3,     ///< Insert collided with an existing entity.
+  kOutOfRange = 4,        ///< An index or size exceeded a configured limit.
+  kResourceExhausted = 5, ///< A cap (node budget, DNF size, ...) was hit.
+  kInternal = 6,          ///< Invariant violation: indicates a bug in ctdb.
+  kUnimplemented = 7,     ///< Feature intentionally not (yet) supported.
+};
+
+/// \brief Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: OK, or an error code + message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message);
+
+  /// \name Factory helpers, one per error code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace ctdb
+
+/// Propagates a non-OK Status to the caller.
+#define CTDB_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::ctdb::Status _ctdb_status = (expr);        \
+    if (!_ctdb_status.ok()) return _ctdb_status; \
+  } while (false)

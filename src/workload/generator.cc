@@ -1,0 +1,116 @@
+#include "workload/generator.h"
+
+#include <cassert>
+
+#include "automata/ops.h"
+#include "util/string_util.h"
+
+namespace ctdb::workload {
+
+using ltl::Formula;
+using ltl::PatternBehavior;
+using ltl::PatternScope;
+
+SpecGenerator::SpecGenerator(const GeneratorOptions& options, uint64_t seed,
+                             Vocabulary* vocab, ltl::FormulaFactory* factory)
+    : options_(options),
+      rng_(seed),
+      vocab_(vocab),
+      factory_(factory),
+      freq_(ltl::PatternFrequencies::Survey()) {
+  events_.reserve(options.vocabulary_size);
+  for (size_t i = 1; i <= options.vocabulary_size; ++i) {
+    auto id = vocab_->Intern(StringFormat("p%zu", i));
+    assert(id.ok());
+    events_.push_back(*id);
+  }
+}
+
+const Formula* SpecGenerator::DrawProperty() {
+  const auto behavior =
+      static_cast<PatternBehavior>(rng_.WeightedIndex(freq_.behavior));
+  const auto scope =
+      static_cast<PatternScope>(rng_.WeightedIndex(freq_.scope));
+  const int arity = ltl::PatternArity(behavior, scope);
+
+  // Sample `arity` distinct events (distinct within a property; reuse across
+  // properties of a spec is what creates the clause interactions Example 14
+  // points out).
+  std::vector<EventId> chosen;
+  while (chosen.size() < static_cast<size_t>(arity)) {
+    const EventId e = events_[rng_.Uniform(events_.size())];
+    bool dup = false;
+    for (EventId c : chosen) {
+      if (c == e) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) chosen.push_back(e);
+  }
+
+  // Parameter order: p, then s (behaviors with two events), then scope
+  // delimiters q / r as needed.
+  size_t next = 0;
+  const Formula* p = factory_->Prop(chosen[next++]);
+  const Formula* s = nullptr;
+  if (behavior == PatternBehavior::kPrecedence ||
+      behavior == PatternBehavior::kResponse) {
+    s = factory_->Prop(chosen[next++]);
+  }
+  const Formula* q = nullptr;
+  const Formula* r = nullptr;
+  switch (scope) {
+    case PatternScope::kGlobal:
+      break;
+    case PatternScope::kBefore:
+      r = factory_->Prop(chosen[next++]);
+      break;
+    case PatternScope::kAfter:
+      q = factory_->Prop(chosen[next++]);
+      break;
+    case PatternScope::kBetween:
+      q = factory_->Prop(chosen[next++]);
+      r = factory_->Prop(chosen[next++]);
+      break;
+  }
+  return ltl::MakePattern(behavior, scope, p, s, q, r, factory_);
+}
+
+const Formula* SpecGenerator::DrawConjunction() {
+  const Formula* spec = factory_->True();
+  for (size_t i = 0; i < options_.properties; ++i) {
+    spec = factory_->And(spec, DrawProperty());
+  }
+  return spec;
+}
+
+Result<GeneratedSpec> SpecGenerator::Next() {
+  GeneratedSpec out;
+  for (size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    out.attempts = attempt;
+    const Formula* spec = DrawConjunction();
+    auto translated =
+        translate::LtlToBuchi(spec, factory_, options_.translate);
+    if (!translated.ok()) {
+      if (options_.redraw_degenerate &&
+          translated.status().IsResourceExhausted()) {
+        continue;  // tableau blow-up: redraw
+      }
+      return translated.status();
+    }
+    if (options_.redraw_degenerate &&
+        automata::IsEmptyLanguage(*translated)) {
+      continue;  // unsatisfiable conjunction: redraw
+    }
+    out.formula = spec;
+    out.text = spec->ToString(*vocab_);
+    out.automaton = std::move(*translated);
+    return out;
+  }
+  return Status::ResourceExhausted(StringFormat(
+      "no satisfiable specification found in %zu attempts",
+      options_.max_attempts));
+}
+
+}  // namespace ctdb::workload

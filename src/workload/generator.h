@@ -1,0 +1,82 @@
+// Synthetic contract / query generation (Section 7.2).
+//
+// Specifications are conjunctions of n randomly drawn Dwyer-pattern
+// properties (Table 3) with behaviors and scopes sampled from the survey
+// frequencies of [8], and event placeholders substituted by random variables
+// from a common vocabulary (p1..p20 by default). Specifications whose BA is
+// empty (unsatisfiable conjunction — they can permit nothing) or whose
+// tableau blows past the node budget are redrawn, mirroring the paper's
+// datasets whose BA statistics are all non-trivial (Table 2).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "automata/buchi.h"
+#include "base/vocabulary.h"
+#include "ltl/formula.h"
+#include "ltl/patterns.h"
+#include "translate/ltl_to_ba.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace ctdb::workload {
+
+/// Generator configuration.
+struct GeneratorOptions {
+  /// Vocabulary size (the paper uses 20 events, §7.2 Example 14).
+  size_t vocabulary_size = 20;
+  /// Properties per specification (5/6/7 for simple/medium/complex contracts,
+  /// 1/2/3 for queries — Table 2).
+  size_t properties = 5;
+  /// Redraw when the specification's BA is empty or exceeds limits.
+  bool redraw_degenerate = true;
+  size_t max_attempts = 64;
+  /// Translation settings used for the degeneracy check. The tableau budget
+  /// defaults to a much lower value than the library default: rare degenerate
+  /// draws (whose BA would dwarf the Table 2 averages anyway) are rejected
+  /// quickly and redrawn instead of being ground out.
+  translate::TranslateOptions translate = [] {
+    translate::TranslateOptions t;
+    t.tableau.max_nodes = 1u << 15;
+    return t;
+  }();
+};
+
+/// One generated specification.
+struct GeneratedSpec {
+  const ltl::Formula* formula = nullptr;
+  std::string text;                 ///< LTL text form
+  automata::Buchi automaton;        ///< its translated BA
+  size_t attempts = 0;              ///< redraws needed (diagnostics)
+};
+
+/// \brief Draws specifications reproducibly from a seeded RNG.
+///
+/// The generator interns events "p1".."pN" into the provided vocabulary and
+/// builds formulas in the provided factory, so generated contracts/queries
+/// can be registered directly into a ContractDatabase sharing them.
+class SpecGenerator {
+ public:
+  SpecGenerator(const GeneratorOptions& options, uint64_t seed,
+                Vocabulary* vocab, ltl::FormulaFactory* factory);
+
+  /// Draws the next specification.
+  Result<GeneratedSpec> Next();
+
+  /// Draws a single pattern property (exposed for tests/examples).
+  const ltl::Formula* DrawProperty();
+
+ private:
+  const ltl::Formula* DrawConjunction();
+
+  GeneratorOptions options_;
+  Rng rng_;
+  Vocabulary* vocab_;
+  ltl::FormulaFactory* factory_;
+  std::vector<EventId> events_;
+  ltl::PatternFrequencies freq_;
+};
+
+}  // namespace ctdb::workload

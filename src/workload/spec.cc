@@ -1,0 +1,44 @@
+#include "workload/spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ctdb::workload {
+
+std::vector<DatasetSpec> PaperDatasets() {
+  return {
+      {"Simple contracts", 3000, 5, false, 0xC0117AC7'0001ULL},
+      {"Medium contracts", 1000, 6, false, 0xC0117AC7'0002ULL},
+      {"Complex contracts", 1000, 7, false, 0xC0117AC7'0003ULL},
+      {"Simple queries", 100, 1, true, 0x0E3A11'0001ULL},
+      {"Medium queries", 100, 2, true, 0x0E3A11'0002ULL},
+      {"Complex queries", 100, 3, true, 0x0E3A11'0003ULL},
+  };
+}
+
+std::vector<DatasetSpec> ScaledDatasets(double scale) {
+  std::vector<DatasetSpec> datasets = PaperDatasets();
+  for (DatasetSpec& d : datasets) {
+    d.size = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(std::ceil(
+               static_cast<double>(d.size) * scale))));
+  }
+  return datasets;
+}
+
+Result<std::vector<GeneratedSpec>> GenerateDataset(
+    const DatasetSpec& spec, Vocabulary* vocab, ltl::FormulaFactory* factory,
+    const GeneratorOptions& base_options) {
+  GeneratorOptions options = base_options;
+  options.properties = spec.patterns;
+  SpecGenerator generator(options, spec.seed, vocab, factory);
+  std::vector<GeneratedSpec> out;
+  out.reserve(spec.size);
+  for (size_t i = 0; i < spec.size; ++i) {
+    CTDB_ASSIGN_OR_RETURN(GeneratedSpec g, generator.Next());
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace ctdb::workload

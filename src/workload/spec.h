@@ -1,0 +1,35 @@
+// The six datasets of Table 2 and helpers to materialize them at any scale.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace ctdb::workload {
+
+/// One row of Table 2.
+struct DatasetSpec {
+  std::string name;
+  size_t size = 0;        ///< number of contracts / queries
+  size_t patterns = 0;    ///< LTL properties per specification
+  bool is_query = false;
+  uint64_t seed = 0;      ///< base RNG seed (deterministic datasets)
+};
+
+/// The paper's six datasets (Table 2): Simple/Medium/Complex contracts
+/// (3000×5, 1000×6, 1000×7) and Simple/Medium/Complex queries
+/// (100×1, 100×2, 100×3).
+std::vector<DatasetSpec> PaperDatasets();
+
+/// A scaled copy of PaperDatasets(): every `size` multiplied by `scale`
+/// (rounded up, min 1). Used to keep CI benchmark runs short.
+std::vector<DatasetSpec> ScaledDatasets(double scale);
+
+/// \brief Materializes a dataset into specs (deterministic in spec.seed).
+Result<std::vector<GeneratedSpec>> GenerateDataset(
+    const DatasetSpec& spec, Vocabulary* vocab, ltl::FormulaFactory* factory,
+    const GeneratorOptions& base_options = {});
+
+}  // namespace ctdb::workload

@@ -1,0 +1,197 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ctdb {
+namespace {
+
+TEST(BitsetTest, EmptyByDefault) {
+  Bitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_FALSE(b.Test(1000));
+}
+
+TEST(BitsetTest, SetClearTest) {
+  Bitset b(130);
+  EXPECT_TRUE(b.None());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, AllSetRespectsSize) {
+  Bitset b = Bitset::AllSet(70);
+  EXPECT_EQ(b.Count(), 70u);
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(70));
+}
+
+TEST(BitsetTest, SetAllClearsTailBits) {
+  Bitset b(3);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 3u);
+  b.ClearAll();
+  EXPECT_TRUE(b.None());
+}
+
+TEST(BitsetTest, ResizeGrowsAndKeepsBits) {
+  Bitset b(10);
+  b.Set(9);
+  b.Resize(200);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_TRUE(b.Test(9));
+  EXPECT_FALSE(b.Test(100));
+  // Resize never shrinks.
+  b.Resize(5);
+  EXPECT_EQ(b.size(), 200u);
+}
+
+TEST(BitsetTest, FindNext) {
+  Bitset b(200);
+  b.Set(3);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.FindNext(0), 3u);
+  EXPECT_EQ(b.FindNext(3), 3u);
+  EXPECT_EQ(b.FindNext(4), 64u);
+  EXPECT_EQ(b.FindNext(65), 199u);
+  EXPECT_EQ(b.FindNext(200), Bitset::npos);
+  Bitset empty(64);
+  EXPECT_EQ(empty.FindNext(0), Bitset::npos);
+}
+
+TEST(BitsetTest, IndicesIteration) {
+  Bitset b(100);
+  b.Set(1);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  std::vector<size_t> got;
+  for (size_t i : b.Indices()) got.push_back(i);
+  EXPECT_EQ(got, (std::vector<size_t>{1, 63, 64, 99}));
+  EXPECT_EQ(b.ToVector(), got);
+}
+
+TEST(BitsetTest, UnionGrows) {
+  Bitset a(10);
+  a.Set(2);
+  Bitset b(100);
+  b.Set(90);
+  a |= b;
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_TRUE(a.Test(90));
+}
+
+TEST(BitsetTest, IntersectionTreatsMissingAsZero) {
+  Bitset a(100);
+  a.Set(2);
+  a.Set(90);
+  Bitset b(10);
+  b.Set(2);
+  a &= b;
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_FALSE(a.Test(90));
+  EXPECT_EQ(a.Count(), 1u);
+}
+
+TEST(BitsetTest, Subtract) {
+  Bitset a(64);
+  a.Set(1);
+  a.Set(2);
+  Bitset b(64);
+  b.Set(2);
+  b.Set(3);
+  a.Subtract(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_FALSE(a.Test(2));
+}
+
+TEST(BitsetTest, DisjointAndSubset) {
+  Bitset a(64);
+  a.Set(1);
+  Bitset b(128);
+  b.Set(1);
+  b.Set(100);
+  EXPECT_FALSE(a.DisjointWith(b));
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  Bitset c(64);
+  c.Set(2);
+  EXPECT_TRUE(a.DisjointWith(c));
+  // Subset with larger self but only zero extra bits.
+  Bitset d(256);
+  d.Set(1);
+  EXPECT_TRUE(d.IsSubsetOf(b));
+}
+
+TEST(BitsetTest, EqualityIgnoresCapacity) {
+  Bitset a(10);
+  a.Set(3);
+  Bitset b(1000);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(999);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitsetTest, XorGrows) {
+  Bitset a(10);
+  a.Set(1);
+  a.Set(2);
+  Bitset b(20);
+  b.Set(2);
+  b.Set(15);
+  a ^= b;
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_FALSE(a.Test(2));
+  EXPECT_TRUE(a.Test(15));
+}
+
+TEST(BitsetTest, ToStringRendersIndices) {
+  Bitset b(10);
+  b.Set(1);
+  b.Set(5);
+  EXPECT_EQ(b.ToString(), "{1, 5}");
+  EXPECT_EQ(Bitset(4).ToString(), "{}");
+}
+
+class BitsetSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitsetSizeTest, CountMatchesSetBitsAtEveryBoundary) {
+  const size_t n = GetParam();
+  Bitset b(n);
+  size_t expected = 0;
+  for (size_t i = 0; i < n; i += 3) {
+    b.Set(i);
+    ++expected;
+  }
+  EXPECT_EQ(b.Count(), expected);
+  // Round-trip through indices.
+  size_t seen = 0;
+  for (size_t i : b.Indices()) {
+    EXPECT_EQ(i % 3, 0u);
+    ++seen;
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, BitsetSizeTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 129, 300));
+
+}  // namespace
+}  // namespace ctdb

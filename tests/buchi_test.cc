@@ -1,0 +1,109 @@
+#include "automata/buchi.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/dot.h"
+
+namespace ctdb::automata {
+namespace {
+
+Label L(std::initializer_list<Literal> lits) {
+  return Label::FromLiterals(std::vector<Literal>(lits));
+}
+
+TEST(BuchiTest, StartsWithSingleInitialState) {
+  Buchi ba;
+  EXPECT_EQ(ba.StateCount(), 1u);
+  EXPECT_EQ(ba.initial(), 0u);
+  EXPECT_EQ(ba.TransitionCount(), 0u);
+  EXPECT_FALSE(ba.IsFinal(0));
+  EXPECT_TRUE(ba.Validate().ok());
+}
+
+TEST(BuchiTest, AddStatesAndTransitions) {
+  Buchi ba;
+  const StateId s1 = ba.AddState();
+  const StateId s2 = ba.AddState();
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(s2, 2u);
+  ba.SetFinal(s2);
+  ba.AddTransition(0, L({{0, false}}), s1);
+  ba.AddTransition(s1, Label(), s2);
+  ba.AddTransition(s2, Label(), s2);
+  EXPECT_EQ(ba.TransitionCount(), 3u);
+  EXPECT_TRUE(ba.IsFinal(s2));
+  EXPECT_FALSE(ba.IsFinal(s1));
+  EXPECT_EQ(ba.FinalCount(), 1u);
+  EXPECT_TRUE(ba.Validate().ok());
+}
+
+TEST(BuchiTest, AddStatesBulk) {
+  Buchi ba;
+  const StateId first = ba.AddStates(5);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(ba.StateCount(), 6u);
+}
+
+TEST(BuchiTest, UnsatisfiableTransitionsDropped) {
+  Buchi ba;
+  Label contradiction = L({{0, false}, {0, true}});
+  ba.AddTransition(0, contradiction, 0);
+  EXPECT_EQ(ba.TransitionCount(), 0u);
+}
+
+TEST(BuchiTest, CitedEvents) {
+  Buchi ba;
+  const StateId s1 = ba.AddState();
+  ba.AddTransition(0, L({{2, false}}), s1);
+  ba.AddTransition(s1, L({{5, true}}), 0);
+  const Bitset events = ba.CitedEvents();
+  EXPECT_TRUE(events.Test(2));
+  EXPECT_TRUE(events.Test(5));
+  EXPECT_FALSE(events.Test(0));
+  EXPECT_EQ(events.Count(), 2u);
+}
+
+TEST(BuchiTest, DistinctLabels) {
+  Buchi ba;
+  const StateId s1 = ba.AddState();
+  ba.AddTransition(0, L({{0, false}}), s1);
+  ba.AddTransition(s1, L({{0, false}}), 0);
+  ba.AddTransition(0, L({{1, true}}), s1);
+  EXPECT_EQ(ba.DistinctLabels().size(), 2u);
+}
+
+TEST(BuchiTest, DedupTransitions) {
+  Buchi ba;
+  const StateId s1 = ba.AddState();
+  ba.AddTransition(0, L({{0, false}}), s1);
+  ba.AddTransition(0, L({{0, false}}), s1);
+  ba.AddTransition(0, L({{0, false}}), 0);  // different target: kept
+  EXPECT_EQ(ba.TransitionCount(), 3u);
+  ba.DedupTransitions();
+  EXPECT_EQ(ba.TransitionCount(), 2u);
+}
+
+TEST(BuchiTest, ReverseAdjacency) {
+  Buchi ba;
+  const StateId s1 = ba.AddState();
+  ba.AddTransition(0, Label(), s1);
+  ba.AddTransition(s1, Label(), s1);
+  const auto in = ba.BuildReverseAdjacency();
+  EXPECT_TRUE(in[0].empty());
+  ASSERT_EQ(in[s1].size(), 2u);
+}
+
+TEST(BuchiTest, DotExportShape) {
+  Vocabulary vocab({"go"});
+  Buchi ba;
+  const StateId s1 = ba.AddState();
+  ba.SetFinal(s1);
+  ba.AddTransition(0, L({{0, false}}), s1);
+  const std::string dot = ToDot(ba, vocab);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"go\""), std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctdb::automata

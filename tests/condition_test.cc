@@ -1,0 +1,121 @@
+#include "index/condition.h"
+
+#include <gtest/gtest.h>
+
+namespace ctdb::index {
+namespace {
+
+using automata::Buchi;
+using automata::StateId;
+
+Label L(std::initializer_list<Literal> lits) {
+  return Label::FromLiterals(std::vector<Literal>(lits));
+}
+
+Buchi Single(const Label& label) {
+  Buchi ba;
+  const StateId s = ba.AddState();
+  ba.SetFinal(s);
+  ba.AddTransition(0, label, s);
+  ba.AddTransition(s, Label(), s);
+  return ba;
+}
+
+Bitset Events(std::initializer_list<EventId> events, size_t n = 4) {
+  Bitset b(n);
+  for (EventId e : events) b.Set(e);
+  return b;
+}
+
+class ConditionTest : public ::testing::Test {
+ protected:
+  ConditionTest() : vocab_({"a", "b", "c", "d"}) {
+    index_.Insert(0, Single(L({{0, false}})), Events({0}));
+    index_.Insert(1, Single(L({{1, false}})), Events({1}));
+    index_.Insert(2, Single(L({{0, false}, {1, true}})), Events({0, 1}));
+  }
+  Vocabulary vocab_;
+  PrefilterIndex index_;
+};
+
+TEST_F(ConditionTest, ConstantsEvaluate) {
+  EXPECT_EQ(Condition::True().Evaluate(index_).Count(), 3u);
+  EXPECT_TRUE(Condition::False().Evaluate(index_).None());
+}
+
+TEST_F(ConditionTest, LeafEvaluatesViaIndex) {
+  const Condition leaf = Condition::Leaf(L({{0, false}}));
+  const Bitset got = leaf.Evaluate(index_);
+  EXPECT_TRUE(got.Test(0));
+  EXPECT_FALSE(got.Test(1));
+  EXPECT_TRUE(got.Test(2));
+}
+
+TEST_F(ConditionTest, TrueLabelLeafBecomesTrue) {
+  const Condition leaf = Condition::Leaf(Label());
+  EXPECT_EQ(leaf.kind(), Condition::Kind::kTrue);
+}
+
+TEST_F(ConditionTest, AndIntersects) {
+  const Condition c = Condition::And({Condition::Leaf(L({{0, false}})),
+                                      Condition::Leaf(L({{1, true}}))});
+  const Bitset got = c.Evaluate(index_);
+  EXPECT_EQ(got.ToVector(), (std::vector<size_t>{2}));
+}
+
+TEST_F(ConditionTest, OrUnions) {
+  const Condition c = Condition::Or({Condition::Leaf(L({{0, false}})),
+                                     Condition::Leaf(L({{1, false}}))});
+  const Bitset got = c.Evaluate(index_);
+  EXPECT_EQ(got.Count(), 3u);
+}
+
+TEST_F(ConditionTest, SimplificationRules) {
+  const Condition leaf = Condition::Leaf(L({{0, false}}));
+  // Absorption of constants.
+  EXPECT_EQ(Condition::And({Condition::True(), leaf}), leaf);
+  EXPECT_EQ(Condition::And({Condition::False(), leaf}).kind(),
+            Condition::Kind::kFalse);
+  EXPECT_EQ(Condition::Or({Condition::False(), leaf}), leaf);
+  EXPECT_EQ(Condition::Or({Condition::True(), leaf}).kind(),
+            Condition::Kind::kTrue);
+  // Empty n-ary forms.
+  EXPECT_EQ(Condition::And({}).kind(), Condition::Kind::kTrue);
+  EXPECT_EQ(Condition::Or({}).kind(), Condition::Kind::kFalse);
+  // Deduplication.
+  EXPECT_EQ(Condition::And({leaf, leaf}), leaf);
+  // Flattening.
+  const Condition nested =
+      Condition::And({Condition::And({leaf}), Condition::Leaf(L({{1, true}}))});
+  EXPECT_EQ(nested.children().size(), 2u);
+}
+
+TEST_F(ConditionTest, SizeAndToString) {
+  const Condition c = Condition::Or({
+      Condition::Leaf(L({{2, false}})),
+      Condition::And({Condition::Leaf(L({{0, false}})),
+                      Condition::Leaf(L({{1, false}}))}),
+  });
+  EXPECT_EQ(c.Size(), 5u);  // Or + leaf + And + two leaves
+  EXPECT_EQ(c.ToString(vocab_), "(S(c) | (S(a) & S(b)))");
+  EXPECT_EQ(Condition::True().ToString(vocab_), "TRUE");
+}
+
+TEST_F(ConditionTest, EvaluationIsMonotone) {
+  // Adding a contract to the index can only grow every condition's result.
+  const Condition c = Condition::Or({
+      Condition::Leaf(L({{0, false}})),
+      Condition::And({Condition::Leaf(L({{1, false}})),
+                      Condition::Leaf(L({{1, true}}))}),
+  });
+  const Bitset before = c.Evaluate(index_);
+  PrefilterIndex bigger = index_;
+  bigger.Insert(3, Single(L({{0, false}, {1, false}})), Events({0, 1}));
+  Bitset after = c.Evaluate(bigger);
+  Bitset before_resized = before;
+  before_resized.Resize(after.size());
+  EXPECT_TRUE(before_resized.IsSubsetOf(after));
+}
+
+}  // namespace
+}  // namespace ctdb::index

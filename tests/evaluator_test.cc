@@ -1,0 +1,188 @@
+#include "ltl/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "ltl/parser.h"
+#include "testing_support.h"
+
+namespace ctdb::ltl {
+namespace {
+
+/// Word-building helper: each string names the events true in one snapshot,
+/// separated by spaces ("" = empty snapshot).
+Snapshot Snap(const Vocabulary& vocab, const std::string& events) {
+  Snapshot s(vocab.size());
+  size_t start = 0;
+  while (start < events.size()) {
+    size_t end = events.find(' ', start);
+    if (end == std::string::npos) end = events.size();
+    if (end > start) {
+      s.Set(*vocab.Find(events.substr(start, end - start)));
+    }
+    start = end + 1;
+  }
+  return s;
+}
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() : vocab_({"p", "q", "r"}) {}
+
+  const Formula* F(const std::string& text) {
+    auto r = Parse(text, &fac_, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  }
+
+  LassoWord Word(const std::vector<std::string>& prefix,
+                 const std::vector<std::string>& cycle) {
+    LassoWord w;
+    for (const auto& s : prefix) w.prefix.push_back(Snap(vocab_, s));
+    for (const auto& s : cycle) w.cycle.push_back(Snap(vocab_, s));
+    return w;
+  }
+
+  Vocabulary vocab_;
+  FormulaFactory fac_;
+};
+
+TEST_F(EvaluatorTest, Propositional) {
+  const LassoWord w = Word({"p"}, {""});
+  EXPECT_TRUE(Evaluate(F("p"), w));
+  EXPECT_FALSE(Evaluate(F("q"), w));
+  EXPECT_TRUE(Evaluate(F("p & !q"), w));
+  EXPECT_TRUE(Evaluate(F("q | p"), w));
+  EXPECT_TRUE(Evaluate(F("q -> r"), w));
+  EXPECT_FALSE(Evaluate(F("p -> q"), w));
+  EXPECT_TRUE(Evaluate(F("p <-> p"), w));
+  EXPECT_FALSE(Evaluate(F("p <-> q"), w));
+  EXPECT_TRUE(Evaluate(F("true"), w));
+  EXPECT_FALSE(Evaluate(F("false"), w));
+}
+
+TEST_F(EvaluatorTest, NextSteps) {
+  const LassoWord w = Word({"p", "q"}, {"r"});
+  EXPECT_TRUE(Evaluate(F("X q"), w));
+  EXPECT_TRUE(Evaluate(F("X X r"), w));
+  EXPECT_TRUE(Evaluate(F("X X X r"), w));  // cycle repeats r forever
+  EXPECT_FALSE(Evaluate(F("X p"), w));
+}
+
+TEST_F(EvaluatorTest, FinallyAndGlobally) {
+  const LassoWord w = Word({"", ""}, {"p"});
+  EXPECT_TRUE(Evaluate(F("F p"), w));
+  EXPECT_FALSE(Evaluate(F("G p"), w));
+  EXPECT_TRUE(Evaluate(F("F G p"), w));
+  EXPECT_TRUE(Evaluate(F("G F p"), w));
+  const LassoWord never = Word({"p"}, {""});
+  EXPECT_FALSE(Evaluate(F("F q"), never));
+  EXPECT_FALSE(Evaluate(F("G F p"), never));  // p only once
+}
+
+TEST_F(EvaluatorTest, UntilSemantics) {
+  // p holds until q at position 2.
+  const LassoWord w = Word({"p", "p", "q"}, {""});
+  EXPECT_TRUE(Evaluate(F("p U q"), w));
+  // q must actually arrive.
+  const LassoWord noq = Word({}, {"p"});
+  EXPECT_FALSE(Evaluate(F("p U q"), noq));
+  // Gap in p before q falsifies.
+  const LassoWord gap = Word({"p", "", "q"}, {""});
+  EXPECT_FALSE(Evaluate(F("p U q"), gap));
+  // q immediately: vacuous p.
+  const LassoWord now = Word({"q"}, {""});
+  EXPECT_TRUE(Evaluate(F("p U q"), now));
+}
+
+TEST_F(EvaluatorTest, WeakUntilAllowsGlobal) {
+  const LassoWord forever_p = Word({}, {"p"});
+  EXPECT_TRUE(Evaluate(F("p W q"), forever_p));
+  EXPECT_FALSE(Evaluate(F("p U q"), forever_p));
+  const LassoWord with_q = Word({"p", "q"}, {""});
+  EXPECT_TRUE(Evaluate(F("p W q"), with_q));
+  const LassoWord broken = Word({"p", ""}, {"q"});
+  EXPECT_FALSE(Evaluate(F("p W q"), broken));
+}
+
+TEST_F(EvaluatorTest, ReleaseSemantics) {
+  // q R p: p holds up to and including the instant q "releases" it.
+  const LassoWord released = Word({"p", "p q"}, {""});
+  EXPECT_TRUE(Evaluate(F("q R p"), released));
+  const LassoWord never_released = Word({}, {"p"});
+  EXPECT_TRUE(Evaluate(F("q R p"), never_released));
+  const LassoWord violated = Word({"p", ""}, {"p"});
+  EXPECT_FALSE(Evaluate(F("q R p"), violated));
+}
+
+TEST_F(EvaluatorTest, BeforeIsPaperDefinition) {
+  // pBq ≡ ¬(¬p U q): q never happens before p does.
+  const LassoWord p_first = Word({"", "p", "q"}, {""});
+  EXPECT_TRUE(Evaluate(F("p B q"), p_first));
+  const LassoWord q_first = Word({"", "q", "p"}, {""});
+  EXPECT_FALSE(Evaluate(F("p B q"), q_first));
+  const LassoWord same_instant = Word({"p q"}, {""});
+  // q arrives while ¬p still... at instant 0 p is true, so ¬pUq fails at 0?
+  // ¬(¬p U q): witness k=0 has q true and no ¬p requirement before it, so
+  // ¬p U q holds and pBq is false: simultaneous q does NOT count as "p before".
+  EXPECT_FALSE(Evaluate(F("p B q"), same_instant));
+  const LassoWord neither = Word({}, {""});
+  EXPECT_TRUE(Evaluate(F("p B q"), neither));
+}
+
+TEST_F(EvaluatorTest, EvaluateAtPositions) {
+  const LassoWord w = Word({"p"}, {"q"});
+  EXPECT_TRUE(EvaluateAt(F("p"), w, 0));
+  EXPECT_FALSE(EvaluateAt(F("p"), w, 1));
+  EXPECT_TRUE(EvaluateAt(F("G q"), w, 1));
+  EXPECT_FALSE(EvaluateAt(F("G q"), w, 0));
+}
+
+TEST_F(EvaluatorTest, PaperTicketCRejectsSecondDateChange) {
+  Vocabulary vocab({"purchase", "use", "missedFlight", "refund",
+                    "dateChange"});
+  FormulaFactory fac;
+  auto parse = [&](const std::string& t) {
+    auto r = Parse(t, &fac, &vocab);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+  const Formula* clause2 = parse("G(dateChange -> X(!F dateChange))");
+  LassoWord two_changes;
+  two_changes.prefix = {Snap(vocab, "purchase"), Snap(vocab, "dateChange"),
+                        Snap(vocab, "dateChange")};
+  two_changes.cycle = {Snap(vocab, "")};
+  EXPECT_FALSE(Evaluate(clause2, two_changes));
+  LassoWord one_change;
+  one_change.prefix = {Snap(vocab, "purchase"), Snap(vocab, "dateChange"),
+                       Snap(vocab, "use")};
+  one_change.cycle = {Snap(vocab, "")};
+  EXPECT_TRUE(Evaluate(clause2, one_change));
+}
+
+TEST_F(EvaluatorTest, DerivedOperatorIdentitiesHoldOnRandomWords) {
+  Rng rng(2011);
+  for (int trial = 0; trial < 200; ++trial) {
+    const LassoWord w = ctdb::testing::RandomWord(&rng, 3, 3, 3);
+    const Formula* a = ctdb::testing::RandomFormula(&rng, &fac_, 3, 2);
+    const Formula* b = ctdb::testing::RandomFormula(&rng, &fac_, 3, 2);
+    // F a ≡ true U a
+    EXPECT_EQ(Evaluate(fac_.Finally(a), w),
+              Evaluate(fac_.Until(fac_.True(), a), w));
+    // G a ≡ ¬F¬a
+    EXPECT_EQ(Evaluate(fac_.Globally(a), w),
+              Evaluate(fac_.Not(fac_.Finally(fac_.Not(a))), w));
+    // a W b ≡ (a U b) ∨ G a
+    EXPECT_EQ(Evaluate(fac_.WeakUntil(a, b), w),
+              Evaluate(fac_.Or(fac_.Until(a, b), fac_.Globally(a)), w));
+    // a R b ≡ ¬(¬a U ¬b)
+    EXPECT_EQ(
+        Evaluate(fac_.Release(a, b), w),
+        Evaluate(fac_.Not(fac_.Until(fac_.Not(a), fac_.Not(b))), w));
+    // a B b ≡ ¬(¬a U b)
+    EXPECT_EQ(Evaluate(fac_.Before(a, b), w),
+              Evaluate(fac_.Not(fac_.Until(fac_.Not(a), b)), w));
+  }
+}
+
+}  // namespace
+}  // namespace ctdb::ltl

@@ -1,0 +1,108 @@
+#include "ltl/formula.h"
+
+#include <gtest/gtest.h>
+
+namespace ctdb::ltl {
+namespace {
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  FormulaTest() : vocab_({"p", "q", "r"}) {}
+  Vocabulary vocab_;
+  FormulaFactory fac_;
+};
+
+TEST_F(FormulaTest, HashConsingSharesStructure) {
+  const Formula* a = fac_.And(fac_.Prop(0), fac_.Prop(1));
+  const Formula* b = fac_.And(fac_.Prop(0), fac_.Prop(1));
+  EXPECT_EQ(a, b);
+  const Formula* c = fac_.And(fac_.Prop(1), fac_.Prop(0));
+  EXPECT_NE(a, c);  // syntactic, not commutative
+}
+
+TEST_F(FormulaTest, ConstantFolding) {
+  const Formula* p = fac_.Prop(0);
+  EXPECT_EQ(fac_.And(fac_.True(), p), p);
+  EXPECT_EQ(fac_.And(p, fac_.False()), fac_.False());
+  EXPECT_EQ(fac_.Or(fac_.False(), p), p);
+  EXPECT_EQ(fac_.Or(p, fac_.True()), fac_.True());
+  EXPECT_EQ(fac_.And(p, p), p);
+  EXPECT_EQ(fac_.Or(p, p), p);
+  EXPECT_EQ(fac_.Not(fac_.Not(p)), p);
+  EXPECT_EQ(fac_.Not(fac_.True()), fac_.False());
+  EXPECT_EQ(fac_.Next(fac_.True()), fac_.True());
+  EXPECT_EQ(fac_.Finally(fac_.Finally(p)), fac_.Finally(p));
+  EXPECT_EQ(fac_.Globally(fac_.Globally(p)), fac_.Globally(p));
+  EXPECT_EQ(fac_.Until(fac_.False(), p), p);
+  EXPECT_EQ(fac_.Until(p, fac_.True()), fac_.True());
+  EXPECT_EQ(fac_.Release(fac_.True(), p), p);
+  EXPECT_EQ(fac_.Release(p, fac_.False()), fac_.False());
+  EXPECT_EQ(fac_.Implies(fac_.True(), p), p);
+  EXPECT_EQ(fac_.Implies(fac_.False(), p), fac_.True());
+  EXPECT_EQ(fac_.Iff(p, p), fac_.True());
+}
+
+TEST_F(FormulaTest, SizeCountsNodes) {
+  const Formula* f =
+      fac_.Globally(fac_.Implies(fac_.Prop(0), fac_.Finally(fac_.Prop(1))));
+  // G, ->, p, F, q
+  EXPECT_EQ(f->Size(), 5u);
+}
+
+TEST_F(FormulaTest, CollectEvents) {
+  const Formula* f =
+      fac_.Until(fac_.Prop(2), fac_.And(fac_.Prop(0), fac_.Not(fac_.Prop(2))));
+  Bitset events;
+  f->CollectEvents(&events);
+  EXPECT_TRUE(events.Test(0));
+  EXPECT_FALSE(events.Test(1));
+  EXPECT_TRUE(events.Test(2));
+}
+
+TEST_F(FormulaTest, IsTemporal) {
+  EXPECT_FALSE(fac_.And(fac_.Prop(0), fac_.Not(fac_.Prop(1)))->IsTemporal());
+  EXPECT_TRUE(fac_.Next(fac_.Prop(0))->IsTemporal());
+  EXPECT_TRUE(fac_.Or(fac_.Prop(0), fac_.Until(fac_.Prop(0), fac_.Prop(1)))
+                  ->IsTemporal());
+}
+
+TEST_F(FormulaTest, ToStringMinimalParens) {
+  const Formula* p = fac_.Prop(0);
+  const Formula* q = fac_.Prop(1);
+  EXPECT_EQ(fac_.Globally(fac_.Not(p))->ToString(vocab_), "G !p");
+  EXPECT_EQ(fac_.And(p, fac_.Or(q, p))->ToString(vocab_), "p & (q | p)");
+  EXPECT_EQ(fac_.Until(p, q)->ToString(vocab_), "p U q");
+  EXPECT_EQ(fac_.Implies(p, fac_.Finally(q))->ToString(vocab_), "p -> F q");
+  EXPECT_EQ(fac_.Next(fac_.Not(fac_.Finally(q)))->ToString(vocab_),
+            "X !F q");
+}
+
+TEST_F(FormulaTest, AndAllOrAll) {
+  const Formula* p = fac_.Prop(0);
+  const Formula* q = fac_.Prop(1);
+  EXPECT_EQ(fac_.AndAll({}), fac_.True());
+  EXPECT_EQ(fac_.OrAll({}), fac_.False());
+  EXPECT_EQ(fac_.AndAll({p}), p);
+  EXPECT_EQ(fac_.AndAll({p, q}), fac_.And(p, q));
+}
+
+TEST_F(FormulaTest, MakeDispatch) {
+  const Formula* p = fac_.Prop(0);
+  const Formula* q = fac_.Prop(1);
+  EXPECT_EQ(fac_.Make(Op::kUntil, p, q), fac_.Until(p, q));
+  EXPECT_EQ(fac_.Make(Op::kNot, p, nullptr), fac_.Not(p));
+  EXPECT_EQ(fac_.Make(Op::kWeakUntil, p, q), fac_.WeakUntil(p, q));
+  EXPECT_EQ(fac_.Make(Op::kBefore, p, q), fac_.Before(p, q));
+}
+
+TEST_F(FormulaTest, OpClassification) {
+  EXPECT_TRUE(IsUnary(Op::kNot));
+  EXPECT_TRUE(IsUnary(Op::kGlobally));
+  EXPECT_FALSE(IsUnary(Op::kUntil));
+  EXPECT_TRUE(IsBinary(Op::kUntil));
+  EXPECT_TRUE(IsBinaryTemporal(Op::kBefore));
+  EXPECT_FALSE(IsBinaryTemporal(Op::kAnd));
+}
+
+}  // namespace
+}  // namespace ctdb::ltl

@@ -1,0 +1,173 @@
+// Whole-system integration tests: the optimized broker pipeline (prefilter +
+// simplified projections + seeds) must return exactly the unoptimized scan's
+// results on generated workloads — the paper's Table 2-style data, end to
+// end — and the serialization boundary must round-trip registration data.
+
+#include <gtest/gtest.h>
+
+#include "automata/serialize.h"
+#include "broker/database.h"
+#include "workload/generator.h"
+#include "workload/spec.h"
+
+namespace ctdb {
+namespace {
+
+using broker::ContractDatabase;
+using broker::DatabaseOptions;
+using broker::QueryOptions;
+using broker::QueryResult;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  /// Builds a database of `contracts` generated specs with `patterns`
+  /// clauses each, seeded deterministically.
+  void BuildDatabase(ContractDatabase* db, size_t contracts, size_t patterns,
+                     uint64_t seed) {
+    workload::GeneratorOptions options;
+    options.properties = patterns;
+    options.vocabulary_size = 8;  // small vocabulary → contracts interact
+    workload::SpecGenerator generator(options, seed, db->vocabulary(),
+                                      db->factory());
+    for (size_t i = 0; i < contracts; ++i) {
+      auto spec = generator.Next();
+      ASSERT_TRUE(spec.ok()) << spec.status();
+      auto id = db->RegisterFormula("c" + std::to_string(i), spec->formula,
+                                    spec->text);
+      ASSERT_TRUE(id.ok()) << id.status();
+    }
+  }
+
+  std::vector<std::string> GenerateQueries(ContractDatabase* db, size_t count,
+                                           size_t patterns, uint64_t seed) {
+    workload::GeneratorOptions options;
+    options.properties = patterns;
+    options.vocabulary_size = 8;
+    workload::SpecGenerator generator(options, seed, db->vocabulary(),
+                                      db->factory());
+    std::vector<std::string> out;
+    for (size_t i = 0; i < count; ++i) {
+      auto spec = generator.Next();
+      EXPECT_TRUE(spec.ok());
+      out.push_back(spec->text);
+    }
+    return out;
+  }
+};
+
+TEST_F(IntegrationTest, OptimizedEqualsUnoptimizedOnGeneratedWorkload) {
+  ContractDatabase db;
+  BuildDatabase(&db, 25, 3, 0xABCDE);
+  const auto queries = GenerateQueries(&db, 20, 1, 0x12345);
+
+  QueryOptions optimized;  // defaults: everything on
+  QueryOptions unoptimized;
+  unoptimized.use_prefilter = false;
+  unoptimized.use_projections = false;
+  unoptimized.permission.use_seeds = false;
+
+  size_t total_matches = 0;
+  size_t total_candidates_opt = 0;
+  size_t total_candidates_unopt = 0;
+  for (const std::string& q : queries) {
+    auto r_opt = db.Query(q, optimized);
+    auto r_unopt = db.Query(q, unoptimized);
+    ASSERT_TRUE(r_opt.ok()) << q << ": " << r_opt.status();
+    ASSERT_TRUE(r_unopt.ok());
+    EXPECT_EQ(r_opt->matches, r_unopt->matches) << q;
+    total_matches += r_opt->matches.size();
+    total_candidates_opt += r_opt->stats.candidates;
+    total_candidates_unopt += r_unopt->stats.candidates;
+  }
+  // The workload is not degenerate, and the prefilter actually pruned.
+  EXPECT_GT(total_matches, 0u);
+  EXPECT_LT(total_candidates_opt, total_candidates_unopt);
+}
+
+TEST_F(IntegrationTest, SccAlgorithmAgreesOnGeneratedWorkload) {
+  ContractDatabase db;
+  BuildDatabase(&db, 15, 4, 0xBEEF);
+  const auto queries = GenerateQueries(&db, 15, 2, 0xF00D);
+  QueryOptions nested;
+  QueryOptions scc;
+  scc.permission.algorithm = core::PermissionAlgorithm::kScc;
+  for (const std::string& q : queries) {
+    auto r1 = db.Query(q, nested);
+    auto r2 = db.Query(q, scc);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1->matches, r2->matches) << q;
+  }
+}
+
+TEST_F(IntegrationTest, CappedProjectionStoreStaysCorrect) {
+  DatabaseOptions capped;
+  capped.projections.max_enumerated_events = 2;
+  capped.projections.max_subset_size = 1;
+  ContractDatabase db(capped);
+  BuildDatabase(&db, 15, 3, 0xCAFE);
+  const auto queries = GenerateQueries(&db, 15, 2, 0xD00D);
+  QueryOptions optimized;
+  QueryOptions unoptimized;
+  unoptimized.use_prefilter = false;
+  unoptimized.use_projections = false;
+  for (const std::string& q : queries) {
+    auto r1 = db.Query(q, optimized);
+    auto r2 = db.Query(q, unoptimized);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1->matches, r2->matches) << q;
+  }
+}
+
+TEST_F(IntegrationTest, DeeperPrefilterStaysSoundAndTighter) {
+  DatabaseOptions deep;
+  deep.prefilter.max_depth = 3;
+  ContractDatabase db3(deep);
+  ContractDatabase db2;  // default depth 2
+  BuildDatabase(&db3, 20, 3, 0x9999);
+  BuildDatabase(&db2, 20, 3, 0x9999);
+  const auto queries = GenerateQueries(&db3, 12, 2, 0x1111);
+  GenerateQueries(&db2, 12, 2, 0x1111);  // keep vocab/factory aligned
+  for (const std::string& q : queries) {
+    auto r3 = db3.Query(q);
+    auto r2 = db2.Query(q);
+    ASSERT_TRUE(r3.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r3->matches, r2->matches) << q;
+    EXPECT_LE(r3->stats.candidates, r2->stats.candidates) << q;
+  }
+}
+
+TEST_F(IntegrationTest, SerializationBoundaryRoundTrips) {
+  // The paper's prototype ships contract BAs between modules as text files
+  // (§7.1). Simulate that boundary: translate → serialize → parse → compare
+  // query results against the in-process path.
+  ContractDatabase db;
+  BuildDatabase(&db, 10, 3, 0x4444);
+  for (uint32_t id = 0; id < db.size(); ++id) {
+    const auto& ba = db.contract(id).automaton();
+    const std::string text = automata::Serialize(ba, *db.vocabulary());
+    Vocabulary vocab_copy = *db.vocabulary();
+    auto parsed = automata::Deserialize(text, &vocab_copy);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->StateCount(), ba.StateCount());
+    EXPECT_EQ(parsed->TransitionCount(), ba.TransitionCount());
+  }
+}
+
+TEST_F(IntegrationTest, QueryStatsConsistency) {
+  ContractDatabase db;
+  BuildDatabase(&db, 12, 3, 0x7777);
+  const auto queries = GenerateQueries(&db, 8, 1, 0x8888);
+  for (const std::string& q : queries) {
+    auto r = db.Query(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->stats.matches, r->stats.candidates);
+    EXPECT_LE(r->stats.candidates, r->stats.database_size);
+    EXPECT_EQ(r->stats.matches, r->matches.size());
+  }
+}
+
+}  // namespace
+}  // namespace ctdb

@@ -1,0 +1,200 @@
+#include "base/label.h"
+
+#include <gtest/gtest.h>
+
+#include "base/literal.h"
+#include "base/run.h"
+
+namespace ctdb {
+namespace {
+
+class LabelTest : public ::testing::Test {
+ protected:
+  LabelTest() : vocab_({"purchase", "use", "missedFlight", "refund",
+                        "dateChange"}) {}
+  Vocabulary vocab_;
+};
+
+TEST_F(LabelTest, EmptyLabelIsTrue) {
+  Label l;
+  EXPECT_TRUE(l.IsTrue());
+  EXPECT_TRUE(l.IsSatisfiable());
+  EXPECT_EQ(l.LiteralCount(), 0u);
+  EXPECT_EQ(l.ToString(vocab_), "true");
+}
+
+TEST_F(LabelTest, AddAndContains) {
+  Label l;
+  l.AddPositive(3);  // refund
+  l.AddNegative(1);  // !use
+  EXPECT_TRUE(l.Contains(Literal{3, false}));
+  EXPECT_TRUE(l.Contains(Literal{1, true}));
+  EXPECT_FALSE(l.Contains(Literal{3, true}));
+  EXPECT_FALSE(l.Contains(Literal{0, false}));
+  EXPECT_EQ(l.LiteralCount(), 2u);
+  EXPECT_EQ(l.ToString(vocab_), "!use & refund");
+}
+
+TEST_F(LabelTest, Satisfiability) {
+  Label l;
+  l.AddPositive(2);
+  EXPECT_TRUE(l.IsSatisfiable());
+  l.AddNegative(2);
+  EXPECT_FALSE(l.IsSatisfiable());
+}
+
+TEST_F(LabelTest, LiteralsSortedById) {
+  Label l = Label::FromLiterals(
+      {Literal{4, true}, Literal{0, false}, Literal{2, false}});
+  const auto lits = l.Literals();
+  ASSERT_EQ(lits.size(), 3u);
+  EXPECT_EQ(lits[0], (Literal{0, false}));
+  EXPECT_EQ(lits[1], (Literal{2, false}));
+  EXPECT_EQ(lits[2], (Literal{4, true}));
+  EXPECT_EQ(l.Key(), (LiteralKey{0, 4, 9}));
+}
+
+TEST_F(LabelTest, ConjunctionMerges) {
+  Label a;
+  a.AddPositive(0);
+  Label b;
+  b.AddNegative(1);
+  const Label c = a.ConjunctionWith(b);
+  EXPECT_TRUE(c.Contains(Literal{0, false}));
+  EXPECT_TRUE(c.Contains(Literal{1, true}));
+  EXPECT_TRUE(c.IsSatisfiable());
+  Label d;
+  d.AddNegative(0);
+  EXPECT_FALSE(a.ConjunctionWith(d).IsSatisfiable());
+}
+
+TEST_F(LabelTest, ConsistencyIsConflictFreedom) {
+  Label a;
+  a.AddPositive(0);
+  a.AddNegative(1);
+  Label same;
+  same.AddPositive(0);
+  EXPECT_TRUE(a.ConsistentWith(same));
+  Label conflict;
+  conflict.AddPositive(1);  // a has !use
+  EXPECT_FALSE(a.ConsistentWith(conflict));
+  Label other_events;
+  other_events.AddPositive(4);
+  EXPECT_TRUE(a.ConsistentWith(other_events));
+}
+
+TEST_F(LabelTest, CitesOnly) {
+  Bitset contract_events(5);
+  contract_events.Set(0);
+  contract_events.Set(1);
+  Label within;
+  within.AddPositive(0);
+  within.AddNegative(1);
+  EXPECT_TRUE(within.CitesOnly(contract_events));
+  Label outside;
+  outside.AddPositive(3);
+  EXPECT_FALSE(outside.CitesOnly(contract_events));
+  EXPECT_TRUE(Label().CitesOnly(contract_events));  // true cites nothing
+}
+
+TEST_F(LabelTest, ProjectOnto) {
+  Label l;
+  l.AddPositive(0);
+  l.AddNegative(1);
+  l.AddNegative(2);
+  Bitset keep_pos(5);
+  keep_pos.Set(0);
+  Bitset keep_neg(5);
+  keep_neg.Set(2);
+  const Label p = l.ProjectOnto(keep_pos, keep_neg);
+  EXPECT_TRUE(p.Contains(Literal{0, false}));
+  EXPECT_FALSE(p.Contains(Literal{1, true}));   // dropped
+  EXPECT_TRUE(p.Contains(Literal{2, true}));
+  EXPECT_EQ(p.LiteralCount(), 2u);
+}
+
+TEST_F(LabelTest, ExpansionMatchesPaperExample11) {
+  // Paper Example 11: label t = p ∧ c in a contract citing {p, c, m}
+  // has E(p ∧ c) = {p, c, m, ¬m}.
+  Vocabulary v({"p", "c", "m", "r"});
+  Label t;
+  t.AddPositive(0);  // p
+  t.AddPositive(1);  // c
+  Bitset cited(4);
+  cited.Set(0);
+  cited.Set(1);
+  cited.Set(2);
+  const LiteralKey expansion = t.Expansion(cited);
+  // ids: p=0, c=2, m=4, !m=5.
+  EXPECT_EQ(expansion, (LiteralKey{0, 2, 4, 5}));
+}
+
+TEST_F(LabelTest, ExpansionKeepsLabelOnlyEventsDefensively) {
+  Vocabulary v({"p", "c"});
+  Label t;
+  t.AddNegative(1);  // !c — but contract "cites" only p
+  Bitset cited(2);
+  cited.Set(0);
+  const LiteralKey expansion = t.Expansion(cited);
+  // p uncited in label → both polarities {0,1}; !c kept as-is (id 3).
+  EXPECT_EQ(expansion, (LiteralKey{0, 1, 3}));
+}
+
+TEST_F(LabelTest, EqualityAndHash) {
+  Label a;
+  a.AddPositive(0);
+  a.AddNegative(4);
+  Label b;
+  b.AddNegative(4);
+  b.AddPositive(0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  Label c = a;
+  c.AddPositive(1);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(LabelTest, SnapshotSatisfaction) {
+  Label l;
+  l.AddPositive(0);
+  l.AddNegative(1);
+  Snapshot only_purchase(5);
+  only_purchase.Set(0);
+  EXPECT_TRUE(Satisfies(only_purchase, l));
+  Snapshot both(5);
+  both.Set(0);
+  both.Set(1);
+  EXPECT_FALSE(Satisfies(both, l));
+  Snapshot neither(5);
+  EXPECT_FALSE(Satisfies(neither, l));
+  // `true` label matches every snapshot.
+  EXPECT_TRUE(Satisfies(neither, Label()));
+}
+
+TEST(LassoWordTest, PositionArithmetic) {
+  LassoWord w;
+  w.prefix = {Snapshot(2), Snapshot(2)};
+  w.cycle = {Snapshot(2), Snapshot(2), Snapshot(2)};
+  EXPECT_TRUE(w.Valid());
+  EXPECT_EQ(w.PositionCount(), 5u);
+  EXPECT_EQ(w.Successor(0), 1u);
+  EXPECT_EQ(w.Successor(1), 2u);
+  EXPECT_EQ(w.Successor(4), 2u);  // wraps to cycle start
+}
+
+TEST(LassoWordTest, AtInstantWraps) {
+  LassoWord w;
+  Snapshot a(1);
+  a.Set(0);
+  Snapshot b(1);
+  w.prefix = {a};       // instant 0: {p}
+  w.cycle = {b, a};     // instants 1,3,5...: {}, instants 2,4,...: {p}
+  EXPECT_TRUE(w.AtInstant(0).Test(0));
+  EXPECT_FALSE(w.AtInstant(1).Test(0));
+  EXPECT_TRUE(w.AtInstant(2).Test(0));
+  EXPECT_FALSE(w.AtInstant(3).Test(0));
+  EXPECT_TRUE(w.AtInstant(100).Test(0));  // even + prefix offset
+}
+
+}  // namespace
+}  // namespace ctdb

@@ -1,0 +1,159 @@
+#include "ltl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ctdb::ltl {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  const Formula* MustParse(const std::string& text) {
+    auto result = Parse(text, &fac_, &vocab_);
+    EXPECT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+    return result.ok() ? *result : fac_.True();
+  }
+  Status ParseError(const std::string& text) {
+    return Parse(text, &fac_, &vocab_).status();
+  }
+  Vocabulary vocab_;
+  FormulaFactory fac_;
+};
+
+TEST_F(ParserTest, Atoms) {
+  EXPECT_EQ(MustParse("true"), fac_.True());
+  EXPECT_EQ(MustParse("false"), fac_.False());
+  const Formula* p = MustParse("purchase");
+  EXPECT_EQ(p->op(), Op::kProp);
+  EXPECT_EQ(vocab_.Name(p->prop()), "purchase");
+}
+
+TEST_F(ParserTest, PrecedenceAndBindsTighterThanOr) {
+  const Formula* f = MustParse("a | b & c");
+  EXPECT_EQ(f->op(), Op::kOr);
+  EXPECT_EQ(f->right()->op(), Op::kAnd);
+}
+
+TEST_F(ParserTest, TemporalBindsTighterThanAnd) {
+  const Formula* f = MustParse("a U b & c U d");
+  EXPECT_EQ(f->op(), Op::kAnd);
+  EXPECT_EQ(f->left()->op(), Op::kUntil);
+  EXPECT_EQ(f->right()->op(), Op::kUntil);
+}
+
+TEST_F(ParserTest, UnaryChains) {
+  const Formula* f = MustParse("G ! F p");
+  EXPECT_EQ(f->op(), Op::kGlobally);
+  EXPECT_EQ(f->left()->op(), Op::kNot);
+  EXPECT_EQ(f->left()->left()->op(), Op::kFinally);
+}
+
+TEST_F(ParserTest, ImpliesIsRightAssociative) {
+  const Formula* f = MustParse("a -> b -> c");
+  EXPECT_EQ(f->op(), Op::kImplies);
+  EXPECT_EQ(f->right()->op(), Op::kImplies);
+}
+
+TEST_F(ParserTest, UntilIsRightAssociative) {
+  const Formula* f = MustParse("a U b U c");
+  EXPECT_EQ(f->op(), Op::kUntil);
+  EXPECT_EQ(f->right()->op(), Op::kUntil);
+}
+
+TEST_F(ParserTest, AllTemporalBinaries) {
+  EXPECT_EQ(MustParse("a U b")->op(), Op::kUntil);
+  EXPECT_EQ(MustParse("a W b")->op(), Op::kWeakUntil);
+  EXPECT_EQ(MustParse("a R b")->op(), Op::kRelease);
+  EXPECT_EQ(MustParse("a B b")->op(), Op::kBefore);
+}
+
+TEST_F(ParserTest, DoubleSymbolsAndTilde) {
+  EXPECT_EQ(MustParse("a && b"), MustParse("a & b"));
+  EXPECT_EQ(MustParse("a || b"), MustParse("a | b"));
+  EXPECT_EQ(MustParse("~a"), MustParse("!a"));
+}
+
+TEST_F(ParserTest, Iff) {
+  const Formula* f = MustParse("a <-> b");
+  EXPECT_EQ(f->op(), Op::kIff);
+}
+
+TEST_F(ParserTest, ParensOverridePrecedence) {
+  const Formula* f = MustParse("(a | b) & c");
+  EXPECT_EQ(f->op(), Op::kAnd);
+  EXPECT_EQ(f->left()->op(), Op::kOr);
+}
+
+TEST_F(ParserTest, PaperTicketCClause) {
+  // Ticket C clause 2: G(dateChange -> X(!F dateChange))
+  const Formula* f = MustParse("G(dateChange -> X(!F dateChange))");
+  EXPECT_EQ(f->op(), Op::kGlobally);
+  EXPECT_EQ(f->left()->op(), Op::kImplies);
+  EXPECT_EQ(f->left()->right()->op(), Op::kNext);
+}
+
+TEST_F(ParserTest, RoundTripThroughToString) {
+  for (const char* text : {
+           "G !refund",
+           "G (dateChange -> X !F dateChange)",
+           "G (missedFlight -> !F dateChange)",
+           "purchase B (use | missedFlight | refund | dateChange)",
+           "(a U (b W c)) R (d B e)",
+           "F p <-> G (q -> r)",
+       }) {
+    const Formula* f = MustParse(text);
+    const Formula* again = MustParse(f->ToString(vocab_));
+    EXPECT_EQ(f, again) << text << " printed as " << f->ToString(vocab_);
+  }
+}
+
+TEST_F(ParserTest, Errors) {
+  EXPECT_TRUE(ParseError("").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("(a").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("a b").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("a &").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("a -").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("a <- b").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("@").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("U a").IsInvalidArgument());
+}
+
+TEST_F(ParserTest, RequireKnownEventsRejectsUnknown) {
+  ParseOptions strict;
+  strict.require_known_events = true;
+  EXPECT_TRUE(
+      Parse("mystery", &fac_, &vocab_, strict).status().IsNotFound());
+  vocab_.Intern("known").status();
+  EXPECT_TRUE(Parse("known", &fac_, &vocab_, strict).ok());
+}
+
+TEST_F(ParserTest, RandomGarbageNeverCrashes) {
+  // Robustness sweep: arbitrary byte soup must produce a Status, never UB.
+  Rng rng(0xBADF00D);
+  const std::string alphabet = "abXFGUWRB!&|()-><=~ \t01_";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text;
+    const size_t len = rng.Uniform(24);
+    for (size_t i = 0; i < len; ++i) {
+      text += alphabet[rng.Uniform(alphabet.size())];
+    }
+    auto result = Parse(text, &fac_, &vocab_);
+    if (result.ok()) {
+      // Whatever parsed must round-trip.
+      auto again = Parse((*result)->ToString(vocab_), &fac_, &vocab_);
+      ASSERT_TRUE(again.ok()) << text;
+      EXPECT_EQ(*again, *result) << text;
+    }
+  }
+}
+
+TEST_F(ParserTest, InternsNewEventsByDefault) {
+  EXPECT_FALSE(vocab_.Contains("fresh"));
+  MustParse("fresh & other");
+  EXPECT_TRUE(vocab_.Contains("fresh"));
+  EXPECT_TRUE(vocab_.Contains("other"));
+}
+
+}  // namespace
+}  // namespace ctdb::ltl

@@ -1,0 +1,224 @@
+#include "ltl/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "ltl/evaluator.h"
+#include "ltl/parser.h"
+
+namespace ctdb::ltl {
+namespace {
+
+class PatternsTest : public ::testing::Test {
+ protected:
+  PatternsTest() : vocab_({"p", "s", "q", "r"}) {
+    p_ = fac_.Prop(0);
+    s_ = fac_.Prop(1);
+    q_ = fac_.Prop(2);
+    r_ = fac_.Prop(3);
+  }
+
+  const Formula* Make(PatternBehavior b, PatternScope s) {
+    return MakePattern(b, s, p_, s_, q_, r_, &fac_);
+  }
+
+  const Formula* F(const std::string& text) {
+    auto res = Parse(text, &fac_, &vocab_);
+    EXPECT_TRUE(res.ok()) << res.status();
+    return *res;
+  }
+
+  Vocabulary vocab_;
+  FormulaFactory fac_;
+  const Formula* p_;
+  const Formula* s_;
+  const Formula* q_;
+  const Formula* r_;
+};
+
+// Each expected string is the Table 3 form (with the two typo rows replaced
+// by the original formulas of Dwyer et al. [8]).
+TEST_F(PatternsTest, Table3AbsenceForms) {
+  EXPECT_EQ(Make(PatternBehavior::kAbsence, PatternScope::kGlobal),
+            F("G(!p)"));
+  EXPECT_EQ(Make(PatternBehavior::kAbsence, PatternScope::kBefore),
+            F("F r -> (!p U r)"));
+  EXPECT_EQ(Make(PatternBehavior::kAbsence, PatternScope::kAfter),
+            F("G(q -> G(!p))"));
+  EXPECT_EQ(Make(PatternBehavior::kAbsence, PatternScope::kBetween),
+            F("G((q & !r & F r) -> (!p U r))"));
+}
+
+TEST_F(PatternsTest, Table3ExistenceForms) {
+  EXPECT_EQ(Make(PatternBehavior::kExistence, PatternScope::kGlobal),
+            F("F p"));
+  EXPECT_EQ(Make(PatternBehavior::kExistence, PatternScope::kBefore),
+            F("!r W (p & !r)"));
+  EXPECT_EQ(Make(PatternBehavior::kExistence, PatternScope::kAfter),
+            F("G(!q) | F(q & F p)"));
+  EXPECT_EQ(Make(PatternBehavior::kExistence, PatternScope::kBetween),
+            F("G(q & !r -> (!r W (p & !r)))"));
+}
+
+TEST_F(PatternsTest, Table3UniversalityForms) {
+  EXPECT_EQ(Make(PatternBehavior::kUniversality, PatternScope::kGlobal),
+            F("G p"));
+  EXPECT_EQ(Make(PatternBehavior::kUniversality, PatternScope::kBefore),
+            F("F r -> (p U r)"));
+  EXPECT_EQ(Make(PatternBehavior::kUniversality, PatternScope::kAfter),
+            F("G(q -> G p)"));
+  EXPECT_EQ(Make(PatternBehavior::kUniversality, PatternScope::kBetween),
+            F("G((q & !r & F r) -> (p U r))"));
+}
+
+TEST_F(PatternsTest, Table3PrecedenceForms) {
+  EXPECT_EQ(Make(PatternBehavior::kPrecedence, PatternScope::kGlobal),
+            F("F p -> (!p U (s | G(!p)))"));
+  EXPECT_EQ(Make(PatternBehavior::kPrecedence, PatternScope::kBefore),
+            F("F r -> (!p U (s | r))"));
+  EXPECT_EQ(Make(PatternBehavior::kPrecedence, PatternScope::kAfter),
+            F("G(!q) | F(q & (!p U (s | G(!p))))"));
+  EXPECT_EQ(Make(PatternBehavior::kPrecedence, PatternScope::kBetween),
+            F("G((q & !r & F r) -> (!p U (s | r)))"));
+}
+
+TEST_F(PatternsTest, Table3ResponseForms) {
+  EXPECT_EQ(Make(PatternBehavior::kResponse, PatternScope::kGlobal),
+            F("G(p -> F s)"));
+  EXPECT_EQ(Make(PatternBehavior::kResponse, PatternScope::kBefore),
+            F("F r -> ((p -> (!r U (s & !r))) U r)"));
+  EXPECT_EQ(Make(PatternBehavior::kResponse, PatternScope::kAfter),
+            F("G(q -> G(p -> F s))"));
+  EXPECT_EQ(Make(PatternBehavior::kResponse, PatternScope::kBetween),
+            F("G((q & !r & F r) -> ((p -> (!r U (s & !r))) U r))"));
+}
+
+TEST_F(PatternsTest, ArityMatchesParameterUse) {
+  EXPECT_EQ(PatternArity(PatternBehavior::kAbsence, PatternScope::kGlobal), 1);
+  EXPECT_EQ(PatternArity(PatternBehavior::kAbsence, PatternScope::kBetween), 3);
+  EXPECT_EQ(PatternArity(PatternBehavior::kResponse, PatternScope::kGlobal), 2);
+  EXPECT_EQ(PatternArity(PatternBehavior::kResponse, PatternScope::kBetween), 4);
+  EXPECT_EQ(PatternArity(PatternBehavior::kPrecedence, PatternScope::kBefore), 3);
+}
+
+TEST_F(PatternsTest, SurveyFrequenciesShapeMatchesDwyer) {
+  const PatternFrequencies f = PatternFrequencies::Survey();
+  ASSERT_EQ(f.behavior.size(), 5u);
+  ASSERT_EQ(f.scope.size(), 4u);
+  // Response is the most common behavior; global the dominant scope.
+  EXPECT_EQ(f.behavior[4], *std::max_element(f.behavior.begin(),
+                                             f.behavior.end()));
+  EXPECT_EQ(f.scope[0],
+            *std::max_element(f.scope.begin(), f.scope.end()));
+}
+
+TEST_F(PatternsTest, NamesRoundTrip) {
+  EXPECT_STREQ(PatternBehaviorName(PatternBehavior::kAbsence), "absence");
+  EXPECT_STREQ(PatternBehaviorName(PatternBehavior::kResponse), "response");
+  EXPECT_STREQ(PatternScopeName(PatternScope::kBetween), "between");
+}
+
+Snapshot Snap(bool p, bool s = false, bool q = false, bool r = false) {
+  Snapshot snap(4);
+  if (p) snap.Set(0);
+  if (s) snap.Set(1);
+  if (q) snap.Set(2);
+  if (r) snap.Set(3);
+  return snap;
+}
+
+TEST_F(PatternsTest, BoundedExistenceSemantics) {
+  const Formula* at_most_2 = MakeBoundedExistence(p_, 2, &fac_);
+  LassoWord two;
+  two.prefix = {Snap(true), Snap(false), Snap(true)};
+  two.cycle = {Snap(false)};
+  EXPECT_TRUE(Evaluate(at_most_2, two));
+  LassoWord three;
+  three.prefix = {Snap(true), Snap(true), Snap(true)};
+  three.cycle = {Snap(false)};
+  EXPECT_FALSE(Evaluate(at_most_2, three));
+  LassoWord forever;
+  forever.cycle = {Snap(true)};
+  EXPECT_FALSE(Evaluate(at_most_2, forever));
+  LassoWord none;
+  none.cycle = {Snap(false)};
+  EXPECT_TRUE(Evaluate(at_most_2, none));
+  // k = 0 is plain absence.
+  EXPECT_EQ(MakeBoundedExistence(p_, 0, &fac_), F("G !p"));
+}
+
+TEST_F(PatternsTest, PrecedenceChainSemantics) {
+  // s then t must precede any p.
+  const Formula* f = MakePrecedenceChain(s_, q_, p_, &fac_);
+  auto word = [](std::initializer_list<const char*> steps) {
+    LassoWord w;
+    for (const char* step : steps) {
+      Snapshot snap(4);
+      const std::string sstr(step);
+      if (sstr.find('p') != std::string::npos) snap.Set(0);
+      if (sstr.find('s') != std::string::npos) snap.Set(1);
+      if (sstr.find('q') != std::string::npos) snap.Set(2);
+      w.prefix.push_back(std::move(snap));
+    }
+    w.cycle.push_back(Snapshot(4));
+    return w;
+  };
+  EXPECT_TRUE(Evaluate(f, word({"s", "q", "p"})));
+  EXPECT_FALSE(Evaluate(f, word({"q", "s", "p"})));  // wrong chain order
+  EXPECT_FALSE(Evaluate(f, word({"s", "p", "q"})));  // p before t
+  EXPECT_TRUE(Evaluate(f, word({"", ""})));          // no p at all: vacuous
+}
+
+TEST_F(PatternsTest, ResponseChainSemantics) {
+  // every p must be followed by s then strictly later t.
+  const Formula* f = MakeResponseChain(p_, s_, q_, &fac_);
+  auto word = [](std::initializer_list<const char*> steps) {
+    LassoWord w;
+    for (const char* step : steps) {
+      Snapshot snap(4);
+      const std::string sstr(step);
+      if (sstr.find('p') != std::string::npos) snap.Set(0);
+      if (sstr.find('s') != std::string::npos) snap.Set(1);
+      if (sstr.find('q') != std::string::npos) snap.Set(2);
+      w.prefix.push_back(std::move(snap));
+    }
+    w.cycle.push_back(Snapshot(4));
+    return w;
+  };
+  EXPECT_TRUE(Evaluate(f, word({"p", "s", "q"})));
+  EXPECT_FALSE(Evaluate(f, word({"p", "s"})));       // t missing
+  EXPECT_FALSE(Evaluate(f, word({"p", "q", "s"})));  // t before s only
+  EXPECT_TRUE(Evaluate(f, word({"p", "q", "s", "q"})));
+  EXPECT_TRUE(Evaluate(f, word({""})));              // vacuous
+}
+
+TEST_F(PatternsTest, ResponsePatternSemantics) {
+  const Formula* response = Make(PatternBehavior::kResponse,
+                                 PatternScope::kGlobal);
+  LassoWord answered;
+  answered.prefix = {Snap(true), Snap(false, true)};
+  answered.cycle = {Snap(false)};
+  EXPECT_TRUE(Evaluate(response, answered));
+  LassoWord unanswered;
+  unanswered.prefix = {Snap(true)};
+  unanswered.cycle = {Snap(false)};
+  EXPECT_FALSE(Evaluate(response, unanswered));
+}
+
+TEST_F(PatternsTest, PrecedencePatternSemantics) {
+  const Formula* precedence = Make(PatternBehavior::kPrecedence,
+                                   PatternScope::kGlobal);
+  LassoWord s_first;
+  s_first.prefix = {Snap(false, true), Snap(true)};
+  s_first.cycle = {Snap(false)};
+  EXPECT_TRUE(Evaluate(precedence, s_first));
+  LassoWord p_unpreceded;
+  p_unpreceded.prefix = {Snap(true)};
+  p_unpreceded.cycle = {Snap(false)};
+  EXPECT_FALSE(Evaluate(precedence, p_unpreceded));
+  LassoWord no_p;
+  no_p.cycle = {Snap(false)};
+  EXPECT_TRUE(Evaluate(precedence, no_p));
+}
+
+}  // namespace
+}  // namespace ctdb::ltl

@@ -1,0 +1,137 @@
+// Property tests for the permission core:
+//  1. Algorithm 2 (with and without seeds) and the SCC checker always agree.
+//  2. Permission is witnessed semantically: whenever any checker says yes,
+//     the other checkers agree, and whenever the query BA's language is empty
+//     no contract permits it.
+//  3. Theorem 6 reduction: C(ϕ) permits `true` ⇔ ϕ satisfiable.
+//  4. Definition 1(b): a query whose only satisfying runs involve events
+//     outside the contract vocabulary is never permitted.
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "core/permission.h"
+#include "testing_support.h"
+#include "translate/ltl_to_ba.h"
+
+namespace ctdb::core {
+namespace {
+
+using automata::Buchi;
+
+struct Inputs {
+  Buchi contract;
+  Bitset contract_events;
+  Buchi query;
+};
+
+class PermissionPropertyTest : public ::testing::Test {
+ protected:
+  ltl::FormulaFactory fac_;
+  Vocabulary vocab_ = ctdb::testing::TestVocabulary(4);
+
+  Inputs Draw(Rng* rng, size_t contract_events, size_t query_events,
+              int depth) {
+    Inputs in;
+    const ltl::Formula* cf =
+        ctdb::testing::RandomFormula(rng, &fac_, contract_events, depth);
+    const ltl::Formula* qf =
+        ctdb::testing::RandomFormula(rng, &fac_, query_events, depth);
+    auto cba = translate::LtlToBuchi(cf, &fac_);
+    auto qba = translate::LtlToBuchi(qf, &fac_);
+    EXPECT_TRUE(cba.ok());
+    EXPECT_TRUE(qba.ok());
+    in.contract = std::move(*cba);
+    in.query = std::move(*qba);
+    cf->CollectEvents(&in.contract_events);
+    in.contract_events.Resize(4);
+    return in;
+  }
+};
+
+TEST_F(PermissionPropertyTest, AllCheckersAgreeOnRandomInputs) {
+  Rng rng(777001);
+  for (int trial = 0; trial < 400; ++trial) {
+    Inputs in = Draw(&rng, 3, 3, 3);
+    PermissionOptions nested_no_seeds{PermissionAlgorithm::kNestedDfs, false};
+    PermissionOptions nested_seeds{PermissionAlgorithm::kNestedDfs, true};
+    PermissionOptions scc{PermissionAlgorithm::kScc, true};
+    const bool a = Permits(in.contract, in.contract_events, in.query,
+                           nested_no_seeds);
+    const bool b =
+        Permits(in.contract, in.contract_events, in.query, nested_seeds);
+    const bool c = Permits(in.contract, in.contract_events, in.query, scc);
+    ASSERT_EQ(a, b) << "seeds changed the verdict (trial " << trial << ")";
+    ASSERT_EQ(a, c) << "SCC checker disagrees (trial " << trial << ")";
+  }
+}
+
+TEST_F(PermissionPropertyTest, EmptyQueryLanguageNeverPermitted) {
+  Rng rng(777002);
+  int empties = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Inputs in = Draw(&rng, 3, 3, 3);
+    if (!automata::IsEmptyLanguage(in.query)) continue;
+    ++empties;
+    EXPECT_FALSE(Permits(in.contract, in.contract_events, in.query));
+  }
+  EXPECT_GT(empties, 5);  // the draw produces some unsatisfiable queries
+}
+
+TEST_F(PermissionPropertyTest, EmptyContractPermitsNothing) {
+  Rng rng(777003);
+  for (int trial = 0; trial < 200; ++trial) {
+    Inputs in = Draw(&rng, 3, 3, 3);
+    if (!automata::IsEmptyLanguage(in.contract)) continue;
+    EXPECT_FALSE(Permits(in.contract, in.contract_events, in.query));
+  }
+}
+
+TEST_F(PermissionPropertyTest, Theorem6TrueQueryIsSatisfiability) {
+  Rng rng(777004);
+  auto true_ba = translate::LtlToBuchi(fac_.True(), &fac_);
+  ASSERT_TRUE(true_ba.ok());
+  for (int trial = 0; trial < 200; ++trial) {
+    Inputs in = Draw(&rng, 3, 1, 3);
+    const bool sat = !automata::IsEmptyLanguage(in.contract);
+    EXPECT_EQ(Permits(in.contract, in.contract_events, *true_ba), sat);
+  }
+}
+
+TEST_F(PermissionPropertyTest, QueriesOverForeignEventsNeverPermitted) {
+  Rng rng(777005);
+  // Contracts over event 0 only; queries whose every lasso needs event 3.
+  ltl::FormulaFactory& fac = fac_;
+  const ltl::Formula* needs_foreign = fac.Finally(fac.Prop(3));
+  auto qba = translate::LtlToBuchi(needs_foreign, &fac);
+  ASSERT_TRUE(qba.ok());
+  for (int trial = 0; trial < 100; ++trial) {
+    const ltl::Formula* cf = ctdb::testing::RandomFormula(&rng, &fac, 1, 3);
+    auto cba = translate::LtlToBuchi(cf, &fac);
+    ASSERT_TRUE(cba.ok());
+    Bitset events;
+    cf->CollectEvents(&events);
+    events.Resize(4);
+    EXPECT_FALSE(Permits(*cba, events, *qba))
+        << cf->ToString(vocab_);
+  }
+}
+
+/// Monotonicity sanity: a query that the contract itself entails (the
+/// contract formula as query) is permitted whenever the contract is
+/// satisfiable.
+TEST_F(PermissionPropertyTest, ContractPermitsItself) {
+  Rng rng(777006);
+  for (int trial = 0; trial < 150; ++trial) {
+    const ltl::Formula* cf = ctdb::testing::RandomFormula(&rng, &fac_, 3, 3);
+    auto cba = translate::LtlToBuchi(cf, &fac_);
+    ASSERT_TRUE(cba.ok());
+    if (automata::IsEmptyLanguage(*cba)) continue;
+    Bitset events;
+    cf->CollectEvents(&events);
+    EXPECT_TRUE(Permits(*cba, events, *cba)) << cf->ToString(vocab_);
+  }
+}
+
+}  // namespace
+}  // namespace ctdb::core

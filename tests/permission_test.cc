@@ -1,0 +1,214 @@
+#include "core/permission.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compatibility.h"
+#include "ltl/parser.h"
+#include "translate/ltl_to_ba.h"
+
+namespace ctdb::core {
+namespace {
+
+using automata::Buchi;
+using automata::StateId;
+
+Label L(std::initializer_list<Literal> lits) {
+  return Label::FromLiterals(std::vector<Literal>(lits));
+}
+
+TEST(CompatibilityTest, Definition7Point3) {
+  Bitset contract_events(4);
+  contract_events.Set(0);
+  contract_events.Set(1);
+
+  // Query citing only contract events and not conflicting: compatible.
+  EXPECT_TRUE(Compatible(L({{0, false}}), L({{1, false}}), contract_events));
+  // Conflict: contract has !e1, query asks e1.
+  EXPECT_FALSE(Compatible(L({{1, true}}), L({{1, false}}), contract_events));
+  // Query cites an event outside the contract: incompatible even if
+  // non-conflicting.
+  EXPECT_FALSE(Compatible(L({{0, false}}), L({{2, false}}), contract_events));
+  EXPECT_FALSE(Compatible(Label(), L({{2, true}}), contract_events));
+  // True query label is compatible with anything.
+  EXPECT_TRUE(Compatible(L({{0, false}, {1, true}}), Label(),
+                         contract_events));
+}
+
+class PermissionFixture : public ::testing::Test {
+ protected:
+  PermissionFixture()
+      : vocab_({"purchase", "use", "missedFlight", "refund", "dateChange",
+                "classUpgrade"}) {}
+
+  Buchi BA(const std::string& text) {
+    auto f = ltl::Parse(text, &fac_, &vocab_);
+    EXPECT_TRUE(f.ok()) << f.status();
+    auto ba = translate::LtlToBuchi(*f, &fac_);
+    EXPECT_TRUE(ba.ok()) << ba.status();
+    return std::move(*ba);
+  }
+
+  Bitset EventsOf(const std::string& text) {
+    auto f = ltl::Parse(text, &fac_, &vocab_);
+    EXPECT_TRUE(f.ok());
+    Bitset events;
+    (*f)->CollectEvents(&events);
+    return events;
+  }
+
+  /// Checks permission with every algorithm/seed combination and asserts they
+  /// agree before returning the verdict.
+  bool CheckAll(const std::string& contract, const std::string& query) {
+    const Buchi c = BA(contract);
+    const Buchi q = BA(query);
+    const Bitset events = EventsOf(contract);
+    const Bitset seeds = ComputeSeedStates(c);
+
+    PermissionOptions nested;
+    nested.algorithm = PermissionAlgorithm::kNestedDfs;
+    nested.use_seeds = false;
+    const bool r1 = Permits(c, events, q, nested);
+
+    nested.use_seeds = true;
+    const bool r2 = Permits(c, events, q, nested, &seeds);
+
+    PermissionOptions scc;
+    scc.algorithm = PermissionAlgorithm::kScc;
+    const bool r3 = Permits(c, events, q, scc);
+
+    EXPECT_EQ(r1, r2) << contract << " | " << query;
+    EXPECT_EQ(r1, r3) << contract << " | " << query;
+    return r1;
+  }
+
+  Vocabulary vocab_;
+  ltl::FormulaFactory fac_;
+};
+
+// The common clauses C0-C5 of Example 5 (single-trip flight lifecycle).
+const char* kCommonClauses =
+    "G(purchase -> !use & !missedFlight & !refund & !dateChange) &"
+    "G(use -> !purchase & !missedFlight & !refund & !dateChange) &"
+    "G(missedFlight -> !purchase & !use & !refund & !dateChange) &"
+    "G(refund -> !purchase & !use & !missedFlight & !dateChange) &"
+    "G(dateChange -> !purchase & !use & !missedFlight & !refund) &"
+    "G(purchase -> X(!F purchase)) &"
+    "(purchase B (use | missedFlight | refund | dateChange)) &"
+    "G((missedFlight -> !F use) W dateChange) &"
+    "G(refund -> X(!F(use | missedFlight | refund | dateChange))) &"
+    "G(use -> X(!F(use | missedFlight | refund | dateChange)))";
+
+std::string TicketA() {
+  return std::string(kCommonClauses) + " & G(dateChange -> !F refund)";
+}
+std::string TicketB() {
+  return std::string(kCommonClauses) + " & G(missedFlight -> !F dateChange)";
+}
+std::string TicketC() {
+  return std::string(kCommonClauses) +
+         " & G(!refund)"
+         " & G(dateChange -> X(!F dateChange))"
+         " & G(missedFlight -> !F dateChange)";
+}
+
+TEST_F(PermissionFixture, TicketsPermitTheirOwnBasicLifecycle) {
+  // Every ticket allows: purchase then use.
+  const char* lifecycle = "F(purchase & F use)";
+  EXPECT_TRUE(CheckAll(TicketA(), lifecycle));
+  EXPECT_TRUE(CheckAll(TicketB(), lifecycle));
+  EXPECT_TRUE(CheckAll(TicketC(), lifecycle));
+}
+
+// Example 2 / §1: "allows a refund or a date change after the first leg has
+// been missed" — Tickets A and B qualify, Ticket C does not.
+TEST_F(PermissionFixture, Example2HeadlineQuery) {
+  const char* query = "F(missedFlight & F(refund | dateChange))";
+  EXPECT_TRUE(CheckAll(TicketA(), query));
+  EXPECT_TRUE(CheckAll(TicketB(), query));
+  EXPECT_FALSE(CheckAll(TicketC(), query));
+}
+
+// Figure 1b's query: a refund after a missed flight. Ticket A allows it
+// (refunds are only forbidden after date changes); Ticket C forbids refunds.
+TEST_F(PermissionFixture, Figure1bQuery) {
+  const char* query = "F(missedFlight & F refund)";
+  EXPECT_TRUE(CheckAll(TicketA(), query));
+  EXPECT_FALSE(CheckAll(TicketC(), query));
+}
+
+// Example 4: Ticket A never cites classUpgrade, so a query about class
+// upgrades after date changes must NOT be permitted (the refined semantics).
+TEST_F(PermissionFixture, Example4UnderspecifiedContractsExcluded) {
+  const char* q2 = "F(dateChange & F classUpgrade)";
+  EXPECT_FALSE(CheckAll(TicketA(), q2));
+}
+
+// Q3 of §2.1: "after a date change, allows a class upgrade OR a refund".
+// Ticket B explicitly allows refunds after date changes, so despite not
+// specifying class upgrades it is returned.
+TEST_F(PermissionFixture, Q3DisjunctionSavedByCitedEvent) {
+  const char* q3 = "F(dateChange & F(classUpgrade | refund))";
+  EXPECT_TRUE(CheckAll(TicketB(), q3));
+  EXPECT_FALSE(CheckAll(TicketC(), q3));  // no refunds at all
+}
+
+TEST_F(PermissionFixture, TicketARefusesRefundAfterChange) {
+  EXPECT_FALSE(CheckAll(TicketA(), "F(dateChange & F refund)"));
+  // But refund before any date change is fine.
+  EXPECT_TRUE(CheckAll(TicketA(), "F refund"));
+}
+
+TEST_F(PermissionFixture, TicketBForbidsChangeAfterMiss) {
+  EXPECT_FALSE(CheckAll(TicketB(), "F(missedFlight & F dateChange)"));
+  EXPECT_TRUE(CheckAll(TicketB(), "F(dateChange & F missedFlight)"));
+}
+
+TEST_F(PermissionFixture, TicketCAllowsExactlyOneChange) {
+  EXPECT_TRUE(CheckAll(TicketC(), "F dateChange"));
+  EXPECT_FALSE(CheckAll(TicketC(), "F(dateChange & X F dateChange)"));
+  EXPECT_FALSE(CheckAll(TicketC(), "F refund"));
+}
+
+// Theorem 6's reduction direction: permission of `true` ⇔ satisfiability of
+// the contract.
+TEST_F(PermissionFixture, PermissionOfTrueIsSatisfiability) {
+  EXPECT_TRUE(CheckAll(TicketA(), "true"));
+  EXPECT_FALSE(CheckAll("G(purchase) & G(!purchase)", "true"));
+}
+
+TEST_F(PermissionFixture, UnsatisfiableQueryPermittedByNothing) {
+  EXPECT_FALSE(CheckAll(TicketA(), "F(purchase & refund & use)"));
+  EXPECT_FALSE(CheckAll(TicketA(), "false"));
+}
+
+TEST_F(PermissionFixture, StatsAreReported) {
+  const Buchi c = BA(TicketA());
+  const Buchi q = BA("F(missedFlight & F refund)");
+  const Bitset events = EventsOf(TicketA());
+  PermissionStats stats;
+  Permits(c, events, q, {}, nullptr, &stats);
+  EXPECT_GT(stats.pairs_visited, 0u);
+}
+
+TEST_F(PermissionFixture, SeedStatesMatchDefinition) {
+  // init -> a(final) -> b(loop, not final): a is not on a cycle, b's cycle
+  // has no final state, so no seeds at all.
+  Buchi ba;
+  const StateId a = ba.AddState();
+  const StateId b = ba.AddState();
+  ba.SetFinal(a);
+  ba.AddTransition(0, Label(), a);
+  ba.AddTransition(a, Label(), b);
+  ba.AddTransition(b, Label(), b);
+  EXPECT_TRUE(ComputeSeedStates(ba).None());
+
+  // Close the loop back to a: now a and b both sit on a final cycle.
+  ba.AddTransition(b, Label(), a);
+  const Bitset seeds = ComputeSeedStates(ba);
+  EXPECT_TRUE(seeds.Test(a));
+  EXPECT_TRUE(seeds.Test(b));
+  EXPECT_FALSE(seeds.Test(0));
+}
+
+}  // namespace
+}  // namespace ctdb::core

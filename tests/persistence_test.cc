@@ -1,0 +1,148 @@
+#include "broker/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generator.h"
+
+namespace ctdb::broker {
+namespace {
+
+std::unique_ptr<ContractDatabase> MakeSampleDb() {
+  auto db = std::make_unique<ContractDatabase>();
+  EXPECT_TRUE(db->Register("Ticket A", "G(dateChange -> !F refund)").ok());
+  EXPECT_TRUE(db->Register("Ticket B", "G(missedFlight -> !F dateChange)").ok());
+  EXPECT_TRUE(
+      db->Register("Ticket C", "G(!refund) & G(missedFlight -> !F dateChange)")
+          .ok());
+  return db;
+}
+
+TEST(PersistenceTest, RoundTripPreservesStructure) {
+  auto db = MakeSampleDb();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveDatabase(*db, &out).ok());
+
+  std::istringstream in(out.str());
+  auto loaded = LoadDatabase(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ((*loaded)->size(), db->size());
+  for (uint32_t id = 0; id < db->size(); ++id) {
+    EXPECT_EQ((*loaded)->contract(id).name, db->contract(id).name);
+    EXPECT_EQ((*loaded)->contract(id).ltl_text, db->contract(id).ltl_text);
+    EXPECT_EQ((*loaded)->contract(id).events, db->contract(id).events);
+    EXPECT_EQ((*loaded)->contract(id).automaton().StateCount(),
+              db->contract(id).automaton().StateCount());
+  }
+  EXPECT_EQ((*loaded)->vocabulary()->names(), db->vocabulary()->names());
+}
+
+TEST(PersistenceTest, LoadedDatabaseAnswersQueriesIdentically) {
+  auto db = MakeSampleDb();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveDatabase(*db, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadDatabase(in);
+  ASSERT_TRUE(loaded.ok());
+
+  for (const char* q : {"F refund", "F(missedFlight & F dateChange)",
+                        "F dateChange", "G !refund"}) {
+    auto r1 = db->Query(q);
+    auto r2 = (*loaded)->Query(q);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok()) << q << ": " << r2.status();
+    EXPECT_EQ(r1->matches, r2->matches) << q;
+    EXPECT_EQ(r1->stats.candidates, r2->stats.candidates) << q;
+  }
+}
+
+TEST(PersistenceTest, GeneratedWorkloadRoundTrip) {
+  auto db = std::make_unique<ContractDatabase>();
+  workload::GeneratorOptions options;
+  options.properties = 3;
+  workload::SpecGenerator generator(options, 0x5A7E, db->vocabulary(),
+                                    db->factory());
+  for (int i = 0; i < 12; ++i) {
+    auto spec = generator.Next();
+    ASSERT_TRUE(spec.ok());
+    ASSERT_TRUE(db->RegisterFormula("c" + std::to_string(i), spec->formula,
+                                    spec->text)
+                    .ok());
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(SaveDatabase(*db, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadDatabase(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  workload::GeneratorOptions qopts;
+  qopts.properties = 1;
+  workload::SpecGenerator queries(qopts, 0xF00, db->vocabulary(),
+                                  db->factory());
+  for (int i = 0; i < 8; ++i) {
+    auto q = queries.Next();
+    ASSERT_TRUE(q.ok());
+    auto r1 = db->Query(q->text);
+    auto r2 = (*loaded)->Query(q->text);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1->matches, r2->matches) << q->text;
+  }
+}
+
+TEST(PersistenceTest, LoadUnderDifferentOptionsStillCorrect) {
+  auto db = MakeSampleDb();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveDatabase(*db, &out).ok());
+
+  DatabaseOptions lean;
+  lean.build_prefilter = false;
+  lean.build_projections = false;
+  std::istringstream in(out.str());
+  auto loaded = LoadDatabase(in, lean);
+  ASSERT_TRUE(loaded.ok());
+  QueryOptions scan;
+  scan.use_prefilter = false;
+  scan.use_projections = false;
+  auto r1 = db->Query("F refund");
+  auto r2 = (*loaded)->Query("F refund", scan);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->matches, r2->matches);
+}
+
+TEST(PersistenceTest, FileRoundTrip) {
+  auto db = MakeSampleDb();
+  const std::string path = ::testing::TempDir() + "/ctdb_persist_test.db";
+  ASSERT_TRUE(SaveDatabaseToFile(*db, path).ok());
+  auto loaded = LoadDatabaseFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->size(), db->size());
+  EXPECT_TRUE(LoadDatabaseFromFile(path + ".missing").status().IsNotFound());
+}
+
+TEST(PersistenceTest, RejectsCorruptedInput) {
+  auto reject = [](const std::string& text) {
+    std::istringstream in(text);
+    return LoadDatabase(in).status();
+  };
+  EXPECT_FALSE(reject("").ok());
+  EXPECT_FALSE(reject("wrong-header\n").ok());
+  EXPECT_FALSE(reject("ctdb-database-v1\nvocabulary x\n").ok());
+  EXPECT_FALSE(
+      reject("ctdb-database-v1\nvocabulary 0\ncontracts 1\n").ok());
+  EXPECT_FALSE(reject("ctdb-database-v1\nvocabulary 0\ncontracts 1\n"
+                      "contract 5\n")
+                   .ok());
+  // Truncated: no end-database.
+  auto db = MakeSampleDb();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveDatabase(*db, &out).ok());
+  std::string text = out.str();
+  text.resize(text.size() - 14);  // chop the footer
+  EXPECT_FALSE(reject(text).ok());
+}
+
+}  // namespace
+}  // namespace ctdb::broker

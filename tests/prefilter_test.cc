@@ -1,0 +1,187 @@
+#include "index/prefilter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compatibility.h"
+#include "testing_support.h"
+
+namespace ctdb::index {
+namespace {
+
+using automata::Buchi;
+using automata::StateId;
+
+Label L(std::initializer_list<Literal> lits) {
+  return Label::FromLiterals(std::vector<Literal>(lits));
+}
+
+Bitset Events(std::initializer_list<EventId> events, size_t n = 6) {
+  Bitset b(n);
+  for (EventId e : events) b.Set(e);
+  return b;
+}
+
+/// An automaton whose only distinct label is `label` (a `true` loop would
+/// expand to every literal combination and defeat the fixtures).
+Buchi Single(const Label& label) {
+  Buchi ba;
+  const StateId s = ba.AddState();
+  ba.SetFinal(s);
+  ba.AddTransition(0, label, s);
+  ba.AddTransition(s, label, s);
+  return ba;
+}
+
+TEST(PrefilterTest, EmptyIndexLookup) {
+  PrefilterIndex index;
+  EXPECT_TRUE(index.Lookup(L({{0, false}})).None());
+  EXPECT_TRUE(index.universe().None());
+  EXPECT_EQ(index.contract_count(), 0u);
+}
+
+TEST(PrefilterTest, TrueLabelReturnsUniverse) {
+  PrefilterIndex index;
+  index.Insert(0, Single(L({{0, false}})), Events({0}));
+  index.Insert(1, Single(L({{1, false}})), Events({1}));
+  const Bitset all = index.Lookup(Label());
+  EXPECT_EQ(all.Count(), 2u);
+}
+
+TEST(PrefilterTest, ExactLookupFindsCompatibleContracts) {
+  PrefilterIndex index;
+  // Contract 0 has a transition refund∧¬use (events {refund=0, use=1}).
+  index.Insert(0, Single(L({{0, false}, {1, true}})), Events({0, 1}));
+  // Contract 1 has use∧¬refund.
+  index.Insert(1, Single(L({{1, false}, {0, true}})), Events({0, 1}));
+
+  EXPECT_EQ(index.Lookup(L({{0, false}})).ToVector(),
+            (std::vector<size_t>{0}));
+  EXPECT_EQ(index.Lookup(L({{1, false}})).ToVector(),
+            (std::vector<size_t>{1}));
+  EXPECT_EQ(index.Lookup(L({{0, true}})).ToVector(),
+            (std::vector<size_t>{1}));
+  // Both literals at once (depth 2).
+  EXPECT_EQ(index.Lookup(L({{0, false}, {1, true}})).ToVector(),
+            (std::vector<size_t>{0}));
+  // No contract has refund ∧ use.
+  EXPECT_TRUE(index.Lookup(L({{0, false}, {1, false}})).None());
+}
+
+TEST(PrefilterTest, ExpansionCoversUncitedLabelEvents) {
+  // Example 11: label refund in a contract citing {refund, dateChange}: a
+  // query label refund∧dateChange is compatible (dateChange is unconstrained)
+  // and so is refund∧¬dateChange.
+  PrefilterIndex index;
+  index.Insert(0, Single(L({{0, false}})), Events({0, 4}));
+  EXPECT_FALSE(index.Lookup(L({{0, false}, {4, false}})).None());
+  EXPECT_FALSE(index.Lookup(L({{0, false}, {4, true}})).None());
+  // But refund ∧ ¬refund-conflicting lookups fail:
+  EXPECT_TRUE(index.Lookup(L({{0, true}})).None());
+}
+
+TEST(PrefilterTest, DeepLookupIntersectsSubsets) {
+  PrefilterOptions options;
+  options.max_depth = 2;
+  PrefilterIndex index(options);
+  index.Insert(0, Single(L({{0, false}, {1, false}, {2, false}})),
+               Events({0, 1, 2}));
+  index.Insert(1, Single(L({{0, false}, {1, false}, {2, true}})),
+               Events({0, 1, 2}));
+  // |λ| = 3 > k = 2: S'(λ) via intersection still separates the contracts.
+  const Bitset hit = index.Lookup(L({{0, false}, {1, false}, {2, false}}));
+  EXPECT_EQ(hit.ToVector(), (std::vector<size_t>{0}));
+  const Bitset other = index.Lookup(L({{0, false}, {1, false}, {2, true}}));
+  EXPECT_EQ(other.ToVector(), (std::vector<size_t>{1}));
+  EXPECT_TRUE(
+      index.Lookup(L({{0, true}, {1, false}, {2, false}})).None());
+}
+
+TEST(PrefilterTest, StatsReflectContent) {
+  PrefilterIndex index;
+  index.Insert(3, Single(L({{0, false}})), Events({0}));
+  const PrefilterStats stats = index.Stats();
+  EXPECT_GT(stats.node_count, 0u);
+  EXPECT_EQ(stats.contract_count, 1u);
+  EXPECT_GT(stats.memory_bytes, 0u);
+  EXPECT_TRUE(index.universe().Test(3));
+}
+
+/// Soundness property (§4.2): S'(λ) ⊇ S(λ) = every contract with a label
+/// compatible with λ — verified against a brute-force scan over random
+/// automata and random satisfiable query labels, for several index depths.
+class PrefilterSoundnessTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PrefilterSoundnessTest, LookupIsSupersetOfBruteForce) {
+  const size_t kEvents = 4;
+  PrefilterOptions options;
+  options.max_depth = GetParam();
+  PrefilterIndex index(options);
+  Rng rng(4242 + options.max_depth);
+
+  // Build 40 random single-state automata with random labels.
+  struct ContractData {
+    Buchi ba;
+    Bitset events;
+  };
+  std::vector<ContractData> contracts;
+  for (uint32_t id = 0; id < 40; ++id) {
+    ContractData c;
+    c.events = Bitset(kEvents);
+    Buchi ba;
+    const StateId s = ba.AddState();
+    ba.SetFinal(s);
+    const size_t labels = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < labels; ++i) {
+      Label label;
+      for (EventId e = 0; e < kEvents; ++e) {
+        const uint64_t pick = rng.Uniform(3);
+        if (pick == 1) {
+          label.AddPositive(e);
+          c.events.Set(e);
+        } else if (pick == 2) {
+          label.AddNegative(e);
+          c.events.Set(e);
+        }
+      }
+      ba.AddTransition(0, label, s);
+    }
+    // Cite one extra random event beyond the labels sometimes.
+    if (rng.Chance(0.3)) c.events.Set(rng.Uniform(kEvents));
+    c.ba = std::move(ba);
+    index.Insert(id, c.ba, c.events);
+    contracts.push_back(std::move(c));
+  }
+
+  for (int trial = 0; trial < 300; ++trial) {
+    Label query;
+    for (EventId e = 0; e < kEvents; ++e) {
+      const uint64_t pick = rng.Uniform(4);
+      if (pick == 1) query.AddPositive(e);
+      if (pick == 2) query.AddNegative(e);
+    }
+    const Bitset got = index.Lookup(query);
+    for (uint32_t id = 0; id < contracts.size(); ++id) {
+      bool compatible = false;
+      for (const Label& gamma : contracts[id].ba.DistinctLabels()) {
+        if (core::Compatible(gamma, query, contracts[id].events)) {
+          compatible = true;
+          break;
+        }
+      }
+      if (compatible) {
+        EXPECT_TRUE(got.Test(id))
+            << "depth " << options.max_depth << " missed contract " << id;
+      }
+      // Exact depth ≥ |query| must be exact, not just a superset.
+      if (query.LiteralCount() <= options.max_depth && !compatible) {
+        EXPECT_FALSE(got.Test(id));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PrefilterSoundnessTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace ctdb::index

@@ -1,0 +1,185 @@
+#include "ltl/query_dsl.h"
+
+#include <gtest/gtest.h>
+
+#include "broker/database.h"
+#include "ltl/evaluator.h"
+#include "ltl/parser.h"
+
+namespace ctdb::ltl::dsl {
+namespace {
+
+class QueryDslTest : public ::testing::Test {
+ protected:
+  QueryDslTest() : vocab_({"a", "b", "c"}) {
+    a_ = fac_.Prop(0);
+    b_ = fac_.Prop(1);
+    c_ = fac_.Prop(2);
+  }
+
+  /// Word where each character of `trace` names one instant's single event
+  /// ('.' = empty), followed by an empty cycle.
+  LassoWord Word(const std::string& trace) {
+    LassoWord w;
+    for (char ch : trace) {
+      Snapshot s(3);
+      if (ch == 'a') s.Set(0);
+      if (ch == 'b') s.Set(1);
+      if (ch == 'c') s.Set(2);
+      w.prefix.push_back(std::move(s));
+    }
+    w.cycle.push_back(Snapshot(3));
+    return w;
+  }
+
+  Vocabulary vocab_;
+  FormulaFactory fac_;
+  const Formula* a_;
+  const Formula* b_;
+  const Formula* c_;
+};
+
+TEST_F(QueryDslTest, SequenceRequiresStrictOrder) {
+  const Formula* f = Sequence({a_, b_, c_}, &fac_);
+  EXPECT_TRUE(Evaluate(f, Word("abc")));
+  EXPECT_TRUE(Evaluate(f, Word("a.b..c")));
+  EXPECT_FALSE(Evaluate(f, Word("acb")));
+  EXPECT_FALSE(Evaluate(f, Word("ab")));
+  // Strictness: a single instant cannot satisfy two steps of the same event.
+  const Formula* twice = Sequence({a_, a_}, &fac_);
+  EXPECT_FALSE(Evaluate(twice, Word("a")));
+  EXPECT_TRUE(Evaluate(twice, Word("aa")));
+  // Degenerate forms.
+  EXPECT_EQ(Sequence({}, &fac_), fac_.True());
+  EXPECT_EQ(Sequence({a_}, &fac_), fac_.Finally(a_));
+}
+
+TEST_F(QueryDslTest, NeverAndAlways) {
+  EXPECT_TRUE(Evaluate(Never(a_, &fac_), Word("bc")));
+  EXPECT_FALSE(Evaluate(Never(a_, &fac_), Word("ba")));
+  EXPECT_FALSE(Evaluate(AlwaysHolds(a_, &fac_), Word("a")));  // cycle empty
+  EXPECT_TRUE(Evaluate(EventuallyHappens(c_, &fac_), Word("abc")));
+}
+
+TEST_F(QueryDslTest, NeverAfterIsStrict) {
+  const Formula* f = NeverAfter(b_, a_, &fac_);
+  EXPECT_TRUE(Evaluate(f, Word("ba")));   // b before a: fine
+  EXPECT_FALSE(Evaluate(f, Word("ab")));  // b strictly after a
+  // Simultaneity is not "after".
+  LassoWord both;
+  Snapshot s(3);
+  s.Set(0);
+  s.Set(1);
+  both.prefix = {s};
+  both.cycle = {Snapshot(3)};
+  EXPECT_TRUE(Evaluate(f, both));
+}
+
+TEST_F(QueryDslTest, PossibleAfterIsStrict) {
+  const Formula* f = PossibleAfter(b_, a_, &fac_);
+  EXPECT_TRUE(Evaluate(f, Word("ab")));
+  EXPECT_FALSE(Evaluate(f, Word("ba")));
+  LassoWord both;
+  Snapshot s(3);
+  s.Set(0);
+  s.Set(1);
+  both.prefix = {s};
+  both.cycle = {Snapshot(3)};
+  EXPECT_FALSE(Evaluate(f, both));  // same instant does not count
+}
+
+TEST_F(QueryDslTest, RespondsTo) {
+  const Formula* f = RespondsTo(b_, a_, &fac_);
+  EXPECT_TRUE(Evaluate(f, Word("ab")));
+  EXPECT_TRUE(Evaluate(f, Word("..")));    // vacuous
+  EXPECT_FALSE(Evaluate(f, Word("ba")));   // second... wait, a unanswered
+  EXPECT_TRUE(Evaluate(f, Word("aab")));   // one b answers both
+}
+
+TEST_F(QueryDslTest, PrecedesMatchesPaperB) {
+  const Formula* f = Precedes(a_, b_, &fac_);
+  auto parsed = Parse("a B b", &fac_, &vocab_);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(f, *parsed);
+  EXPECT_TRUE(Evaluate(f, Word("ab")));
+  EXPECT_FALSE(Evaluate(f, Word("b")));
+}
+
+TEST_F(QueryDslTest, AtMostAndExactlyOnce) {
+  const Formula* at_most = AtMostOnce(a_, &fac_);
+  EXPECT_TRUE(Evaluate(at_most, Word("..")));
+  EXPECT_TRUE(Evaluate(at_most, Word(".a.")));
+  EXPECT_FALSE(Evaluate(at_most, Word("aa")));
+  EXPECT_FALSE(Evaluate(at_most, Word("a.a")));
+  const Formula* exactly = ExactlyOnce(a_, &fac_);
+  EXPECT_FALSE(Evaluate(exactly, Word("..")));
+  EXPECT_TRUE(Evaluate(exactly, Word(".a")));
+  EXPECT_FALSE(Evaluate(exactly, Word("a.a")));
+}
+
+TEST_F(QueryDslTest, MutuallyExclusive) {
+  const Formula* f = MutuallyExclusive({a_, b_, c_}, &fac_);
+  EXPECT_TRUE(Evaluate(f, Word("abc")));
+  LassoWord overlap;
+  Snapshot s(3);
+  s.Set(0);
+  s.Set(2);
+  overlap.prefix = {s};
+  overlap.cycle = {Snapshot(3)};
+  EXPECT_FALSE(Evaluate(f, overlap));
+}
+
+TEST_F(QueryDslTest, TerminalBlocksLaterEvents) {
+  const Formula* f = Terminal(c_, {a_, b_, c_}, &fac_);
+  EXPECT_TRUE(Evaluate(f, Word("abc")));
+  EXPECT_FALSE(Evaluate(f, Word("ca")));
+  EXPECT_FALSE(Evaluate(f, Word("cc")));
+  EXPECT_TRUE(Evaluate(f, Word("ab")));  // c never happens: vacuous
+}
+
+TEST_F(QueryDslTest, BuildsTicketCThroughTheBroker) {
+  // Reconstruct Example 5's Ticket C entirely through the DSL and check the
+  // paper's verdicts via the broker.
+  broker::ContractDatabase db;
+  auto* fac = db.factory();
+  auto* vocab = db.vocabulary();
+  const Formula* purchase = fac->Prop(*vocab->Intern("purchase"));
+  const Formula* use = fac->Prop(*vocab->Intern("use"));
+  const Formula* miss = fac->Prop(*vocab->Intern("missedFlight"));
+  const Formula* refund = fac->Prop(*vocab->Intern("refund"));
+  const Formula* change = fac->Prop(*vocab->Intern("dateChange"));
+  const std::vector<const Formula*> all = {purchase, use, miss, refund,
+                                           change};
+
+  const Formula* ticket_c = fac->AndAll({
+      MutuallyExclusive(all, fac),
+      AtMostOnce(purchase, fac),
+      Precedes(purchase, fac->OrAll({use, miss, refund, change}), fac),
+      Terminal(refund, all, fac),
+      Terminal(use, all, fac),
+      Never(refund, fac),
+      AtMostOnce(change, fac),
+      NeverAfter(change, miss, fac),
+  });
+  ASSERT_TRUE(db.RegisterFormula("Ticket C (DSL)", ticket_c).ok());
+
+  auto one_change = db.QueryFormula(Sequence({change}, fac));
+  ASSERT_TRUE(one_change.ok());
+  EXPECT_EQ(one_change->matches.size(), 1u);
+
+  auto two_changes = db.QueryFormula(Sequence({change, change}, fac));
+  ASSERT_TRUE(two_changes.ok());
+  EXPECT_TRUE(two_changes->matches.empty());
+
+  auto any_refund = db.QueryFormula(Sequence({refund}, fac));
+  ASSERT_TRUE(any_refund.ok());
+  EXPECT_TRUE(any_refund->matches.empty());
+
+  auto change_after_miss =
+      db.QueryFormula(PossibleAfter(change, miss, fac));
+  ASSERT_TRUE(change_after_miss.ok());
+  EXPECT_TRUE(change_after_miss->matches.empty());
+}
+
+}  // namespace
+}  // namespace ctdb::ltl::dsl

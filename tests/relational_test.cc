@@ -1,0 +1,71 @@
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ctdb::relational {
+namespace {
+
+TEST(CompareTest, Numbers) {
+  EXPECT_EQ(*Compare(Value{int64_t{1}}, Value{int64_t{2}}), -1);
+  EXPECT_EQ(*Compare(Value{int64_t{2}}, Value{int64_t{2}}), 0);
+  EXPECT_EQ(*Compare(Value{3.5}, Value{int64_t{3}}), 1);
+  EXPECT_EQ(*Compare(Value{int64_t{3}}, Value{3.0}), 0);
+}
+
+TEST(CompareTest, Strings) {
+  EXPECT_EQ(*Compare(Value{std::string("a")}, Value{std::string("b")}), -1);
+  EXPECT_EQ(*Compare(Value{std::string("b")}, Value{std::string("b")}), 0);
+}
+
+TEST(CompareTest, MixedTypesError) {
+  EXPECT_FALSE(Compare(Value{std::string("a")}, Value{int64_t{1}}).ok());
+}
+
+TEST(PredicateTest, AllOperators) {
+  Row row{{"price", Value{int64_t{100}}}, {"route", Value{std::string("SAN-NYC")}}};
+  EXPECT_TRUE(Matches(row, Predicate::Eq("price", int64_t{100})));
+  EXPECT_TRUE(Matches(row, Predicate::Ne("price", int64_t{99})));
+  EXPECT_TRUE(Matches(row, Predicate::Lt("price", int64_t{101})));
+  EXPECT_TRUE(Matches(row, Predicate::Le("price", int64_t{100})));
+  EXPECT_TRUE(Matches(row, Predicate::Gt("price", int64_t{99})));
+  EXPECT_TRUE(Matches(row, Predicate::Ge("price", int64_t{100})));
+  EXPECT_FALSE(Matches(row, Predicate::Lt("price", int64_t{100})));
+  EXPECT_TRUE(Matches(row, Predicate::Eq("route", std::string("SAN-NYC"))));
+}
+
+TEST(PredicateTest, MissingAttributeNeverMatches) {
+  Row row;
+  EXPECT_FALSE(Matches(row, Predicate::Eq("price", int64_t{1})));
+}
+
+TEST(PredicateTest, IncomparableTypesNeverMatch) {
+  Row row{{"price", Value{std::string("cheap")}}};
+  EXPECT_FALSE(Matches(row, Predicate::Lt("price", int64_t{10})));
+}
+
+TEST(TableTest, PutGetSelect) {
+  Table t;
+  t.Put(0, {{"price", Value{int64_t{100}}}, {"route", Value{std::string("A-B")}}});
+  t.Put(1, {{"price", Value{int64_t{200}}}, {"route", Value{std::string("A-B")}}});
+  t.Put(2, {{"price", Value{int64_t{150}}}, {"route", Value{std::string("C-D")}}});
+  EXPECT_EQ(t.size(), 3u);
+  ASSERT_TRUE(t.Get(1).ok());
+  EXPECT_TRUE(t.Get(9).status().IsNotFound());
+
+  const auto cheap_ab = t.Select({Predicate::Eq("route", std::string("A-B")),
+                                  Predicate::Le("price", int64_t{150})});
+  EXPECT_EQ(cheap_ab, (std::vector<uint32_t>{0}));
+  const auto all = t.Select({});
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(TableTest, PutReplaces) {
+  Table t;
+  t.Put(0, {{"price", Value{int64_t{1}}}});
+  t.Put(0, {{"price", Value{int64_t{2}}}});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(Matches(*t.Get(0), Predicate::Eq("price", int64_t{2})));
+}
+
+}  // namespace
+}  // namespace ctdb::relational

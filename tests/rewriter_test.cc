@@ -1,0 +1,96 @@
+#include "ltl/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "ltl/evaluator.h"
+#include "ltl/parser.h"
+#include "testing_support.h"
+
+namespace ctdb::ltl {
+namespace {
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  RewriterTest() : vocab_({"p", "q", "r"}) {}
+  const Formula* F(const std::string& text) {
+    auto r = Parse(text, &fac_, &vocab_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  }
+  Vocabulary vocab_;
+  FormulaFactory fac_;
+};
+
+TEST_F(RewriterTest, NnfOutputIsNnf) {
+  for (const char* text : {
+           "!(p & q)", "!(p | q)", "!(p -> q)", "!(p <-> q)", "!X p",
+           "!F p", "!G p", "!(p U q)", "!(p W q)", "!(p R q)", "!(p B q)",
+           "p B q", "p W q", "F p", "G p",
+           "G(p -> X(!F p))",
+       }) {
+    const Formula* nnf = ToNnf(F(text), &fac_);
+    EXPECT_TRUE(IsNnf(nnf)) << text << " -> " << nnf->ToString(vocab_);
+  }
+}
+
+TEST_F(RewriterTest, NnfKnownForms) {
+  EXPECT_EQ(ToNnf(F("!(p & q)"), &fac_), F("!p | !q"));
+  EXPECT_EQ(ToNnf(F("!(p U q)"), &fac_), ToNnf(F("!p R !q"), &fac_));
+  EXPECT_EQ(ToNnf(F("!X p"), &fac_), ToNnf(F("X !p"), &fac_));
+  EXPECT_EQ(ToNnf(F("p -> q"), &fac_), F("!p | q"));
+  // B via the paper identity: p B q = p R !q.
+  EXPECT_EQ(ToNnf(F("p B q"), &fac_), F("p R !q"));
+  EXPECT_EQ(ToNnf(F("!!p"), &fac_), F("p"));
+}
+
+TEST_F(RewriterTest, NnfPreservesSemantics) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Formula* f = ctdb::testing::RandomFormula(&rng, &fac_, 3, 3);
+    const Formula* nnf = ToNnf(f, &fac_);
+    ASSERT_TRUE(IsNnf(nnf)) << f->ToString(vocab_);
+    const LassoWord w = ctdb::testing::RandomWord(&rng, 3, 3, 3);
+    EXPECT_EQ(Evaluate(f, w), Evaluate(nnf, w))
+        << f->ToString(vocab_) << " vs " << nnf->ToString(vocab_);
+  }
+}
+
+TEST_F(RewriterTest, SimplifyKnownRules) {
+  // F(p U q) -> F q.
+  const Formula* f = ToNnf(F("F(p U q)"), &fac_);
+  EXPECT_EQ(SimplifyNnf(f, &fac_), ToNnf(F("F q"), &fac_));
+  // G(p R q) -> G q.
+  const Formula* g = ToNnf(F("G(p R q)"), &fac_);
+  EXPECT_EQ(SimplifyNnf(g, &fac_), ToNnf(F("G q"), &fac_));
+  // X p & X q -> X(p & q).
+  const Formula* x = ToNnf(F("X p & X q"), &fac_);
+  EXPECT_EQ(SimplifyNnf(x, &fac_), ToNnf(F("X(p & q)"), &fac_));
+  // (p U r) | (q U r) stays; (r U p) | (r U q) -> r U (p | q).
+  const Formula* u = ToNnf(F("(r U p) | (r U q)"), &fac_);
+  EXPECT_EQ(SimplifyNnf(u, &fac_), ToNnf(F("r U (p | q)"), &fac_));
+}
+
+TEST_F(RewriterTest, SimplifyPreservesSemantics) {
+  Rng rng(55555);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Formula* f = ctdb::testing::RandomFormula(&rng, &fac_, 3, 3);
+    const Formula* norm = Normalize(f, &fac_);
+    ASSERT_TRUE(IsNnf(norm)) << f->ToString(vocab_);
+    const LassoWord w = ctdb::testing::RandomWord(&rng, 3, 3, 3);
+    EXPECT_EQ(Evaluate(f, w), Evaluate(norm, w))
+        << f->ToString(vocab_) << " vs " << norm->ToString(vocab_);
+  }
+}
+
+TEST_F(RewriterTest, SimplifyNeverGrows) {
+  Rng rng(777);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Formula* f = ctdb::testing::RandomFormula(&rng, &fac_, 3, 4);
+    const Formula* nnf = ToNnf(f, &fac_);
+    const Formula* simplified = SimplifyNnf(nnf, &fac_);
+    EXPECT_LE(simplified->Size(), nnf->Size());
+  }
+}
+
+}  // namespace
+}  // namespace ctdb::ltl

@@ -1,0 +1,107 @@
+#include "automata/scc.h"
+
+#include <gtest/gtest.h>
+
+namespace ctdb::automata {
+namespace {
+
+TEST(SccTest, SingleStateNoLoop) {
+  Buchi ba;
+  const SccInfo scc = ComputeScc(ba);
+  EXPECT_EQ(scc.count, 1u);
+  EXPECT_FALSE(scc.cyclic[scc.component[0]]);
+}
+
+TEST(SccTest, SelfLoopIsCyclic) {
+  Buchi ba;
+  ba.AddTransition(0, Label(), 0);
+  const SccInfo scc = ComputeScc(ba);
+  EXPECT_EQ(scc.count, 1u);
+  EXPECT_TRUE(scc.cyclic[scc.component[0]]);
+}
+
+TEST(SccTest, ChainIsAllTrivial) {
+  Buchi ba;
+  const StateId s1 = ba.AddState();
+  const StateId s2 = ba.AddState();
+  ba.AddTransition(0, Label(), s1);
+  ba.AddTransition(s1, Label(), s2);
+  const SccInfo scc = ComputeScc(ba);
+  EXPECT_EQ(scc.count, 3u);
+  for (StateId s = 0; s < 3; ++s) {
+    EXPECT_FALSE(scc.cyclic[scc.component[s]]);
+  }
+  // Reverse topological order: successors get smaller component ids.
+  EXPECT_GT(scc.component[0], scc.component[s1]);
+  EXPECT_GT(scc.component[s1], scc.component[s2]);
+}
+
+TEST(SccTest, CycleGroupsStates) {
+  Buchi ba;
+  const StateId s1 = ba.AddState();
+  const StateId s2 = ba.AddState();
+  const StateId s3 = ba.AddState();
+  ba.AddTransition(0, Label(), s1);
+  ba.AddTransition(s1, Label(), s2);
+  ba.AddTransition(s2, Label(), s1);
+  ba.AddTransition(s2, Label(), s3);
+  const SccInfo scc = ComputeScc(ba);
+  EXPECT_EQ(scc.count, 3u);  // {0}, {s1,s2}, {s3}
+  EXPECT_EQ(scc.component[s1], scc.component[s2]);
+  EXPECT_NE(scc.component[0], scc.component[s1]);
+  EXPECT_TRUE(scc.cyclic[scc.component[s1]]);
+  EXPECT_FALSE(scc.cyclic[scc.component[s3]]);
+}
+
+TEST(SccTest, HasFinalFlag) {
+  Buchi ba;
+  const StateId s1 = ba.AddState();
+  ba.SetFinal(s1);
+  ba.AddTransition(0, Label(), s1);
+  ba.AddTransition(s1, Label(), 0);
+  const SccInfo scc = ComputeScc(ba);
+  EXPECT_EQ(scc.count, 1u);
+  EXPECT_TRUE(scc.has_final[0]);
+  EXPECT_TRUE(scc.OnFinalCycle(0));
+  EXPECT_TRUE(scc.OnFinalCycle(s1));
+}
+
+TEST(SccTest, OnFinalCycleRequiresBoth) {
+  Buchi ba;
+  const StateId loop = ba.AddState();   // cyclic, no final
+  const StateId fin = ba.AddState();    // final, no cycle
+  ba.SetFinal(fin);
+  ba.AddTransition(0, Label(), loop);
+  ba.AddTransition(loop, Label(), loop);
+  ba.AddTransition(loop, Label(), fin);
+  const SccInfo scc = ComputeScc(ba);
+  EXPECT_FALSE(scc.OnFinalCycle(loop));
+  EXPECT_FALSE(scc.OnFinalCycle(fin));
+  EXPECT_FALSE(scc.OnFinalCycle(0));
+}
+
+TEST(SccTest, DisconnectedStatesCovered) {
+  Buchi ba;
+  ba.AddState();  // unreachable but still decomposed
+  const SccInfo scc = ComputeScc(ba);
+  EXPECT_EQ(scc.count, 2u);
+  EXPECT_EQ(scc.component.size(), 2u);
+}
+
+TEST(SccTest, LargeCycleSingleComponent) {
+  Buchi ba;
+  const size_t n = 500;
+  StateId prev = 0;
+  for (size_t i = 1; i < n; ++i) {
+    const StateId s = ba.AddState();
+    ba.AddTransition(prev, Label(), s);
+    prev = s;
+  }
+  ba.AddTransition(prev, Label(), 0);
+  const SccInfo scc = ComputeScc(ba);
+  EXPECT_EQ(scc.count, 1u);
+  EXPECT_TRUE(scc.cyclic[0]);
+}
+
+}  // namespace
+}  // namespace ctdb::automata

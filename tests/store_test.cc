@@ -1,0 +1,138 @@
+#include "projection/store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/permission.h"
+#include "ltl/parser.h"
+#include "testing_support.h"
+#include "translate/ltl_to_ba.h"
+
+namespace ctdb::projection {
+namespace {
+
+using automata::Buchi;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  Buchi BA(const std::string& text) {
+    auto f = ltl::Parse(text, &fac_, &vocab_);
+    EXPECT_TRUE(f.ok()) << f.status();
+    auto ba = translate::LtlToBuchi(*f, &fac_);
+    EXPECT_TRUE(ba.ok()) << ba.status();
+    return std::move(*ba);
+  }
+  Vocabulary vocab_ = ctdb::testing::TestVocabulary(4);
+  ltl::FormulaFactory fac_;
+};
+
+TEST_F(StoreTest, WrapOnlyReturnsOriginal) {
+  Buchi ba = BA("G(e0 -> F e1)");
+  const size_t states = ba.StateCount();
+  ContractProjections store = ContractProjections::WrapOnly(std::move(ba));
+  Bitset any(4);
+  any.Set(0);
+  EXPECT_EQ(&store.ForQueryEvents(any), &store.original());
+  EXPECT_EQ(store.original().StateCount(), states);
+  EXPECT_EQ(store.stats().subsets_computed, 0u);
+}
+
+TEST_F(StoreTest, PrecomputeEnumeratesAllSubsets) {
+  ContractProjections store =
+      ContractProjections::Precompute(BA("G(e0 -> F e1)"));
+  const ProjectionStats stats = store.stats();
+  EXPECT_EQ(stats.cited_events, 2u);
+  EXPECT_EQ(stats.subsets_computed, 4u);  // {}, {0}, {1}, {0,1}
+  EXPECT_GE(stats.distinct_partitions, 1u);
+  EXPECT_LE(stats.distinct_partitions, stats.subsets_computed);
+  EXPECT_GT(stats.partition_memory_bytes, 0u);
+}
+
+TEST_F(StoreTest, EmptyQuerySetGivesSmallestQuotient) {
+  ContractProjections store =
+      ContractProjections::Precompute(BA("G(e0 -> F e1) & G(e2 -> F e3)"));
+  Bitset none(4);
+  const Buchi& q = store.ForQueryEvents(none);
+  // Projecting away all literals leaves a (usually 1-2 state) skeleton.
+  EXPECT_LE(q.StateCount(), store.original().StateCount());
+}
+
+TEST_F(StoreTest, QuotientIsCached) {
+  ContractProjections store =
+      ContractProjections::Precompute(BA("G(e0 -> F e1)"));
+  Bitset events(4);
+  events.Set(0);
+  const Buchi& first = store.ForQueryEvents(events);
+  const Buchi& second = store.ForQueryEvents(events);
+  EXPECT_EQ(&first, &second);
+}
+
+TEST_F(StoreTest, CapFallsBackToFullSet) {
+  ProjectionStoreOptions options;
+  options.max_enumerated_events = 1;  // force the capped path
+  options.max_subset_size = 1;
+  ContractProjections store = ContractProjections::Precompute(
+      BA("G(e0 -> F e1) & G(e2 -> F e3)"), options);
+  // A 2-event query has no exact entry: falls back to the full-set quotient,
+  // which must still be permission-equivalent (checked by the property test
+  // below); here we check it exists and is no larger than the original.
+  Bitset two(4);
+  two.Set(0);
+  two.Set(2);
+  const Buchi& q = store.ForQueryEvents(two);
+  EXPECT_LE(q.StateCount(), store.original().StateCount());
+}
+
+TEST_F(StoreTest, ContractCitingNothing) {
+  ContractProjections store = ContractProjections::Precompute(BA("true"));
+  EXPECT_EQ(store.stats().cited_events, 0u);
+  Bitset any(4);
+  any.Set(1);
+  const Buchi& q = store.ForQueryEvents(any);
+  EXPECT_GE(q.StateCount(), 1u);
+}
+
+/// The store's end-to-end guarantee: for random contracts and queries, and
+/// for every store configuration, permission through ForQueryEvents equals
+/// permission on the original automaton.
+class StorePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StorePropertyTest, PermissionInvariantUnderStoreQuotients) {
+  const size_t kEvents = 3;
+  ltl::FormulaFactory fac;
+  const Vocabulary vocab = ctdb::testing::TestVocabulary(kEvents);
+  Rng rng(606060 + GetParam());
+  ProjectionStoreOptions options;
+  options.max_enumerated_events = GetParam();  // 0 forces capped everywhere
+  options.max_subset_size = GetParam() == 0 ? 1 : 2;
+
+  for (int trial = 0; trial < 120; ++trial) {
+    const ltl::Formula* cf =
+        ctdb::testing::RandomFormula(&rng, &fac, kEvents, 3);
+    const ltl::Formula* qf =
+        ctdb::testing::RandomFormula(&rng, &fac, kEvents, 2);
+    auto cba = translate::LtlToBuchi(cf, &fac);
+    auto qba = translate::LtlToBuchi(qf, &fac);
+    ASSERT_TRUE(cba.ok());
+    ASSERT_TRUE(qba.ok());
+    Bitset contract_events;
+    cf->CollectEvents(&contract_events);
+    contract_events.Resize(kEvents);
+
+    const bool original = core::Permits(*cba, contract_events, *qba);
+    ContractProjections store =
+        ContractProjections::Precompute(std::move(*cba), options);
+    const Buchi& simplified = store.ForQueryEvents(qba->CitedEvents());
+    const bool with_store =
+        core::Permits(simplified, contract_events, *qba);
+    ASSERT_EQ(original, with_store)
+        << "contract: " << cf->ToString(vocab)
+        << "\nquery: " << qf->ToString(vocab)
+        << "\nconfig: " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, StorePropertyTest,
+                         ::testing::Values(0, 2, 12));
+
+}  // namespace
+}  // namespace ctdb::projection

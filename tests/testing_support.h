@@ -1,0 +1,73 @@
+// Shared helpers for property-based tests: random formulas and random lasso
+// words with seed-reproducible draws.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/run.h"
+#include "base/vocabulary.h"
+#include "ltl/formula.h"
+#include "util/rng.h"
+
+namespace ctdb::testing {
+
+/// Draws a random LTL formula over events [0, num_events) of the given node
+/// depth, covering every operator (including derived ones).
+inline const ltl::Formula* RandomFormula(Rng* rng, ltl::FormulaFactory* fac,
+                                         size_t num_events, int depth) {
+  using ltl::Op;
+  if (depth <= 0) {
+    const uint64_t pick = rng->Uniform(num_events + 2);
+    if (pick == num_events) return fac->True();
+    if (pick == num_events + 1) return fac->False();
+    return fac->Prop(static_cast<EventId>(pick));
+  }
+  static constexpr Op kOps[] = {
+      Op::kNot,      Op::kAnd,     Op::kOr,       Op::kImplies,
+      Op::kIff,      Op::kNext,    Op::kFinally,  Op::kGlobally,
+      Op::kUntil,    Op::kWeakUntil, Op::kRelease, Op::kBefore,
+  };
+  const Op op = kOps[rng->Uniform(sizeof(kOps) / sizeof(kOps[0]))];
+  const ltl::Formula* left =
+      RandomFormula(rng, fac, num_events, depth - 1 - static_cast<int>(rng->Uniform(2)));
+  if (ltl::IsUnary(op)) return fac->Make(op, left, nullptr);
+  const ltl::Formula* right =
+      RandomFormula(rng, fac, num_events, depth - 1 - static_cast<int>(rng->Uniform(2)));
+  return fac->Make(op, left, right);
+}
+
+/// Draws a random snapshot over `num_events` events.
+inline Snapshot RandomSnapshot(Rng* rng, size_t num_events) {
+  Snapshot s(num_events);
+  for (size_t e = 0; e < num_events; ++e) {
+    if (rng->Chance(0.4)) s.Set(e);
+  }
+  return s;
+}
+
+/// Draws a random lasso word u·vʷ with the given maximum lengths
+/// (|v| ≥ 1 always).
+inline LassoWord RandomWord(Rng* rng, size_t num_events, size_t max_prefix,
+                            size_t max_cycle) {
+  LassoWord w;
+  const size_t prefix = rng->Uniform(max_prefix + 1);
+  const size_t cycle = 1 + rng->Uniform(max_cycle);
+  for (size_t i = 0; i < prefix; ++i) {
+    w.prefix.push_back(RandomSnapshot(rng, num_events));
+  }
+  for (size_t i = 0; i < cycle; ++i) {
+    w.cycle.push_back(RandomSnapshot(rng, num_events));
+  }
+  return w;
+}
+
+/// A vocabulary "e0".."e{n-1}" for rendering diagnostics.
+inline Vocabulary TestVocabulary(size_t n) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < n; ++i) names.push_back("e" + std::to_string(i));
+  return Vocabulary(names);
+}
+
+}  // namespace ctdb::testing

@@ -1,0 +1,164 @@
+// The central correctness anchor of the translation substrate:
+//   for random formulas ϕ and random lasso words w,
+//     w ⊨ ϕ  (reference evaluator)  ⇔  BA(ϕ) accepts w.
+// Runs across every pipeline configuration, plus satisfiability
+// cross-checks (BA emptiness vs. witness search).
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "automata/word.h"
+#include "ltl/evaluator.h"
+#include "ltl/patterns.h"
+#include "testing_support.h"
+#include "translate/ltl_to_ba.h"
+
+namespace ctdb::translate {
+namespace {
+
+using automata::AcceptsWord;
+
+struct PipelineConfig {
+  const char* name;
+  bool simplify;
+  bool prune;
+  bool reduce;
+};
+
+class TranslateOracleTest : public ::testing::TestWithParam<PipelineConfig> {};
+
+TEST_P(TranslateOracleTest, AgreesWithEvaluatorOnRandomInputs) {
+  const PipelineConfig& config = GetParam();
+  TranslateOptions options;
+  options.simplify_formula = config.simplify;
+  options.prune = config.prune;
+  options.reduce = config.reduce;
+
+  const size_t kEvents = 3;
+  const Vocabulary vocab = ctdb::testing::TestVocabulary(kEvents);
+  ltl::FormulaFactory fac;
+  Rng rng(987654u ^ (config.simplify ? 1 : 0) ^ (config.prune ? 2 : 0) ^
+          (config.reduce ? 4 : 0));
+
+  for (int trial = 0; trial < 250; ++trial) {
+    const ltl::Formula* f =
+        ctdb::testing::RandomFormula(&rng, &fac, kEvents, 3);
+    auto ba = LtlToBuchi(f, &fac, options);
+    ASSERT_TRUE(ba.ok()) << f->ToString(vocab) << ": " << ba.status();
+    for (int w = 0; w < 12; ++w) {
+      const LassoWord word = ctdb::testing::RandomWord(&rng, kEvents, 3, 3);
+      const bool expected = ltl::Evaluate(f, word);
+      const bool actual = AcceptsWord(*ba, word);
+      ASSERT_EQ(expected, actual)
+          << "formula: " << f->ToString(vocab)
+          << "\nword: " << word.ToString(vocab)
+          << "\nconfig: " << config.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pipelines, TranslateOracleTest,
+    ::testing::Values(PipelineConfig{"raw", false, false, false},
+                      PipelineConfig{"simplify", true, false, false},
+                      PipelineConfig{"prune", false, true, false},
+                      PipelineConfig{"reduce", false, false, true},
+                      PipelineConfig{"full", true, true, true}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(TranslateOracleTest, DeeperFormulasAgree) {
+  const size_t kEvents = 4;
+  const Vocabulary vocab = ctdb::testing::TestVocabulary(kEvents);
+  ltl::FormulaFactory fac;
+  Rng rng(13579);
+  for (int trial = 0; trial < 60; ++trial) {
+    const ltl::Formula* f =
+        ctdb::testing::RandomFormula(&rng, &fac, kEvents, 5);
+    auto ba = LtlToBuchi(f, &fac);
+    ASSERT_TRUE(ba.ok()) << f->ToString(vocab);
+    for (int w = 0; w < 8; ++w) {
+      const LassoWord word = ctdb::testing::RandomWord(&rng, kEvents, 4, 4);
+      ASSERT_EQ(ltl::Evaluate(f, word), AcceptsWord(*ba, word))
+          << f->ToString(vocab) << " on " << word.ToString(vocab);
+    }
+  }
+}
+
+TEST(TranslateOracleTest, DwyerPatternsAgree) {
+  const size_t kEvents = 4;
+  const Vocabulary vocab = ctdb::testing::TestVocabulary(kEvents);
+  ltl::FormulaFactory fac;
+  Rng rng(24680);
+  const ltl::Formula* props[4] = {fac.Prop(0), fac.Prop(1), fac.Prop(2),
+                                  fac.Prop(3)};
+  for (int b = 0; b < 5; ++b) {
+    for (int s = 0; s < 4; ++s) {
+      const ltl::Formula* f = ltl::MakePattern(
+          static_cast<ltl::PatternBehavior>(b),
+          static_cast<ltl::PatternScope>(s), props[0], props[1], props[2],
+          props[3], &fac);
+      auto ba = LtlToBuchi(f, &fac);
+      ASSERT_TRUE(ba.ok()) << f->ToString(vocab);
+      for (int w = 0; w < 120; ++w) {
+        const LassoWord word = ctdb::testing::RandomWord(&rng, kEvents, 4, 3);
+        ASSERT_EQ(ltl::Evaluate(f, word), AcceptsWord(*ba, word))
+            << f->ToString(vocab) << " on " << word.ToString(vocab);
+      }
+    }
+  }
+}
+
+/// Emptiness of BA(ϕ) must agree with an exhaustive witness search over all
+/// short lasso words on a 1-event vocabulary.
+TEST(TranslateOracleTest, EmptinessMatchesWitnessSearch) {
+  const size_t kEvents = 1;
+  ltl::FormulaFactory fac;
+  const Vocabulary vocab = ctdb::testing::TestVocabulary(kEvents);
+  Rng rng(112233);
+
+  // All lasso words over {∅,{e0}} with |u| ≤ 2, |v| ≤ 2.
+  std::vector<LassoWord> words;
+  for (int pl = 0; pl <= 2; ++pl) {
+    for (int cl = 1; cl <= 2; ++cl) {
+      for (int bits = 0; bits < (1 << (pl + cl)); ++bits) {
+        LassoWord w;
+        for (int i = 0; i < pl + cl; ++i) {
+          Snapshot s(1);
+          if ((bits >> i) & 1) s.Set(0);
+          if (i < pl) {
+            w.prefix.push_back(s);
+          } else {
+            w.cycle.push_back(s);
+          }
+        }
+        words.push_back(std::move(w));
+      }
+    }
+  }
+
+  for (int trial = 0; trial < 150; ++trial) {
+    const ltl::Formula* f =
+        ctdb::testing::RandomFormula(&rng, &fac, kEvents, 3);
+    auto ba = LtlToBuchi(f, &fac);
+    ASSERT_TRUE(ba.ok());
+    bool witness = false;
+    for (const LassoWord& w : words) {
+      if (ltl::Evaluate(f, w)) {
+        witness = true;
+        break;
+      }
+    }
+    // Over a 1-event vocabulary, any satisfiable formula of tableau size k
+    // has an ultimately-periodic model; short words suffice for depth-3
+    // formulas in practice. Only assert the sound direction plus agreement:
+    if (witness) {
+      EXPECT_FALSE(automata::IsEmptyLanguage(*ba)) << f->ToString(vocab);
+    }
+    if (automata::IsEmptyLanguage(*ba)) {
+      EXPECT_FALSE(witness) << f->ToString(vocab);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ctdb::translate

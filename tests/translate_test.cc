@@ -1,0 +1,207 @@
+#include "translate/ltl_to_ba.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "automata/word.h"
+#include "ltl/parser.h"
+#include "ltl/rewriter.h"
+#include "translate/degeneralize.h"
+#include "translate/tableau.h"
+
+namespace ctdb::translate {
+namespace {
+
+using automata::AcceptsWord;
+using automata::Buchi;
+using automata::IsEmptyLanguage;
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  TranslateTest() : vocab_({"p", "q", "r"}) {}
+
+  Buchi BA(const std::string& text) {
+    auto f = ltl::Parse(text, &fac_, &vocab_);
+    EXPECT_TRUE(f.ok()) << f.status();
+    auto ba = LtlToBuchi(*f, &fac_);
+    EXPECT_TRUE(ba.ok()) << text << ": " << ba.status();
+    EXPECT_TRUE(ba->Validate().ok());
+    return std::move(*ba);
+  }
+
+  Snapshot Snap(std::initializer_list<EventId> events) {
+    Snapshot s(vocab_.size());
+    for (EventId e : events) s.Set(e);
+    return s;
+  }
+
+  Vocabulary vocab_;
+  ltl::FormulaFactory fac_;
+};
+
+TEST_F(TranslateTest, TrueAcceptsEverything) {
+  const Buchi ba = BA("true");
+  EXPECT_FALSE(IsEmptyLanguage(ba));
+  LassoWord w;
+  w.prefix = {Snap({0}), Snap({1, 2})};
+  w.cycle = {Snap({})};
+  EXPECT_TRUE(AcceptsWord(ba, w));
+}
+
+TEST_F(TranslateTest, FalseIsEmpty) {
+  EXPECT_TRUE(IsEmptyLanguage(BA("false")));
+  EXPECT_TRUE(IsEmptyLanguage(BA("p & !p")));
+  EXPECT_TRUE(IsEmptyLanguage(BA("F p & G !p")));
+  EXPECT_TRUE(IsEmptyLanguage(BA("G(p) & F(!p)")));
+}
+
+TEST_F(TranslateTest, SatisfiableFormulasNonEmpty) {
+  for (const char* text : {"p", "!p", "F p", "G p", "p U q", "p W q",
+                           "p R q", "p B q", "G(p -> F q)",
+                           "G(p -> X(!F p))", "F G p", "G F p"}) {
+    EXPECT_FALSE(IsEmptyLanguage(BA(text))) << text;
+  }
+}
+
+TEST_F(TranslateTest, PropositionChecksFirstSnapshot) {
+  const Buchi ba = BA("p");
+  LassoWord with;
+  with.prefix = {Snap({0})};
+  with.cycle = {Snap({})};
+  EXPECT_TRUE(AcceptsWord(ba, with));
+  LassoWord without;
+  without.prefix = {Snap({1})};
+  without.cycle = {Snap({0})};
+  EXPECT_FALSE(AcceptsWord(ba, without));
+}
+
+TEST_F(TranslateTest, UntilRequiresWitness) {
+  const Buchi ba = BA("p U q");
+  LassoWord ok;
+  ok.prefix = {Snap({0}), Snap({0}), Snap({1})};
+  ok.cycle = {Snap({})};
+  EXPECT_TRUE(AcceptsWord(ba, ok));
+  LassoWord no_witness;
+  no_witness.cycle = {Snap({0})};
+  EXPECT_FALSE(AcceptsWord(ba, no_witness));
+  LassoWord gap;
+  gap.prefix = {Snap({0}), Snap({}), Snap({1})};
+  gap.cycle = {Snap({})};
+  EXPECT_FALSE(AcceptsWord(ba, gap));
+}
+
+TEST_F(TranslateTest, GloballyEventually) {
+  const Buchi ba = BA("G F p");
+  LassoWord infinitely;
+  infinitely.cycle = {Snap({0}), Snap({})};
+  EXPECT_TRUE(AcceptsWord(ba, infinitely));
+  LassoWord finitely;
+  finitely.prefix = {Snap({0}), Snap({0})};
+  finitely.cycle = {Snap({})};
+  EXPECT_FALSE(AcceptsWord(ba, finitely));
+}
+
+TEST_F(TranslateTest, LabelsCiteOnlyFormulaEvents) {
+  const Buchi ba = BA("G(p -> F q)");
+  const Bitset cited = ba.CitedEvents();
+  EXPECT_FALSE(cited.Test(2));  // r not in the formula
+}
+
+TEST_F(TranslateTest, InfoReportsPipelineSizes) {
+  auto f = ltl::Parse("G(p -> F q)", &fac_, &vocab_);
+  TranslateInfo info;
+  auto ba = LtlToBuchi(*f, &fac_, {}, &info);
+  ASSERT_TRUE(ba.ok());
+  EXPECT_GT(info.tableau_states, 0u);
+  EXPECT_GE(info.degeneralized, info.final_states);
+  EXPECT_EQ(info.final_states, ba->StateCount());
+  EXPECT_EQ(info.final_transitions, ba->TransitionCount());
+}
+
+TEST_F(TranslateTest, ReductionsShrinkOrKeep) {
+  auto f = ltl::Parse("G(p -> F q) & G(q -> F r)", &fac_, &vocab_);
+  TranslateOptions raw;
+  raw.prune = false;
+  raw.reduce = false;
+  raw.simplify_formula = false;
+  auto big = LtlToBuchi(*f, &fac_, raw);
+  auto small = LtlToBuchi(*f, &fac_);
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_LE(small->StateCount(), big->StateCount());
+}
+
+TEST_F(TranslateTest, TableauNodeBudgetEnforced) {
+  auto f = ltl::Parse(
+      "(p U q) & (q U r) & (r U p) & (p U r) & (r U q) & (q U p)", &fac_,
+      &vocab_);
+  TranslateOptions options;
+  options.tableau.max_nodes = 2;
+  auto ba = LtlToBuchi(*f, &fac_, options);
+  EXPECT_TRUE(ba.status().IsResourceExhausted());
+}
+
+TEST_F(TranslateTest, TableauRejectsNonNnfInput) {
+  // BuildTableau is documented to require NNF.
+  auto f = ltl::Parse("!(p U q)", &fac_, &vocab_);
+  auto result = BuildTableau(*f, &fac_);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(TranslateTest, DegeneralizeZeroSetsMarksAllFinal) {
+  GeneralizedBuchi gba;
+  gba.automaton.AddTransition(0, Label(), 0);
+  const Buchi ba = Degeneralize(gba);
+  EXPECT_TRUE(ba.IsFinal(0));
+  EXPECT_FALSE(IsEmptyLanguage(ba));
+}
+
+TEST_F(TranslateTest, DegeneralizeTwoSetsRequiresBoth) {
+  // Two states looping: state 0 in F1 only, state 1 in F2 only.
+  GeneralizedBuchi gba;
+  Buchi& a = gba.automaton;
+  const auto s1 = a.AddState();
+  a.AddTransition(0, Label(), s1);
+  a.AddTransition(s1, Label(), 0);
+  Bitset f1(2);
+  f1.Set(0);
+  Bitset f2(2);
+  f2.Set(s1);
+  gba.acceptance = {f1, f2};
+  const Buchi ba = Degeneralize(gba);
+  EXPECT_FALSE(IsEmptyLanguage(ba));
+
+  // Now make F2 unreachable-on-cycles: {} — language empty.
+  gba.acceptance[1] = Bitset(2);
+  const Buchi empty = Degeneralize(gba);
+  EXPECT_TRUE(IsEmptyLanguage(empty));
+}
+
+TEST_F(TranslateTest, PaperExampleTicketAStructure) {
+  // Ticket A (Figure 1a): no refund after date change, plus common clauses.
+  Vocabulary vocab(
+      {"purchase", "use", "missedFlight", "refund", "dateChange"});
+  ltl::FormulaFactory fac;
+  auto f = ltl::Parse("G(dateChange -> !F refund)", &fac, &vocab);
+  ASSERT_TRUE(f.ok());
+  auto ba = LtlToBuchi(*f, &fac);
+  ASSERT_TRUE(ba.ok());
+  EXPECT_FALSE(IsEmptyLanguage(*ba));
+  // A run with dateChange then refund must be rejected…
+  LassoWord bad;
+  Snapshot dc(5);
+  dc.Set(4);
+  Snapshot rf(5);
+  rf.Set(3);
+  bad.prefix = {dc, rf};
+  bad.cycle = {Snapshot(5)};
+  EXPECT_FALSE(AcceptsWord(*ba, bad));
+  // …refund then dateChange is fine.
+  LassoWord good;
+  good.prefix = {rf, dc};
+  good.cycle = {Snapshot(5)};
+  EXPECT_TRUE(AcceptsWord(*ba, good));
+}
+
+}  // namespace
+}  // namespace ctdb::translate

@@ -1,0 +1,49 @@
+#include "base/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace ctdb {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary v;
+  EXPECT_EQ(*v.Intern("purchase"), 0u);
+  EXPECT_EQ(*v.Intern("use"), 1u);
+  EXPECT_EQ(*v.Intern("refund"), 2u);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.Name(1), "use");
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  const EventId a = *v.Intern("x");
+  const EventId b = *v.Intern("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VocabularyTest, FindExistingAndMissing) {
+  Vocabulary v({"a", "b"});
+  EXPECT_EQ(*v.Find("b"), 1u);
+  EXPECT_TRUE(v.Find("zzz").status().IsNotFound());
+  EXPECT_TRUE(v.Contains("a"));
+  EXPECT_FALSE(v.Contains("zzz"));
+}
+
+TEST(VocabularyTest, RejectsIllegalNames) {
+  Vocabulary v;
+  EXPECT_TRUE(v.Intern("").status().IsInvalidArgument());
+  EXPECT_TRUE(v.Intern("1abc").status().IsInvalidArgument());
+  EXPECT_TRUE(v.Intern("has space").status().IsInvalidArgument());
+  EXPECT_TRUE(v.Intern("has-dash").status().IsInvalidArgument());
+  EXPECT_TRUE(v.Intern("_ok").ok());
+  EXPECT_TRUE(v.Intern("ok_2").ok());
+}
+
+TEST(VocabularyTest, NamesInIdOrder) {
+  Vocabulary v({"c", "a", "b"});
+  EXPECT_EQ(v.names(), (std::vector<std::string>{"c", "a", "b"}));
+}
+
+}  // namespace
+}  // namespace ctdb

@@ -1,0 +1,162 @@
+#include "core/witness.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/word.h"
+#include "broker/database.h"
+#include "core/permission.h"
+#include "ltl/evaluator.h"
+#include "ltl/parser.h"
+#include "testing_support.h"
+#include "translate/ltl_to_ba.h"
+
+namespace ctdb::core {
+namespace {
+
+using automata::AcceptsWord;
+using automata::Buchi;
+
+class WitnessTest : public ::testing::Test {
+ protected:
+  WitnessTest() : vocab_(ctdb::testing::TestVocabulary(4)) {}
+
+  Buchi BA(const std::string& text, const ltl::Formula** formula = nullptr) {
+    auto f = ltl::Parse(text, &fac_, &vocab_);
+    EXPECT_TRUE(f.ok()) << f.status();
+    if (formula != nullptr) *formula = *f;
+    auto ba = translate::LtlToBuchi(*f, &fac_);
+    EXPECT_TRUE(ba.ok()) << ba.status();
+    return std::move(*ba);
+  }
+
+  Vocabulary vocab_;
+  ltl::FormulaFactory fac_;
+};
+
+TEST_F(WitnessTest, WitnessExistsIffPermitted) {
+  const ltl::Formula* cf = nullptr;
+  const Buchi contract = BA("G(e0 -> F e1)", &cf);
+  Bitset events;
+  cf->CollectEvents(&events);
+
+  const Buchi yes = BA("F e1");
+  EXPECT_TRUE(Permits(contract, events, yes));
+  EXPECT_TRUE(FindWitness(contract, events, yes).has_value());
+
+  const Buchi no = BA("F e2");  // e2 not cited by the contract
+  EXPECT_FALSE(Permits(contract, events, no));
+  EXPECT_FALSE(FindWitness(contract, events, no).has_value());
+}
+
+TEST_F(WitnessTest, WitnessIsAcceptedByBothAutomata) {
+  const ltl::Formula* cf = nullptr;
+  const ltl::Formula* qf = nullptr;
+  const Buchi contract = BA("G(e0 -> F e1) & G(!e2)", &cf);
+  const Buchi query = BA("F(e0 & F e1)", &qf);
+  Bitset events;
+  cf->CollectEvents(&events);
+  auto witness = FindWitness(contract, events, query);
+  ASSERT_TRUE(witness.has_value());
+  ASSERT_TRUE(witness->Valid());
+  EXPECT_TRUE(AcceptsWord(contract, *witness));
+  EXPECT_TRUE(AcceptsWord(query, *witness));
+  // And semantically, via the independent evaluator.
+  EXPECT_TRUE(ltl::Evaluate(cf, *witness));
+  EXPECT_TRUE(ltl::Evaluate(qf, *witness));
+}
+
+TEST_F(WitnessTest, WitnessStaysInContractVocabulary) {
+  const ltl::Formula* cf = nullptr;
+  const Buchi contract = BA("G F e0", &cf);
+  Bitset events;
+  cf->CollectEvents(&events);
+  const Buchi query = BA("F e0");
+  auto witness = FindWitness(contract, events, query);
+  ASSERT_TRUE(witness.has_value());
+  for (size_t i = 0; i < witness->PositionCount(); ++i) {
+    Bitset outside = witness->At(i);
+    outside.Subtract(events);
+    EXPECT_TRUE(outside.None())
+        << "witness uses an event the contract does not cite";
+  }
+}
+
+/// Property: on random contract/query pairs, FindWitness agrees with
+/// Permits, and every produced witness validates against both automata and
+/// both formulas.
+TEST_F(WitnessTest, RandomPairsProperty) {
+  Rng rng(0x417  );
+  const size_t kEvents = 3;
+  for (int trial = 0; trial < 150; ++trial) {
+    const ltl::Formula* cf =
+        ctdb::testing::RandomFormula(&rng, &fac_, kEvents, 3);
+    const ltl::Formula* qf =
+        ctdb::testing::RandomFormula(&rng, &fac_, kEvents, 2);
+    auto cba = translate::LtlToBuchi(cf, &fac_);
+    auto qba = translate::LtlToBuchi(qf, &fac_);
+    ASSERT_TRUE(cba.ok());
+    ASSERT_TRUE(qba.ok());
+    Bitset events;
+    cf->CollectEvents(&events);
+    events.Resize(kEvents);
+
+    const bool permitted = Permits(*cba, events, *qba);
+    auto witness = FindWitness(*cba, events, *qba);
+    ASSERT_EQ(permitted, witness.has_value())
+        << cf->ToString(vocab_) << " | " << qf->ToString(vocab_);
+    if (witness.has_value()) {
+      EXPECT_TRUE(AcceptsWord(*cba, *witness));
+      EXPECT_TRUE(AcceptsWord(*qba, *witness));
+      EXPECT_TRUE(ltl::Evaluate(cf, *witness));
+      EXPECT_TRUE(ltl::Evaluate(qf, *witness));
+    }
+  }
+}
+
+TEST_F(WitnessTest, BrokerCollectsAlignedWitnesses) {
+  broker::ContractDatabase db;
+  ASSERT_TRUE(db.Register("a", "G(p -> F q)").ok());
+  ASSERT_TRUE(db.Register("b", "G(!q)").ok());
+  ASSERT_TRUE(db.Register("c", "F q & G(p -> F q)").ok());
+  broker::QueryOptions options;
+  options.collect_witnesses = true;
+  auto r = db.Query("F q", options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->matches.size(), 2u);
+  ASSERT_EQ(r->witnesses.size(), r->matches.size());
+  for (size_t i = 0; i < r->matches.size(); ++i) {
+    const auto& contract = db.contract(r->matches[i]);
+    ASSERT_TRUE(r->witnesses[i].Valid());
+    EXPECT_TRUE(AcceptsWord(contract.automaton(), r->witnesses[i]));
+  }
+  // Without the flag no witnesses are produced.
+  auto r2 = db.Query("F q");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->witnesses.empty());
+}
+
+TEST_F(WitnessTest, PaperTicketWitnessReadsSensibly) {
+  Vocabulary vocab(
+      {"purchase", "use", "missedFlight", "refund", "dateChange"});
+  ltl::FormulaFactory fac;
+  auto cf = ltl::Parse(
+      "(purchase B (use | missedFlight | refund | dateChange)) & "
+      "G(dateChange -> !F refund) & G F purchase",
+      &fac, &vocab);
+  ASSERT_TRUE(cf.ok());
+  auto cba = translate::LtlToBuchi(*cf, &fac);
+  ASSERT_TRUE(cba.ok());
+  auto qf = ltl::Parse("F refund", &fac, &vocab);
+  auto qba = translate::LtlToBuchi(*qf, &fac);
+  ASSERT_TRUE(qba.ok());
+  Bitset events;
+  (*cf)->CollectEvents(&events);
+  auto witness = FindWitness(*cba, events, *qba);
+  ASSERT_TRUE(witness.has_value());
+  // The rendering is stable enough to show users.
+  EXPECT_FALSE(witness->ToString(vocab).empty());
+  EXPECT_TRUE(automata::AcceptsWord(*qba, *witness));
+}
+
+}  // namespace
+}  // namespace ctdb::core

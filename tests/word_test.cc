@@ -1,0 +1,126 @@
+#include "automata/word.h"
+
+#include <gtest/gtest.h>
+
+namespace ctdb::automata {
+namespace {
+
+Label L(std::initializer_list<Literal> lits) {
+  return Label::FromLiterals(std::vector<Literal>(lits));
+}
+
+Snapshot Snap(std::initializer_list<EventId> events, size_t n = 4) {
+  Snapshot s(n);
+  for (EventId e : events) s.Set(e);
+  return s;
+}
+
+/// The query BA of Figure 1b: refund after a missed flight.
+/// init --missedFlight--> s1 --refund--> s2(final, true-loop); init and s1
+/// carry true self-loops. Events: 0 = missedFlight, 1 = refund.
+Buchi Figure1b() {
+  Buchi ba;
+  const StateId s1 = ba.AddState();
+  const StateId s2 = ba.AddState();
+  ba.SetFinal(s2);
+  ba.AddTransition(0, Label(), 0);
+  ba.AddTransition(0, L({{0, false}}), s1);
+  ba.AddTransition(s1, Label(), s1);
+  ba.AddTransition(s1, L({{1, false}}), s2);
+  ba.AddTransition(s2, Label(), s2);
+  return ba;
+}
+
+TEST(WordTest, Figure1bAcceptsMissThenRefund) {
+  const Buchi ba = Figure1b();
+  LassoWord w;
+  w.prefix = {Snap({0}), Snap({1})};
+  w.cycle = {Snap({})};
+  EXPECT_TRUE(AcceptsWord(ba, w));
+}
+
+TEST(WordTest, Figure1bRejectsRefundOnly) {
+  const Buchi ba = Figure1b();
+  LassoWord w;
+  w.prefix = {Snap({1})};
+  w.cycle = {Snap({})};
+  EXPECT_FALSE(AcceptsWord(ba, w));
+}
+
+TEST(WordTest, Figure1bRejectsRefundBeforeMiss) {
+  const Buchi ba = Figure1b();
+  LassoWord w;
+  w.prefix = {Snap({1}), Snap({0})};
+  w.cycle = {Snap({})};
+  EXPECT_FALSE(AcceptsWord(ba, w));
+}
+
+TEST(WordTest, Figure1bAcceptsEventsInsideCycle) {
+  const Buchi ba = Figure1b();
+  LassoWord w;
+  w.cycle = {Snap({0}), Snap({1})};  // miss, refund, miss, refund, ...
+  EXPECT_TRUE(AcceptsWord(ba, w));
+}
+
+TEST(WordTest, EmptyAutomatonRejectsEverything) {
+  Buchi ba;  // no final, no transitions
+  LassoWord w;
+  w.cycle = {Snap({})};
+  EXPECT_FALSE(AcceptsWord(ba, w));
+}
+
+TEST(WordTest, TrueLoopFinalAcceptsEverything) {
+  Buchi ba;
+  ba.SetFinal(0);
+  ba.AddTransition(0, Label(), 0);
+  LassoWord w;
+  w.prefix = {Snap({0}), Snap({1, 2})};
+  w.cycle = {Snap({3}), Snap({})};
+  EXPECT_TRUE(AcceptsWord(ba, w));
+}
+
+TEST(WordTest, FinalOnPrefixOnlyIsNotAccepting) {
+  // final state is traversed once but the run then leaves it forever.
+  Buchi ba;
+  const StateId fin = ba.AddState();
+  const StateId sink = ba.AddState();
+  ba.SetFinal(fin);
+  ba.AddTransition(0, Label(), fin);
+  ba.AddTransition(fin, Label(), sink);
+  ba.AddTransition(sink, Label(), sink);
+  LassoWord w;
+  w.cycle = {Snap({})};
+  EXPECT_FALSE(AcceptsWord(ba, w));
+}
+
+TEST(WordTest, NegativeLiteralBlocksTransition) {
+  Buchi ba;
+  const StateId fin = ba.AddState();
+  ba.SetFinal(fin);
+  ba.AddTransition(0, L({{0, true}}), fin);  // requires !e0
+  ba.AddTransition(fin, Label(), fin);
+  LassoWord with_e0;
+  with_e0.prefix = {Snap({0})};
+  with_e0.cycle = {Snap({})};
+  EXPECT_FALSE(AcceptsWord(ba, with_e0));
+  LassoWord without;
+  without.prefix = {Snap({})};
+  without.cycle = {Snap({})};
+  EXPECT_TRUE(AcceptsWord(ba, without));
+}
+
+TEST(WordTest, CycleMustSatisfyLabelsEveryIteration) {
+  // Final loop requires e0 in every snapshot of the cycle.
+  Buchi ba;
+  ba.SetFinal(0);
+  ba.AddTransition(0, L({{0, false}}), 0);
+  LassoWord alternating;
+  alternating.cycle = {Snap({0}), Snap({})};
+  EXPECT_FALSE(AcceptsWord(ba, alternating));
+  LassoWord constant;
+  constant.cycle = {Snap({0})};
+  EXPECT_TRUE(AcceptsWord(ba, constant));
+}
+
+}  // namespace
+}  // namespace ctdb::automata

@@ -1,0 +1,137 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/ops.h"
+#include "ltl/parser.h"
+#include "workload/spec.h"
+
+namespace ctdb::workload {
+namespace {
+
+TEST(GeneratorTest, DeterministicForEqualSeeds) {
+  GeneratorOptions options;
+  options.properties = 3;
+  Vocabulary v1;
+  ltl::FormulaFactory f1;
+  SpecGenerator g1(options, 42, &v1, &f1);
+  Vocabulary v2;
+  ltl::FormulaFactory f2;
+  SpecGenerator g2(options, 42, &v2, &f2);
+  for (int i = 0; i < 5; ++i) {
+    auto a = g1.Next();
+    auto b = g2.Next();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->text, b->text);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentSpecs) {
+  GeneratorOptions options;
+  options.properties = 3;
+  Vocabulary v;
+  ltl::FormulaFactory f;
+  SpecGenerator g1(options, 1, &v, &f);
+  SpecGenerator g2(options, 2, &v, &f);
+  auto a = g1.Next();
+  auto b = g2.Next();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->text, b->text);
+}
+
+TEST(GeneratorTest, VocabularyInterned) {
+  GeneratorOptions options;
+  options.vocabulary_size = 7;
+  Vocabulary v;
+  ltl::FormulaFactory f;
+  SpecGenerator g(options, 3, &v, &f);
+  EXPECT_EQ(v.size(), 7u);
+  EXPECT_TRUE(v.Contains("p1"));
+  EXPECT_TRUE(v.Contains("p7"));
+  EXPECT_FALSE(v.Contains("p8"));
+}
+
+TEST(GeneratorTest, SpecsAreNonDegenerate) {
+  GeneratorOptions options;
+  options.properties = 5;
+  Vocabulary v;
+  ltl::FormulaFactory f;
+  SpecGenerator g(options, 7, &v, &f);
+  for (int i = 0; i < 10; ++i) {
+    auto spec = g.Next();
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    EXPECT_FALSE(automata::IsEmptyLanguage(spec->automaton));
+    EXPECT_GT(spec->automaton.StateCount(), 1u);
+    EXPECT_FALSE(spec->text.empty());
+    EXPECT_NE(spec->formula, nullptr);
+  }
+}
+
+TEST(GeneratorTest, DrawPropertyUsesDistinctEventsWithinPattern) {
+  GeneratorOptions options;
+  Vocabulary v;
+  ltl::FormulaFactory f;
+  SpecGenerator g(options, 11, &v, &f);
+  for (int i = 0; i < 50; ++i) {
+    const ltl::Formula* prop = g.DrawProperty();
+    ASSERT_NE(prop, nullptr);
+    Bitset events;
+    prop->CollectEvents(&events);
+    EXPECT_GE(events.Count(), 1u);
+    EXPECT_LE(events.Count(), 4u);
+  }
+}
+
+TEST(GeneratorTest, PropertyTextParsesBack) {
+  GeneratorOptions options;
+  options.properties = 4;
+  Vocabulary v;
+  ltl::FormulaFactory f;
+  SpecGenerator g(options, 13, &v, &f);
+  auto spec = g.Next();
+  ASSERT_TRUE(spec.ok());
+  auto reparsed = ltl::Parse(spec->text, &f, &v);
+  ASSERT_TRUE(reparsed.ok()) << spec->text;
+  EXPECT_EQ(*reparsed, spec->formula);
+}
+
+TEST(DatasetTest, PaperDatasetsMatchTable2Sizes) {
+  const auto datasets = PaperDatasets();
+  ASSERT_EQ(datasets.size(), 6u);
+  EXPECT_EQ(datasets[0].name, "Simple contracts");
+  EXPECT_EQ(datasets[0].size, 3000u);
+  EXPECT_EQ(datasets[0].patterns, 5u);
+  EXPECT_FALSE(datasets[0].is_query);
+  EXPECT_EQ(datasets[1].size, 1000u);
+  EXPECT_EQ(datasets[1].patterns, 6u);
+  EXPECT_EQ(datasets[2].patterns, 7u);
+  EXPECT_EQ(datasets[3].size, 100u);
+  EXPECT_EQ(datasets[3].patterns, 1u);
+  EXPECT_TRUE(datasets[3].is_query);
+  EXPECT_EQ(datasets[5].patterns, 3u);
+}
+
+TEST(DatasetTest, ScaledDatasetsRoundUp) {
+  const auto scaled = ScaledDatasets(0.01);
+  EXPECT_EQ(scaled[0].size, 30u);   // 3000 * 0.01
+  EXPECT_EQ(scaled[3].size, 1u);    // 100 * 0.01 → ceil
+}
+
+TEST(DatasetTest, GenerateDatasetProducesRequestedCount) {
+  auto datasets = ScaledDatasets(0.003);  // 9 simple contracts, 1 query each
+  Vocabulary v;
+  ltl::FormulaFactory f;
+  auto specs = GenerateDataset(datasets[0], &v, &f);
+  ASSERT_TRUE(specs.ok()) << specs.status();
+  EXPECT_EQ(specs->size(), datasets[0].size);
+  std::set<std::string> distinct;
+  for (const auto& s : *specs) distinct.insert(s.text);
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ctdb::workload
