@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_scaling.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig5_scaling.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig5_scaling.dir/bench_fig5_scaling.cc.o"
+  "CMakeFiles/bench_fig5_scaling.dir/bench_fig5_scaling.cc.o.d"
+  "bench_fig5_scaling"
+  "bench_fig5_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

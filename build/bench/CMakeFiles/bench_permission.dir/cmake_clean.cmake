@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_permission.dir/bench_common.cc.o"
+  "CMakeFiles/bench_permission.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_permission.dir/bench_permission.cc.o"
+  "CMakeFiles/bench_permission.dir/bench_permission.cc.o.d"
+  "bench_permission"
+  "bench_permission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_permission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

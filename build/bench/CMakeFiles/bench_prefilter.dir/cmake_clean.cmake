@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prefilter.dir/bench_common.cc.o"
+  "CMakeFiles/bench_prefilter.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_prefilter.dir/bench_prefilter.cc.o"
+  "CMakeFiles/bench_prefilter.dir/bench_prefilter.cc.o.d"
+  "bench_prefilter"
+  "bench_prefilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_translate.dir/bench_common.cc.o"
+  "CMakeFiles/bench_translate.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_translate.dir/bench_translate.cc.o"
+  "CMakeFiles/bench_translate.dir/bench_translate.cc.o.d"
+  "bench_translate"
+  "bench_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

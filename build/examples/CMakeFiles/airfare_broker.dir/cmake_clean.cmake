@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfare_broker.dir/airfare_broker.cpp.o"
+  "CMakeFiles/airfare_broker.dir/airfare_broker.cpp.o.d"
+  "airfare_broker"
+  "airfare_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfare_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_shell.dir/broker_shell.cpp.o"
+  "CMakeFiles/broker_shell.dir/broker_shell.cpp.o.d"
+  "broker_shell"
+  "broker_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

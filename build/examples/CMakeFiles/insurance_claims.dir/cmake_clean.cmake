@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insurance_claims.dir/insurance_claims.cpp.o"
+  "CMakeFiles/insurance_claims.dir/insurance_claims.cpp.o.d"
+  "insurance_claims"
+  "insurance_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insurance_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warranty_market.dir/warranty_market.cpp.o"
+  "CMakeFiles/warranty_market.dir/warranty_market.cpp.o.d"
+  "warranty_market"
+  "warranty_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warranty_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

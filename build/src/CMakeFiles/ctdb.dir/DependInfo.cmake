@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/bisimulation.cc" "src/CMakeFiles/ctdb.dir/automata/bisimulation.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/automata/bisimulation.cc.o.d"
+  "/root/repo/src/automata/buchi.cc" "src/CMakeFiles/ctdb.dir/automata/buchi.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/automata/buchi.cc.o.d"
+  "/root/repo/src/automata/dot.cc" "src/CMakeFiles/ctdb.dir/automata/dot.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/automata/dot.cc.o.d"
+  "/root/repo/src/automata/ops.cc" "src/CMakeFiles/ctdb.dir/automata/ops.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/automata/ops.cc.o.d"
+  "/root/repo/src/automata/quotient.cc" "src/CMakeFiles/ctdb.dir/automata/quotient.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/automata/quotient.cc.o.d"
+  "/root/repo/src/automata/scc.cc" "src/CMakeFiles/ctdb.dir/automata/scc.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/automata/scc.cc.o.d"
+  "/root/repo/src/automata/serialize.cc" "src/CMakeFiles/ctdb.dir/automata/serialize.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/automata/serialize.cc.o.d"
+  "/root/repo/src/automata/word.cc" "src/CMakeFiles/ctdb.dir/automata/word.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/automata/word.cc.o.d"
+  "/root/repo/src/base/label.cc" "src/CMakeFiles/ctdb.dir/base/label.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/base/label.cc.o.d"
+  "/root/repo/src/base/vocabulary.cc" "src/CMakeFiles/ctdb.dir/base/vocabulary.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/base/vocabulary.cc.o.d"
+  "/root/repo/src/broker/database.cc" "src/CMakeFiles/ctdb.dir/broker/database.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/broker/database.cc.o.d"
+  "/root/repo/src/broker/persistence.cc" "src/CMakeFiles/ctdb.dir/broker/persistence.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/broker/persistence.cc.o.d"
+  "/root/repo/src/broker/stats.cc" "src/CMakeFiles/ctdb.dir/broker/stats.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/broker/stats.cc.o.d"
+  "/root/repo/src/core/permission.cc" "src/CMakeFiles/ctdb.dir/core/permission.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/core/permission.cc.o.d"
+  "/root/repo/src/core/witness.cc" "src/CMakeFiles/ctdb.dir/core/witness.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/core/witness.cc.o.d"
+  "/root/repo/src/index/condition.cc" "src/CMakeFiles/ctdb.dir/index/condition.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/index/condition.cc.o.d"
+  "/root/repo/src/index/prefilter.cc" "src/CMakeFiles/ctdb.dir/index/prefilter.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/index/prefilter.cc.o.d"
+  "/root/repo/src/index/pruning.cc" "src/CMakeFiles/ctdb.dir/index/pruning.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/index/pruning.cc.o.d"
+  "/root/repo/src/ltl/evaluator.cc" "src/CMakeFiles/ctdb.dir/ltl/evaluator.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/ltl/evaluator.cc.o.d"
+  "/root/repo/src/ltl/formula.cc" "src/CMakeFiles/ctdb.dir/ltl/formula.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/ltl/formula.cc.o.d"
+  "/root/repo/src/ltl/parser.cc" "src/CMakeFiles/ctdb.dir/ltl/parser.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/ltl/parser.cc.o.d"
+  "/root/repo/src/ltl/patterns.cc" "src/CMakeFiles/ctdb.dir/ltl/patterns.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/ltl/patterns.cc.o.d"
+  "/root/repo/src/ltl/query_dsl.cc" "src/CMakeFiles/ctdb.dir/ltl/query_dsl.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/ltl/query_dsl.cc.o.d"
+  "/root/repo/src/ltl/rewriter.cc" "src/CMakeFiles/ctdb.dir/ltl/rewriter.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/ltl/rewriter.cc.o.d"
+  "/root/repo/src/projection/projection.cc" "src/CMakeFiles/ctdb.dir/projection/projection.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/projection/projection.cc.o.d"
+  "/root/repo/src/projection/store.cc" "src/CMakeFiles/ctdb.dir/projection/store.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/projection/store.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/ctdb.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/relational/table.cc.o.d"
+  "/root/repo/src/translate/degeneralize.cc" "src/CMakeFiles/ctdb.dir/translate/degeneralize.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/translate/degeneralize.cc.o.d"
+  "/root/repo/src/translate/ltl_to_ba.cc" "src/CMakeFiles/ctdb.dir/translate/ltl_to_ba.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/translate/ltl_to_ba.cc.o.d"
+  "/root/repo/src/translate/tableau.cc" "src/CMakeFiles/ctdb.dir/translate/tableau.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/translate/tableau.cc.o.d"
+  "/root/repo/src/util/bitset.cc" "src/CMakeFiles/ctdb.dir/util/bitset.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/util/bitset.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/ctdb.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/ctdb.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/ctdb.dir/util/status.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/ctdb.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/ctdb.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/CMakeFiles/ctdb.dir/workload/spec.cc.o" "gcc" "src/CMakeFiles/ctdb.dir/workload/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisimulation_test.dir/bisimulation_test.cc.o"
+  "CMakeFiles/bisimulation_test.dir/bisimulation_test.cc.o.d"
+  "bisimulation_test"
+  "bisimulation_test.pdb"
+  "bisimulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisimulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefilter_test.dir/prefilter_test.cc.o"
+  "CMakeFiles/prefilter_test.dir/prefilter_test.cc.o.d"
+  "prefilter_test"
+  "prefilter_test.pdb"
+  "prefilter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefilter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_dsl_test.dir/query_dsl_test.cc.o"
+  "CMakeFiles/query_dsl_test.dir/query_dsl_test.cc.o.d"
+  "query_dsl_test"
+  "query_dsl_test.pdb"
+  "query_dsl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_dsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_property_test.dir/translate_property_test.cc.o"
+  "CMakeFiles/translate_property_test.dir/translate_property_test.cc.o.d"
+  "translate_property_test"
+  "translate_property_test.pdb"
+  "translate_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
