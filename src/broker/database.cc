@@ -1,7 +1,7 @@
 #include "broker/database.h"
 
 #include <algorithm>
-#include <thread>
+#include <utility>
 
 #include "core/compatibility.h"
 #include "core/witness.h"
@@ -12,6 +12,22 @@ namespace ctdb::broker {
 
 ContractDatabase::ContractDatabase(const DatabaseOptions& options)
     : options_(options), prefilter_(options.prefilter) {}
+
+size_t ContractDatabase::ResolveThreads(size_t requested) const {
+  const size_t threads = requested == 0 ? options_.threads : requested;
+  return threads == 0 ? 1 : threads;
+}
+
+util::ThreadPool* ContractDatabase::EnsurePool(size_t threads) {
+  if (threads <= 1) return nullptr;
+  // The calling thread participates in ParallelFor, so `threads`-way
+  // concurrency needs threads - 1 workers.
+  const size_t workers = threads - 1;
+  if (pool_ == nullptr || pool_->thread_count() < workers) {
+    pool_ = std::make_unique<util::ThreadPool>(workers);
+  }
+  return pool_.get();
+}
 
 Result<uint32_t> ContractDatabase::Register(std::string name,
                                             std::string_view ltl_text,
@@ -60,7 +76,7 @@ Result<uint32_t> ContractDatabase::RegisterAutomaton(std::string name,
   timer.Reset();
   if (options_.build_projections) {
     contract->projections = projection::ContractProjections::Precompute(
-        std::move(ba), options_.projections);
+        std::move(ba), options_.projections, EnsurePool(options_.threads));
     if (stats != nullptr) {
       stats->projection_precompute_ms = timer.ElapsedMillis();
       const projection::ProjectionStats ps = contract->projections.stats();
@@ -105,6 +121,14 @@ Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
   std::vector<Built> built(entries.size());
   const Vocabulary vocab_snapshot = vocab_;
 
+  const size_t workers = std::max<size_t>(
+      1, std::min(ResolveThreads(threads),
+                  entries.size() == 0 ? 1 : entries.size()));
+  // With a single worker the batch itself is serial, but each contract's
+  // projection precompute can still use the shared executor.
+  util::ThreadPool* precompute_pool =
+      workers <= 1 ? EnsurePool(options_.threads) : nullptr;
+
   auto build_range = [&](size_t start, size_t stride) {
     ltl::FormulaFactory local_factory;
     Vocabulary local_vocab = vocab_snapshot;
@@ -129,22 +153,20 @@ Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
       contract->projections =
           options_.build_projections
               ? projection::ContractProjections::Precompute(
-                    std::move(*ba), options_.projections)
+                    std::move(*ba), options_.projections, precompute_pool)
               : projection::ContractProjections::WrapOnly(std::move(*ba));
       built[i].contract = std::move(contract);
     }
   };
 
-  const size_t workers = std::max<size_t>(
-      1, std::min(threads, entries.size() == 0 ? 1 : entries.size()));
   if (workers <= 1) {
     build_range(0, 1);
   } else {
-    std::vector<std::thread> pool;
-    for (size_t t = 0; t < workers; ++t) {
-      pool.emplace_back(build_range, t, workers);
-    }
-    for (std::thread& t : pool) t.join();
+    CTDB_RETURN_NOT_OK(EnsurePool(workers)->ParallelFor(
+        0, workers, [&](size_t t) -> Status {
+          build_range(t, workers);
+          return Status::OK();
+        }));
   }
   for (const Built& b : built) {
     CTDB_RETURN_NOT_OK(b.status);
@@ -173,6 +195,37 @@ Result<QueryResult> ContractDatabase::Query(std::string_view ltl_text,
                         ltl::Parse(ltl_text, &factory_, &vocab_,
                                    parse_options));
   return QueryFormula(query, options);
+}
+
+void ContractDatabase::CheckCandidate(size_t contract_index,
+                                      const automata::Buchi& query_ba,
+                                      const Bitset& query_events,
+                                      const QueryOptions& options,
+                                      std::vector<uint32_t>* matches,
+                                      std::vector<LassoWord>* witnesses,
+                                      core::PermissionStats* stats) {
+  Contract& contract = *contracts_[contract_index];
+  const bool use_projection =
+      options.use_projections && options_.build_projections;
+  const automata::Buchi& contract_ba =
+      use_projection ? contract.projections.ForQueryEvents(query_events)
+                     : contract.automaton();
+  // Seed states were computed on the registered automaton; the quotient has
+  // different state ids, so only pass them through when applicable.
+  const Bitset* seeds = use_projection ? nullptr : &contract.seed_states;
+  if (core::Permits(contract_ba, contract.events, query_ba,
+                    options.permission, seeds, stats)) {
+    matches->push_back(contract.id);
+    if (options.collect_witnesses) {
+      // Witnesses come from the *registered* automaton: the simplified
+      // projection's labels are projected, so its runs are not directly
+      // presentable contract behavior.
+      auto witness = core::FindWitness(contract.automaton(), contract.events,
+                                       query_ba);
+      witnesses->push_back(witness.has_value() ? std::move(*witness)
+                                               : LassoWord{});
+    }
+  }
 }
 
 Result<QueryResult> ContractDatabase::QueryFormula(const ltl::Formula* query,
@@ -204,51 +257,24 @@ Result<QueryResult> ContractDatabase::QueryFormula(const ltl::Formula* query,
   result.stats.prefilter_ms = phase.ElapsedMillis();
   result.stats.candidates = candidates.Count();
 
-  // 3. Permission checks over candidates (§3.1 / §5.2).
+  // 3. Permission checks over candidates (§3.1 / §5.2), on the shared
+  // executor when more than one thread is requested.
   phase.Reset();
   const Bitset query_events = query_ba.CitedEvents();
-  const bool use_projection =
-      options.use_projections && options_.build_projections;
-
-  // Checks one candidate; appends to the given output buffers.
-  auto check = [&](size_t idx, std::vector<uint32_t>* matches,
-                   std::vector<LassoWord>* witnesses,
-                   core::PermissionStats* stats) {
-    Contract& contract = *contracts_[idx];
-    const automata::Buchi& contract_ba =
-        use_projection ? contract.projections.ForQueryEvents(query_events)
-                       : contract.automaton();
-    // Seed states were computed on the registered automaton; the quotient has
-    // different state ids, so only pass them through when applicable.
-    const Bitset* seeds = use_projection ? nullptr : &contract.seed_states;
-    if (core::Permits(contract_ba, contract.events, query_ba,
-                      options.permission, seeds, stats)) {
-      matches->push_back(contract.id);
-      if (options.collect_witnesses) {
-        // Witnesses come from the *registered* automaton: the simplified
-        // projection's labels are projected, so its runs are not directly
-        // presentable contract behavior.
-        auto witness = core::FindWitness(contract.automaton(),
-                                         contract.events, query_ba);
-        witnesses->push_back(witness.has_value() ? std::move(*witness)
-                                                 : LassoWord{});
-      }
-    }
-  };
 
   const std::vector<size_t> candidate_ids = candidates.ToVector();
   const size_t threads =
-      std::min(options.threads == 0 ? size_t{1} : options.threads,
+      std::min(ResolveThreads(options.threads),
                candidate_ids.size() == 0 ? size_t{1} : candidate_ids.size());
   if (threads <= 1) {
     for (size_t idx : candidate_ids) {
-      check(idx, &result.matches, &result.witnesses,
-            &result.stats.permission);
+      CheckCandidate(idx, query_ba, query_events, options, &result.matches,
+                     &result.witnesses, &result.stats.permission);
     }
   } else {
-    // Strided static partition (thread t takes candidates t, t+threads, …):
-    // spreads expensive contracts across threads, and each contract (and
-    // thus each lazy quotient cache) is touched by exactly one thread, so no
+    // Strided static partition (shard t takes candidates t, t+threads, …):
+    // spreads expensive contracts across shards, and each contract (and
+    // thus each lazy quotient cache) is touched by exactly one shard, so no
     // locking is needed. Results are re-sorted by contract id afterwards.
     struct Shard {
       std::vector<uint32_t> matches;
@@ -256,16 +282,15 @@ Result<QueryResult> ContractDatabase::QueryFormula(const ltl::Formula* query,
       core::PermissionStats stats;
     };
     std::vector<Shard> shards(threads);
-    std::vector<std::thread> workers;
-    for (size_t t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        for (size_t i = t; i < candidate_ids.size(); i += threads) {
-          check(candidate_ids[i], &shards[t].matches, &shards[t].witnesses,
-                &shards[t].stats);
-        }
-      });
-    }
-    for (std::thread& w : workers) w.join();
+    CTDB_RETURN_NOT_OK(EnsurePool(threads)->ParallelFor(
+        0, threads, [&](size_t t) -> Status {
+          for (size_t i = t; i < candidate_ids.size(); i += threads) {
+            CheckCandidate(candidate_ids[i], query_ba, query_events, options,
+                           &shards[t].matches, &shards[t].witnesses,
+                           &shards[t].stats);
+          }
+          return Status::OK();
+        }));
     std::vector<std::pair<uint32_t, LassoWord>> merged;
     for (Shard& shard : shards) {
       for (size_t i = 0; i < shard.matches.size(); ++i) {
@@ -289,6 +314,155 @@ Result<QueryResult> ContractDatabase::QueryFormula(const ltl::Formula* query,
   result.stats.matches = result.matches.size();
   result.stats.total_ms = total.ElapsedMillis();
   return result;
+}
+
+Result<std::vector<QueryResult>> ContractDatabase::QueryBatch(
+    const std::vector<std::string>& queries, const QueryOptions& options) {
+  // Phase 1 (serial): parse every query against the shared factory and
+  // vocabulary, so unknown-event typos fail the whole batch up front (the
+  // same contract Query offers — and with require_known_events the parse
+  // cannot intern new events, so the snapshot below is complete).
+  ltl::ParseOptions parse_options;
+  parse_options.require_known_events = true;
+  std::vector<const ltl::Formula*> formulas(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto parsed = ltl::Parse(queries[i], &factory_, &vocab_, parse_options);
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(),
+                    "query " + std::to_string(i) + ": " +
+                        parsed.status().message());
+    }
+    formulas[i] = *parsed;
+  }
+
+  std::vector<QueryResult> results(queries.size());
+  const size_t threads =
+      std::min(ResolveThreads(options.threads),
+               queries.size() == 0 ? size_t{1} : queries.size());
+  if (threads <= 1) {
+    // Serial: exactly a sequence of Query calls.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      CTDB_ASSIGN_OR_RETURN(results[i], QueryFormula(formulas[i], options));
+    }
+    return results;
+  }
+  util::ThreadPool* pool = EnsurePool(threads);
+
+  // Phase 2 (parallel across queries): translate and prefilter. Workers
+  // re-parse into thread-local factories (as RegisterBatch does); the
+  // prefilter index is read-only here.
+  struct Prep {
+    Status status = Status::OK();
+    automata::Buchi ba;
+    Bitset query_events;
+    std::vector<size_t> candidates;
+  };
+  std::vector<Prep> preps(queries.size());
+  const Vocabulary vocab_snapshot = vocab_;
+  const size_t prep_workers = threads;
+  CTDB_RETURN_NOT_OK(pool->ParallelFor(0, prep_workers, [&](size_t t)
+                                           -> Status {
+    ltl::FormulaFactory local_factory;
+    Vocabulary local_vocab = vocab_snapshot;
+    for (size_t i = t; i < queries.size(); i += prep_workers) {
+      Prep& prep = preps[i];
+      QueryStats& stats = results[i].stats;
+      stats.database_size = contracts_.size();
+      Timer phase;
+      auto parsed = ltl::Parse(queries[i], &local_factory, &local_vocab);
+      if (!parsed.ok()) {
+        prep.status = parsed.status();
+        continue;
+      }
+      auto ba = translate::LtlToBuchi(*parsed, &local_factory,
+                                      options_.translate);
+      if (!ba.ok()) {
+        prep.status = ba.status();
+        continue;
+      }
+      prep.ba = std::move(*ba);
+      stats.translate_ms = phase.ElapsedMillis();
+      stats.query_states = prep.ba.StateCount();
+      stats.query_transitions = prep.ba.TransitionCount();
+
+      phase.Reset();
+      Bitset candidates;
+      if (options.use_prefilter && options_.build_prefilter) {
+        const index::Condition condition =
+            index::ExtractPruningCondition(prep.ba, options.pruning);
+        candidates = condition.Evaluate(prefilter_);
+      } else {
+        candidates = Bitset::AllSet(contracts_.size());
+      }
+      candidates.Resize(contracts_.size());
+      stats.prefilter_ms = phase.ElapsedMillis();
+      prep.candidates = candidates.ToVector();
+      stats.candidates = prep.candidates.size();
+      prep.query_events = prep.ba.CitedEvents();
+    }
+    return Status::OK();
+  }));
+  for (const Prep& prep : preps) {
+    CTDB_RETURN_NOT_OK(prep.status);
+  }
+
+  // Phase 3 (parallel across contract shards): permission checks for the
+  // whole batch. Sharding is by contract id — shard s owns the contracts
+  // with id ≡ s (mod shards) for *every* query — so each contract's lazy
+  // quotient cache is touched by exactly one shard (the same invariant the
+  // single-query strided partition provides) while being shared across all
+  // queries of the batch.
+  const size_t shards = threads;
+  struct ShardOut {
+    std::vector<uint32_t> matches;
+    std::vector<LassoWord> witnesses;
+    core::PermissionStats stats;
+    double elapsed_ms = 0;
+  };
+  std::vector<ShardOut> out(queries.size() * shards);
+  CTDB_RETURN_NOT_OK(pool->ParallelFor(0, shards, [&](size_t s) -> Status {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ShardOut& shard = out[q * shards + s];
+      Timer timer;
+      for (size_t idx : preps[q].candidates) {
+        if (idx % shards != s) continue;
+        CheckCandidate(idx, preps[q].ba, preps[q].query_events, options,
+                       &shard.matches, &shard.witnesses, &shard.stats);
+      }
+      shard.elapsed_ms = timer.ElapsedMillis();
+    }
+    return Status::OK();
+  }));
+
+  // Phase 4 (serial): merge each query's shards, sorted by contract id.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryResult& result = results[q];
+    std::vector<std::pair<uint32_t, LassoWord>> merged;
+    for (size_t s = 0; s < shards; ++s) {
+      ShardOut& shard = out[q * shards + s];
+      for (size_t i = 0; i < shard.matches.size(); ++i) {
+        merged.emplace_back(shard.matches[i],
+                            options.collect_witnesses
+                                ? std::move(shard.witnesses[i])
+                                : LassoWord{});
+      }
+      result.stats.permission.MergeFrom(shard.stats);
+      result.stats.permission_ms += shard.elapsed_ms;
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [id, witness] : merged) {
+      result.matches.push_back(id);
+      if (options.collect_witnesses) {
+        result.witnesses.push_back(std::move(witness));
+      }
+    }
+    result.stats.matches = result.matches.size();
+    result.stats.total_ms = result.stats.translate_ms +
+                            result.stats.prefilter_ms +
+                            result.stats.permission_ms;
+  }
+  return results;
 }
 
 size_t ContractDatabase::ContractMemoryUsage() const {

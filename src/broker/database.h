@@ -27,6 +27,7 @@
 #include "projection/store.h"
 #include "translate/ltl_to_ba.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace ctdb::broker {
 
@@ -42,6 +43,17 @@ struct DatabaseOptions {
 
   /// LTL → BA pipeline settings.
   translate::TranslateOptions translate;
+
+  /// Default concurrency for the database's parallel phases (registration
+  /// precompute, per-candidate permission checks, batched queries). The
+  /// database lazily creates one shared work-stealing executor
+  /// (util::ThreadPool) sized to the largest concurrency ever requested and
+  /// reuses it across calls — no per-call thread spawn/join. 1 (the default)
+  /// reproduces the paper's single-threaded prototype byte-for-byte: no pool
+  /// is created and every phase runs inline on the calling thread.
+  /// QueryOptions::threads and RegisterBatch's `threads` argument override
+  /// this per call (there, 0 means "inherit this value").
+  size_t threads = 1;
 };
 
 /// Query-time configuration.
@@ -54,11 +66,13 @@ struct QueryOptions {
   /// satisfies the query (a witness; see core/witness.h). Witnesses are
   /// computed on the registered automata, so they are real contract runs.
   bool collect_witnesses = false;
-  /// Number of worker threads for the per-candidate permission checks.
-  /// 1 (the default) reproduces the paper's single-threaded prototype; the
-  /// workload is embarrassingly parallel across candidates (§7.4 makes the
-  /// same observation for the registration-time precompute).
-  size_t threads = 1;
+  /// Number of threads for the per-candidate permission checks; the workload
+  /// is embarrassingly parallel across candidates (§7.4 makes the same
+  /// observation for the registration-time precompute). 0 (the default)
+  /// inherits DatabaseOptions::threads; 1 forces single-threaded evaluation.
+  /// Parallel checks run on the database's shared executor, not on per-call
+  /// threads.
+  size_t threads = 0;
   /// Permission algorithm knobs (Algorithm 2 vs SCC, seeds).
   core::PermissionOptions permission;
   index::PruningOptions pruning;
@@ -107,11 +121,12 @@ class ContractDatabase {
 
   /// Registers many contracts at once, running the expensive per-contract
   /// work (LTL→BA translation, seed computation, projection precomputation —
-  /// §7.4 observes this workload is "completely parallel") on `threads`
-  /// worker threads. Equivalent to registering the entries in order; returns
-  /// their ids. On any error nothing is registered.
+  /// §7.4 observes this workload is "completely parallel") on the shared
+  /// executor with `threads`-way concurrency (0 inherits
+  /// DatabaseOptions::threads). Equivalent to registering the entries in
+  /// order; returns their ids. On any error nothing is registered.
   Result<std::vector<uint32_t>> RegisterBatch(
-      const std::vector<BatchEntry>& entries, size_t threads = 1);
+      const std::vector<BatchEntry>& entries, size_t threads = 0);
 
   /// Evaluates an LTL query. Queries must cite only registered events
   /// (unknown events cannot be permitted by any contract — they are an
@@ -123,6 +138,26 @@ class ContractDatabase {
   /// Evaluates a pre-parsed query formula.
   Result<QueryResult> QueryFormula(const ltl::Formula* query,
                                    const QueryOptions& options = {});
+
+  /// \brief Evaluates many LTL queries in one call.
+  ///
+  /// Returns one QueryResult per query, each identical (matches and
+  /// witnesses) to what Query would return for that text. Batching amortizes
+  /// executor dispatch across the whole batch and shares each contract's
+  /// lazy quotient cache across all queries: with `threads` > 1 the
+  /// translate/prefilter phase parallelizes across queries (each worker
+  /// re-parses into a thread-local factory, as RegisterBatch does) and the
+  /// permission phase shards the (query, candidate) pairs *by contract id*,
+  /// so every contract — and thus its quotient cache — is touched by exactly
+  /// one worker while being reused across all queries that prefilter to it.
+  /// On any parse error, no query is evaluated.
+  ///
+  /// Per-query stats are filled as in Query, except that in parallel mode
+  /// `permission_ms` is the CPU time spent on that query's checks (summed
+  /// across shards) and `total_ms` the sum of the per-phase times.
+  Result<std::vector<QueryResult>> QueryBatch(
+      const std::vector<std::string>& queries,
+      const QueryOptions& options = {});
 
   size_t size() const { return contracts_.size(); }
   const Contract& contract(uint32_t id) const { return *contracts_[id]; }
@@ -140,11 +175,30 @@ class ContractDatabase {
   size_t ProjectionMemoryUsage() const;
 
  private:
+  /// Resolves a per-call thread count (0 = inherit the database default).
+  size_t ResolveThreads(size_t requested) const;
+  /// Returns the shared executor with at least `threads - 1` workers (the
+  /// calling thread participates in ParallelFor, so `threads`-way
+  /// concurrency needs one fewer worker), creating or growing it on demand.
+  /// Returns nullptr for threads <= 1.
+  util::ThreadPool* EnsurePool(size_t threads);
+
+  /// Runs one permission check; appends to the given output buffers.
+  void CheckCandidate(size_t contract_index, const automata::Buchi& query_ba,
+                      const Bitset& query_events, const QueryOptions& options,
+                      std::vector<uint32_t>* matches,
+                      std::vector<LassoWord>* witnesses,
+                      core::PermissionStats* stats);
+
   DatabaseOptions options_;
   Vocabulary vocab_;
   ltl::FormulaFactory factory_;
   std::vector<std::unique_ptr<Contract>> contracts_;
   index::PrefilterIndex prefilter_;
+  /// Shared executor for every parallel phase; created lazily, grown (by
+  /// replacement, between calls — the database is externally synchronized)
+  /// when a call requests more concurrency than any before it.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace ctdb::broker

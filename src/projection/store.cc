@@ -6,6 +6,7 @@
 
 #include "automata/quotient.h"
 #include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace ctdb::projection {
 
@@ -70,7 +71,7 @@ ContractProjections ContractProjections::WrapOnly(Buchi ba) {
 }
 
 ContractProjections ContractProjections::Precompute(
-    Buchi ba, const ProjectionStoreOptions& options) {
+    Buchi ba, const ProjectionStoreOptions& options, util::ThreadPool* pool) {
   ContractProjections store;
   store.ba_ = std::move(ba);
   const Buchi& automaton = store.ba_;
@@ -134,7 +135,11 @@ ContractProjections ContractProjections::Precompute(
   });
   masks.erase(std::unique(masks.begin(), masks.end()), masks.end());
 
-  for (EventMask mask : masks) {
+  // Computes the partition for one mask. Reads only partitions committed
+  // for strictly smaller popcounts (a refinement parent is the mask with
+  // bits removed), so all masks of one popcount level are independent and
+  // can run concurrently while lower levels are already committed.
+  auto compute_mask = [&store, &automaton](EventMask mask) -> Partition {
     // Parent: drop the highest bit; walk down until a computed entry is found
     // (always terminates at the empty mask).
     EventMask parent = mask;
@@ -155,10 +160,44 @@ ContractProjections ContractProjections::Precompute(
     bisim.retained_pos = &retained;
     bisim.retained_neg = &retained;
     bisim.start = start;
-    Partition part = CoarsestBisimulation(automaton, bisim);
-    const uint32_t id = interner.Intern(std::move(part));
-    store.partition_of_.emplace(mask, id);
-    ++store.stats_.subsets_computed;
+    return CoarsestBisimulation(automaton, bisim);
+  };
+
+  // Walk the lattice level by level; commit serially in mask order so the
+  // interned partition ids — and thus the whole store — are identical to a
+  // fully serial precomputation regardless of the pool.
+  size_t level_start = 0;
+  while (level_start < masks.size()) {
+    size_t level_end = level_start + 1;
+    while (level_end < masks.size() &&
+           std::popcount(masks[level_end]) == std::popcount(masks[level_start])) {
+      ++level_end;
+    }
+    const size_t count = level_end - level_start;
+    std::vector<Partition> computed(count);
+    bool parallel_ok = false;
+    if (pool != nullptr && count > 1) {
+      const Status status =
+          pool->ParallelFor(0, count, [&](size_t k) -> Status {
+            computed[k] = compute_mask(masks[level_start + k]);
+            return Status::OK();
+          });
+      parallel_ok = status.ok();
+    }
+    if (!parallel_ok) {
+      // Serial path; also the fallback if a parallel body failed (so an
+      // out-of-memory style exception surfaces exactly as it would have
+      // without a pool).
+      for (size_t k = 0; k < count; ++k) {
+        computed[k] = compute_mask(masks[level_start + k]);
+      }
+    }
+    for (size_t k = 0; k < count; ++k) {
+      const uint32_t id = interner.Intern(std::move(computed[k]));
+      store.partition_of_.emplace(masks[level_start + k], id);
+      ++store.stats_.subsets_computed;
+    }
+    level_start = level_end;
   }
 
   store.stats_.distinct_partitions = store.partitions_.size();

@@ -24,6 +24,10 @@
 #include "automata/buchi.h"
 #include "util/bitset.h"
 
+namespace ctdb::util {
+class ThreadPool;
+}
+
 namespace ctdb::projection {
 
 /// Precomputation limits (the §5.2 escape hatch for complex contracts).
@@ -52,9 +56,15 @@ class ContractProjections {
  public:
   ContractProjections() = default;
 
-  /// Runs the lattice-order precomputation over `ba`.
+  /// Runs the lattice-order precomputation over `ba`. With a non-null
+  /// `pool`, the partitions of each lattice level (masks of equal popcount
+  /// — mutually independent, since a mask's refinement parents all have
+  /// strictly smaller popcount) are computed in parallel on the pool;
+  /// results are committed in mask order, so the store is identical to the
+  /// serial one.
   static ContractProjections Precompute(
-      automata::Buchi ba, const ProjectionStoreOptions& options = {});
+      automata::Buchi ba, const ProjectionStoreOptions& options = {},
+      util::ThreadPool* pool = nullptr);
 
   /// Wraps `ba` with no precomputed projections: ForQueryEvents always
   /// returns the original automaton (used when the optimization is off).

@@ -1,0 +1,183 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace ctdb::util {
+
+namespace {
+
+/// Identifies the pool (and worker slot) the current thread belongs to, so
+/// Submit can push to the local deque and ParallelFor callers can be told
+/// apart from externals.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t n = threads == 0 ? 1 : threads;
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this, i);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InWorkerThread() const { return tls_pool == this; }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  WorkerQueue& queue =
+      InWorkerThread()
+          ? *queues_[tls_worker]
+          : *queues_[next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                     queues_.size()];
+  {
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    ++work_signal_;
+  }
+  idle_cv_.notify_all();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  Enqueue(std::move(task));
+}
+
+bool ThreadPool::PopOrSteal(size_t worker, std::function<void()>* task) {
+  WorkerQueue& own = *queues_[worker];
+  {
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& victim = *queues_[(worker + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::AnyQueued() {
+  for (auto& queue : queues_) {
+    std::lock_guard<std::mutex> lock(queue->mutex);
+    if (!queue->tasks.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  tls_pool = this;
+  tls_worker = worker;
+  while (true) {
+    // Snapshot the signal *before* scanning the deques: any task enqueued
+    // after this point bumps the signal, so the wait below cannot miss it.
+    uint64_t seen;
+    {
+      std::lock_guard<std::mutex> lock(idle_mutex_);
+      seen = work_signal_;
+    }
+    std::function<void()> task;
+    if (PopOrSteal(worker, &task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    if (stop_) {
+      if (!AnyQueued()) break;  // graceful shutdown: drain first
+      continue;
+    }
+    if (work_signal_ != seen) continue;  // raced with an enqueue: rescan
+    idle_cv_.wait(lock,
+                  [&] { return stop_ || work_signal_ != seen; });
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end,
+                               const std::function<Status(size_t)>& body) {
+  if (begin >= end) return Status::OK();
+  const size_t n = end - begin;
+
+  // Shared iteration state. Helpers hold a shared_ptr so ParallelFor can
+  // return as soon as every *iteration* is done, without waiting for
+  // helper tasks that never got scheduled (they run later as no-ops).
+  struct State {
+    size_t begin;
+    size_t n;
+    const std::function<Status(size_t)>* body;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    Status first_error;
+
+    void Run() {
+      size_t i;
+      while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+        if (!failed.load(std::memory_order_acquire)) {
+          Status status;
+          try {
+            status = (*body)(begin + i);
+          } catch (const std::exception& e) {
+            status = Status::Internal(std::string("ParallelFor body threw: ") +
+                                      e.what());
+          } catch (...) {
+            status = Status::Internal("ParallelFor body threw a non-standard "
+                                      "exception");
+          }
+          if (!status.ok()) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (first_error.ok()) first_error = std::move(status);
+            failed.store(true, std::memory_order_release);
+          }
+        }
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+          std::lock_guard<std::mutex> lock(mutex);
+          all_done.notify_all();
+        }
+      }
+    }
+  };
+  auto state = std::make_shared<State>();
+  state->begin = begin;
+  state->n = n;
+  state->body = &body;
+
+  const size_t helpers = std::min(thread_count(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Enqueue([state] { state->Run(); });
+  }
+  state->Run();  // the caller participates — see header for why
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == n;
+  });
+  return state->first_error;
+}
+
+}  // namespace ctdb::util

@@ -1,0 +1,100 @@
+// A reusable work-stealing thread-pool executor.
+//
+// The broker's parallel workloads (per-candidate permission checks,
+// batch registration, projection precompute — all "completely parallel",
+// §7.4) used to spawn and join raw std::threads on every call, paying
+// thread-startup latency per request. This pool is created once (owned by
+// the ContractDatabase) and reused: a fixed set of workers, each with its
+// own task deque, popping locally in LIFO order for cache locality and
+// stealing from other workers in FIFO order when idle.
+//
+// Scheduling model:
+//  * `Submit` enqueues a fire-and-forget task. Calls from a worker thread
+//    push onto that worker's own deque (cheap, steal-able); external calls
+//    distribute round-robin across the deques.
+//  * `ParallelFor(begin, end, body)` runs `body(i)` for every i in
+//    [begin, end) and blocks until all iterations finished. The calling
+//    thread participates (it claims iterations from the same atomic
+//    counter as the workers), which makes nested ParallelFor calls from
+//    inside pool tasks deadlock-free: the innermost caller can always
+//    drain its own iteration space even when every worker is busy.
+//  * Errors propagate as Status: the first non-OK Status returned by a
+//    body — or the first exception it throws, converted to
+//    Status::Internal — is returned from ParallelFor, and remaining
+//    unclaimed iterations are skipped.
+//
+// Shutdown is graceful: the destructor lets workers drain every queued
+// task before joining them.
+//
+// Thread-safety: Submit/ParallelFor may be called concurrently from any
+// thread, including pool workers.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ctdb::util {
+
+/// \brief Fixed-size work-stealing executor.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t threads);
+
+  /// Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return queues_.size(); }
+
+  /// Enqueues a fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(i)` for i in [begin, end) on the workers and the calling
+  /// thread; returns once every iteration completed (or was skipped after
+  /// the first error). Returns the first error Status; exceptions thrown
+  /// by `body` are captured as Status::Internal.
+  Status ParallelFor(size_t begin, size_t end,
+                     const std::function<Status(size_t)>& body);
+
+  /// True when called from one of this pool's worker threads.
+  bool InWorkerThread() const;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker);
+  /// Pops from `worker`'s own deque (LIFO) or steals from another (FIFO).
+  bool PopOrSteal(size_t worker, std::function<void()>* task);
+  bool AnyQueued();
+  void Enqueue(std::function<void()> task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  /// Guards the sleep/wake protocol. `work_signal_` is bumped under this
+  /// mutex after every enqueue, so a worker that saw empty deques can
+  /// detect tasks that arrived between its scan and its wait.
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  uint64_t work_signal_ = 0;
+  bool stop_ = false;
+
+  std::atomic<size_t> next_queue_{0};  ///< round-robin target for externals
+};
+
+}  // namespace ctdb::util

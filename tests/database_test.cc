@@ -245,13 +245,24 @@ TEST_F(DatabaseTest, RegisterBatchIsAtomicOnError) {
   EXPECT_EQ(db.size(), 1u);  // nothing from the failed batch
 }
 
-TEST_F(DatabaseTest, ZeroThreadsTreatedAsOne) {
+TEST_F(DatabaseTest, ZeroThreadsInheritsDatabaseDefault) {
+  // QueryOptions::threads == 0 inherits DatabaseOptions::threads: serial on
+  // a default database, pooled on one configured for concurrency — with
+  // identical matches either way.
   ContractDatabase db;
   ASSERT_TRUE(db.Register("a", "G(p -> F q)").ok());
   QueryOptions options;
   options.threads = 0;
   const QueryResult r = MustQuery(&db, "F q", options);
   EXPECT_EQ(r.matches, (std::vector<uint32_t>{0}));
+
+  DatabaseOptions pooled;
+  pooled.threads = 3;
+  ContractDatabase db_pooled(pooled);
+  ASSERT_TRUE(db_pooled.Register("a", "G(p -> F q)").ok());
+  ASSERT_TRUE(db_pooled.Register("b", "G(p -> F r) & F r").ok());
+  const QueryResult rp = MustQuery(&db_pooled, "F q", options);
+  EXPECT_EQ(rp.matches, (std::vector<uint32_t>{0}));
 }
 
 TEST_F(DatabaseTest, RegisterFormulaDirectly) {

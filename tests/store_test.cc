@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "automata/serialize.h"
 #include "core/permission.h"
 #include "ltl/parser.h"
 #include "testing_support.h"
 #include "translate/ltl_to_ba.h"
+#include "util/thread_pool.h"
 
 namespace ctdb::projection {
 namespace {
@@ -133,6 +135,33 @@ TEST_P(StorePropertyTest, PermissionInvariantUnderStoreQuotients) {
 
 INSTANTIATE_TEST_SUITE_P(Configs, StorePropertyTest,
                          ::testing::Values(0, 2, 12));
+
+TEST_F(StoreTest, ParallelPrecomputeIsIdenticalToSerial) {
+  Buchi ba = BA("G(e0 -> F e1) & G(e2 -> F e3) & (e1 U e2)");
+  util::ThreadPool pool(4);
+  ContractProjections serial = ContractProjections::Precompute(ba);
+  ContractProjections parallel =
+      ContractProjections::Precompute(std::move(ba), {}, &pool);
+
+  const ProjectionStats a = serial.stats();
+  const ProjectionStats b = parallel.stats();
+  EXPECT_EQ(a.cited_events, b.cited_events);
+  EXPECT_EQ(a.subsets_computed, b.subsets_computed);
+  EXPECT_EQ(a.distinct_partitions, b.distinct_partitions);
+  EXPECT_EQ(a.full_partition_blocks, b.full_partition_blocks);
+  EXPECT_EQ(a.partition_memory_bytes, b.partition_memory_bytes);
+
+  // Every query subset resolves to the same quotient automaton.
+  for (uint32_t mask = 0; mask < 16; ++mask) {
+    Bitset events(4);
+    for (size_t e = 0; e < 4; ++e) {
+      if (mask & (1u << e)) events.Set(e);
+    }
+    EXPECT_EQ(automata::Serialize(serial.ForQueryEvents(events), vocab_),
+              automata::Serialize(parallel.ForQueryEvents(events), vocab_))
+        << "mask " << mask;
+  }
+}
 
 }  // namespace
 }  // namespace ctdb::projection

@@ -1,0 +1,225 @@
+// Stress and correctness tests for the shared work-stealing executor:
+// many small tasks, nested submits, nested ParallelFor, exception and
+// Status propagation, and graceful (draining) shutdown.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace ctdb::util {
+namespace {
+
+/// Counts completions and lets the test block until `expected` tasks ran.
+class Completion {
+ public:
+  explicit Completion(size_t expected) : expected_(expected) {}
+
+  void Signal() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++done_;
+    if (done_ >= expected_) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return done_ >= expected_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t expected_;
+  size_t done_ = 0;
+};
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  const Status status = pool.ParallelFor(0, kN, [&](size_t i) -> Status {
+    hits[i].fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok()) << status;
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsBeginOffset) {
+  ThreadPool pool(2);
+  std::atomic<size_t> sum{0};
+  ASSERT_TRUE(pool.ParallelFor(100, 200, [&](size_t i) -> Status {
+                    sum.fetch_add(i);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(sum.load(), (100u + 199u) * 100u / 2u);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.ParallelFor(5, 5, [&](size_t) -> Status {
+                    ADD_FAILURE() << "body ran on empty range";
+                    return Status::OK();
+                  })
+                  .ok());
+}
+
+TEST(ThreadPoolTest, SubmitManySmallTasks) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 5000;
+  std::atomic<size_t> ran{0};
+  Completion completion(kTasks);
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      ran.fetch_add(1);
+      completion.Signal();
+    });
+  }
+  completion.Wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, NestedSubmitsFromWorkerThreads) {
+  // Each root task fans out children from inside the pool; children land on
+  // the submitting worker's own deque and get stolen by idle workers.
+  ThreadPool pool(3);
+  constexpr size_t kRoots = 64;
+  constexpr size_t kChildren = 32;
+  std::atomic<size_t> ran{0};
+  Completion completion(kRoots * (1 + kChildren));
+  for (size_t r = 0; r < kRoots; ++r) {
+    pool.Submit([&] {
+      EXPECT_TRUE(pool.InWorkerThread());
+      for (size_t c = 0; c < kChildren; ++c) {
+        pool.Submit([&] {
+          ran.fetch_add(1);
+          completion.Signal();
+        });
+      }
+      ran.fetch_add(1);
+      completion.Signal();
+    });
+  }
+  completion.Wait();
+  EXPECT_EQ(ran.load(), kRoots * (1 + kChildren));
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // The inner ParallelFor runs from a pool worker while every other worker
+  // may be blocked in the same position; the calling thread participates in
+  // its own iteration space, so this must complete even on a 1-worker pool.
+  for (size_t workers : {1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    std::atomic<size_t> total{0};
+    const Status status = pool.ParallelFor(0, 8, [&](size_t) -> Status {
+      return pool.ParallelFor(0, 64, [&](size_t) -> Status {
+        total.fetch_add(1);
+        return Status::OK();
+      });
+    });
+    ASSERT_TRUE(status.ok()) << status;
+    EXPECT_EQ(total.load(), 8u * 64u) << workers << " workers";
+  }
+}
+
+TEST(ThreadPoolTest, StatusErrorPropagates) {
+  ThreadPool pool(4);
+  const Status status = pool.ParallelFor(0, 1000, [&](size_t i) -> Status {
+    if (i == 137) return Status::ResourceExhausted("budget hit at 137");
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_NE(status.message().find("137"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ExceptionBecomesInternalStatus) {
+  ThreadPool pool(4);
+  const Status status = pool.ParallelFor(0, 1000, [&](size_t i) -> Status {
+    if (i == 41) throw std::runtime_error("boom at 41");
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.message().find("boom at 41"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ErrorSkipsRemainingIterations) {
+  // After the first failure, unclaimed iterations are skipped — the loop
+  // still terminates and reports the first error.
+  ThreadPool pool(2);
+  std::atomic<size_t> ran{0};
+  const Status status = pool.ParallelFor(0, 100000, [&](size_t i) -> Status {
+    ran.fetch_add(1);
+    if (i == 0) return Status::InvalidArgument("fail fast");
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_LE(ran.load(), 100000u);
+}
+
+TEST(ThreadPoolTest, ParallelForUsableFromExternalAndWorkerThreads) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorkerThread());
+  std::atomic<bool> saw_worker{false};
+  ASSERT_TRUE(pool.ParallelFor(0, 4, [&](size_t) -> Status {
+                    if (pool.InWorkerThread()) saw_worker.store(true);
+                    return Status::OK();
+                  })
+                  .ok());
+  // With the caller participating, at least the caller ran; with more than
+  // one iteration and two workers, workers normally join in, but that is
+  // timing-dependent — only assert the call completed.
+  SUCCEED();
+  (void)saw_worker;
+}
+
+TEST(ThreadPoolTest, GracefulShutdownDrainsQueuedTasks) {
+  std::atomic<size_t> ran{0};
+  constexpr size_t kTasks = 500;
+  {
+    ThreadPool pool(2);
+    for (size_t i = 0; i < kTasks; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+    // Destructor must let the workers drain all queued tasks.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, StressRepeatedParallelForOnSharedPool) {
+  // The broker reuses one pool across many calls; hammer that pattern.
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_TRUE(pool.ParallelFor(0, 97, [&](size_t) -> Status {
+                      total.fetch_add(1);
+                      return Status::OK();
+                    })
+                    .ok());
+  }
+  EXPECT_EQ(total.load(), 200u * 97u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadConstructionClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> x{0};
+  ASSERT_TRUE(pool.ParallelFor(0, 10, [&](size_t) -> Status {
+                    x.fetch_add(1);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(x.load(), 10);
+}
+
+}  // namespace
+}  // namespace ctdb::util
