@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "testing/universe.h"
 #include "util/timer.h"
 
 namespace ctdb::bench {
@@ -24,19 +25,13 @@ QuerySet GenerateQueries(broker::ContractDatabase* db, const char* level,
   QuerySet set;
   set.level = level;
   set.patterns = patterns;
-  workload::GeneratorOptions options;
-  options.properties = patterns;
-  workload::SpecGenerator generator(options, seed, db->vocabulary(),
-                                    db->factory());
-  for (size_t i = 0; i < count; ++i) {
-    auto spec = generator.Next();
-    if (!spec.ok()) {
-      std::fprintf(stderr, "query generation failed: %s\n",
-                   spec.status().ToString().c_str());
-      std::exit(1);
-    }
-    set.queries.push_back(spec->text);
+  auto queries = testing::RandomQueries(db, patterns, count, seed);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "query generation failed: %s\n",
+                 queries.status().ToString().c_str());
+    std::exit(1);
   }
+  set.queries = std::move(*queries);
   return set;
 }
 
@@ -44,28 +39,19 @@ Universe BuildUniverse(size_t contracts, size_t contract_patterns,
                        size_t queries_per_level,
                        const broker::DatabaseOptions& options, uint64_t seed) {
   Universe u;
-  u.db = std::make_unique<broker::ContractDatabase>(options);
   Timer timer;
 
-  workload::GeneratorOptions gen_options;
-  gen_options.properties = contract_patterns;
-  workload::SpecGenerator generator(gen_options, seed, u.db->vocabulary(),
-                                    u.db->factory());
-  for (size_t i = 0; i < contracts; ++i) {
-    auto spec = generator.Next();
-    if (!spec.ok()) {
-      std::fprintf(stderr, "contract generation failed: %s\n",
-                   spec.status().ToString().c_str());
-      std::exit(1);
-    }
-    auto id = u.db->RegisterFormula("c" + std::to_string(i), spec->formula,
-                                    spec->text);
-    if (!id.ok()) {
-      std::fprintf(stderr, "registration failed: %s\n",
-                   id.status().ToString().c_str());
-      std::exit(1);
-    }
+  testing::RandomDatabaseSpec spec;
+  spec.contracts = contracts;
+  spec.contract_patterns = contract_patterns;
+  spec.database = options;
+  auto db = testing::RandomDatabase(spec, seed);
+  if (!db.ok()) {
+    std::fprintf(stderr, "contract generation failed: %s\n",
+                 db.status().ToString().c_str());
+    std::exit(1);
   }
+  u.db = std::move(*db);
 
   u.query_sets.push_back(
       GenerateQueries(u.db.get(), "simple", 1, queries_per_level, seed ^ 0x51));

@@ -24,6 +24,11 @@ std::string Serialize(const Buchi& ba, const Vocabulary& vocab) {
   return out;
 }
 
+namespace {
+/// Upper bound on the declared state count of a serialized automaton.
+constexpr size_t kMaxSerializedStates = size_t{1} << 20;
+}  // namespace
+
 Result<Buchi> Deserialize(std::string_view text, Vocabulary* vocab) {
   Buchi ba;
   bool saw_header = false;
@@ -44,6 +49,15 @@ Result<Buchi> Deserialize(std::string_view text, Vocabulary* vocab) {
                                        std::string(line));
       }
       if (n == 0) return Status::InvalidArgument("automaton needs >= 1 state");
+      // A declared state count allocates adjacency storage up front, so cap
+      // it: a hostile header like "ba states=99999999999" must fail with a
+      // Status instead of exhausting memory. Real automata (Table 2) are
+      // orders of magnitude below the cap.
+      if (n > kMaxSerializedStates) {
+        return Status::OutOfRange(
+            StringFormat("declared state count %zu exceeds limit %zu", n,
+                         kMaxSerializedStates));
+      }
       declared_states = n;
       ba.AddStates(n - 1);  // One state exists already.
       if (init >= n) return Status::InvalidArgument("initial out of range");

@@ -168,6 +168,8 @@ class Parser {
   }
 
   Result<const Formula*> ParseImplies() {
+    CTDB_RETURN_NOT_OK(EnterRecursion());
+    DepthScope scope{this};
     CTDB_ASSIGN_OR_RETURN(const Formula* lhs, ParseOr());
     if (current_.kind == TokenKind::kImplies) {
       CTDB_RETURN_NOT_OK(Advance());
@@ -198,6 +200,8 @@ class Parser {
   }
 
   Result<const Formula*> ParseTemporal() {
+    CTDB_RETURN_NOT_OK(EnterRecursion());
+    DepthScope scope{this};
     CTDB_ASSIGN_OR_RETURN(const Formula* lhs, ParseUnary());
     Op op;
     switch (current_.kind) {
@@ -212,7 +216,29 @@ class Parser {
     return factory_->Make(op, lhs, rhs);
   }
 
+  /// Decrements the recursion budget counter on scope exit.
+  struct DepthScope {
+    Parser* parser;
+    ~DepthScope() { --parser->depth_; }
+  };
+
+  /// Charges one unit of the recursion budget (max_depth). Placed on every
+  /// self- or mutually-recursive production (ParseImplies, ParseTemporal,
+  /// ParseUnary — parentheses re-enter through ParseUnary's live frame), so
+  /// adversarial inputs like "((((..." or "p U p U p ..." fail with a
+  /// Status instead of overflowing the stack.
+  Status EnterRecursion() {
+    if (depth_ >= options_.max_depth) {
+      return Error(StringFormat("formula nesting exceeds max depth %zu",
+                                options_.max_depth));
+    }
+    ++depth_;
+    return Status::OK();
+  }
+
   Result<const Formula*> ParseUnary() {
+    CTDB_RETURN_NOT_OK(EnterRecursion());
+    DepthScope scope{this};
     switch (current_.kind) {
       case TokenKind::kNot: {
         CTDB_RETURN_NOT_OK(Advance());
@@ -278,6 +304,7 @@ class Parser {
   FormulaFactory* factory_;
   Vocabulary* vocab_;
   ParseOptions options_;
+  size_t depth_ = 0;
 };
 
 }  // namespace

@@ -32,6 +32,13 @@ struct ParseOptions {
   /// When true, identifiers not present in the vocabulary are an error;
   /// when false they are interned on first sight.
   bool require_known_events = false;
+  /// Recursion budget: parsing fails with InvalidArgument once the descent
+  /// nests deeper than this, instead of overflowing the stack on
+  /// adversarial inputs like "((((..." or "p U p U p ...". One level of
+  /// formula nesting consumes at most three units, so the default still
+  /// admits ASTs several hundred levels deep while bounding the depth every
+  /// later recursive pass (printing, rewriting, the tableau) inherits.
+  size_t max_depth = 1024;
 };
 
 /// \brief Parses `text` into a formula owned by `factory`.

@@ -1,0 +1,371 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "automata/word.h"
+#include "broker/persistence.h"
+#include "core/permission.h"
+#include "ltl/evaluator.h"
+#include "ltl/parser.h"
+#include "testing/generators.h"
+#include "testing/metamorphic.h"
+#include "testing/reference.h"
+#include "testing/universe.h"
+#include "translate/ltl_to_ba.h"
+#include "util/string_util.h"
+
+namespace ctdb::testing {
+
+namespace {
+
+/// A contract id that no database in a diff run can contain; injecting it
+/// into an answer is guaranteed to be a detectable corruption.
+constexpr uint32_t kPhantomMatch = 1u << 30;
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::string RenderMatches(const std::vector<uint32_t>& m) {
+  std::string out = "{";
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(m[i]);
+  }
+  return out + "}";
+}
+
+/// Collects the state of one RunDifferential iteration.
+class Iteration {
+ public:
+  Iteration(uint64_t seed, const DiffOptions& options, DiffReport* report)
+      : seed_(seed), options_(options), report_(report) {}
+
+  void Run();
+
+ private:
+  void Report(const char* oracle, std::string detail) {
+    report_->mismatches.push_back(DiffMismatch{seed_, oracle, std::move(detail)});
+  }
+
+  /// One comparison of two match vectors; returns true when they agree.
+  bool CompareMatches(const char* oracle, const std::string& query,
+                      const std::vector<uint32_t>& expected,
+                      const std::vector<uint32_t>& actual) {
+    ++report_->checks;
+    if (Sorted(expected) == Sorted(actual)) return true;
+    Report(oracle, "query '" + query + "': expected " +
+                       RenderMatches(Sorted(expected)) + " got " +
+                       RenderMatches(Sorted(actual)));
+    return false;
+  }
+
+  void CheckUnindexed();
+  void CheckBatch();
+  void CheckThreaded();
+  void CheckPersistence();
+  void CheckReference();
+  void CheckMetamorphic();
+  void CheckTranslationSubstrate();
+
+  uint64_t seed_;
+  const DiffOptions& options_;
+  DiffReport* report_;
+
+  std::unique_ptr<broker::ContractDatabase> db_;
+  std::vector<std::string> queries_;
+  std::vector<std::vector<uint32_t>> baseline_;  ///< serial indexed matches
+};
+
+void Iteration::Run() {
+  RandomDatabaseSpec spec;
+  spec.contracts = options_.contracts;
+  spec.contract_patterns = options_.contract_patterns;
+  spec.vocabulary_size = options_.vocabulary_size;
+  auto db = RandomDatabase(spec, seed_);
+  if (!db.ok()) {
+    Report("generator", "RandomDatabase failed: " + db.status().ToString());
+    return;
+  }
+  db_ = std::move(*db);
+  auto queries = RandomQueries(db_.get(), options_.query_patterns,
+                               options_.queries, seed_ ^ 0x51C0FFEEULL,
+                               options_.vocabulary_size);
+  if (!queries.ok()) {
+    Report("generator", "RandomQueries failed: " + queries.status().ToString());
+    return;
+  }
+  queries_ = std::move(*queries);
+
+  // Serial, fully indexed baseline every other configuration must match.
+  for (const std::string& q : queries_) {
+    auto r = db_->Query(q);
+    if (!r.ok()) {
+      Report("pipeline", "baseline Query('" + q + "') failed: " +
+                             r.status().ToString());
+      return;
+    }
+    baseline_.push_back(std::move(r->matches));
+  }
+
+  CheckUnindexed();
+  CheckBatch();
+  CheckThreaded();
+  CheckPersistence();
+  CheckReference();
+  CheckMetamorphic();
+  CheckTranslationSubstrate();
+}
+
+void Iteration::CheckUnindexed() {
+  broker::QueryOptions unindexed;
+  unindexed.use_prefilter = false;
+  unindexed.use_projections = false;
+  unindexed.permission.use_seeds = false;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    auto r = db_->Query(queries_[i], unindexed);
+    if (!r.ok()) {
+      Report("indexed-vs-unindexed", "unindexed Query failed: " +
+                                         r.status().ToString());
+      return;
+    }
+    if (options_.faults.corrupt_unindexed) r->matches.push_back(kPhantomMatch);
+    if (!CompareMatches("indexed-vs-unindexed", queries_[i], baseline_[i],
+                        r->matches)) {
+      return;
+    }
+  }
+}
+
+void Iteration::CheckBatch() {
+  auto batch = db_->QueryBatch(queries_);
+  if (!batch.ok()) {
+    Report("batch-vs-serial", "QueryBatch failed: " + batch.status().ToString());
+    return;
+  }
+  if (options_.faults.corrupt_batch && !batch->empty()) {
+    (*batch)[0].matches.push_back(kPhantomMatch);
+  }
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (!CompareMatches("batch-vs-serial", queries_[i], baseline_[i],
+                        (*batch)[i].matches)) {
+      return;
+    }
+  }
+}
+
+void Iteration::CheckThreaded() {
+  broker::QueryOptions threaded;
+  threaded.threads = options_.threads;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    auto r = db_->Query(queries_[i], threaded);
+    if (!r.ok()) {
+      Report("threaded-vs-serial", "threaded Query failed: " +
+                                       r.status().ToString());
+      return;
+    }
+    if (options_.faults.corrupt_threaded) r->matches.push_back(kPhantomMatch);
+    if (!CompareMatches("threaded-vs-serial", queries_[i], baseline_[i],
+                        r->matches)) {
+      return;
+    }
+  }
+}
+
+void Iteration::CheckPersistence() {
+  std::stringstream stream;
+  Status save = broker::SaveDatabase(*db_, &stream);
+  if (!save.ok()) {
+    Report("persistence-roundtrip", "save failed: " + save.ToString());
+    return;
+  }
+  auto reloaded = broker::LoadDatabase(stream);
+  if (!reloaded.ok()) {
+    Report("persistence-roundtrip",
+           "load failed: " + reloaded.status().ToString());
+    return;
+  }
+  ++report_->checks;
+  if ((*reloaded)->size() != db_->size()) {
+    Report("persistence-roundtrip",
+           StringFormat("size changed across roundtrip: %zu -> %zu",
+                        db_->size(), (*reloaded)->size()));
+    return;
+  }
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    auto r = (*reloaded)->Query(queries_[i]);
+    if (!r.ok()) {
+      Report("persistence-roundtrip", "reloaded Query failed: " +
+                                          r.status().ToString());
+      return;
+    }
+    if (options_.faults.corrupt_reloaded) r->matches.push_back(kPhantomMatch);
+    if (!CompareMatches("persistence-roundtrip", queries_[i], baseline_[i],
+                        r->matches)) {
+      return;
+    }
+  }
+}
+
+void Iteration::CheckReference() {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    auto qf = ltl::Parse(queries_[i], db_->factory(), db_->vocabulary(),
+                         {.require_known_events = true});
+    if (!qf.ok()) {
+      Report("reference-permission",
+             "query reparse failed: " + qf.status().ToString());
+      return;
+    }
+    auto qba = translate::LtlToBuchi(*qf, db_->factory(),
+                                     db_->options().translate);
+    if (!qba.ok()) {
+      Report("reference-permission",
+             "query translation failed: " + qba.status().ToString());
+      return;
+    }
+    std::vector<uint32_t> reference_matches;
+    for (uint32_t id = 0; id < db_->size(); ++id) {
+      const broker::Contract& c = db_->contract(id);
+      ++report_->checks;
+      bool expected = ReferencePermits(c.automaton(), c.events, *qba);
+      if (options_.faults.flip_reference && id == 0 && i == 0) {
+        expected = !expected;
+      }
+      const bool actual = core::Permits(c.automaton(), c.events, *qba, {},
+                                        &c.seed_states);
+      if (expected != actual) {
+        Report("reference-permission",
+               StringFormat("contract %u, query '%s': reference=%d core=%d",
+                            id, queries_[i].c_str(), expected ? 1 : 0,
+                            actual ? 1 : 0));
+        return;
+      }
+      if (expected) reference_matches.push_back(id);
+    }
+    // The full pipeline's answer must equal the naive per-contract sweep.
+    if (!CompareMatches("reference-permission", queries_[i], reference_matches,
+                        baseline_[i])) {
+      return;
+    }
+  }
+}
+
+void Iteration::CheckMetamorphic() {
+  std::vector<MetamorphicTransform> transforms = EquivalenceTransforms();
+  if (options_.faults.break_metamorphic) {
+    transforms.push_back({"broken-fg-swap", BrokenSwapFinallyGlobally});
+  }
+  Rng rng(seed_ ^ 0x3E7Au);
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    auto qf = ltl::Parse(queries_[i], db_->factory(), db_->vocabulary(),
+                         {.require_known_events = true});
+    if (!qf.ok()) {
+      Report("metamorphic", "query reparse failed: " + qf.status().ToString());
+      return;
+    }
+    Bitset query_events;
+    (*qf)->CollectEvents(&query_events);
+    for (const MetamorphicTransform& t : transforms) {
+      const ltl::Formula* tf = t.apply(*qf, db_->factory());
+      // Semantic probe: equivalent formulas agree on every word.
+      for (size_t w = 0; w < options_.words_per_formula; ++w) {
+        const LassoWord word =
+            RandomWord(&rng, db_->vocabulary()->size(), 3, 3);
+        ++report_->checks;
+        if (ltl::Evaluate(*qf, word) != ltl::Evaluate(tf, word)) {
+          Report("metamorphic",
+                 "transform '" + std::string(t.name) + "' changed the verdict"
+                 " of '" + queries_[i] + "' on " +
+                 word.ToString(*db_->vocabulary()));
+          return;
+        }
+      }
+      // Pipeline probe: match sets agree on contracts citing every query
+      // event (for other contracts Definition 1(b) makes permission depend
+      // on the cited-event set, which transforms may legitimately shrink).
+      auto r = db_->QueryFormula(tf);
+      if (!r.ok()) {
+        Report("metamorphic", "transformed query failed: " +
+                                  r.status().ToString());
+        return;
+      }
+      for (uint32_t id = 0; id < db_->size(); ++id) {
+        if (!query_events.IsSubsetOf(db_->contract(id).events)) continue;
+        ++report_->checks;
+        const bool base = std::count(baseline_[i].begin(), baseline_[i].end(),
+                                     id) > 0;
+        const bool got = std::count(r->matches.begin(), r->matches.end(),
+                                    id) > 0;
+        if (base != got) {
+          Report("metamorphic",
+                 StringFormat("transform '%s' flipped contract %u on '%s'",
+                              t.name, id, queries_[i].c_str()));
+          return;
+        }
+      }
+    }
+  }
+}
+
+/// Self-contained translation-layer oracles over a tiny private vocabulary:
+/// print/parse round-trip and evaluator-vs-automaton agreement.
+void Iteration::CheckTranslationSubstrate() {
+  const size_t kEvents = 3;
+  Vocabulary vocab = TestVocabulary(kEvents);
+  ltl::FormulaFactory fac;
+  Rng rng(seed_ ^ 0x7AB1EAUL);
+  for (int trial = 0; trial < 3; ++trial) {
+    const ltl::Formula* f = RandomFormula(&rng, &fac, kEvents, 3);
+    const std::string printed = f->ToString(vocab);
+    auto reparsed = ltl::Parse(printed, &fac, &vocab);
+    ++report_->checks;
+    if (!reparsed.ok() || *reparsed != f) {
+      Report("print-parse-roundtrip",
+             "'" + printed + "' did not round-trip: " +
+                 (reparsed.ok() ? (*reparsed)->ToString(vocab)
+                                : reparsed.status().ToString()));
+      return;
+    }
+    auto ba = translate::LtlToBuchi(f, &fac);
+    if (!ba.ok()) {
+      Report("evaluator-vs-automaton",
+             "translation failed for '" + printed + "': " +
+                 ba.status().ToString());
+      return;
+    }
+    for (size_t w = 0; w < options_.words_per_formula; ++w) {
+      const LassoWord word = RandomWord(&rng, kEvents, 3, 3);
+      ++report_->checks;
+      if (ltl::Evaluate(f, word) != automata::AcceptsWord(*ba, word)) {
+        Report("evaluator-vs-automaton",
+               "'" + printed + "' disagrees on " + word.ToString(vocab));
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DiffReport RunDifferential(const DiffOptions& options) {
+  DiffReport report;
+  for (size_t i = 0; i < options.iters; ++i) {
+    if (report.mismatches.size() >= options.max_mismatches) break;
+    Iteration iteration(options.seed + i, options, &report);
+    iteration.Run();
+    ++report.iterations;
+  }
+  return report;
+}
+
+std::string FormatMismatch(const DiffMismatch& m) {
+  return StringFormat(
+      "oracle=%s seed=%llu: %s (reproduce: ctdb_diff_fuzz --iters=1 "
+      "--seed=%llu)",
+      m.oracle.c_str(), static_cast<unsigned long long>(m.seed),
+      m.detail.c_str(), static_cast<unsigned long long>(m.seed));
+}
+
+}  // namespace ctdb::testing

@@ -1,0 +1,85 @@
+// The differential-testing engine behind tools/fuzz's ctdb_diff_fuzz and the
+// injected-bug test suite. Each iteration builds a random contract database
+// and query workload from one seed and cross-checks the composed pipeline
+// (parse → rewrite → translate → index → permission → persistence) through
+// independent oracles:
+//
+//   indexed-vs-unindexed   prefilter + projections vs. the §3 full scan
+//   batch-vs-serial        QueryBatch vs. one Query per text
+//   threaded-vs-serial     threads=N vs. threads=1
+//   persistence-roundtrip  save → load → identical answers
+//   reference-permission   core::Permits vs. testing::ReferencePermits
+//   metamorphic            EquivalenceTransforms preserve verdicts
+//   print-parse-roundtrip  Parse(ToString(f)) is f (hash-consed identity)
+//   evaluator-vs-automaton Evaluate(f, w) ⇔ BA(f) accepts w
+//
+// Every mismatch carries the iteration seed; `ctdb_diff_fuzz --iters=1
+// --seed=<seed>` reproduces it. FaultInjection deliberately corrupts one
+// side of a chosen oracle so tests can prove the oracle detects real faults.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctdb::testing {
+
+/// Testing-the-tester hooks: each flag corrupts one side of one oracle, so a
+/// clean engine must report a mismatch for it (and only it).
+struct FaultInjection {
+  bool corrupt_unindexed = false;   ///< phantom match in the full-scan answer
+  bool corrupt_batch = false;       ///< phantom match in a QueryBatch answer
+  bool corrupt_threaded = false;    ///< phantom match in the threads>1 answer
+  bool corrupt_reloaded = false;    ///< phantom match after save/load
+  bool flip_reference = false;      ///< negate one ReferencePermits verdict
+  bool break_metamorphic = false;   ///< add the F/G-swapping "transform"
+
+  bool Any() const {
+    return corrupt_unindexed || corrupt_batch || corrupt_threaded ||
+           corrupt_reloaded || flip_reference || break_metamorphic;
+  }
+};
+
+/// Engine configuration. Defaults produce small, dense universes where most
+/// oracles fire on every iteration yet one iteration stays well under 100ms.
+struct DiffOptions {
+  uint64_t seed = 1;
+  size_t iters = 100;
+  /// Universe shape (iteration i uses seed `seed + i`).
+  size_t contracts = 5;
+  size_t contract_patterns = 2;
+  size_t queries = 3;
+  size_t query_patterns = 1;
+  size_t vocabulary_size = 8;
+  /// Concurrency of the parallel side of threaded-vs-serial.
+  size_t threads = 3;
+  /// Random-word probes per formula for the metamorphic/evaluator oracles.
+  size_t words_per_formula = 6;
+  /// Stop after this many mismatches.
+  size_t max_mismatches = 8;
+  FaultInjection faults;
+};
+
+/// One detected disagreement.
+struct DiffMismatch {
+  uint64_t seed = 0;      ///< iteration seed (reproduces with --iters=1)
+  std::string oracle;     ///< which cross-check fired
+  std::string detail;
+};
+
+/// Outcome of a RunDifferential sweep.
+struct DiffReport {
+  size_t iterations = 0;
+  size_t checks = 0;  ///< individual comparisons performed
+  std::vector<DiffMismatch> mismatches;
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Runs `options.iters` seeded iterations of every oracle.
+DiffReport RunDifferential(const DiffOptions& options);
+
+/// "oracle=<o> seed=<s>: <detail> (reproduce: ctdb_diff_fuzz ...)".
+std::string FormatMismatch(const DiffMismatch& m);
+
+}  // namespace ctdb::testing

@@ -1,22 +1,9 @@
-// Shared helpers for property-based tests: random formulas and random lasso
-// words with seed-reproducible draws.
-
-#pragma once
-
-#include <string>
-#include <vector>
-
-#include "base/run.h"
-#include "base/vocabulary.h"
-#include "ltl/formula.h"
-#include "util/rng.h"
+#include "testing/generators.h"
 
 namespace ctdb::testing {
 
-/// Draws a random LTL formula over events [0, num_events) of the given node
-/// depth, covering every operator (including derived ones).
-inline const ltl::Formula* RandomFormula(Rng* rng, ltl::FormulaFactory* fac,
-                                         size_t num_events, int depth) {
+const ltl::Formula* RandomFormula(Rng* rng, ltl::FormulaFactory* fac,
+                                  size_t num_events, int depth) {
   using ltl::Op;
   if (depth <= 0) {
     const uint64_t pick = rng->Uniform(num_events + 2);
@@ -38,8 +25,7 @@ inline const ltl::Formula* RandomFormula(Rng* rng, ltl::FormulaFactory* fac,
   return fac->Make(op, left, right);
 }
 
-/// Draws a random snapshot over `num_events` events.
-inline Snapshot RandomSnapshot(Rng* rng, size_t num_events) {
+Snapshot RandomSnapshot(Rng* rng, size_t num_events) {
   Snapshot s(num_events);
   for (size_t e = 0; e < num_events; ++e) {
     if (rng->Chance(0.4)) s.Set(e);
@@ -47,10 +33,8 @@ inline Snapshot RandomSnapshot(Rng* rng, size_t num_events) {
   return s;
 }
 
-/// Draws a random lasso word u·vʷ with the given maximum lengths
-/// (|v| ≥ 1 always).
-inline LassoWord RandomWord(Rng* rng, size_t num_events, size_t max_prefix,
-                            size_t max_cycle) {
+LassoWord RandomWord(Rng* rng, size_t num_events, size_t max_prefix,
+                     size_t max_cycle) {
   LassoWord w;
   const size_t prefix = rng->Uniform(max_prefix + 1);
   const size_t cycle = 1 + rng->Uniform(max_cycle);
@@ -63,8 +47,7 @@ inline LassoWord RandomWord(Rng* rng, size_t num_events, size_t max_prefix,
   return w;
 }
 
-/// A vocabulary "e0".."e{n-1}" for rendering diagnostics.
-inline Vocabulary TestVocabulary(size_t n) {
+Vocabulary TestVocabulary(size_t n) {
   std::vector<std::string> names;
   for (size_t i = 0; i < n; ++i) names.push_back("e" + std::to_string(i));
   return Vocabulary(names);

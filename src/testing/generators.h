@@ -1,0 +1,34 @@
+// Seed-reproducible random generators shared by property tests, benchmarks
+// and the differential fuzzer (tools/fuzz). Formerly copy-pasted test
+// helpers; now one library so every harness draws from the same
+// distributions and a printed seed reproduces an input anywhere.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/run.h"
+#include "base/vocabulary.h"
+#include "ltl/formula.h"
+#include "util/rng.h"
+
+namespace ctdb::testing {
+
+/// Draws a random LTL formula over events [0, num_events) of the given node
+/// depth, covering every operator (including derived ones).
+const ltl::Formula* RandomFormula(Rng* rng, ltl::FormulaFactory* fac,
+                                  size_t num_events, int depth);
+
+/// Draws a random snapshot over `num_events` events.
+Snapshot RandomSnapshot(Rng* rng, size_t num_events);
+
+/// Draws a random lasso word u·vʷ with the given maximum lengths
+/// (|v| ≥ 1 always).
+LassoWord RandomWord(Rng* rng, size_t num_events, size_t max_prefix,
+                     size_t max_cycle);
+
+/// A vocabulary "e0".."e{n-1}" for rendering diagnostics.
+Vocabulary TestVocabulary(size_t n);
+
+}  // namespace ctdb::testing

@@ -1,0 +1,150 @@
+#include "testing/metamorphic.h"
+
+#include <unordered_map>
+
+#include "ltl/rewriter.h"
+
+namespace ctdb::testing {
+
+namespace {
+
+using ltl::Formula;
+using ltl::FormulaFactory;
+using ltl::Op;
+
+using NodeFn = const Formula* (*)(Op, const Formula*, const Formula*,
+                                  FormulaFactory*);
+
+/// Rebuilds `f` bottom-up, letting `node` decide how each rebuilt operator
+/// node is constructed. Memoized so shared DAG nodes are visited once.
+const Formula* MapFormula(
+    const Formula* f, FormulaFactory* fac, NodeFn node,
+    std::unordered_map<const Formula*, const Formula*>* memo) {
+  auto it = memo->find(f);
+  if (it != memo->end()) return it->second;
+  const Formula* result;
+  switch (f->op()) {
+    case Op::kTrue:
+      result = fac->True();
+      break;
+    case Op::kFalse:
+      result = fac->False();
+      break;
+    case Op::kProp:
+      result = fac->Prop(f->prop());
+      break;
+    default: {
+      const Formula* l = MapFormula(f->left(), fac, node, memo);
+      const Formula* r =
+          f->right() ? MapFormula(f->right(), fac, node, memo) : nullptr;
+      result = node(f->op(), l, r, fac);
+      break;
+    }
+  }
+  memo->emplace(f, result);
+  return result;
+}
+
+const Formula* Map(const Formula* f, FormulaFactory* fac, NodeFn node) {
+  std::unordered_map<const Formula*, const Formula*> memo;
+  return MapFormula(f, fac, node, &memo);
+}
+
+const Formula* Rebuild(Op op, const Formula* l, const Formula* r,
+                       FormulaFactory* fac) {
+  return fac->Make(op, l, r);
+}
+
+const Formula* ApplyNnf(const Formula* f, FormulaFactory* fac) {
+  return ltl::Normalize(f, fac);
+}
+
+const Formula* ApplyExpandBefore(const Formula* f, FormulaFactory* fac) {
+  return Map(f, fac,
+             [](Op op, const Formula* l, const Formula* r,
+                FormulaFactory* fac) -> const Formula* {
+               if (op == Op::kBefore) {
+                 return fac->Not(fac->Until(fac->Not(l), r));
+               }
+               return Rebuild(op, l, r, fac);
+             });
+}
+
+const Formula* ApplyExpandDerived(const Formula* f, FormulaFactory* fac) {
+  return Map(f, fac,
+             [](Op op, const Formula* l, const Formula* r,
+                FormulaFactory* fac) -> const Formula* {
+               switch (op) {
+                 case Op::kFinally:
+                   return fac->Until(fac->True(), l);
+                 case Op::kGlobally:
+                   return fac->Release(fac->False(), l);
+                 case Op::kWeakUntil:
+                   return fac->Or(fac->Until(l, r), fac->Globally(l));
+                 default:
+                   return Rebuild(op, l, r, fac);
+               }
+             });
+}
+
+const Formula* ApplyExpandBool(const Formula* f, FormulaFactory* fac) {
+  return Map(f, fac,
+             [](Op op, const Formula* l, const Formula* r,
+                FormulaFactory* fac) -> const Formula* {
+               switch (op) {
+                 case Op::kImplies:
+                   return fac->Or(fac->Not(l), r);
+                 case Op::kIff:
+                   return fac->Or(fac->And(l, r),
+                                  fac->And(fac->Not(l), fac->Not(r)));
+                 default:
+                   return Rebuild(op, l, r, fac);
+               }
+             });
+}
+
+const Formula* ApplyUntilDual(const Formula* f, FormulaFactory* fac) {
+  return Map(f, fac,
+             [](Op op, const Formula* l, const Formula* r,
+                FormulaFactory* fac) -> const Formula* {
+               switch (op) {
+                 case Op::kUntil:
+                   return fac->Not(fac->Release(fac->Not(l), fac->Not(r)));
+                 case Op::kRelease:
+                   return fac->Not(fac->Until(fac->Not(l), fac->Not(r)));
+                 default:
+                   return Rebuild(op, l, r, fac);
+               }
+             });
+}
+
+const Formula* ApplyNegNnfNeg(const Formula* f, FormulaFactory* fac) {
+  return fac->Not(ltl::ToNnf(fac->Not(f), fac));
+}
+
+}  // namespace
+
+const std::vector<MetamorphicTransform>& EquivalenceTransforms() {
+  static const std::vector<MetamorphicTransform> kTransforms = {
+      {"nnf", ApplyNnf},
+      {"expand-before", ApplyExpandBefore},
+      {"expand-derived", ApplyExpandDerived},
+      {"expand-bool", ApplyExpandBool},
+      {"until-dual", ApplyUntilDual},
+      {"neg-nnf-neg", ApplyNegNnfNeg},
+  };
+  return kTransforms;
+}
+
+const Formula* BrokenSwapFinallyGlobally(const Formula* f,
+                                         FormulaFactory* fac) {
+  return Map(f, fac,
+             [](Op op, const Formula* l, const Formula* r,
+                FormulaFactory* fac) -> const Formula* {
+               if (op == Op::kFinally) return fac->Globally(l);
+               if (op == Op::kGlobally) return fac->Finally(l);
+               return Rebuild(op, l, r, fac);
+             });
+}
+
+}  // namespace ctdb::testing

@@ -1,0 +1,37 @@
+// Metamorphic LTL transforms: syntactic rewrites that provably preserve the
+// language of a formula, so every downstream verdict — evaluator truth on a
+// word, BA emptiness, permission answers, query match sets — must be
+// invariant under them. Each transform takes a different identity than the
+// rewriter's own normalization, so a bug in either side surfaces as a
+// verdict change.
+
+#pragma once
+
+#include <vector>
+
+#include "ltl/formula.h"
+
+namespace ctdb::testing {
+
+/// A named language-preserving rewrite.
+struct MetamorphicTransform {
+  const char* name;
+  const ltl::Formula* (*apply)(const ltl::Formula*, ltl::FormulaFactory*);
+};
+
+/// The transform catalogue:
+///  - "nnf"            ToNnf + SimplifyNnf (the production rewriter path)
+///  - "expand-before"  pBq → ¬(¬p U q)           (the paper's definition)
+///  - "expand-derived" Fp → true U p, Gp → false R p, pWq → (pUq) ∨ Gp
+///  - "expand-bool"    p→q ⇒ ¬p∨q,  p↔q ⇒ (p∧q)∨(¬p∧¬q)
+///  - "until-dual"     pUq → ¬(¬p R ¬q), pRq → ¬(¬p U ¬q)
+///  - "neg-nnf-neg"    f → ¬ToNnf(¬f)            (negation duality twice)
+const std::vector<MetamorphicTransform>& EquivalenceTransforms();
+
+/// A deliberately WRONG transform (swaps F and G) used to prove the
+/// metamorphic oracle detects non-equivalent rewrites. Identity on formulas
+/// without F/G.
+const ltl::Formula* BrokenSwapFinallyGlobally(const ltl::Formula* f,
+                                              ltl::FormulaFactory* factory);
+
+}  // namespace ctdb::testing

@@ -1,0 +1,34 @@
+// A naive reference implementation of the permission check, deliberately
+// independent of core/permission.cc: it *materializes* the compatibility
+// product of Definition 7 as an explicit Büchi automaton (degeneralizing the
+// two acceptance sets — query-final pairs and contract-final pairs — with
+// the standard two-layer counter) and decides permission by
+// automata::IsEmptyLanguage. Quadratic in states and never used in
+// production; exists so the optimized checkers have something slow and
+// obviously-correct to disagree with.
+
+#pragma once
+
+#include "automata/buchi.h"
+#include "util/bitset.h"
+
+namespace ctdb::testing {
+
+/// \brief The reachable compatibility product contract × query × {0,1}.
+///
+/// Layer 0 waits for a query-final pair, layer 1 for a contract-final pair;
+/// accepting states are layer-0 sources whose query state is final, so the
+/// product has an accepting cycle iff some product cycle visits both a
+/// query-final and a contract-final pair — exactly the simultaneous lasso of
+/// Theorem 4.
+automata::Buchi PermissionProduct(const automata::Buchi& contract,
+                                  const Bitset& contract_events,
+                                  const automata::Buchi& query);
+
+/// Definition 7 permission via product emptiness. Must agree with
+/// core::Permits on every input.
+bool ReferencePermits(const automata::Buchi& contract,
+                      const Bitset& contract_events,
+                      const automata::Buchi& query);
+
+}  // namespace ctdb::testing

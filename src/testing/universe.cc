@@ -1,0 +1,41 @@
+#include "testing/universe.h"
+
+#include "workload/generator.h"
+
+namespace ctdb::testing {
+
+Result<std::unique_ptr<broker::ContractDatabase>> RandomDatabase(
+    const RandomDatabaseSpec& spec, uint64_t seed) {
+  auto db = std::make_unique<broker::ContractDatabase>(spec.database);
+  workload::GeneratorOptions gen_options;
+  gen_options.vocabulary_size = spec.vocabulary_size;
+  gen_options.properties = spec.contract_patterns;
+  workload::SpecGenerator generator(gen_options, seed, db->vocabulary(),
+                                    db->factory());
+  for (size_t i = 0; i < spec.contracts; ++i) {
+    CTDB_ASSIGN_OR_RETURN(workload::GeneratedSpec gen, generator.Next());
+    CTDB_RETURN_NOT_OK(db->RegisterFormula("c" + std::to_string(i),
+                                           gen.formula, gen.text)
+                           .status());
+  }
+  return db;
+}
+
+Result<std::vector<std::string>> RandomQueries(broker::ContractDatabase* db,
+                                               size_t patterns, size_t count,
+                                               uint64_t seed,
+                                               size_t vocabulary_size) {
+  workload::GeneratorOptions options;
+  options.vocabulary_size = vocabulary_size;
+  options.properties = patterns;
+  workload::SpecGenerator generator(options, seed, db->vocabulary(),
+                                    db->factory());
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < count; ++i) {
+    CTDB_ASSIGN_OR_RETURN(workload::GeneratedSpec gen, generator.Next());
+    queries.push_back(gen.text);
+  }
+  return queries;
+}
+
+}  // namespace ctdb::testing

@@ -1,0 +1,40 @@
+// Random contract databases and query workloads (Dwyer-pattern
+// conjunctions, §7.2) shared by the benchmarks and the differential fuzzer.
+// Thin Status-returning wrappers over workload::SpecGenerator so every
+// harness builds identical universes from the same seed.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/database.h"
+#include "util/result.h"
+
+namespace ctdb::testing {
+
+/// Shape of a RandomDatabase universe.
+struct RandomDatabaseSpec {
+  size_t contracts = 8;
+  /// Dwyer-pattern properties conjoined per contract (Table 2's 5/6/7 for
+  /// the paper's datasets; smaller for fuzzing).
+  size_t contract_patterns = 2;
+  /// Events p1..pN shared by contracts and queries (§7.2 uses 20).
+  size_t vocabulary_size = 20;
+  broker::DatabaseOptions database;
+};
+
+/// Fills a fresh database with contracts "c0".."c{n-1}" drawn reproducibly
+/// from `seed`. Equal (spec, seed) yield byte-identical databases.
+Result<std::unique_ptr<broker::ContractDatabase>> RandomDatabase(
+    const RandomDatabaseSpec& spec, uint64_t seed);
+
+/// Draws `count` query texts of `patterns` conjoined properties against
+/// `db`'s vocabulary.
+Result<std::vector<std::string>> RandomQueries(broker::ContractDatabase* db,
+                                               size_t patterns, size_t count,
+                                               uint64_t seed,
+                                               size_t vocabulary_size = 20);
+
+}  // namespace ctdb::testing

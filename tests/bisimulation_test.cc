@@ -4,7 +4,7 @@
 
 #include "automata/quotient.h"
 #include "automata/word.h"
-#include "testing_support.h"
+#include "testing/generators.h"
 
 namespace ctdb::automata {
 namespace {

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "ltl/parser.h"
-#include "testing_support.h"
+#include "testing/generators.h"
 
 namespace ctdb::ltl {
 namespace {

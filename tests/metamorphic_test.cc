@@ -1,0 +1,115 @@
+// Every transform in the metamorphic catalogue must preserve the language of
+// arbitrary formulas (checked against the evaluator and against translated
+// automata), and the deliberately broken F/G-swap must be caught — proof
+// that a verdict change under a "equivalence" transform is a detectable
+// signal, not noise.
+
+#include "testing/metamorphic.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/word.h"
+#include "ltl/evaluator.h"
+#include "ltl/parser.h"
+#include "testing/generators.h"
+#include "translate/ltl_to_ba.h"
+#include "util/rng.h"
+
+namespace ctdb::testing {
+namespace {
+
+TEST(MetamorphicTest, CatalogueIsNonTrivial) {
+  const auto& transforms = EquivalenceTransforms();
+  ASSERT_GE(transforms.size(), 6u);
+  for (const auto& t : transforms) {
+    EXPECT_NE(t.name, nullptr);
+    EXPECT_NE(t.apply, nullptr);
+  }
+}
+
+TEST(MetamorphicTest, TransformsPreserveEvaluatorVerdicts) {
+  Rng rng(42);
+  for (int i = 0; i < 120; ++i) {
+    ltl::FormulaFactory fac;
+    const size_t num_events = 3;
+    const ltl::Formula* f = RandomFormula(&rng, &fac, num_events, 3);
+    for (const MetamorphicTransform& t : EquivalenceTransforms()) {
+      const ltl::Formula* tf = t.apply(f, &fac);
+      for (int w = 0; w < 8; ++w) {
+        const LassoWord word = RandomWord(&rng, num_events, 4, 3);
+        EXPECT_EQ(ltl::Evaluate(f, word), ltl::Evaluate(tf, word))
+            << "transform '" << t.name << "' changed the verdict on draw "
+            << i << ", f = " << f->ToString(TestVocabulary(num_events));
+      }
+    }
+  }
+}
+
+TEST(MetamorphicTest, TransformsPreserveAutomatonLanguage) {
+  Rng rng(7);
+  for (int i = 0; i < 25; ++i) {
+    ltl::FormulaFactory fac;
+    const size_t num_events = 3;
+    const ltl::Formula* f = RandomFormula(&rng, &fac, num_events, 2);
+    auto fba = translate::LtlToBuchi(f, &fac);
+    ASSERT_TRUE(fba.ok());
+    for (const MetamorphicTransform& t : EquivalenceTransforms()) {
+      const ltl::Formula* tf = t.apply(f, &fac);
+      auto tba = translate::LtlToBuchi(tf, &fac);
+      ASSERT_TRUE(tba.ok()) << t.name;
+      for (int w = 0; w < 6; ++w) {
+        const LassoWord word = RandomWord(&rng, num_events, 3, 3);
+        EXPECT_EQ(automata::AcceptsWord(*fba, word),
+                  automata::AcceptsWord(*tba, word))
+            << "transform '" << t.name << "' changed the language on draw "
+            << i;
+      }
+    }
+  }
+}
+
+TEST(MetamorphicTest, ExpandBeforeMatchesPaperDefinition) {
+  ltl::FormulaFactory fac;
+  Vocabulary vocab = TestVocabulary(2);
+  auto f = ltl::Parse("e0 B e1", &fac, &vocab);
+  ASSERT_TRUE(f.ok());
+  auto expected = ltl::Parse("!(!e0 U e1)", &fac, &vocab);
+  ASSERT_TRUE(expected.ok());
+  for (const MetamorphicTransform& t : EquivalenceTransforms()) {
+    if (std::string(t.name) != "expand-before") continue;
+    EXPECT_EQ(t.apply(*f, &fac), *expected);  // hash-consed identity
+    return;
+  }
+  FAIL() << "catalogue is missing expand-before";
+}
+
+// Injected bug: the F/G swap is not an equivalence and the evaluator probe
+// must notice on a concrete witness word.
+TEST(MetamorphicTest, BrokenSwapIsDetectedByEvaluatorProbe) {
+  ltl::FormulaFactory fac;
+  Vocabulary vocab = TestVocabulary(1);
+  auto f = ltl::Parse("F e0", &fac, &vocab);
+  ASSERT_TRUE(f.ok());
+  const ltl::Formula* broken = BrokenSwapFinallyGlobally(*f, &fac);
+  EXPECT_NE(broken, *f);
+
+  // Word: {} ({e0})^ω — F e0 holds, G e0 does not.
+  LassoWord word;
+  word.prefix.push_back(Snapshot(1));
+  Snapshot with(1);
+  with.Set(0);
+  word.cycle.push_back(with);
+  EXPECT_TRUE(ltl::Evaluate(*f, word));
+  EXPECT_FALSE(ltl::Evaluate(broken, word));
+}
+
+TEST(MetamorphicTest, BrokenSwapIsIdentityWithoutFinallyOrGlobally) {
+  ltl::FormulaFactory fac;
+  Vocabulary vocab = TestVocabulary(2);
+  auto f = ltl::Parse("e0 U (e1 & !e0)", &fac, &vocab);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(BrokenSwapFinallyGlobally(*f, &fac), *f);
+}
+
+}  // namespace
+}  // namespace ctdb::testing

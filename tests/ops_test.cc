@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "automata/word.h"
-#include "testing_support.h"
+#include "testing/generators.h"
 
 namespace ctdb::automata {
 namespace {

@@ -155,5 +155,51 @@ TEST_F(ParserTest, InternsNewEventsByDefault) {
   EXPECT_TRUE(vocab_.Contains("other"));
 }
 
+TEST_F(ParserTest, TrailingGarbageIsRejected) {
+  EXPECT_TRUE(ParseError("a b").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("p)").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("(a) a").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("a U b )").IsInvalidArgument());
+}
+
+// Pathologically nested inputs must fail with a Status, not overflow the
+// stack. Each shape recurses through a different production: parentheses
+// (primary), '!' chains (unary), and right-recursive binary operators.
+TEST_F(ParserTest, DeepNestingReturnsStatusInsteadOfOverflowing) {
+  const std::string deep_parens = std::string(100000, '(') + "a";
+  Status s = ParseError(deep_parens);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.ToString().find("nesting"), std::string::npos) << s.ToString();
+
+  const std::string deep_nots = std::string(100000, '!') + "a";
+  EXPECT_TRUE(ParseError(deep_nots).IsInvalidArgument());
+
+  std::string deep_until = "a";
+  for (int i = 0; i < 100000; ++i) deep_until += " U a";
+  EXPECT_TRUE(ParseError(deep_until).IsInvalidArgument());
+
+  std::string deep_implies = "a";
+  for (int i = 0; i < 100000; ++i) deep_implies += " -> a";
+  EXPECT_TRUE(ParseError(deep_implies).IsInvalidArgument());
+}
+
+TEST_F(ParserTest, NestingUnderTheDefaultLimitParses) {
+  // 200 levels is far below the default budget of 1024 recursion units.
+  const std::string nested = std::string(200, '(') + "a" + std::string(200, ')');
+  EXPECT_NE(MustParse(nested), fac_.True());
+  std::string until_chain = "a";
+  for (int i = 0; i < 200; ++i) until_chain += " U a";
+  MustParse(until_chain);
+}
+
+TEST_F(ParserTest, MaxDepthIsConfigurable) {
+  ParseOptions shallow;
+  shallow.max_depth = 8;
+  EXPECT_TRUE(
+      Parse("((((((((a))))))))", &fac_, &vocab_, shallow).status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(Parse("(a)", &fac_, &vocab_, shallow).ok());
+}
+
 }  // namespace
 }  // namespace ctdb::ltl

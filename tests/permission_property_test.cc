@@ -11,7 +11,7 @@
 
 #include "automata/ops.h"
 #include "core/permission.h"
-#include "testing_support.h"
+#include "testing/generators.h"
 #include "translate/ltl_to_ba.h"
 
 namespace ctdb::core {

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/compatibility.h"
-#include "testing_support.h"
+#include "testing/generators.h"
 
 namespace ctdb::index {
 namespace {

@@ -5,7 +5,7 @@
 #include "automata/bisimulation.h"
 #include "automata/quotient.h"
 #include "core/permission.h"
-#include "testing_support.h"
+#include "testing/generators.h"
 #include "translate/ltl_to_ba.h"
 
 namespace ctdb::projection {

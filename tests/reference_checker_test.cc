@@ -1,0 +1,123 @@
+// The reference permission checker (explicit compatibility product +
+// emptiness) must agree with both production algorithms on every input, and
+// must detect a deliberately corrupted verdict — otherwise it could not act
+// as an oracle for the differential fuzzer.
+
+#include "testing/reference.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "core/permission.h"
+#include "ltl/parser.h"
+#include "testing/generators.h"
+#include "translate/ltl_to_ba.h"
+#include "util/rng.h"
+
+namespace ctdb::testing {
+namespace {
+
+automata::Buchi Translate(const std::string& text, ltl::FormulaFactory* fac,
+                          Vocabulary* vocab) {
+  auto f = ltl::Parse(text, fac, vocab);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  auto ba = translate::LtlToBuchi(*f, fac);
+  EXPECT_TRUE(ba.ok()) << ba.status().ToString();
+  return std::move(*ba);
+}
+
+Bitset AllEvents(size_t n) {
+  Bitset events(n);
+  events.SetAll();
+  return events;
+}
+
+TEST(ReferenceCheckerTest, PermitsIdenticalGloballyFormulas) {
+  ltl::FormulaFactory fac;
+  Vocabulary vocab = TestVocabulary(2);
+  const automata::Buchi contract = Translate("G e0", &fac, &vocab);
+  const automata::Buchi query = Translate("G e0", &fac, &vocab);
+  EXPECT_TRUE(ReferencePermits(contract, AllEvents(2), query));
+}
+
+TEST(ReferenceCheckerTest, RejectsContradictoryQuery) {
+  ltl::FormulaFactory fac;
+  Vocabulary vocab = TestVocabulary(2);
+  const automata::Buchi contract = Translate("G e0", &fac, &vocab);
+  // Every run of the query denies e0 from the start; no label of the
+  // contract's runs is consistent with it.
+  const automata::Buchi query = Translate("G !e0", &fac, &vocab);
+  EXPECT_FALSE(ReferencePermits(contract, AllEvents(2), query));
+}
+
+TEST(ReferenceCheckerTest, ResponseContractPermitsEventualGrant) {
+  ltl::FormulaFactory fac;
+  Vocabulary vocab = TestVocabulary(2);
+  const automata::Buchi contract = Translate("G (e0 -> F e1)", &fac, &vocab);
+  const automata::Buchi query = Translate("F e1", &fac, &vocab);
+  EXPECT_TRUE(ReferencePermits(contract, AllEvents(2), query));
+}
+
+TEST(ReferenceCheckerTest, ProductHasNoAcceptingCycleWithoutBothFinalSets) {
+  ltl::FormulaFactory fac;
+  Vocabulary vocab = TestVocabulary(1);
+  // "F e0" paired with "G !e0": the query can never leave its pre-e0 phase
+  // consistently, so the product language is empty.
+  const automata::Buchi contract = Translate("F e0", &fac, &vocab);
+  const automata::Buchi query = Translate("G !e0", &fac, &vocab);
+  const automata::Buchi product =
+      PermissionProduct(contract, AllEvents(1), query);
+  EXPECT_TRUE(automata::IsEmptyLanguage(product));
+}
+
+// The core oracle property: on random formula pairs the reference product
+// agrees with nested-DFS (with and without seeds) and with the SCC variant.
+TEST(ReferenceCheckerTest, AgreesWithProductionAlgorithmsOnRandomFormulas) {
+  Rng rng(2011);
+  size_t permitted = 0;
+  for (int i = 0; i < 200; ++i) {
+    ltl::FormulaFactory fac;
+    const size_t num_events = 3 + rng.Uniform(2);
+    const ltl::Formula* cf = RandomFormula(&rng, &fac, num_events, 3);
+    const ltl::Formula* qf = RandomFormula(&rng, &fac, num_events, 3);
+    auto cba = translate::LtlToBuchi(cf, &fac);
+    auto qba = translate::LtlToBuchi(qf, &fac);
+    ASSERT_TRUE(cba.ok() && qba.ok());
+    const Bitset events = AllEvents(num_events);
+
+    const bool reference = ReferencePermits(*cba, events, *qba);
+    if (reference) ++permitted;
+
+    core::PermissionOptions ndfs;
+    ndfs.algorithm = core::PermissionAlgorithm::kNestedDfs;
+    EXPECT_EQ(reference, core::Permits(*cba, events, *qba, ndfs))
+        << "nested-DFS disagrees at draw " << i;
+
+    ndfs.use_seeds = false;
+    EXPECT_EQ(reference, core::Permits(*cba, events, *qba, ndfs))
+        << "nested-DFS (no seeds) disagrees at draw " << i;
+
+    core::PermissionOptions scc;
+    scc.algorithm = core::PermissionAlgorithm::kScc;
+    EXPECT_EQ(reference, core::Permits(*cba, events, *qba, scc))
+        << "SCC disagrees at draw " << i;
+  }
+  // The draws must exercise both verdicts or the test proves nothing.
+  EXPECT_GT(permitted, 0u);
+  EXPECT_LT(permitted, 200u);
+}
+
+// Injected bug: flipping the reference verdict must break the agreement —
+// i.e. the production side is genuinely independent evidence.
+TEST(ReferenceCheckerTest, DetectsFlippedVerdict) {
+  ltl::FormulaFactory fac;
+  Vocabulary vocab = TestVocabulary(2);
+  const automata::Buchi contract = Translate("G e0", &fac, &vocab);
+  const automata::Buchi query = Translate("G e0", &fac, &vocab);
+  const Bitset events = AllEvents(2);
+  const bool flipped = !ReferencePermits(contract, events, query);
+  EXPECT_NE(flipped, core::Permits(contract, events, query));
+}
+
+}  // namespace
+}  // namespace ctdb::testing

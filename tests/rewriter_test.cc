@@ -4,7 +4,7 @@
 
 #include "ltl/evaluator.h"
 #include "ltl/parser.h"
-#include "testing_support.h"
+#include "testing/generators.h"
 
 namespace ctdb::ltl {
 namespace {

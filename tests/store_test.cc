@@ -5,7 +5,7 @@
 #include "automata/serialize.h"
 #include "core/permission.h"
 #include "ltl/parser.h"
-#include "testing_support.h"
+#include "testing/generators.h"
 #include "translate/ltl_to_ba.h"
 #include "util/thread_pool.h"
 

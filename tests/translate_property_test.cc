@@ -10,7 +10,7 @@
 #include "automata/word.h"
 #include "ltl/evaluator.h"
 #include "ltl/patterns.h"
-#include "testing_support.h"
+#include "testing/generators.h"
 #include "translate/ltl_to_ba.h"
 
 namespace ctdb::translate {

@@ -7,7 +7,7 @@
 #include "core/permission.h"
 #include "ltl/evaluator.h"
 #include "ltl/parser.h"
-#include "testing_support.h"
+#include "testing/generators.h"
 #include "translate/ltl_to_ba.h"
 
 namespace ctdb::core {

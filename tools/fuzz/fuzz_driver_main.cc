@@ -1,0 +1,143 @@
+// Standalone driver for the fuzz harnesses on toolchains without libFuzzer
+// (e.g. GCC). Linked instead of -fsanitize=fuzzer; replays the corpus and
+// then runs seeded random mutations of it through LLVMFuzzerTestOneInput.
+//
+// Understands the subset of libFuzzer's CLI the CI jobs use, so the same
+// command line works against either build:
+//   fuzz_parser -runs=1000 -seed=1 -max_total_time=60 <corpus dir/file>...
+// A failure aborts (as under libFuzzer); rerunning with the same seed and
+// corpus reproduces it deterministically.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+void LoadFile(const std::filesystem::path& path, std::vector<Input>* corpus) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return;
+  Input bytes((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  corpus->push_back(std::move(bytes));
+}
+
+void LoadPath(const char* arg, std::vector<Input>* corpus) {
+  std::error_code ec;
+  const std::filesystem::path path(arg);
+  if (std::filesystem::is_directory(path, ec)) {
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) LoadFile(entry.path(), corpus);
+    }
+  } else {
+    LoadFile(path, corpus);
+  }
+}
+
+bool ParseFlag(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+Input Mutate(const Input& base, ctdb::Rng* rng, size_t max_len) {
+  Input input = base;
+  const size_t edits = 1 + rng->Uniform(8);
+  for (size_t e = 0; e < edits; ++e) {
+    const uint64_t kind = rng->Uniform(4);
+    if (input.empty() || kind == 0) {
+      // Insert a random byte, biased towards printable ASCII.
+      const size_t at = input.empty() ? 0 : rng->Uniform(input.size() + 1);
+      const uint8_t byte = rng->Chance(0.8)
+                               ? static_cast<uint8_t>(32 + rng->Uniform(95))
+                               : static_cast<uint8_t>(rng->Uniform(256));
+      input.insert(input.begin() + static_cast<ptrdiff_t>(at), byte);
+    } else if (kind == 1) {
+      input[rng->Uniform(input.size())] ^=
+          static_cast<uint8_t>(1u << rng->Uniform(8));
+    } else if (kind == 2) {
+      input.erase(input.begin() + static_cast<ptrdiff_t>(rng->Uniform(input.size())));
+    } else {
+      // Duplicate a chunk (grows nesting/repetition patterns).
+      const size_t from = rng->Uniform(input.size());
+      const size_t len = 1 + rng->Uniform(input.size() - from);
+      Input chunk(input.begin() + static_cast<ptrdiff_t>(from),
+                  input.begin() + static_cast<ptrdiff_t>(from + len));
+      const size_t at = rng->Uniform(input.size() + 1);
+      input.insert(input.begin() + static_cast<ptrdiff_t>(at), chunk.begin(),
+                   chunk.end());
+    }
+  }
+  if (input.size() > max_len) input.resize(max_len);
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 1000;
+  uint64_t seed = 1;
+  uint64_t max_total_time = 0;  // seconds; 0 = no time limit
+  uint64_t max_len = 4096;
+  std::vector<Input> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (arg[0] == '-') {
+      uint64_t value = 0;
+      if (ParseFlag(arg, "-runs", &value) || ParseFlag(arg, "--iters", &value)) {
+        runs = value;
+      } else if (ParseFlag(arg, "-seed", &value) ||
+                 ParseFlag(arg, "--seed", &value)) {
+        seed = value;
+      } else if (ParseFlag(arg, "-max_total_time", &value)) {
+        max_total_time = value;
+      } else if (ParseFlag(arg, "-max_len", &value)) {
+        max_len = value;
+      }
+      // Other libFuzzer flags (-artifact_prefix, ...) are accepted and
+      // ignored so CI command lines stay portable across builds.
+      continue;
+    }
+    LoadPath(arg, &corpus);
+  }
+
+  std::printf("standalone fuzz driver: %zu corpus inputs, %llu runs, seed %llu\n",
+              corpus.size(), static_cast<unsigned long long>(runs),
+              static_cast<unsigned long long>(seed));
+
+  for (const Input& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  ctdb::Rng rng(seed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(max_total_time);
+  uint64_t executed = 0;
+  for (; executed < runs; ++executed) {
+    if (max_total_time > 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    const Input* base = nullptr;
+    static const Input kEmpty;
+    base = corpus.empty() ? &kEmpty : &corpus[rng.Uniform(corpus.size())];
+    const Input input = Mutate(*base, &rng, max_len);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  std::printf("done: %zu corpus replays + %llu mutated runs, no failures\n",
+              corpus.size(), static_cast<unsigned long long>(executed));
+  return 0;
+}

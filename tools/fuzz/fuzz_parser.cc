@@ -1,0 +1,52 @@
+// libFuzzer harness for the LTL parser.
+//
+// Feeds arbitrary bytes to ltl::Parse. Malformed inputs must fail with a
+// Status (never crash, hang, or overflow the stack — the max_depth guard is
+// what keeps "((((..." safe). Well-formed inputs must round-trip: printing
+// with minimal parentheses and reparsing into the same hash-consing factory
+// must yield the very same node, which cross-checks the printer's
+// precedence handling against the grammar.
+//
+// Built with -fsanitize=fuzzer under Clang; elsewhere fuzz_driver_main.cc
+// supplies a standalone corpus-replay main with the same CLI shape.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "ltl/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace ctdb;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  ltl::FormulaFactory factory;
+  Vocabulary vocab;
+  auto parsed = ltl::Parse(text, &factory, &vocab);
+  if (!parsed.ok()) return 0;  // rejected cleanly — fine
+
+  const std::string printed = (*parsed)->ToString(vocab);
+  auto reparsed = ltl::Parse(printed, &factory, &vocab);
+  if (!reparsed.ok()) {
+    std::fprintf(stderr, "printed form failed to reparse: '%s': %s\n",
+                 printed.c_str(), reparsed.status().ToString().c_str());
+    std::abort();
+  }
+  if (*reparsed != *parsed) {
+    std::fprintf(stderr,
+                 "print/parse round-trip changed the formula:\n  '%s'\n  "
+                 "reparsed as '%s'\n",
+                 printed.c_str(), (*reparsed)->ToString(vocab).c_str());
+    std::abort();
+  }
+
+  // Strict mode must accept exactly the already-interned events.
+  auto strict = ltl::Parse(printed, &factory, &vocab,
+                           {.require_known_events = true});
+  if (!strict.ok() || *strict != *parsed) {
+    std::fprintf(stderr, "strict reparse diverged for '%s'\n", printed.c_str());
+    std::abort();
+  }
+  return 0;
+}

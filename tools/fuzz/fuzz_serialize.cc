@@ -1,0 +1,50 @@
+// libFuzzer harness for the Büchi-automaton text serializer.
+//
+// Feeds arbitrary bytes to automata::Deserialize. Malformed inputs must
+// fail with a Status (the declared-state cap keeps "ba states=<huge>" from
+// exhausting memory). Accepted automata must satisfy Validate() and reach a
+// serialization fixed point: Serialize → Deserialize → Serialize must
+// reproduce the first serialization byte-for-byte.
+//
+// Built with -fsanitize=fuzzer under Clang; elsewhere fuzz_driver_main.cc
+// supplies a standalone corpus-replay main with the same CLI shape.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "automata/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace ctdb;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  Vocabulary vocab;
+  auto ba = automata::Deserialize(text, &vocab);
+  if (!ba.ok()) return 0;  // rejected cleanly — fine
+
+  Status valid = ba->Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "deserializer accepted an invalid automaton: %s\n",
+                 valid.ToString().c_str());
+    std::abort();
+  }
+
+  const std::string first = automata::Serialize(*ba, vocab);
+  auto round = automata::Deserialize(first, &vocab);
+  if (!round.ok()) {
+    std::fprintf(stderr, "serialized form failed to reparse: %s\n%s\n",
+                 round.status().ToString().c_str(), first.c_str());
+    std::abort();
+  }
+  const std::string second = automata::Serialize(*round, vocab);
+  if (first != second) {
+    std::fprintf(stderr,
+                 "serialization is not a fixed point:\n--- first ---\n%s\n"
+                 "--- second ---\n%s\n",
+                 first.c_str(), second.c_str());
+    std::abort();
+  }
+  return 0;
+}
