@@ -43,5 +43,6 @@ int main() {
       "Expectation: deeper indexes cost more to build and store but yield\n"
       "smaller candidate sets; k=2 (the paper's working point) balances "
       "both.\n");
+  bench::WriteMetricsSnapshot("ablation_depth");
   return 0;
 }

@@ -72,5 +72,6 @@ int main() {
       "Threaded rows only\nimprove wall-clock when the host has multiple "
       "cores (this host: %u).\n",
       std::thread::hardware_concurrency());
+  bench::WriteMetricsSnapshot("ablation_opts");
   return 0;
 }

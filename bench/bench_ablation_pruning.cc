@@ -78,5 +78,6 @@ int main() {
   std::printf(
       "Expectation (§4.1.1): the approximated conditions have nearly the\n"
       "same false-positive count as the complete ones, at lower cost.\n");
+  bench::WriteMetricsSnapshot("ablation_pruning");
   return 0;
 }

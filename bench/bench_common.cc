@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.h"
 #include "testing/universe.h"
 #include "util/timer.h"
 
@@ -101,6 +102,26 @@ void PrintRule() {
   std::printf(
       "-----------------------------------------------------------------------"
       "---------\n");
+}
+
+void WriteMetricsSnapshot(std::string name) {
+  if (name.rfind("bench_", 0) == 0) name.erase(0, 6);
+  std::string path;
+  const char* dir = std::getenv("CTDB_BENCH_METRICS_DIR");
+  if (dir != nullptr && dir[0] != '\0') path = std::string(dir) + "/";
+  path += "BENCH_" + name + ".metrics.json";
+
+  const std::string json =
+      obs::MetricsRegistry::Default()->Snapshot().ToJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write metrics snapshot %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fputs(json.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
 }
 
 }  // namespace ctdb::bench

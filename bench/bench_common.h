@@ -69,4 +69,13 @@ broker::QueryOptions OptimizedOptions();
 void PrintHeader(const std::string& title);
 void PrintRule();
 
+/// Dumps the process metrics registry (obs/metrics.h) as JSON to
+/// BENCH_<name>.metrics.json — in CTDB_BENCH_METRICS_DIR when set, else the
+/// current directory — so every bench run ships the pipeline-layer telemetry
+/// (translate.*, prefilter.*, permission.*, projection.*, threadpool.*,
+/// broker.*) next to its results. A leading "bench_" in `name` is stripped.
+/// Warns instead of failing on I/O errors; with observability compiled out
+/// or disabled the file holds an empty registry.
+void WriteMetricsSnapshot(std::string name);
+
 }  // namespace ctdb::bench

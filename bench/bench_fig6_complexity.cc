@@ -64,5 +64,6 @@ int main() {
   std::printf(
       "Shape check: speedup increases down the contract axis and decreases\n"
       "along the query axis (paper Figure 6).\n");
+  bench::WriteMetricsSnapshot("fig6_complexity");
   return 0;
 }

@@ -1,0 +1,23 @@
+// Custom google-benchmark main for the ctdb gbench targets: runs the
+// registered benchmarks, then dumps the process metrics registry
+// (BENCH_<binary>.metrics.json) so every bench run ships the pipeline-layer
+// telemetry gathered while it executed.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::string name = argv[0];
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name.erase(0, slash + 1);
+  ctdb::bench::WriteMetricsSnapshot(std::move(name));
+  return 0;
+}

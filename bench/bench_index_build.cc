@@ -82,5 +82,6 @@ int main() {
   std::printf("projection (partition) storage   : %s   (paper: simplified "
               "BAs ≈ 80%% of DB size)\n",
               HumanBytes(db.ProjectionMemoryUsage()).c_str());
+  bench::WriteMetricsSnapshot("index_build");
   return 0;
 }

@@ -67,5 +67,6 @@ int main() {
   std::printf(
       "Shape check: states and transitions must grow with pattern count, and\n"
       "queries must be an order of magnitude smaller than contracts.\n");
+  bench::WriteMetricsSnapshot("table2_datasets");
   return 0;
 }

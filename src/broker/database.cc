@@ -6,6 +6,7 @@
 #include "core/compatibility.h"
 #include "core/witness.h"
 #include "ltl/parser.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace ctdb::broker {
@@ -41,6 +42,13 @@ Result<uint32_t> ContractDatabase::RegisterFormula(std::string name,
                                                    const ltl::Formula* spec,
                                                    std::string ltl_text,
                                                    RegistrationStats* stats) {
+  CTDB_OBS_SPAN(span, "register");
+#if CTDB_OBS
+  // Capture timings for the registry even when the caller passed no stats
+  // sink (the struct is flushed by RegisterAutomaton).
+  RegistrationStats obs_stats;
+  if (stats == nullptr && obs::Enabled()) stats = &obs_stats;
+#endif
   Bitset events;
   spec->CollectEvents(&events);
   if (ltl_text.empty()) ltl_text = spec->ToString(vocab_);
@@ -59,6 +67,11 @@ Result<uint32_t> ContractDatabase::RegisterAutomaton(std::string name,
                                                      automata::Buchi ba,
                                                      Bitset events,
                                                      RegistrationStats* stats) {
+  CTDB_OBS_SPAN(span, "register.automaton");
+#if CTDB_OBS
+  RegistrationStats obs_stats;
+  if (stats == nullptr && obs::Enabled()) stats = &obs_stats;
+#endif
   CTDB_RETURN_NOT_OK(ba.Validate());
   auto contract = std::make_unique<Contract>();
   contract->id = static_cast<uint32_t>(contracts_.size());
@@ -75,6 +88,7 @@ Result<uint32_t> ContractDatabase::RegisterAutomaton(std::string name,
 
   timer.Reset();
   if (options_.build_projections) {
+    CTDB_OBS_SPAN(proj_span, "register.projections");
     contract->projections = projection::ContractProjections::Precompute(
         std::move(ba), options_.projections, EnsurePool(options_.threads));
     if (stats != nullptr) {
@@ -90,11 +104,13 @@ Result<uint32_t> ContractDatabase::RegisterAutomaton(std::string name,
 
   if (options_.build_prefilter) {
     timer.Reset();
+    CTDB_OBS_SPAN(prefilter_span, "register.prefilter_insert");
     prefilter_.Insert(contract->id, contract->projections.original(),
                       contract->events);
     if (stats != nullptr) stats->prefilter_insert_ms = timer.ElapsedMillis();
   }
 
+  if (stats != nullptr) RecordRegistrationStats(*stats);
   const uint32_t id = contract->id;
   contracts_.push_back(std::move(contract));
   return id;
@@ -233,8 +249,10 @@ Result<QueryResult> ContractDatabase::QueryFormula(const ltl::Formula* query,
   QueryResult result;
   result.stats.database_size = contracts_.size();
   Timer total;
+  CTDB_OBS_SPAN(query_span, "query");
 
-  // 1. LTL → BA (charged to the query in both modes, §7.3).
+  // 1. LTL → BA (charged to the query in both modes, §7.3). The translation
+  // opens its own "translate" child span.
   Timer phase;
   CTDB_ASSIGN_OR_RETURN(
       const automata::Buchi query_ba,
@@ -246,20 +264,25 @@ Result<QueryResult> ContractDatabase::QueryFormula(const ltl::Formula* query,
   // 2. Prefilter: pruning condition → candidate set (§4).
   phase.Reset();
   Bitset candidates;
-  if (options.use_prefilter && options_.build_prefilter) {
-    const index::Condition condition =
-        index::ExtractPruningCondition(query_ba, options.pruning);
-    candidates = condition.Evaluate(prefilter_);
-  } else {
-    candidates = Bitset::AllSet(contracts_.size());
+  {
+    CTDB_OBS_SPAN(prefilter_span, "query.prefilter");
+    if (options.use_prefilter && options_.build_prefilter) {
+      const index::Condition condition =
+          index::ExtractPruningCondition(query_ba, options.pruning);
+      candidates = condition.Evaluate(prefilter_);
+    } else {
+      candidates = Bitset::AllSet(contracts_.size());
+    }
+    candidates.Resize(contracts_.size());
+    CTDB_OBS_SPAN_ATTR(prefilter_span, "candidates", candidates.Count());
   }
-  candidates.Resize(contracts_.size());
   result.stats.prefilter_ms = phase.ElapsedMillis();
   result.stats.candidates = candidates.Count();
 
   // 3. Permission checks over candidates (§3.1 / §5.2), on the shared
   // executor when more than one thread is requested.
   phase.Reset();
+  CTDB_OBS_SPAN(permission_span, "query.permission");
   const Bitset query_events = query_ba.CitedEvents();
 
   const std::vector<size_t> candidate_ids = candidates.ToVector();
@@ -313,6 +336,9 @@ Result<QueryResult> ContractDatabase::QueryFormula(const ltl::Formula* query,
   result.stats.permission_ms = phase.ElapsedMillis();
   result.stats.matches = result.matches.size();
   result.stats.total_ms = total.ElapsedMillis();
+  CTDB_OBS_SPAN_ATTR(query_span, "candidates", result.stats.candidates);
+  CTDB_OBS_SPAN_ATTR(query_span, "matches", result.stats.matches);
+  RecordQueryStats(result.stats);
   return result;
 }
 
@@ -322,17 +348,22 @@ Result<std::vector<QueryResult>> ContractDatabase::QueryBatch(
   // vocabulary, so unknown-event typos fail the whole batch up front (the
   // same contract Query offers — and with require_known_events the parse
   // cannot intern new events, so the snapshot below is complete).
+  CTDB_OBS_SPAN(batch_span, "query_batch");
+  CTDB_OBS_SPAN_ATTR(batch_span, "queries", queries.size());
   ltl::ParseOptions parse_options;
   parse_options.require_known_events = true;
   std::vector<const ltl::Formula*> formulas(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    auto parsed = ltl::Parse(queries[i], &factory_, &vocab_, parse_options);
-    if (!parsed.ok()) {
-      return Status(parsed.status().code(),
-                    "query " + std::to_string(i) + ": " +
-                        parsed.status().message());
+  {
+    CTDB_OBS_SPAN(parse_span, "query_batch.parse");
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto parsed = ltl::Parse(queries[i], &factory_, &vocab_, parse_options);
+      if (!parsed.ok()) {
+        return Status(parsed.status().code(),
+                      "query " + std::to_string(i) + ": " +
+                          parsed.status().message());
+      }
+      formulas[i] = *parsed;
     }
-    formulas[i] = *parsed;
   }
 
   std::vector<QueryResult> results(queries.size());
@@ -360,50 +391,53 @@ Result<std::vector<QueryResult>> ContractDatabase::QueryBatch(
   std::vector<Prep> preps(queries.size());
   const Vocabulary vocab_snapshot = vocab_;
   const size_t prep_workers = threads;
-  CTDB_RETURN_NOT_OK(pool->ParallelFor(0, prep_workers, [&](size_t t)
-                                           -> Status {
-    ltl::FormulaFactory local_factory;
-    Vocabulary local_vocab = vocab_snapshot;
-    for (size_t i = t; i < queries.size(); i += prep_workers) {
-      Prep& prep = preps[i];
-      QueryStats& stats = results[i].stats;
-      stats.database_size = contracts_.size();
-      Timer phase;
-      auto parsed = ltl::Parse(queries[i], &local_factory, &local_vocab);
-      if (!parsed.ok()) {
-        prep.status = parsed.status();
-        continue;
-      }
-      auto ba = translate::LtlToBuchi(*parsed, &local_factory,
-                                      options_.translate);
-      if (!ba.ok()) {
-        prep.status = ba.status();
-        continue;
-      }
-      prep.ba = std::move(*ba);
-      stats.translate_ms = phase.ElapsedMillis();
-      stats.query_states = prep.ba.StateCount();
-      stats.query_transitions = prep.ba.TransitionCount();
+  {
+    CTDB_OBS_SPAN(prep_span, "query_batch.prep");
+    CTDB_RETURN_NOT_OK(pool->ParallelFor(0, prep_workers, [&](size_t t)
+                                             -> Status {
+      ltl::FormulaFactory local_factory;
+      Vocabulary local_vocab = vocab_snapshot;
+      for (size_t i = t; i < queries.size(); i += prep_workers) {
+        Prep& prep = preps[i];
+        QueryStats& stats = results[i].stats;
+        stats.database_size = contracts_.size();
+        Timer phase;
+        auto parsed = ltl::Parse(queries[i], &local_factory, &local_vocab);
+        if (!parsed.ok()) {
+          prep.status = parsed.status();
+          continue;
+        }
+        auto ba = translate::LtlToBuchi(*parsed, &local_factory,
+                                        options_.translate);
+        if (!ba.ok()) {
+          prep.status = ba.status();
+          continue;
+        }
+        prep.ba = std::move(*ba);
+        stats.translate_ms = phase.ElapsedMillis();
+        stats.query_states = prep.ba.StateCount();
+        stats.query_transitions = prep.ba.TransitionCount();
 
-      phase.Reset();
-      Bitset candidates;
-      if (options.use_prefilter && options_.build_prefilter) {
-        const index::Condition condition =
-            index::ExtractPruningCondition(prep.ba, options.pruning);
-        candidates = condition.Evaluate(prefilter_);
-      } else {
-        candidates = Bitset::AllSet(contracts_.size());
+        phase.Reset();
+        Bitset candidates;
+        if (options.use_prefilter && options_.build_prefilter) {
+          const index::Condition condition =
+              index::ExtractPruningCondition(prep.ba, options.pruning);
+          candidates = condition.Evaluate(prefilter_);
+        } else {
+          candidates = Bitset::AllSet(contracts_.size());
+        }
+        candidates.Resize(contracts_.size());
+        stats.prefilter_ms = phase.ElapsedMillis();
+        prep.candidates = candidates.ToVector();
+        stats.candidates = prep.candidates.size();
+        prep.query_events = prep.ba.CitedEvents();
       }
-      candidates.Resize(contracts_.size());
-      stats.prefilter_ms = phase.ElapsedMillis();
-      prep.candidates = candidates.ToVector();
-      stats.candidates = prep.candidates.size();
-      prep.query_events = prep.ba.CitedEvents();
+      return Status::OK();
+    }));
+    for (const Prep& prep : preps) {
+      CTDB_RETURN_NOT_OK(prep.status);
     }
-    return Status::OK();
-  }));
-  for (const Prep& prep : preps) {
-    CTDB_RETURN_NOT_OK(prep.status);
   }
 
   // Phase 3 (parallel across contract shards): permission checks for the
@@ -420,21 +454,26 @@ Result<std::vector<QueryResult>> ContractDatabase::QueryBatch(
     double elapsed_ms = 0;
   };
   std::vector<ShardOut> out(queries.size() * shards);
-  CTDB_RETURN_NOT_OK(pool->ParallelFor(0, shards, [&](size_t s) -> Status {
-    for (size_t q = 0; q < queries.size(); ++q) {
-      ShardOut& shard = out[q * shards + s];
-      Timer timer;
-      for (size_t idx : preps[q].candidates) {
-        if (idx % shards != s) continue;
-        CheckCandidate(idx, preps[q].ba, preps[q].query_events, options,
-                       &shard.matches, &shard.witnesses, &shard.stats);
+  {
+    CTDB_OBS_SPAN(perm_span, "query_batch.permission");
+    CTDB_OBS_SPAN_ATTR(perm_span, "shards", shards);
+    CTDB_RETURN_NOT_OK(pool->ParallelFor(0, shards, [&](size_t s) -> Status {
+      for (size_t q = 0; q < queries.size(); ++q) {
+        ShardOut& shard = out[q * shards + s];
+        Timer timer;
+        for (size_t idx : preps[q].candidates) {
+          if (idx % shards != s) continue;
+          CheckCandidate(idx, preps[q].ba, preps[q].query_events, options,
+                         &shard.matches, &shard.witnesses, &shard.stats);
+        }
+        shard.elapsed_ms = timer.ElapsedMillis();
       }
-      shard.elapsed_ms = timer.ElapsedMillis();
-    }
-    return Status::OK();
-  }));
+      return Status::OK();
+    }));
+  }
 
   // Phase 4 (serial): merge each query's shards, sorted by contract id.
+  CTDB_OBS_SPAN(merge_span, "query_batch.merge");
   for (size_t q = 0; q < queries.size(); ++q) {
     QueryResult& result = results[q];
     std::vector<std::pair<uint32_t, LassoWord>> merged;
@@ -461,8 +500,13 @@ Result<std::vector<QueryResult>> ContractDatabase::QueryBatch(
     result.stats.total_ms = result.stats.translate_ms +
                             result.stats.prefilter_ms +
                             result.stats.permission_ms;
+    RecordQueryStats(result.stats);
   }
   return results;
+}
+
+obs::MetricsSnapshot ContractDatabase::MetricsSnapshot() const {
+  return obs::MetricsRegistry::Default()->Snapshot();
 }
 
 size_t ContractDatabase::ContractMemoryUsage() const {

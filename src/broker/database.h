@@ -24,6 +24,7 @@
 #include "index/prefilter.h"
 #include "index/pruning.h"
 #include "ltl/formula.h"
+#include "obs/metrics.h"
 #include "projection/store.h"
 #include "translate/ltl_to_ba.h"
 #include "util/result.h"
@@ -154,7 +155,12 @@ class ContractDatabase {
   ///
   /// Per-query stats are filled as in Query, except that in parallel mode
   /// `permission_ms` is the CPU time spent on that query's checks (summed
-  /// across shards) and `total_ms` the sum of the per-phase times.
+  /// across shards) and `total_ms` the sum of the per-phase times. In both
+  /// modes the invariant `total_ms >= translate_ms + prefilter_ms` holds:
+  /// serial total is the wall clock enclosing all three phases, parallel
+  /// total is exactly translate + prefilter + the summed permission CPU time
+  /// (so it can exceed the batch's wall clock, but never undercuts the two
+  /// serial phases). Guarded by a regression test in query_batch_test.
   Result<std::vector<QueryResult>> QueryBatch(
       const std::vector<std::string>& queries,
       const QueryOptions& options = {});
@@ -173,6 +179,16 @@ class ContractDatabase {
   size_t PrefilterMemoryUsage() const { return prefilter_.Stats().memory_bytes; }
   size_t ContractMemoryUsage() const;
   size_t ProjectionMemoryUsage() const;
+
+  /// \brief Scrapes the process-wide metrics registry: counters, gauges and
+  /// histograms for every instrumented pipeline layer (translate.*,
+  /// prefilter.*, permission.*, projection.*, threadpool.*, broker.*).
+  /// The registry is process-global (instrumentation sites live deep inside
+  /// layers that have no database handle), so in a multi-database process
+  /// the snapshot aggregates across databases. Runtime on/off:
+  /// obs::Configure / obs::SetEnabled / the CTDB_OBS environment variable;
+  /// compile-time: the CTDB_OBS CMake option.
+  obs::MetricsSnapshot MetricsSnapshot() const;
 
  private:
   /// Resolves a per-call thread count (0 = inherit the database default).

@@ -42,4 +42,15 @@ struct RegistrationStats {
   std::string ToString() const;
 };
 
+/// Flushes one query's phase timings and outcome counts into the process
+/// metrics registry (obs/metrics.h). The broker calls this after every
+/// Query/QueryBatch evaluation, which makes QueryStats the per-call view of
+/// the same measurements the registry aggregates across calls
+/// (broker.query.* histograms, broker.candidates/matches counters).
+/// No-op when observability is compiled out or disabled at runtime.
+void RecordQueryStats(const QueryStats& stats);
+
+/// Registration-side counterpart (broker.register.* histograms).
+void RecordRegistrationStats(const RegistrationStats& stats);
+
 }  // namespace ctdb::broker

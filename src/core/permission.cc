@@ -7,6 +7,7 @@
 
 #include "automata/scc.h"
 #include "core/compatibility.h"
+#include "obs/metrics.h"
 
 namespace ctdb::core {
 
@@ -239,14 +240,74 @@ Bitset ComputeSeedStates(const Buchi& contract) {
 bool Permits(const Buchi& contract, const Bitset& contract_events,
              const Buchi& query, const PermissionOptions& options,
              const Bitset* seed_states, PermissionStats* stats) {
+  // When recording, the inner searches accumulate into a local struct so the
+  // registry flush below sees exactly this check's counts even if the caller
+  // reuses one cumulative PermissionStats across many checks (the shard
+  // pattern). With obs compiled out or disabled, the caller's pointer is
+  // passed through untouched — the paper-faithful path is unchanged.
+  PermissionStats* target = stats;
+#if CTDB_OBS
+  PermissionStats local;
+  const bool record = obs::Enabled();
+  if (record) target = &local;
+#endif
+  bool permitted = false;
   switch (options.algorithm) {
     case PermissionAlgorithm::kNestedDfs:
-      return PermitsNestedDfs(contract, contract_events, query, seed_states,
-                              options.use_seeds, stats);
+      permitted = PermitsNestedDfs(contract, contract_events, query,
+                                   seed_states, options.use_seeds, target);
+      break;
     case PermissionAlgorithm::kScc:
-      return PermitsScc(contract, contract_events, query, stats);
+      permitted = PermitsScc(contract, contract_events, query, target);
+      break;
   }
-  return false;
+#if CTDB_OBS
+  if (record) {
+    // Permission checks are the system's innermost hot loop (hundreds of
+    // nanoseconds each on small automata), so the flush resolves every
+    // handle through one static struct (one init-guard check) and the
+    // thread's shard once, and skips zero-valued adds.
+    struct Handles {
+      obs::Counter* checks;
+      obs::Counter* nested_dfs;
+      obs::Counter* scc;
+      obs::Counter* permitted;
+      obs::Counter* pairs_visited;
+      obs::Counter* cycle_searches;
+      obs::Counter* cycle_pairs;
+      obs::Histogram* pairs_per_check;
+    };
+    static const Handles h = [] {
+      obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+      return Handles{r->GetCounter("permission.checks"),
+                     r->GetCounter("permission.nested_dfs_checks"),
+                     r->GetCounter("permission.scc_checks"),
+                     r->GetCounter("permission.permitted"),
+                     r->GetCounter("permission.pairs_visited"),
+                     r->GetCounter("permission.cycle_searches"),
+                     r->GetCounter("permission.cycle_pairs"),
+                     r->GetHistogram("permission.pairs_per_check")};
+    }();
+    const size_t shard = obs::ThisThreadShard();
+    h.checks->AddAt(shard, 1);
+    (options.algorithm == PermissionAlgorithm::kNestedDfs ? h.nested_dfs
+                                                          : h.scc)
+        ->AddAt(shard, 1);
+    if (permitted) h.permitted->AddAt(shard, 1);
+    if (local.pairs_visited != 0) {
+      h.pairs_visited->AddAt(shard, local.pairs_visited);
+    }
+    if (local.cycle_searches != 0) {
+      h.cycle_searches->AddAt(shard, local.cycle_searches);
+    }
+    if (local.cycle_pairs != 0) {
+      h.cycle_pairs->AddAt(shard, local.cycle_pairs);
+    }
+    h.pairs_per_check->RecordAt(shard, local.pairs_visited);
+    if (stats != nullptr) stats->MergeFrom(local);
+  }
+#endif
+  return permitted;
 }
 
 }  // namespace ctdb::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/literal.h"
+#include "obs/metrics.h"
 
 namespace ctdb::index {
 
@@ -14,6 +15,7 @@ void PrefilterIndex::Insert(uint32_t contract_id, const automata::Buchi& ba,
   if (contract_id >= universe_.size()) universe_.Resize(contract_id + 1);
   universe_.Set(contract_id);
   contract_count_ = universe_.Count();
+  CTDB_OBS_COUNT("prefilter.inserts", 1);
   for (const Label& label : ba.DistinctLabels()) {
     InsertSubsets(contract_id, label.Expansion(contract_events));
   }
@@ -71,6 +73,8 @@ const Bitset* PrefilterIndex::FindNode(const LiteralKey& key) const {
 
 Bitset PrefilterIndex::Lookup(const Label& query_label) const {
   const LiteralKey key = query_label.Key();
+  CTDB_OBS_COUNT("prefilter.lookups", 1);
+  CTDB_OBS_HIST("prefilter.lookup_label_size", key.size());
   if (key.empty()) return universe_;  // S(true) = all contracts
 
   if (key.size() <= options_.max_depth) {

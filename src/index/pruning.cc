@@ -4,6 +4,7 @@
 
 #include "automata/ops.h"
 #include "automata/scc.h"
+#include "obs/metrics.h"
 
 namespace ctdb::index {
 
@@ -249,7 +250,12 @@ Condition ExtractPruningCondition(const Buchi& query,
     lasso_conditions.push_back(std::move(lasso));
   }
   Condition result = Condition::Or(std::move(lasso_conditions));
-  if (result.Size() > options.max_condition_size) return Condition::True();
+  if (result.Size() > options.max_condition_size) {
+    CTDB_OBS_COUNT("prefilter.condition_overflow", 1);
+    return Condition::True();
+  }
+  CTDB_OBS_COUNT("prefilter.conditions_extracted", 1);
+  CTDB_OBS_HIST("prefilter.condition_size", result.Size());
   return result;
 }
 

@@ -1,0 +1,277 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdlib>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace ctdb::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("CTDB_OBS");
+  if (env == nullptr) return true;
+  const std::string v(env);
+  return !(v == "0" || v == "off" || v == "false" || v == "OFF");
+}()};
+
+std::atomic<size_t> g_next_thread_id{0};
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t ThisThreadShard() {
+  thread_local const size_t shard =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const internal::ShardCell& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t Gauge::Value() const {
+  uint64_t total = 0;
+  for (const internal::ShardCell& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return static_cast<int64_t>(total);
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index == 0) return 0;
+  return uint64_t{1} << (index - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  if (index >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << index) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  RecordAt(ThisThreadShard(), value);
+}
+
+void Histogram::RecordAt(size_t shard_index, uint64_t value) {
+  Shard& shard = shards_[shard_index];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = shard.min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !shard.min.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+  }
+  seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !shard.max.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& shard : shards_) {
+    HistogramSnapshot part;
+    part.count = shard.count.load(std::memory_order_relaxed);
+    if (part.count == 0) continue;
+    part.sum = shard.sum.load(std::memory_order_relaxed);
+    part.min = shard.min.load(std::memory_order_relaxed);
+    part.max = shard.max.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      part.buckets[b] = shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.Merge(part);
+  }
+  return snap;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
+uint64_t HistogramSnapshot::PercentileUpperBound(double q) const {
+  if (count == 0) return 0;
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= target) {
+      return std::min(Histogram::BucketUpperBound(b), max);
+    }
+  }
+  return max;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back({name, histogram->Snapshot()});
+  }
+  return snap;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const CounterEntry& entry : counters) {
+    if (entry.name == name) return entry.value;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const GaugeEntry& entry : gauges) {
+    if (entry.name == name) return entry.value;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramEntry& entry : histograms) {
+    if (entry.name == name) return &entry.hist;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  for (const CounterEntry& entry : counters) {
+    out += StringFormat("counter %-42s %llu\n", entry.name.c_str(),
+                        static_cast<unsigned long long>(entry.value));
+  }
+  for (const GaugeEntry& entry : gauges) {
+    out += StringFormat("gauge   %-42s %lld\n", entry.name.c_str(),
+                        static_cast<long long>(entry.value));
+  }
+  for (const HistogramEntry& entry : histograms) {
+    const HistogramSnapshot& h = entry.hist;
+    out += StringFormat(
+        "hist    %-42s n=%llu mean=%.1f min=%llu max=%llu p50<=%llu "
+        "p99<=%llu\n",
+        entry.name.c_str(), static_cast<unsigned long long>(h.count), h.mean(),
+        static_cast<unsigned long long>(h.count == 0 ? 0 : h.min),
+        static_cast<unsigned long long>(h.max),
+        static_cast<unsigned long long>(h.PercentileUpperBound(0.50)),
+        static_cast<unsigned long long>(h.PercentileUpperBound(0.99)));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterEntry& entry : counters) {
+    out += StringFormat("%s\"%s\":%llu", first ? "" : ",",
+                        JsonEscape(entry.name).c_str(),
+                        static_cast<unsigned long long>(entry.value));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeEntry& entry : gauges) {
+    out += StringFormat("%s\"%s\":%lld", first ? "" : ",",
+                        JsonEscape(entry.name).c_str(),
+                        static_cast<long long>(entry.value));
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramEntry& entry : histograms) {
+    const HistogramSnapshot& h = entry.hist;
+    out += StringFormat(
+        "%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+        "\"buckets\":{",
+        first ? "" : ",", JsonEscape(entry.name).c_str(),
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum),
+        static_cast<unsigned long long>(h.count == 0 ? 0 : h.min),
+        static_cast<unsigned long long>(h.max));
+    bool first_bucket = true;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      out += StringFormat(
+          "%s\"%llu\":%llu", first_bucket ? "" : ",",
+          static_cast<unsigned long long>(Histogram::BucketUpperBound(b)),
+          static_cast<unsigned long long>(h.buckets[b]));
+      first_bucket = false;
+    }
+    out += "}}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ctdb::obs

@@ -1,0 +1,232 @@
+// Lock-free-on-the-hot-path metrics: monotonic counters, gauges, and
+// histograms with fixed exponential buckets, collected in a process-wide
+// registry and aggregated on scrape.
+//
+// Hot-path design: every metric keeps kShards cacheline-padded atomic slots;
+// a thread picks its slot from a thread-local id assigned on first use, so
+// concurrent writers on different threads touch different cachelines and a
+// single-threaded writer always hits the same warm line. Writes are relaxed
+// fetch_adds — no locks, no CAS (except the histogram min/max, a rarely-
+// looping compare_exchange). Scrapes sum the shards; a scrape running
+// concurrently with writers sees a consistent-enough snapshot (each shard
+// value is atomic; totals may lag in-flight increments, never lose them).
+//
+// Registration (GetCounter/GetGauge/GetHistogram) takes a mutex but is meant
+// to run once per site: instrumentation caches the returned handle in a
+// static local (see the CTDB_OBS_* macros below). Handles stay valid for the
+// registry's lifetime — metrics are never deleted.
+//
+// The CTDB_OBS compile-time switch (CMake option) removes every macro
+// expansion; the obs::Enabled() runtime flag (see obs.h) short-circuits the
+// rest. Both default to on.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace ctdb::obs {
+
+/// Number of per-metric shards (power of two). Threads map onto shards by a
+/// monotonically assigned thread id, so up to kShards writers never contend.
+inline constexpr size_t kShards = 16;
+
+/// The shard slot of the calling thread (stable for the thread's lifetime).
+size_t ThisThreadShard();
+
+namespace internal {
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+}  // namespace internal
+
+/// \brief Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    AddAt(ThisThreadShard(), delta);
+  }
+  /// Shard-hoisted variant for sites that update several metrics per call:
+  /// resolve ThisThreadShard() once and pass it to each update.
+  void AddAt(size_t shard, uint64_t delta) {
+    shards_[shard].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Sum over shards (scrape path).
+  uint64_t Value() const;
+
+ private:
+  internal::ShardCell shards_[kShards];
+};
+
+/// \brief Up/down gauge (e.g. queue depth). Stored as a sharded sum of
+/// signed deltas, so concurrent Add/Sub never lose updates.
+class Gauge {
+ public:
+  void Add(int64_t delta = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(static_cast<uint64_t>(delta),
+                                               std::memory_order_relaxed);
+  }
+  void Sub(int64_t delta = 1) { Add(-delta); }
+  int64_t Value() const;
+
+ private:
+  internal::ShardCell shards_[kShards];
+};
+
+/// Number of histogram buckets: bucket 0 counts the value 0, bucket i
+/// (1 ≤ i ≤ 64) counts values in [2^(i-1), 2^i).
+inline constexpr size_t kHistogramBuckets = 65;
+
+/// Aggregated view of one histogram (also the mergeable unit the sharded
+/// representation reduces to — Merge is associative and commutative).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< meaningful only when count > 0
+  uint64_t max = 0;
+  uint64_t buckets[kHistogramBuckets] = {};
+
+  void Merge(const HistogramSnapshot& other);
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper-bound estimate of the q-quantile (0 < q ≤ 1) from the bucket
+  /// upper edges; exact for values that are powers of two.
+  uint64_t PercentileUpperBound(double q) const;
+};
+
+/// \brief Fixed-exponential-bucket histogram of uint64 samples (typically
+/// microsecond durations or per-operation sizes).
+class Histogram {
+ public:
+  /// Bucket that `value` lands in: 0 for 0, otherwise bit_width(value).
+  static size_t BucketIndex(uint64_t value);
+  /// Smallest value of bucket `index` (inclusive).
+  static uint64_t BucketLowerBound(size_t index);
+  /// Largest value of bucket `index` (inclusive).
+  static uint64_t BucketUpperBound(size_t index);
+
+  void Record(uint64_t value);
+  /// Shard-hoisted variant of Record (see Counter::AddAt).
+  void RecordAt(size_t shard, uint64_t value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{~uint64_t{0}};
+    std::atomic<uint64_t> max{0};
+    std::atomic<uint64_t> buckets[kHistogramBuckets] = {};
+  };
+  Shard shards_[kShards];
+};
+
+/// One registry scrape: every metric's aggregated value at a point in time.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    HistogramSnapshot hist;
+  };
+  std::vector<CounterEntry> counters;     ///< sorted by name
+  std::vector<GaugeEntry> gauges;         ///< sorted by name
+  std::vector<HistogramEntry> histograms; ///< sorted by name
+
+  /// Value of the named counter, 0 when absent.
+  uint64_t CounterValue(std::string_view name) const;
+  int64_t GaugeValue(std::string_view name) const;
+  /// Null when absent.
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+
+  /// Human-readable multi-line dump (one metric per line).
+  std::string ToString() const;
+  /// Single JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// with histogram buckets keyed by their inclusive upper bound.
+  std::string ToJson() const;
+};
+
+/// \brief Named-metric registry. Get* calls are get-or-create and return
+/// handles that remain valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every CTDB_OBS_* macro records into.
+  static MetricsRegistry* Default();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ctdb::obs
+
+// Instrumentation macros. Each site resolves its metric once (static local
+// handle) and then pays one Enabled() load + one relaxed atomic op per hit.
+// With the CMake option CTDB_OBS=OFF they vanish entirely.
+#if CTDB_OBS
+
+#define CTDB_OBS_COUNT(name, delta)                                      \
+  do {                                                                   \
+    if (::ctdb::obs::Enabled()) {                                        \
+      static ::ctdb::obs::Counter* ctdb_obs_c =                          \
+          ::ctdb::obs::MetricsRegistry::Default()->GetCounter(name);     \
+      ctdb_obs_c->Add(static_cast<uint64_t>(delta));                     \
+    }                                                                    \
+  } while (0)
+
+#define CTDB_OBS_GAUGE_ADD(name, delta)                                  \
+  do {                                                                   \
+    if (::ctdb::obs::Enabled()) {                                        \
+      static ::ctdb::obs::Gauge* ctdb_obs_g =                            \
+          ::ctdb::obs::MetricsRegistry::Default()->GetGauge(name);       \
+      ctdb_obs_g->Add(static_cast<int64_t>(delta));                      \
+    }                                                                    \
+  } while (0)
+
+#define CTDB_OBS_HIST(name, value)                                       \
+  do {                                                                   \
+    if (::ctdb::obs::Enabled()) {                                        \
+      static ::ctdb::obs::Histogram* ctdb_obs_h =                        \
+          ::ctdb::obs::MetricsRegistry::Default()->GetHistogram(name);   \
+      ctdb_obs_h->Record(static_cast<uint64_t>(value));                  \
+    }                                                                    \
+  } while (0)
+
+#else  // !CTDB_OBS
+
+#define CTDB_OBS_COUNT(name, delta) \
+  do {                              \
+  } while (0)
+#define CTDB_OBS_GAUGE_ADD(name, delta) \
+  do {                                  \
+  } while (0)
+#define CTDB_OBS_HIST(name, value) \
+  do {                             \
+  } while (0)
+
+#endif  // CTDB_OBS

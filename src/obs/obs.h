@@ -1,0 +1,41 @@
+// Runtime control for the observability subsystem (metrics + tracing).
+//
+// Two independent switches keep the paper-faithful serial path fast:
+//  * Compile time: the CTDB_OBS macro (CMake option of the same name,
+//    default ON). With -DCTDB_OBS=OFF every instrumentation macro expands to
+//    nothing and the hot paths are byte-identical to an uninstrumented build.
+//  * Run time: Enabled() — a relaxed atomic flag consulted by every
+//    instrumentation site before touching the registry. Initialized from the
+//    CTDB_OBS environment variable ("0"/"off"/"false" disable; anything else,
+//    or unset, enables), overridable with SetEnabled(). When disabled, the
+//    only residual cost per site is the flag load and a predictable branch.
+//
+// Tracing is gated separately by the installed TraceSink (see trace.h): a
+// null sink makes TraceSpan construction a couple of loads and stores.
+
+#pragma once
+
+namespace ctdb::obs {
+
+class TraceSink;
+
+/// Runtime observability configuration, applied with Configure(). The
+/// broker exposes this on DatabaseOptions so a deployment can switch the
+/// whole pipeline's instrumentation with one flag.
+struct ObsOptions {
+  /// Record counters/gauges/histograms into the process-wide registry.
+  bool metrics = true;
+  /// Where TraceSpan events go; nullptr disables tracing entirely.
+  TraceSink* trace_sink = nullptr;
+};
+
+/// True when metric recording is on (relaxed load; safe from any thread).
+bool Enabled();
+
+/// Turns metric recording on or off at runtime.
+void SetEnabled(bool enabled);
+
+/// Applies `options`: SetEnabled(options.metrics) + SetTraceSink(sink).
+void Configure(const ObsOptions& options);
+
+}  // namespace ctdb::obs

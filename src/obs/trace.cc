@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace ctdb::obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+std::atomic<uint64_t> g_next_span_id{1};
+
+thread_local TraceSpan* tls_current_span = nullptr;
+
+/// Microseconds since the first trace event of the process (steady clock —
+/// differences are meaningful, absolute values are not).
+uint64_t NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+}  // namespace
+
+void SetTraceSink(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink* GetTraceSink() { return g_sink.load(std::memory_order_acquire); }
+
+void Configure(const ObsOptions& options) {
+  SetEnabled(options.metrics);
+  SetTraceSink(options.trace_sink);
+}
+
+TraceSpan::TraceSpan(const char* name) : sink_(GetTraceSink()) {
+  if (sink_ == nullptr) return;
+  event_.name = name;
+  event_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event_.thread = ThisThreadShard();
+  parent_ = tls_current_span;
+  if (parent_ != nullptr && parent_->sink_ != nullptr) {
+    event_.parent_id = parent_->event_.span_id;
+    ++parent_->event_.children;
+  }
+  tls_current_span = this;
+  event_.start_us = NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (sink_ == nullptr) return;
+  event_.duration_us = NowMicros() - event_.start_us;
+  tls_current_span = parent_;
+  sink_->Emit(event_);
+}
+
+void TraceSpan::AddAttr(const char* key, uint64_t value) {
+  if (sink_ == nullptr) return;
+  event_.attrs.emplace_back(key, value);
+}
+
+std::string FormatTraceEvent(const TraceEvent& event) {
+  std::string out = StringFormat(
+      "{\"name\":\"%s\",\"id\":%llu,\"parent\":%llu,\"thread\":%llu,"
+      "\"start_us\":%llu,\"dur_us\":%llu,\"children\":%llu,\"attrs\":{",
+      JsonEscape(event.name).c_str(),
+      static_cast<unsigned long long>(event.span_id),
+      static_cast<unsigned long long>(event.parent_id),
+      static_cast<unsigned long long>(event.thread),
+      static_cast<unsigned long long>(event.start_us),
+      static_cast<unsigned long long>(event.duration_us),
+      static_cast<unsigned long long>(event.children));
+  bool first = true;
+  for (const auto& [key, value] : event.attrs) {
+    out += StringFormat("%s\"%s\":%llu", first ? "" : ",",
+                        JsonEscape(key).c_str(),
+                        static_cast<unsigned long long>(value));
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void JsonLinesSink::Emit(const TraceEvent& event) {
+  const std::string line = FormatTraceEvent(event);
+  std::lock_guard<std::mutex> lock(mutex_);
+  (*out_) << line << '\n';
+}
+
+void VectorSink::Emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> VectorSink::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void VectorSink::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::vector<std::string> ValidateTrace(const std::vector<TraceEvent>& events) {
+  std::vector<std::string> errors;
+  std::unordered_map<uint64_t, const TraceEvent*> by_id;
+  by_id.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    if (event.span_id == 0) {
+      errors.push_back("span '" + event.name + "' has id 0");
+      continue;
+    }
+    if (!by_id.emplace(event.span_id, &event).second) {
+      errors.push_back(StringFormat("duplicate span id %llu ('%s')",
+                                    static_cast<unsigned long long>(
+                                        event.span_id),
+                                    event.name.c_str()));
+    }
+  }
+  std::unordered_map<uint64_t, uint64_t> observed_children;
+  for (const TraceEvent& event : events) {
+    if (event.parent_id == 0) continue;
+    if (by_id.find(event.parent_id) == by_id.end()) {
+      errors.push_back(StringFormat(
+          "span '%s' (id %llu) references missing parent %llu",
+          event.name.c_str(), static_cast<unsigned long long>(event.span_id),
+          static_cast<unsigned long long>(event.parent_id)));
+      continue;
+    }
+    ++observed_children[event.parent_id];
+  }
+  for (const TraceEvent& event : events) {
+    const uint64_t observed = observed_children.count(event.span_id) > 0
+                                  ? observed_children[event.span_id]
+                                  : 0;
+    if (observed != event.children) {
+      errors.push_back(StringFormat(
+          "span '%s' (id %llu) declared %llu children but %llu were emitted",
+          event.name.c_str(), static_cast<unsigned long long>(event.span_id),
+          static_cast<unsigned long long>(event.children),
+          static_cast<unsigned long long>(observed)));
+    }
+  }
+  return errors;
+}
+
+}  // namespace ctdb::obs

@@ -1,0 +1,126 @@
+// Structured per-query tracing: RAII TraceSpan objects with parent/child
+// nesting, exported through a pluggable TraceSink as JSON-lines.
+//
+// A span covers one pipeline phase (e.g. "query" > "query.translate" >
+// "query.permission"). Nesting is tracked with a thread-local span stack, so
+// spans opened on the same thread form a tree; work handed to pool workers
+// starts new roots (the events still interleave in the same sink). Because
+// spans emit on destruction, a child's event always precedes its parent's —
+// consumers reconstruct the tree from (id, parent) pairs.
+//
+// Every span also records how many direct children it opened. That makes the
+// stream self-checking: ValidateTrace() cross-counts emitted events against
+// the declared child counts, so a span silently lost between producer and
+// sink is detected (the fault-injection test drops one on purpose to prove
+// the check is live).
+//
+// Cost model: with no sink installed a TraceSpan is two loads and a null
+// check; the sink pointer is captured at construction so install/uninstall
+// races only affect span boundaries, never pair a start with a missing end.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctdb::obs {
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root span
+  uint64_t children = 0;   ///< direct child spans opened (same thread)
+  uint64_t thread = 0;     ///< small per-thread id (see ThisThreadShard)
+  uint64_t start_us = 0;   ///< steady-clock µs since process trace epoch
+  uint64_t duration_us = 0;
+  std::vector<std::pair<std::string, uint64_t>> attrs;  ///< numeric attrs
+};
+
+/// Where completed spans go. Emit() may be called concurrently from any
+/// thread; implementations synchronize internally.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceEvent& event) = 0;
+};
+
+/// Installs the process-wide sink (nullptr disables tracing). Spans capture
+/// the sink at construction, so swapping sinks mid-span is safe.
+void SetTraceSink(TraceSink* sink);
+TraceSink* GetTraceSink();
+
+/// `event` as one JSON object (no trailing newline):
+/// {"name":...,"id":...,"parent":...,"thread":...,"start_us":...,
+///  "dur_us":...,"children":...,"attrs":{...}}
+std::string FormatTraceEvent(const TraceEvent& event);
+
+/// \brief Writes one JSON object per line to `out`, mutex-serialized.
+class JsonLinesSink : public TraceSink {
+ public:
+  explicit JsonLinesSink(std::ostream* out) : out_(out) {}
+  void Emit(const TraceEvent& event) override;
+
+ private:
+  std::mutex mutex_;
+  std::ostream* out_;
+};
+
+/// \brief Collects events in memory (tests, snapshot-style consumers).
+class VectorSink : public TraceSink {
+ public:
+  void Emit(const TraceEvent& event) override;
+  /// Copies the events accumulated so far.
+  std::vector<TraceEvent> Events() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// \brief Consistency check over a completed trace: unique span ids, every
+/// referenced parent present, and every span's declared child count equal to
+/// the number of events naming it as parent. Returns human-readable
+/// descriptions of each violation (empty = consistent).
+std::vector<std::string> ValidateTrace(const std::vector<TraceEvent>& events);
+
+/// \brief RAII span. Opens at construction (capturing the current sink and
+/// the enclosing span on this thread), emits on destruction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric attribute (no-op when tracing is off).
+  void AddAttr(const char* key, uint64_t value);
+
+  /// True when this span will emit (a sink was installed at construction).
+  bool active() const { return sink_ != nullptr; }
+
+ private:
+  TraceSink* sink_;
+  TraceSpan* parent_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace ctdb::obs
+
+#if CTDB_OBS
+/// Declares a live span named `var` covering the rest of the scope.
+#define CTDB_OBS_SPAN(var, name) ::ctdb::obs::TraceSpan var(name)
+#define CTDB_OBS_SPAN_ATTR(var, key, value) \
+  var.AddAttr(key, static_cast<uint64_t>(value))
+#else
+#define CTDB_OBS_SPAN(var, name)
+#define CTDB_OBS_SPAN_ATTR(var, key, value) \
+  do {                                      \
+  } while (0)
+#endif

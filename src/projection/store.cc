@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "automata/quotient.h"
+#include "obs/metrics.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -212,6 +213,10 @@ ContractProjections ContractProjections::Precompute(
     store.stats_.partition_memory_bytes +=
         p.block_of.capacity() * sizeof(uint32_t);
   }
+  CTDB_OBS_COUNT("projection.precomputes", 1);
+  CTDB_OBS_COUNT("projection.subsets_computed", store.stats_.subsets_computed);
+  CTDB_OBS_HIST("projection.distinct_partitions_per_contract",
+                store.stats_.distinct_partitions);
   return store;
 }
 
@@ -223,17 +228,23 @@ const Buchi& ContractProjections::ForQueryEvents(
   if (entry == partition_of_.end()) {
     // No projection precomputed for this exact set: fall back to the full
     // set (language-preserving minimization) — always present.
+    CTDB_OBS_COUNT("projection.fallback_full_set", 1);
     mask = full_mask_;
     entry = partition_of_.find(mask);
     if (entry == partition_of_.end()) return ba_;
   }
 
   auto cached = quotients_.find(mask);
-  if (cached != quotients_.end()) return *cached->second;
+  if (cached != quotients_.end()) {
+    CTDB_OBS_COUNT("projection.quotient_cache_hits", 1);
+    return *cached->second;
+  }
+  CTDB_OBS_COUNT("projection.quotient_cache_misses", 1);
 
   const Bitset retained = EventsOf(mask);
   auto quotient = std::make_unique<Buchi>(automata::BuildQuotient(
       ba_, partitions_[entry->second], &retained, &retained));
+  CTDB_OBS_HIST("projection.quotient_states", quotient->StateCount());
   const Buchi& ref = *quotient;
   quotients_.emplace(mask, std::move(quotient));
   return ref;

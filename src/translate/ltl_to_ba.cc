@@ -4,6 +4,8 @@
 #include "automata/ops.h"
 #include "automata/quotient.h"
 #include "ltl/rewriter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "translate/degeneralize.h"
 
 namespace ctdb::translate {
@@ -12,6 +14,7 @@ Result<automata::Buchi> LtlToBuchi(const ltl::Formula* formula,
                                    ltl::FormulaFactory* factory,
                                    const TranslateOptions& options,
                                    TranslateInfo* info) {
+  CTDB_OBS_SPAN(span, "translate");
   const ltl::Formula* nnf = ltl::ToNnf(formula, factory);
   if (options.simplify_formula) {
     nnf = ltl::SimplifyNnf(nnf, factory);
@@ -19,10 +22,12 @@ Result<automata::Buchi> LtlToBuchi(const ltl::Formula* formula,
 
   CTDB_ASSIGN_OR_RETURN(GeneralizedBuchi gba,
                         BuildTableau(nnf, factory, options.tableau));
-  if (info != nullptr) info->tableau_states = gba.automaton.StateCount();
+  const size_t tableau_states = gba.automaton.StateCount();
+  if (info != nullptr) info->tableau_states = tableau_states;
 
   automata::Buchi ba = Degeneralize(gba);
-  if (info != nullptr) info->degeneralized = ba.StateCount();
+  const size_t degeneralized = ba.StateCount();
+  if (info != nullptr) info->degeneralized = degeneralized;
 
   if (options.prune) {
     ba = automata::PruneDeadStates(ba);
@@ -39,6 +44,21 @@ Result<automata::Buchi> LtlToBuchi(const ltl::Formula* formula,
     info->final_states = ba.StateCount();
     info->final_transitions = ba.TransitionCount();
   }
+
+  // §7.3 cost drivers: tableau size and the degeneralization blow-up (the
+  // counter construction multiplies states by the number of acceptance
+  // sets), plus what pruning/bisimulation claw back.
+  CTDB_OBS_COUNT("translate.count", 1);
+  CTDB_OBS_COUNT("translate.tableau_states", tableau_states);
+  CTDB_OBS_COUNT("translate.degeneralized_states", degeneralized);
+  CTDB_OBS_COUNT("translate.final_states", ba.StateCount());
+  CTDB_OBS_HIST("translate.tableau_states_per_formula", tableau_states);
+  if (tableau_states > 0) {
+    CTDB_OBS_HIST("translate.degeneralization_blowup_pct",
+                  degeneralized * 100 / tableau_states);
+  }
+  CTDB_OBS_SPAN_ATTR(span, "tableau_states", tableau_states);
+  CTDB_OBS_SPAN_ATTR(span, "final_states", ba.StateCount());
   return ba;
 }
 

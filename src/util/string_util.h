@@ -30,4 +30,8 @@ std::string StringFormat(const char* fmt, ...)
 /// Renders a byte count as "12.3 KiB" / "4.5 MiB" etc.
 std::string HumanBytes(size_t bytes);
 
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslashes,
+/// control characters).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace ctdb

@@ -3,6 +3,9 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace ctdb::util {
 
 namespace {
@@ -48,6 +51,8 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queue.mutex);
     queue.tasks.push_back(std::move(task));
   }
+  CTDB_OBS_COUNT("threadpool.tasks_submitted", 1);
+  CTDB_OBS_GAUGE_ADD("threadpool.queue_depth", 1);
   {
     std::lock_guard<std::mutex> lock(idle_mutex_);
     ++work_signal_;
@@ -66,6 +71,7 @@ bool ThreadPool::PopOrSteal(size_t worker, std::function<void()>* task) {
     if (!own.tasks.empty()) {
       *task = std::move(own.tasks.back());
       own.tasks.pop_back();
+      CTDB_OBS_GAUGE_ADD("threadpool.queue_depth", -1);
       return true;
     }
   }
@@ -75,6 +81,8 @@ bool ThreadPool::PopOrSteal(size_t worker, std::function<void()>* task) {
     if (!victim.tasks.empty()) {
       *task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      CTDB_OBS_GAUGE_ADD("threadpool.queue_depth", -1);
+      CTDB_OBS_COUNT("threadpool.steals", 1);
       return true;
     }
   }
@@ -102,6 +110,15 @@ void ThreadPool::WorkerLoop(size_t worker) {
     }
     std::function<void()> task;
     if (PopOrSteal(worker, &task)) {
+#if CTDB_OBS
+      if (obs::Enabled()) {
+        const Timer timer;
+        task();
+        CTDB_OBS_HIST("threadpool.task_latency_us",
+                      static_cast<uint64_t>(timer.ElapsedMicros()));
+        continue;
+      }
+#endif
       task();
       continue;
     }

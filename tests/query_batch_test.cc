@@ -177,6 +177,33 @@ TEST_F(QueryBatchTest, BatchStatsAreFilled) {
   }
 }
 
+TEST_F(QueryBatchTest, TotalTimeCoversSerialPhasesInBothModes) {
+  // Documented invariant (database.h): `total_ms >= translate_ms +
+  // prefilter_ms` in both modes. Serial total is the wall clock enclosing
+  // all three phases; parallel total is defined as translate + prefilter +
+  // summed permission CPU time, so the two serial phases can never exceed
+  // it. Regression guard: an earlier formulation measured parallel total as
+  // the batch's wall clock divided across queries, which undercut the
+  // per-query phase sums.
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    QueryOptions options;
+    options.threads = threads;
+    auto batch = workload_.db->QueryBatch(workload_.queries, options);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    for (size_t i = 0; i < batch->size(); ++i) {
+      const QueryStats& stats = (*batch)[i].stats;
+      // Timer rounding: phases and totals come from separate Timer reads,
+      // so allow a microsecond-scale epsilon.
+      EXPECT_GE(stats.total_ms + 1e-3,
+                stats.translate_ms + stats.prefilter_ms)
+          << "threads=" << threads << " query " << i << ": "
+          << stats.ToString();
+      EXPECT_GE(stats.total_ms + 1e-3, stats.permission_ms)
+          << "threads=" << threads << " query " << i;
+    }
+  }
+}
+
 TEST_F(QueryBatchTest, BatchRejectsUnknownEvents) {
   auto batch = workload_.db->QueryBatch({"F p1", "F no_such_event_xyz"});
   ASSERT_FALSE(batch.ok());

@@ -1,0 +1,180 @@
+// Property tests for the streaming statistics accumulators (util/stats.h):
+// Welford mean/stddev against a naive two-pass computation on seeded random
+// streams, and merge associativity — the properties the parallel reductions
+// (bench reports, sharded metrics) rely on.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ctdb {
+namespace {
+
+/// Naive two-pass mean / sample stddev / min / max reference.
+struct TwoPass {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+};
+
+TwoPass TwoPassStats(const std::vector<double>& xs) {
+  TwoPass r;
+  if (xs.empty()) return r;
+  double sum = 0;
+  r.min = xs[0];
+  r.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    if (x < r.min) r.min = x;
+    if (x > r.max) r.max = x;
+  }
+  r.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() >= 2) {
+    double m2 = 0;
+    for (double x : xs) m2 += (x - r.mean) * (x - r.mean);
+    r.stddev = std::sqrt(m2 / static_cast<double>(xs.size() - 1));
+  }
+  return r;
+}
+
+/// A seeded stream with a mix of magnitudes (uniform, heavy-tailed, signed).
+std::vector<double> RandomStream(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng.Uniform(3)) {
+      case 0:
+        xs.push_back(rng.UniformDouble());
+        break;
+      case 1:
+        xs.push_back(static_cast<double>(rng.UniformInt(-1000, 1000)));
+        break;
+      default:
+        // Heavy tail: exponent up to 2^20, keeps the two-pass reference
+        // numerically trustworthy while stressing Welford's stability.
+        xs.push_back(rng.UniformDouble() *
+                     static_cast<double>(uint64_t{1} << rng.Uniform(21)));
+        break;
+    }
+  }
+  return xs;
+}
+
+TEST(StatsPropertyTest, WelfordMatchesTwoPassOnRandomStreams) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng sizes(seed * 0x9E3779B97F4A7C15ULL);
+    const size_t n = 1 + sizes.Uniform(2000);
+    const std::vector<double> xs = RandomStream(seed, n);
+
+    RunningStats stats;
+    for (double x : xs) stats.Add(x);
+    const TwoPass ref = TwoPassStats(xs);
+
+    ASSERT_EQ(stats.count(), xs.size());
+    const double scale = std::max(1.0, std::fabs(ref.mean));
+    EXPECT_NEAR(stats.mean(), ref.mean, 1e-9 * scale) << "seed=" << seed;
+    EXPECT_NEAR(stats.stddev(), ref.stddev,
+                1e-9 * std::max(1.0, ref.stddev))
+        << "seed=" << seed;
+    EXPECT_EQ(stats.min(), ref.min) << "seed=" << seed;
+    EXPECT_EQ(stats.max(), ref.max) << "seed=" << seed;
+  }
+}
+
+TEST(StatsPropertyTest, EmptyAndSingleton) {
+  RunningStats empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.stddev(), 0.0);
+  EXPECT_EQ(empty.min(), 0.0);
+  EXPECT_EQ(empty.max(), 0.0);
+
+  RunningStats one;
+  one.Add(42.5);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_EQ(one.mean(), 42.5);
+  EXPECT_EQ(one.stddev(), 0.0);  // n-1 denominator: undefined → 0
+  EXPECT_EQ(one.min(), 42.5);
+  EXPECT_EQ(one.max(), 42.5);
+}
+
+TEST(StatsPropertyTest, MergeEqualsWholeStream) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::vector<double> xs = RandomStream(seed ^ 0xABCD, 1500);
+    Rng rng(seed);
+    // Split into 1..8 contiguous chunks, accumulate each separately, merge.
+    const size_t chunks = 1 + rng.Uniform(8);
+    std::vector<RunningStats> parts(chunks);
+    for (size_t i = 0; i < xs.size(); ++i) {
+      parts[i * chunks / xs.size()].Add(xs[i]);
+    }
+    RunningStats merged;
+    for (const RunningStats& p : parts) merged.Merge(p);
+
+    RunningStats whole;
+    for (double x : xs) whole.Add(x);
+
+    ASSERT_EQ(merged.count(), whole.count());
+    const double scale = std::max(1.0, std::fabs(whole.mean()));
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9 * scale) << "seed=" << seed;
+    EXPECT_NEAR(merged.stddev(), whole.stddev(),
+                1e-9 * std::max(1.0, whole.stddev()))
+        << "seed=" << seed;
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+  }
+}
+
+TEST(StatsPropertyTest, MergeIsAssociative) {
+  const std::vector<double> xs = RandomStream(0xFEED, 900);
+  RunningStats a, b, c;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Add(xs[i]);
+  }
+
+  RunningStats ab = a;
+  ab.Merge(b);
+  RunningStats ab_c = ab;
+  ab_c.Merge(c);
+
+  RunningStats bc = b;
+  bc.Merge(c);
+  RunningStats a_bc = a;
+  a_bc.Merge(bc);
+
+  ASSERT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_NEAR(ab_c.mean(), a_bc.mean(),
+              1e-9 * std::max(1.0, std::fabs(a_bc.mean())));
+  EXPECT_NEAR(ab_c.stddev(), a_bc.stddev(),
+              1e-9 * std::max(1.0, a_bc.stddev()));
+  EXPECT_EQ(ab_c.min(), a_bc.min());
+  EXPECT_EQ(ab_c.max(), a_bc.max());
+}
+
+TEST(StatsPropertyTest, MergeWithEmptyIsIdentity) {
+  const std::vector<double> xs = RandomStream(7, 100);
+  RunningStats filled;
+  for (double x : xs) filled.Add(x);
+
+  RunningStats left;  // empty.Merge(filled)
+  left.Merge(filled);
+  RunningStats right = filled;  // filled.Merge(empty)
+  right.Merge(RunningStats{});
+
+  for (const RunningStats& s : {left, right}) {
+    EXPECT_EQ(s.count(), filled.count());
+    EXPECT_DOUBLE_EQ(s.mean(), filled.mean());
+    EXPECT_DOUBLE_EQ(s.stddev(), filled.stddev());
+    EXPECT_EQ(s.min(), filled.min());
+    EXPECT_EQ(s.max(), filled.max());
+  }
+}
+
+}  // namespace
+}  // namespace ctdb
