@@ -64,7 +64,7 @@ int main() {
     std::printf("registered %-9s as contract #%u\n", ticket.name, *id);
   }
   // The marketplace vocabulary can mention events no contract cites yet.
-  if (!db.vocabulary()->Intern("classUpgrade").ok()) return 1;
+  if (!db.InternEvent("classUpgrade").ok()) return 1;
 
   // --- Customers query by desired temporal behavior. ----------------------
   const struct {

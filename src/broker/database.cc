@@ -4,51 +4,94 @@
 #include <utility>
 
 #include "core/compatibility.h"
-#include "core/witness.h"
 #include "ltl/parser.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
 namespace ctdb::broker {
 
+namespace {
+
+/// Both registration entry points want timings flushed into the metrics
+/// registry even when the caller passed no stats sink: route stats to
+/// `fallback` in that case (when the registry is enabled). The fallback
+/// struct is flushed by RegisterAutomatonLocked like any caller-provided
+/// one.
+RegistrationStats* StatsOrObsFallback(RegistrationStats* stats,
+                                      RegistrationStats* fallback) {
+#if CTDB_OBS
+  if (stats == nullptr && obs::Enabled()) return fallback;
+#else
+  (void)fallback;
+#endif
+  return stats;
+}
+
+}  // namespace
+
 ContractDatabase::ContractDatabase(const DatabaseOptions& options)
-    : options_(options), prefilter_(options.prefilter) {}
+    : options_(options), prefilter_(options.prefilter) {
+  Publish();  // the empty snapshot, so Snapshot() is never null
+}
 
 size_t ContractDatabase::ResolveThreads(size_t requested) const {
   const size_t threads = requested == 0 ? options_.threads : requested;
   return threads == 0 ? 1 : threads;
 }
 
-util::ThreadPool* ContractDatabase::EnsurePool(size_t threads) {
+util::ThreadPool* ContractDatabase::EnsurePool(size_t threads) const {
   if (threads <= 1) return nullptr;
   // The calling thread participates in ParallelFor, so `threads`-way
   // concurrency needs threads - 1 workers.
   const size_t workers = threads - 1;
-  if (pool_ == nullptr || pool_->thread_count() < workers) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_ == nullptr) {
     pool_ = std::make_unique<util::ThreadPool>(workers);
+  } else if (pool_->thread_count() < workers) {
+    pool_->Grow(workers);
   }
   return pool_.get();
+}
+
+void ContractDatabase::Publish() {
+  if (published_vocab_ == nullptr ||
+      published_vocab_->size() != vocab_.size()) {
+    published_vocab_ = std::make_shared<const Vocabulary>(vocab_);
+  }
+  auto snapshot = std::make_shared<DatabaseSnapshot>();
+  snapshot->options_ = options_;
+  snapshot->vocab_ = published_vocab_;
+  snapshot->contracts_ = contracts_;
+  snapshot->prefilter_ = prefilter_;
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snapshot);
 }
 
 Result<uint32_t> ContractDatabase::Register(std::string name,
                                             std::string_view ltl_text,
                                             RegistrationStats* stats) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
   CTDB_ASSIGN_OR_RETURN(const ltl::Formula* spec,
                         ltl::Parse(ltl_text, &factory_, &vocab_));
-  return RegisterFormula(std::move(name), spec, std::string(ltl_text), stats);
+  return RegisterFormulaLocked(std::move(name), spec, std::string(ltl_text),
+                               stats);
 }
 
 Result<uint32_t> ContractDatabase::RegisterFormula(std::string name,
                                                    const ltl::Formula* spec,
                                                    std::string ltl_text,
                                                    RegistrationStats* stats) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return RegisterFormulaLocked(std::move(name), spec, std::move(ltl_text),
+                               stats);
+}
+
+Result<uint32_t> ContractDatabase::RegisterFormulaLocked(
+    std::string name, const ltl::Formula* spec, std::string ltl_text,
+    RegistrationStats* stats) {
   CTDB_OBS_SPAN(span, "register");
-#if CTDB_OBS
-  // Capture timings for the registry even when the caller passed no stats
-  // sink (the struct is flushed by RegisterAutomaton).
   RegistrationStats obs_stats;
-  if (stats == nullptr && obs::Enabled()) stats = &obs_stats;
-#endif
+  stats = StatsOrObsFallback(stats, &obs_stats);
   Bitset events;
   spec->CollectEvents(&events);
   if (ltl_text.empty()) ltl_text = spec->ToString(vocab_);
@@ -58,8 +101,8 @@ Result<uint32_t> ContractDatabase::RegisterFormula(std::string name,
       automata::Buchi ba,
       translate::LtlToBuchi(spec, &factory_, options_.translate));
   if (stats != nullptr) stats->translate_ms = timer.ElapsedMillis();
-  return RegisterAutomaton(std::move(name), std::move(ltl_text),
-                           std::move(ba), std::move(events), stats);
+  return RegisterAutomatonLocked(std::move(name), std::move(ltl_text),
+                                 std::move(ba), std::move(events), stats);
 }
 
 Result<uint32_t> ContractDatabase::RegisterAutomaton(std::string name,
@@ -67,11 +110,19 @@ Result<uint32_t> ContractDatabase::RegisterAutomaton(std::string name,
                                                      automata::Buchi ba,
                                                      Bitset events,
                                                      RegistrationStats* stats) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return RegisterAutomatonLocked(std::move(name), std::move(ltl_text),
+                                 std::move(ba), std::move(events), stats);
+}
+
+Result<uint32_t> ContractDatabase::RegisterAutomatonLocked(
+    std::string name, std::string ltl_text, automata::Buchi ba, Bitset events,
+    RegistrationStats* stats) {
   CTDB_OBS_SPAN(span, "register.automaton");
-#if CTDB_OBS
   RegistrationStats obs_stats;
-  if (stats == nullptr && obs::Enabled()) stats = &obs_stats;
-#endif
+  stats = StatsOrObsFallback(stats, &obs_stats);
+  // Validation failures return before any master state is touched, so the
+  // published snapshot is untouched too.
   CTDB_RETURN_NOT_OK(ba.Validate());
   auto contract = std::make_unique<Contract>();
   contract->id = static_cast<uint32_t>(contracts_.size());
@@ -113,11 +164,14 @@ Result<uint32_t> ContractDatabase::RegisterAutomaton(std::string name,
   if (stats != nullptr) RecordRegistrationStats(*stats);
   const uint32_t id = contract->id;
   contracts_.push_back(std::move(contract));
+  Publish();
   return id;
 }
 
 Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
     const std::vector<BatchEntry>& entries, size_t threads) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+
   // Phase 1 (serial): parse against the shared vocabulary so every event is
   // interned with its final id, and collect each contract's cited events.
   std::vector<Bitset> events(entries.size());
@@ -128,14 +182,14 @@ Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
   }
 
   // Phase 2 (parallel): each worker re-parses into a thread-local factory
-  // and vocabulary copy (event ids are already fixed), translates, and runs
-  // the expensive precomputations. No shared mutable state.
+  // (read-only against the master vocabulary — every event id is already
+  // fixed, and the vocabulary is stable under writer_mutex_), translates,
+  // and runs the expensive precomputations. No shared mutable state.
   struct Built {
     Status status = Status::OK();
     std::unique_ptr<Contract> contract;
   };
   std::vector<Built> built(entries.size());
-  const Vocabulary vocab_snapshot = vocab_;
 
   const size_t workers = std::max<size_t>(
       1, std::min(ResolveThreads(threads),
@@ -147,10 +201,8 @@ Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
 
   auto build_range = [&](size_t start, size_t stride) {
     ltl::FormulaFactory local_factory;
-    Vocabulary local_vocab = vocab_snapshot;
     for (size_t i = start; i < entries.size(); i += stride) {
-      auto spec = ltl::Parse(entries[i].ltl_text, &local_factory,
-                             &local_vocab);
+      auto spec = ltl::Parse(entries[i].ltl_text, &local_factory, vocab_);
       if (!spec.ok()) {
         built[i].status = spec.status();
         continue;
@@ -188,7 +240,8 @@ Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
     CTDB_RETURN_NOT_OK(b.status);
   }
 
-  // Phase 3 (serial): assign ids, fill the shared index, commit.
+  // Phase 3 (serial): assign ids, fill the shared index, commit. One
+  // publication at the end — queries observe the whole batch or none of it.
   std::vector<uint32_t> ids;
   ids.reserve(entries.size());
   for (Built& b : built) {
@@ -200,329 +253,41 @@ Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
     ids.push_back(b.contract->id);
     contracts_.push_back(std::move(b.contract));
   }
+  Publish();
   return ids;
 }
 
+Result<EventId> ContractDatabase::InternEvent(std::string_view name) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  CTDB_ASSIGN_OR_RETURN(EventId id, vocab_.Intern(name));
+  Publish();
+  return id;
+}
+
 Result<QueryResult> ContractDatabase::Query(std::string_view ltl_text,
-                                            const QueryOptions& options) {
-  ltl::ParseOptions parse_options;
-  parse_options.require_known_events = true;
-  CTDB_ASSIGN_OR_RETURN(const ltl::Formula* query,
-                        ltl::Parse(ltl_text, &factory_, &vocab_,
-                                   parse_options));
-  return QueryFormula(query, options);
+                                            const QueryOptions& options) const {
+  const std::shared_ptr<const DatabaseSnapshot> snapshot = Snapshot();
+  return snapshot->Query(ltl_text, options,
+                         EnsurePool(ResolveThreads(options.threads)));
 }
 
-void ContractDatabase::CheckCandidate(size_t contract_index,
-                                      const automata::Buchi& query_ba,
-                                      const Bitset& query_events,
-                                      const QueryOptions& options,
-                                      std::vector<uint32_t>* matches,
-                                      std::vector<LassoWord>* witnesses,
-                                      core::PermissionStats* stats) {
-  Contract& contract = *contracts_[contract_index];
-  const bool use_projection =
-      options.use_projections && options_.build_projections;
-  const automata::Buchi& contract_ba =
-      use_projection ? contract.projections.ForQueryEvents(query_events)
-                     : contract.automaton();
-  // Seed states were computed on the registered automaton; the quotient has
-  // different state ids, so only pass them through when applicable.
-  const Bitset* seeds = use_projection ? nullptr : &contract.seed_states;
-  if (core::Permits(contract_ba, contract.events, query_ba,
-                    options.permission, seeds, stats)) {
-    matches->push_back(contract.id);
-    if (options.collect_witnesses) {
-      // Witnesses come from the *registered* automaton: the simplified
-      // projection's labels are projected, so its runs are not directly
-      // presentable contract behavior.
-      auto witness = core::FindWitness(contract.automaton(), contract.events,
-                                       query_ba);
-      witnesses->push_back(witness.has_value() ? std::move(*witness)
-                                               : LassoWord{});
-    }
-  }
-}
-
-Result<QueryResult> ContractDatabase::QueryFormula(const ltl::Formula* query,
-                                                   const QueryOptions& options) {
-  QueryResult result;
-  result.stats.database_size = contracts_.size();
-  Timer total;
-  CTDB_OBS_SPAN(query_span, "query");
-
-  // 1. LTL → BA (charged to the query in both modes, §7.3). The translation
-  // opens its own "translate" child span.
-  Timer phase;
-  CTDB_ASSIGN_OR_RETURN(
-      const automata::Buchi query_ba,
-      translate::LtlToBuchi(query, &factory_, options_.translate));
-  result.stats.translate_ms = phase.ElapsedMillis();
-  result.stats.query_states = query_ba.StateCount();
-  result.stats.query_transitions = query_ba.TransitionCount();
-
-  // 2. Prefilter: pruning condition → candidate set (§4).
-  phase.Reset();
-  Bitset candidates;
-  {
-    CTDB_OBS_SPAN(prefilter_span, "query.prefilter");
-    if (options.use_prefilter && options_.build_prefilter) {
-      const index::Condition condition =
-          index::ExtractPruningCondition(query_ba, options.pruning);
-      candidates = condition.Evaluate(prefilter_);
-    } else {
-      candidates = Bitset::AllSet(contracts_.size());
-    }
-    candidates.Resize(contracts_.size());
-    CTDB_OBS_SPAN_ATTR(prefilter_span, "candidates", candidates.Count());
-  }
-  result.stats.prefilter_ms = phase.ElapsedMillis();
-  result.stats.candidates = candidates.Count();
-
-  // 3. Permission checks over candidates (§3.1 / §5.2), on the shared
-  // executor when more than one thread is requested.
-  phase.Reset();
-  CTDB_OBS_SPAN(permission_span, "query.permission");
-  const Bitset query_events = query_ba.CitedEvents();
-
-  const std::vector<size_t> candidate_ids = candidates.ToVector();
-  const size_t threads =
-      std::min(ResolveThreads(options.threads),
-               candidate_ids.size() == 0 ? size_t{1} : candidate_ids.size());
-  if (threads <= 1) {
-    for (size_t idx : candidate_ids) {
-      CheckCandidate(idx, query_ba, query_events, options, &result.matches,
-                     &result.witnesses, &result.stats.permission);
-    }
-  } else {
-    // Strided static partition (shard t takes candidates t, t+threads, …):
-    // spreads expensive contracts across shards, and each contract (and
-    // thus each lazy quotient cache) is touched by exactly one shard, so no
-    // locking is needed. Results are re-sorted by contract id afterwards.
-    struct Shard {
-      std::vector<uint32_t> matches;
-      std::vector<LassoWord> witnesses;
-      core::PermissionStats stats;
-    };
-    std::vector<Shard> shards(threads);
-    CTDB_RETURN_NOT_OK(EnsurePool(threads)->ParallelFor(
-        0, threads, [&](size_t t) -> Status {
-          for (size_t i = t; i < candidate_ids.size(); i += threads) {
-            CheckCandidate(candidate_ids[i], query_ba, query_events, options,
-                           &shards[t].matches, &shards[t].witnesses,
-                           &shards[t].stats);
-          }
-          return Status::OK();
-        }));
-    std::vector<std::pair<uint32_t, LassoWord>> merged;
-    for (Shard& shard : shards) {
-      for (size_t i = 0; i < shard.matches.size(); ++i) {
-        merged.emplace_back(shard.matches[i],
-                            options.collect_witnesses
-                                ? std::move(shard.witnesses[i])
-                                : LassoWord{});
-      }
-      result.stats.permission.MergeFrom(shard.stats);
-    }
-    std::sort(merged.begin(), merged.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (auto& [id, witness] : merged) {
-      result.matches.push_back(id);
-      if (options.collect_witnesses) {
-        result.witnesses.push_back(std::move(witness));
-      }
-    }
-  }
-  result.stats.permission_ms = phase.ElapsedMillis();
-  result.stats.matches = result.matches.size();
-  result.stats.total_ms = total.ElapsedMillis();
-  CTDB_OBS_SPAN_ATTR(query_span, "candidates", result.stats.candidates);
-  CTDB_OBS_SPAN_ATTR(query_span, "matches", result.stats.matches);
-  RecordQueryStats(result.stats);
-  return result;
+Result<QueryResult> ContractDatabase::QueryFormula(
+    const ltl::Formula* query, const QueryOptions& options) const {
+  const std::shared_ptr<const DatabaseSnapshot> snapshot = Snapshot();
+  return snapshot->QueryFormula(query, options,
+                                EnsurePool(ResolveThreads(options.threads)));
 }
 
 Result<std::vector<QueryResult>> ContractDatabase::QueryBatch(
-    const std::vector<std::string>& queries, const QueryOptions& options) {
-  // Phase 1 (serial): parse every query against the shared factory and
-  // vocabulary, so unknown-event typos fail the whole batch up front (the
-  // same contract Query offers — and with require_known_events the parse
-  // cannot intern new events, so the snapshot below is complete).
-  CTDB_OBS_SPAN(batch_span, "query_batch");
-  CTDB_OBS_SPAN_ATTR(batch_span, "queries", queries.size());
-  ltl::ParseOptions parse_options;
-  parse_options.require_known_events = true;
-  std::vector<const ltl::Formula*> formulas(queries.size());
-  {
-    CTDB_OBS_SPAN(parse_span, "query_batch.parse");
-    for (size_t i = 0; i < queries.size(); ++i) {
-      auto parsed = ltl::Parse(queries[i], &factory_, &vocab_, parse_options);
-      if (!parsed.ok()) {
-        return Status(parsed.status().code(),
-                      "query " + std::to_string(i) + ": " +
-                          parsed.status().message());
-      }
-      formulas[i] = *parsed;
-    }
-  }
-
-  std::vector<QueryResult> results(queries.size());
-  const size_t threads =
-      std::min(ResolveThreads(options.threads),
-               queries.size() == 0 ? size_t{1} : queries.size());
-  if (threads <= 1) {
-    // Serial: exactly a sequence of Query calls.
-    for (size_t i = 0; i < queries.size(); ++i) {
-      CTDB_ASSIGN_OR_RETURN(results[i], QueryFormula(formulas[i], options));
-    }
-    return results;
-  }
-  util::ThreadPool* pool = EnsurePool(threads);
-
-  // Phase 2 (parallel across queries): translate and prefilter. Workers
-  // re-parse into thread-local factories (as RegisterBatch does); the
-  // prefilter index is read-only here.
-  struct Prep {
-    Status status = Status::OK();
-    automata::Buchi ba;
-    Bitset query_events;
-    std::vector<size_t> candidates;
-  };
-  std::vector<Prep> preps(queries.size());
-  const Vocabulary vocab_snapshot = vocab_;
-  const size_t prep_workers = threads;
-  {
-    CTDB_OBS_SPAN(prep_span, "query_batch.prep");
-    CTDB_RETURN_NOT_OK(pool->ParallelFor(0, prep_workers, [&](size_t t)
-                                             -> Status {
-      ltl::FormulaFactory local_factory;
-      Vocabulary local_vocab = vocab_snapshot;
-      for (size_t i = t; i < queries.size(); i += prep_workers) {
-        Prep& prep = preps[i];
-        QueryStats& stats = results[i].stats;
-        stats.database_size = contracts_.size();
-        Timer phase;
-        auto parsed = ltl::Parse(queries[i], &local_factory, &local_vocab);
-        if (!parsed.ok()) {
-          prep.status = parsed.status();
-          continue;
-        }
-        auto ba = translate::LtlToBuchi(*parsed, &local_factory,
-                                        options_.translate);
-        if (!ba.ok()) {
-          prep.status = ba.status();
-          continue;
-        }
-        prep.ba = std::move(*ba);
-        stats.translate_ms = phase.ElapsedMillis();
-        stats.query_states = prep.ba.StateCount();
-        stats.query_transitions = prep.ba.TransitionCount();
-
-        phase.Reset();
-        Bitset candidates;
-        if (options.use_prefilter && options_.build_prefilter) {
-          const index::Condition condition =
-              index::ExtractPruningCondition(prep.ba, options.pruning);
-          candidates = condition.Evaluate(prefilter_);
-        } else {
-          candidates = Bitset::AllSet(contracts_.size());
-        }
-        candidates.Resize(contracts_.size());
-        stats.prefilter_ms = phase.ElapsedMillis();
-        prep.candidates = candidates.ToVector();
-        stats.candidates = prep.candidates.size();
-        prep.query_events = prep.ba.CitedEvents();
-      }
-      return Status::OK();
-    }));
-    for (const Prep& prep : preps) {
-      CTDB_RETURN_NOT_OK(prep.status);
-    }
-  }
-
-  // Phase 3 (parallel across contract shards): permission checks for the
-  // whole batch. Sharding is by contract id — shard s owns the contracts
-  // with id ≡ s (mod shards) for *every* query — so each contract's lazy
-  // quotient cache is touched by exactly one shard (the same invariant the
-  // single-query strided partition provides) while being shared across all
-  // queries of the batch.
-  const size_t shards = threads;
-  struct ShardOut {
-    std::vector<uint32_t> matches;
-    std::vector<LassoWord> witnesses;
-    core::PermissionStats stats;
-    double elapsed_ms = 0;
-  };
-  std::vector<ShardOut> out(queries.size() * shards);
-  {
-    CTDB_OBS_SPAN(perm_span, "query_batch.permission");
-    CTDB_OBS_SPAN_ATTR(perm_span, "shards", shards);
-    CTDB_RETURN_NOT_OK(pool->ParallelFor(0, shards, [&](size_t s) -> Status {
-      for (size_t q = 0; q < queries.size(); ++q) {
-        ShardOut& shard = out[q * shards + s];
-        Timer timer;
-        for (size_t idx : preps[q].candidates) {
-          if (idx % shards != s) continue;
-          CheckCandidate(idx, preps[q].ba, preps[q].query_events, options,
-                         &shard.matches, &shard.witnesses, &shard.stats);
-        }
-        shard.elapsed_ms = timer.ElapsedMillis();
-      }
-      return Status::OK();
-    }));
-  }
-
-  // Phase 4 (serial): merge each query's shards, sorted by contract id.
-  CTDB_OBS_SPAN(merge_span, "query_batch.merge");
-  for (size_t q = 0; q < queries.size(); ++q) {
-    QueryResult& result = results[q];
-    std::vector<std::pair<uint32_t, LassoWord>> merged;
-    for (size_t s = 0; s < shards; ++s) {
-      ShardOut& shard = out[q * shards + s];
-      for (size_t i = 0; i < shard.matches.size(); ++i) {
-        merged.emplace_back(shard.matches[i],
-                            options.collect_witnesses
-                                ? std::move(shard.witnesses[i])
-                                : LassoWord{});
-      }
-      result.stats.permission.MergeFrom(shard.stats);
-      result.stats.permission_ms += shard.elapsed_ms;
-    }
-    std::sort(merged.begin(), merged.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (auto& [id, witness] : merged) {
-      result.matches.push_back(id);
-      if (options.collect_witnesses) {
-        result.witnesses.push_back(std::move(witness));
-      }
-    }
-    result.stats.matches = result.matches.size();
-    result.stats.total_ms = result.stats.translate_ms +
-                            result.stats.prefilter_ms +
-                            result.stats.permission_ms;
-    RecordQueryStats(result.stats);
-  }
-  return results;
+    const std::vector<std::string>& queries,
+    const QueryOptions& options) const {
+  const std::shared_ptr<const DatabaseSnapshot> snapshot = Snapshot();
+  return snapshot->QueryBatch(queries, options,
+                              EnsurePool(ResolveThreads(options.threads)));
 }
 
 obs::MetricsSnapshot ContractDatabase::MetricsSnapshot() const {
   return obs::MetricsRegistry::Default()->Snapshot();
-}
-
-size_t ContractDatabase::ContractMemoryUsage() const {
-  size_t bytes = 0;
-  for (const auto& c : contracts_) {
-    bytes += c->automaton().MemoryUsage();
-  }
-  return bytes;
-}
-
-size_t ContractDatabase::ProjectionMemoryUsage() const {
-  size_t bytes = 0;
-  for (const auto& c : contracts_) {
-    bytes += c->projections.stats().partition_memory_bytes;
-  }
-  return bytes;
 }
 
 }  // namespace ctdb::broker

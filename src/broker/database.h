@@ -7,86 +7,35 @@
 // and runs the permission algorithm on each candidate's best simplified
 // projection. Every optimization can be toggled, which is how the benchmarks
 // compare the unoptimized scan of §3 against the optimized system of §7.
+//
+// Concurrency model (DESIGN.md §8): the database is snapshot-isolated.
+// Registration mutates writer-side master state under an internal mutex and
+// then publishes an immutable DatabaseSnapshot by swapping a shared_ptr;
+// Query/QueryFormula/QueryBatch are const and run entirely against the
+// snapshot current when they were called. Any number of reader threads may
+// query concurrently with each other and with writers; writers serialize on
+// the internal mutex (concurrent Register* calls are safe, just not
+// parallel). A query observes either all of a registration or none of it,
+// and a failed registration is never observable.
 
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "automata/buchi.h"
-#include "base/run.h"
 #include "base/vocabulary.h"
-#include "broker/contract.h"
+#include "broker/snapshot.h"
 #include "broker/stats.h"
-#include "core/permission.h"
-#include "index/prefilter.h"
-#include "index/pruning.h"
 #include "ltl/formula.h"
 #include "obs/metrics.h"
-#include "projection/store.h"
-#include "translate/ltl_to_ba.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
 namespace ctdb::broker {
-
-/// Registration-time configuration.
-struct DatabaseOptions {
-  /// Maintain the prefiltering index (§4).
-  bool build_prefilter = true;
-  index::PrefilterOptions prefilter;
-
-  /// Precompute simplified projections (§5).
-  bool build_projections = true;
-  projection::ProjectionStoreOptions projections;
-
-  /// LTL → BA pipeline settings.
-  translate::TranslateOptions translate;
-
-  /// Default concurrency for the database's parallel phases (registration
-  /// precompute, per-candidate permission checks, batched queries). The
-  /// database lazily creates one shared work-stealing executor
-  /// (util::ThreadPool) sized to the largest concurrency ever requested and
-  /// reuses it across calls — no per-call thread spawn/join. 1 (the default)
-  /// reproduces the paper's single-threaded prototype byte-for-byte: no pool
-  /// is created and every phase runs inline on the calling thread.
-  /// QueryOptions::threads and RegisterBatch's `threads` argument override
-  /// this per call (there, 0 means "inherit this value").
-  size_t threads = 1;
-};
-
-/// Query-time configuration.
-struct QueryOptions {
-  /// Use the prefiltering index to restrict permission checks to candidates.
-  bool use_prefilter = true;
-  /// Use the precomputed simplified projections for the permission checks.
-  bool use_projections = true;
-  /// Also extract, for every match, a concrete allowed event sequence that
-  /// satisfies the query (a witness; see core/witness.h). Witnesses are
-  /// computed on the registered automata, so they are real contract runs.
-  bool collect_witnesses = false;
-  /// Number of threads for the per-candidate permission checks; the workload
-  /// is embarrassingly parallel across candidates (§7.4 makes the same
-  /// observation for the registration-time precompute). 0 (the default)
-  /// inherits DatabaseOptions::threads; 1 forces single-threaded evaluation.
-  /// Parallel checks run on the database's shared executor, not on per-call
-  /// threads.
-  size_t threads = 0;
-  /// Permission algorithm knobs (Algorithm 2 vs SCC, seeds).
-  core::PermissionOptions permission;
-  index::PruningOptions pruning;
-};
-
-/// A query's outcome.
-struct QueryResult {
-  std::vector<uint32_t> matches;  ///< ids of contracts permitting the query
-  /// When QueryOptions::collect_witnesses is set: witnesses[i] demonstrates
-  /// matches[i] (same order and length as `matches`).
-  std::vector<LassoWord> witnesses;
-  QueryStats stats;
-};
 
 /// \brief The broker's temporal-specification store.
 ///
@@ -101,7 +50,8 @@ class ContractDatabase {
   Result<uint32_t> Register(std::string name, std::string_view ltl_text,
                             RegistrationStats* stats = nullptr);
 
-  /// Registers a pre-parsed contract formula.
+  /// Registers a pre-parsed contract formula (writer-side entry point: the
+  /// formula must come from this database's factory() — see there).
   Result<uint32_t> RegisterFormula(std::string name, const ltl::Formula* spec,
                                    std::string ltl_text = {},
                                    RegistrationStats* stats = nullptr);
@@ -125,60 +75,91 @@ class ContractDatabase {
   /// §7.4 observes this workload is "completely parallel") on the shared
   /// executor with `threads`-way concurrency (0 inherits
   /// DatabaseOptions::threads). Equivalent to registering the entries in
-  /// order; returns their ids. On any error nothing is registered.
+  /// order; returns their ids. On any error nothing is registered, and
+  /// queries never observe a partially committed batch (one snapshot is
+  /// published at the end).
   Result<std::vector<uint32_t>> RegisterBatch(
       const std::vector<BatchEntry>& entries, size_t threads = 0);
 
-  /// Evaluates an LTL query. Queries must cite only registered events
-  /// (unknown events cannot be permitted by any contract — they are an
-  /// error, to catch typos early). Non-const: query evaluation warms the
-  /// per-contract quotient caches and interns formula nodes.
+  /// Interns an event into the vocabulary without registering a contract,
+  /// and publishes the change so subsequent queries may cite it. Returns the
+  /// event's id (the existing one if already interned). This is the
+  /// writer-side way to introduce query-only events (e.g. the persistence
+  /// loader restoring a vocabulary larger than its contracts cite).
+  Result<EventId> InternEvent(std::string_view name);
+
+  /// \brief The current immutable snapshot.
+  ///
+  /// The returned view is frozen: later registrations do not affect it, and
+  /// it stays valid as long as the shared_ptr is held. Use it to run a
+  /// sequence of queries against one consistent state, or to keep serving a
+  /// consistent state while registration proceeds.
+  std::shared_ptr<const DatabaseSnapshot> Snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    return snapshot_;
+  }
+
+  /// Evaluates an LTL query against the current snapshot. Queries must cite
+  /// only registered events (unknown events cannot be permitted by any
+  /// contract — they are an error, to catch typos early). Safe to call
+  /// concurrently with registrations and other queries; parses and
+  /// translates with a call-local formula factory, never this database's.
   Result<QueryResult> Query(std::string_view ltl_text,
-                            const QueryOptions& options = {});
+                            const QueryOptions& options = {}) const;
 
-  /// Evaluates a pre-parsed query formula.
+  /// Evaluates a pre-parsed query formula against the current snapshot. The
+  /// formula may come from any factory (including factory()); it is rebuilt
+  /// into a call-local one before translation.
   Result<QueryResult> QueryFormula(const ltl::Formula* query,
-                                   const QueryOptions& options = {});
+                                   const QueryOptions& options = {}) const;
 
-  /// \brief Evaluates many LTL queries in one call.
-  ///
-  /// Returns one QueryResult per query, each identical (matches and
-  /// witnesses) to what Query would return for that text. Batching amortizes
-  /// executor dispatch across the whole batch and shares each contract's
-  /// lazy quotient cache across all queries: with `threads` > 1 the
-  /// translate/prefilter phase parallelizes across queries (each worker
-  /// re-parses into a thread-local factory, as RegisterBatch does) and the
-  /// permission phase shards the (query, candidate) pairs *by contract id*,
-  /// so every contract — and thus its quotient cache — is touched by exactly
-  /// one worker while being reused across all queries that prefilter to it.
-  /// On any parse error, no query is evaluated.
-  ///
-  /// Per-query stats are filled as in Query, except that in parallel mode
-  /// `permission_ms` is the CPU time spent on that query's checks (summed
-  /// across shards) and `total_ms` the sum of the per-phase times. In both
-  /// modes the invariant `total_ms >= translate_ms + prefilter_ms` holds:
-  /// serial total is the wall clock enclosing all three phases, parallel
-  /// total is exactly translate + prefilter + the summed permission CPU time
-  /// (so it can exceed the batch's wall clock, but never undercuts the two
-  /// serial phases). Guarded by a regression test in query_batch_test.
+  /// Evaluates many LTL queries in one call against the current snapshot —
+  /// one consistent state for the whole batch. See
+  /// DatabaseSnapshot::QueryBatch for the batching contract and stats
+  /// semantics.
   Result<std::vector<QueryResult>> QueryBatch(
       const std::vector<std::string>& queries,
-      const QueryOptions& options = {});
+      const QueryOptions& options = {}) const;
 
-  size_t size() const { return contracts_.size(); }
-  const Contract& contract(uint32_t id) const { return *contracts_[id]; }
+  /// Contract count of the current snapshot.
+  size_t size() const { return Snapshot()->size(); }
+  /// The contract with id `id`. The reference stays valid for the
+  /// database's lifetime (contracts are never removed).
+  const Contract& contract(uint32_t id) const {
+    return Snapshot()->contract(id);
+  }
 
+  /// Writer-side accessor to the master vocabulary. Direct interning through
+  /// it becomes visible to queries only at the next publication (any
+  /// successful Register* call); prefer InternEvent, which publishes
+  /// immediately. Must not be called concurrently with writers.
   Vocabulary* vocabulary() { return &vocab_; }
+  /// Writer-side read of the master vocabulary (may be ahead of the
+  /// published snapshot's); for a concurrency-safe view use
+  /// Snapshot()->vocabulary().
   const Vocabulary& vocabulary() const { return vocab_; }
+  /// The shared formula factory used by registration. Writer-side: formulas
+  /// built here may be passed to RegisterFormula; the factory is not
+  /// thread-safe, so don't use it concurrently with writers.
   ltl::FormulaFactory* factory() { return &factory_; }
 
+  /// Writer-side view of the master prefilter index (may be ahead of the
+  /// published snapshot's); for a concurrency-safe view use
+  /// Snapshot()->prefilter().
   const index::PrefilterIndex& prefilter() const { return prefilter_; }
   const DatabaseOptions& options() const { return options_; }
 
-  /// Aggregate footprint of the auxiliary structures (§7.4).
-  size_t PrefilterMemoryUsage() const { return prefilter_.Stats().memory_bytes; }
-  size_t ContractMemoryUsage() const;
-  size_t ProjectionMemoryUsage() const;
+  /// Aggregate footprint of the auxiliary structures (§7.4), measured on the
+  /// current snapshot.
+  size_t PrefilterMemoryUsage() const {
+    return Snapshot()->PrefilterMemoryUsage();
+  }
+  size_t ContractMemoryUsage() const {
+    return Snapshot()->ContractMemoryUsage();
+  }
+  size_t ProjectionMemoryUsage() const {
+    return Snapshot()->ProjectionMemoryUsage();
+  }
 
   /// \brief Scrapes the process-wide metrics registry: counters, gauges and
   /// histograms for every instrumented pipeline layer (translate.*,
@@ -191,30 +172,64 @@ class ContractDatabase {
   obs::MetricsSnapshot MetricsSnapshot() const;
 
  private:
+  /// Registration bodies; the caller holds writer_mutex_.
+  Result<uint32_t> RegisterFormulaLocked(std::string name,
+                                         const ltl::Formula* spec,
+                                         std::string ltl_text,
+                                         RegistrationStats* stats);
+  Result<uint32_t> RegisterAutomatonLocked(std::string name,
+                                           std::string ltl_text,
+                                           automata::Buchi ba, Bitset events,
+                                           RegistrationStats* stats);
+
+  /// Builds a snapshot of the master state and publishes it; the caller
+  /// holds writer_mutex_ (the constructor publishes without it — no
+  /// concurrent access exists yet). Cheap: structural sharing everywhere,
+  /// plus one vocabulary copy when events were interned since the last
+  /// publication.
+  void Publish();
+
   /// Resolves a per-call thread count (0 = inherit the database default).
   size_t ResolveThreads(size_t requested) const;
+
   /// Returns the shared executor with at least `threads - 1` workers (the
   /// calling thread participates in ParallelFor, so `threads`-way
-  /// concurrency needs one fewer worker), creating or growing it on demand.
-  /// Returns nullptr for threads <= 1.
-  util::ThreadPool* EnsurePool(size_t threads);
-
-  /// Runs one permission check; appends to the given output buffers.
-  void CheckCandidate(size_t contract_index, const automata::Buchi& query_ba,
-                      const Bitset& query_events, const QueryOptions& options,
-                      std::vector<uint32_t>* matches,
-                      std::vector<LassoWord>* witnesses,
-                      core::PermissionStats* stats);
+  /// concurrency needs one fewer worker), creating it or growing it in
+  /// place on demand. Returns nullptr for threads <= 1. Safe to call
+  /// concurrently (readers and writers both use it).
+  util::ThreadPool* EnsurePool(size_t threads) const;
 
   DatabaseOptions options_;
+
+  /// Serializes all writers (Register*, InternEvent). Readers never take
+  /// it — they go through snapshot_.
+  std::mutex writer_mutex_;
+
+  // --- master state, mutated only under writer_mutex_ -------------------
   Vocabulary vocab_;
   ltl::FormulaFactory factory_;
-  std::vector<std::unique_ptr<Contract>> contracts_;
+  std::vector<std::shared_ptr<const Contract>> contracts_;
   index::PrefilterIndex prefilter_;
-  /// Shared executor for every parallel phase; created lazily, grown (by
-  /// replacement, between calls — the database is externally synchronized)
-  /// when a call requests more concurrency than any before it.
-  std::unique_ptr<util::ThreadPool> pool_;
+  /// The vocabulary copy the last published snapshot points at; reused by
+  /// Publish while no new event was interned (the vocabulary is
+  /// append-only, so equal size ⇒ identical contents).
+  std::shared_ptr<const Vocabulary> published_vocab_;
+
+  /// The published snapshot. Guarded by a dedicated mutex held only for
+  /// the shared_ptr copy/swap — never while a snapshot is being built — so
+  /// a reader's wait is bounded by a pointer assignment, not by writer
+  /// work. (A std::atomic<std::shared_ptr> would express this directly,
+  /// but libstdc++ implements it with a spinlock whose element-pointer
+  /// access ThreadSanitizer cannot model, and the TSan CI job gates on
+  /// this path.)
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const DatabaseSnapshot> snapshot_;
+
+  /// Shared executor for every parallel phase; created lazily and grown in
+  /// place (util::ThreadPool::Grow) when a call requests more concurrency
+  /// than any before it, so references held by in-flight calls stay valid.
+  mutable std::mutex pool_mutex_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace ctdb::broker

@@ -23,16 +23,16 @@ std::string OneLine(std::string s) {
 
 }  // namespace
 
-Status SaveDatabase(const ContractDatabase& db, std::ostream* out) {
-  const Vocabulary& vocab = db.vocabulary();
+Status SaveSnapshot(const DatabaseSnapshot& snapshot, std::ostream* out) {
+  const Vocabulary& vocab = snapshot.vocabulary();
   *out << kHeader << "\n";
   *out << "vocabulary " << vocab.size() << "\n";
   for (const std::string& name : vocab.names()) {
     *out << "v " << name << "\n";
   }
-  *out << "contracts " << db.size() << "\n";
-  for (uint32_t id = 0; id < db.size(); ++id) {
-    const Contract& contract = db.contract(id);
+  *out << "contracts " << snapshot.size() << "\n";
+  for (uint32_t id = 0; id < snapshot.size(); ++id) {
+    const Contract& contract = snapshot.contract(id);
     *out << "contract " << id << "\n";
     *out << "name " << OneLine(contract.name) << "\n";
     *out << "ltl " << OneLine(contract.ltl_text) << "\n";
@@ -44,6 +44,10 @@ Status SaveDatabase(const ContractDatabase& db, std::ostream* out) {
   *out << "end-database\n";
   if (!out->good()) return Status::Internal("write failure while saving");
   return Status::OK();
+}
+
+Status SaveDatabase(const ContractDatabase& db, std::ostream* out) {
+  return SaveSnapshot(*db.Snapshot(), out);
 }
 
 Status SaveDatabaseToFile(const ContractDatabase& db,
@@ -84,9 +88,10 @@ Result<std::unique_ptr<ContractDatabase>> LoadDatabase(
     if (!StartsWith(v, "v ")) {
       return Status::InvalidArgument("malformed vocabulary entry: " + v);
     }
+    // InternEvent publishes, so a vocabulary entry no contract cites (e.g. a
+    // query-only event) is restored as queryable, exactly as saved.
     CTDB_RETURN_NOT_OK(
-        db->vocabulary()->Intern(Trim(std::string_view(v).substr(2)))
-            .status());
+        db->InternEvent(Trim(std::string_view(v).substr(2))).status());
   }
 
   CTDB_ASSIGN_OR_RETURN(std::string contracts_line, next_line("contracts"));

@@ -21,9 +21,15 @@
 
 namespace ctdb::broker {
 
-/// Serializes `db` (vocabulary + every contract) to `out`.
+/// Serializes a database snapshot (vocabulary + every contract) to `out`.
 /// Newlines inside contract names or LTL text are replaced by spaces (LTL is
-/// whitespace-insensitive; names are labels).
+/// whitespace-insensitive; names are labels). Because a snapshot is frozen,
+/// this is safe to run while registration continues — the saved state is
+/// exactly the snapshot's.
+Status SaveSnapshot(const DatabaseSnapshot& snapshot, std::ostream* out);
+
+/// Serializes `db`'s current snapshot to `out` (SaveSnapshot on
+/// db.Snapshot()).
 Status SaveDatabase(const ContractDatabase& db, std::ostream* out);
 
 /// Writes SaveDatabase output to `path`.

@@ -1,0 +1,204 @@
+// An immutable, queryable view of the contract database.
+//
+// A DatabaseSnapshot is the unit of publication in the broker's RCU-style
+// concurrency model (DESIGN.md §8): ContractDatabase keeps master state on
+// the writer side and, after every successful registration, publishes a new
+// snapshot by swapping a shared_ptr under a tiny mutex. Snapshots are
+// deeply immutable —
+// the vocabulary, the contract vector and the prefilter index are frozen at
+// publication — so any number of threads can query one snapshot, or
+// different snapshots, with no locking on the read path. The only mutation a
+// query performs is warming per-contract lazy quotient caches, which are
+// internally synchronized (projection/store.h) and shared across snapshots
+// that share a contract.
+//
+// Structural sharing keeps publication cheap: consecutive snapshots share
+// the Contract objects (shared_ptr), the prefilter shards the registration
+// did not touch (copy-on-write, index/prefilter.h), and — when no event was
+// interned — the vocabulary.
+//
+// Queries parse and translate with a caller-local formula factory (never the
+// database's shared one) and resolve events read-only against the snapshot
+// vocabulary, so the read path allocates no shared state at all.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/buchi.h"
+#include "base/run.h"
+#include "base/vocabulary.h"
+#include "broker/contract.h"
+#include "broker/stats.h"
+#include "core/permission.h"
+#include "index/prefilter.h"
+#include "index/pruning.h"
+#include "ltl/formula.h"
+#include "projection/store.h"
+#include "translate/ltl_to_ba.h"
+#include "util/result.h"
+
+namespace ctdb::util {
+class ThreadPool;
+}
+
+namespace ctdb::broker {
+
+/// Registration-time configuration.
+struct DatabaseOptions {
+  /// Maintain the prefiltering index (§4).
+  bool build_prefilter = true;
+  index::PrefilterOptions prefilter;
+
+  /// Precompute simplified projections (§5).
+  bool build_projections = true;
+  projection::ProjectionStoreOptions projections;
+
+  /// LTL → BA pipeline settings.
+  translate::TranslateOptions translate;
+
+  /// Default concurrency for the database's parallel phases (registration
+  /// precompute, per-candidate permission checks, batched queries). The
+  /// database lazily creates one shared work-stealing executor
+  /// (util::ThreadPool) grown in place to the largest concurrency ever
+  /// requested and reuses it across calls — no per-call thread spawn/join.
+  /// 1 (the default) reproduces the paper's single-threaded prototype
+  /// byte-for-byte: no pool is created and every phase runs inline on the
+  /// calling thread. QueryOptions::threads and RegisterBatch's `threads`
+  /// argument override this per call (there, 0 means "inherit this value").
+  size_t threads = 1;
+};
+
+/// Query-time configuration.
+struct QueryOptions {
+  /// Use the prefiltering index to restrict permission checks to candidates.
+  bool use_prefilter = true;
+  /// Use the precomputed simplified projections for the permission checks.
+  bool use_projections = true;
+  /// Also extract, for every match, a concrete allowed event sequence that
+  /// satisfies the query (a witness; see core/witness.h). Witnesses are
+  /// computed on the registered automata, so they are real contract runs.
+  bool collect_witnesses = false;
+  /// Number of threads for the per-candidate permission checks; the workload
+  /// is embarrassingly parallel across candidates (§7.4 makes the same
+  /// observation for the registration-time precompute). 0 (the default)
+  /// inherits DatabaseOptions::threads; 1 forces single-threaded evaluation.
+  /// Parallel checks run on the database's shared executor, not on per-call
+  /// threads.
+  size_t threads = 0;
+  /// Permission algorithm knobs (Algorithm 2 vs SCC, seeds).
+  core::PermissionOptions permission;
+  index::PruningOptions pruning;
+};
+
+/// A query's outcome.
+struct QueryResult {
+  std::vector<uint32_t> matches;  ///< ids of contracts permitting the query
+  /// When QueryOptions::collect_witnesses is set: witnesses[i] demonstrates
+  /// matches[i] (same order and length as `matches`).
+  std::vector<LassoWord> witnesses;
+  QueryStats stats;
+};
+
+/// \brief A frozen view of the database: the full query engine over an
+/// immutable contract set.
+///
+/// Obtained from ContractDatabase::Snapshot(); remains valid (and continues
+/// to answer from the state it captured) for as long as the shared_ptr is
+/// held, regardless of later registrations. All members are safe to call
+/// concurrently.
+class DatabaseSnapshot {
+ public:
+  DatabaseSnapshot() = default;
+
+  /// Evaluates an LTL query against this snapshot. Queries must cite only
+  /// events known to the snapshot (unknown events cannot be permitted by any
+  /// contract — they are an error, to catch typos early).
+  ///
+  /// `pool` is an optional executor for the parallel permission phase; with
+  /// nullptr (or an effective thread count of 1) evaluation is single
+  /// threaded on the calling thread. ContractDatabase::Query passes its
+  /// shared executor.
+  Result<QueryResult> Query(std::string_view ltl_text,
+                            const QueryOptions& options = {},
+                            util::ThreadPool* pool = nullptr) const;
+
+  /// Evaluates a pre-parsed query formula. The formula may come from any
+  /// factory (it is rebuilt into a local one before translation).
+  Result<QueryResult> QueryFormula(const ltl::Formula* query,
+                                   const QueryOptions& options = {},
+                                   util::ThreadPool* pool = nullptr) const;
+
+  /// \brief Evaluates many LTL queries in one call.
+  ///
+  /// Returns one QueryResult per query, each identical (matches and
+  /// witnesses) to what Query would return for that text. Batching amortizes
+  /// executor dispatch across the whole batch and shares each contract's
+  /// lazy quotient cache across all queries: with `threads` > 1 the
+  /// translate/prefilter phase parallelizes across queries (each worker
+  /// parses into a thread-local factory) and the permission phase shards the
+  /// (query, candidate) pairs *by contract id*, so every contract — and thus
+  /// its quotient cache — is touched by exactly one worker while being
+  /// reused across all queries that prefilter to it. On any parse error, no
+  /// query is evaluated.
+  ///
+  /// Per-query stats are filled as in Query, except that in parallel mode
+  /// `permission_ms` is the CPU time spent on that query's checks (summed
+  /// across shards) and `total_ms` the sum of the per-phase times. In both
+  /// modes the invariant `total_ms >= translate_ms + prefilter_ms` holds:
+  /// serial total is the wall clock enclosing all three phases, parallel
+  /// total is exactly translate + prefilter + the summed permission CPU time
+  /// (so it can exceed the batch's wall clock, but never undercuts the two
+  /// serial phases). Guarded by a regression test in query_batch_test.
+  Result<std::vector<QueryResult>> QueryBatch(
+      const std::vector<std::string>& queries, const QueryOptions& options = {},
+      util::ThreadPool* pool = nullptr) const;
+
+  /// Number of contracts in this snapshot.
+  size_t size() const { return contracts_.size(); }
+  /// The contract with id `id` (< size()). The reference is valid for the
+  /// snapshot's lifetime.
+  const Contract& contract(uint32_t id) const { return *contracts_[id]; }
+
+  const Vocabulary& vocabulary() const { return *vocab_; }
+  const index::PrefilterIndex& prefilter() const { return prefilter_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Aggregate footprint of the auxiliary structures (§7.4).
+  size_t PrefilterMemoryUsage() const {
+    return prefilter_.Stats().memory_bytes;
+  }
+  size_t ContractMemoryUsage() const;
+  size_t ProjectionMemoryUsage() const;
+
+ private:
+  friend class ContractDatabase;  ///< the only producer of non-empty snapshots
+
+  /// Resolves a per-call thread count (0 = inherit the database default);
+  /// clamped to 1 when `pool` is null.
+  size_t ResolveThreads(size_t requested, const util::ThreadPool* pool) const;
+
+  /// The query engine shared by Query/QueryFormula/QueryBatch-serial:
+  /// translate (into `factory`) → prefilter → permission checks.
+  Result<QueryResult> RunQuery(const ltl::Formula* query,
+                               ltl::FormulaFactory* factory,
+                               const QueryOptions& options,
+                               util::ThreadPool* pool) const;
+
+  /// Runs one permission check; appends to the given output buffers.
+  void CheckCandidate(size_t contract_index, const automata::Buchi& query_ba,
+                      const Bitset& query_events, const QueryOptions& options,
+                      std::vector<uint32_t>* matches,
+                      std::vector<LassoWord>* witnesses,
+                      core::PermissionStats* stats) const;
+
+  DatabaseOptions options_;
+  std::shared_ptr<const Vocabulary> vocab_ = std::make_shared<Vocabulary>();
+  std::vector<std::shared_ptr<const Contract>> contracts_;
+  index::PrefilterIndex prefilter_;
+};
+
+}  // namespace ctdb::broker

@@ -8,7 +8,19 @@
 namespace ctdb::index {
 
 PrefilterIndex::PrefilterIndex(const PrefilterOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  for (auto& shard : shards_) shard = std::make_shared<Shard>();
+}
+
+PrefilterIndex::Shard* PrefilterIndex::MutableShard(size_t index) {
+  std::shared_ptr<Shard>& slot = shards_[index];
+  if (slot.use_count() != 1) {
+    // Structurally shared with a published snapshot copy — clone before the
+    // first mutation so readers of older copies never observe it.
+    slot = std::make_shared<Shard>(*slot);
+  }
+  return slot.get();
+}
 
 void PrefilterIndex::Insert(uint32_t contract_id, const automata::Buchi& ba,
                             const Bitset& contract_events) {
@@ -58,17 +70,26 @@ void PrefilterIndex::InsertSubsets(uint32_t contract_id,
     }
     if (contradictory) continue;
     subset.push_back(lit);
-    auto [it, inserted] = nodes_.try_emplace(subset);
-    Bitset& contracts = it->second;
-    if (contract_id >= contracts.size()) contracts.Resize(contract_id + 1);
-    contracts.Set(contract_id);
+    Shard* shard = MutableShard(ShardOf(subset));
+    auto [it, inserted] = shard->nodes.try_emplace(subset);
+    std::shared_ptr<Bitset>& contracts = it->second;
+    if (inserted) {
+      contracts = std::make_shared<Bitset>();
+    } else if (contracts.use_count() != 1) {
+      // The node's bitset is still referenced by an older index copy (node
+      // maps are cloned shallowly); give this index its own before setting.
+      contracts = std::make_shared<Bitset>(*contracts);
+    }
+    if (contract_id >= contracts->size()) contracts->Resize(contract_id + 1);
+    contracts->Set(contract_id);
     stack.push_back({f.next});
   }
 }
 
 const Bitset* PrefilterIndex::FindNode(const LiteralKey& key) const {
-  auto it = nodes_.find(key);
-  return it == nodes_.end() ? nullptr : &it->second;
+  const Shard& shard = *shards_[ShardOf(key)];
+  auto it = shard.nodes.find(key);
+  return it == shard.nodes.end() ? nullptr : it->second.get();
 }
 
 Bitset PrefilterIndex::Lookup(const Label& query_label) const {
@@ -119,12 +140,14 @@ Bitset PrefilterIndex::Lookup(const Label& query_label) const {
 
 PrefilterStats PrefilterIndex::Stats() const {
   PrefilterStats stats;
-  stats.node_count = nodes_.size();
   stats.contract_count = contract_count_;
   stats.memory_bytes = 0;
-  for (const auto& [key, contracts] : nodes_) {
-    stats.memory_bytes += key.capacity() * sizeof(LiteralId) +
-                          contracts.MemoryUsage() + sizeof(Bitset);
+  for (const auto& shard : shards_) {
+    stats.node_count += shard->nodes.size();
+    for (const auto& [key, contracts] : shard->nodes) {
+      stats.memory_bytes += key.capacity() * sizeof(LiteralId) +
+                            contracts->MemoryUsage() + sizeof(Bitset);
+    }
   }
   return stats;
 }

@@ -13,10 +13,23 @@
 // in §4.2), S'(λ) is returned instead: the intersection of S(l) over the
 // k-subsets l ⊆ λ. Each S(l) ⊇ S(λ), so S'(λ) ⊇ S(λ) — a sound
 // over-approximation (and tighter than the paper's "any one subset").
+//
+// Storage is sharded by key hash, with shards (and the contract bitsets
+// inside them) held behind shared pointers: copying an index is O(shards)
+// pointer copies plus one universe bitset, and Insert clones only the shards
+// and bitsets the new contract actually touches (copy-on-write). That makes
+// the index a cheap value type — the broker publishes one frozen copy per
+// database snapshot while registration keeps appending to its own — with
+// registration cost amortized because untouched shards stay structurally
+// shared. A frozen copy is immutable and safe for concurrent Lookup; Insert
+// itself is writer-side (callers serialize writers, as ContractDatabase
+// does).
 
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "automata/buchi.h"
@@ -45,14 +58,23 @@ class PrefilterIndex {
  public:
   explicit PrefilterIndex(const PrefilterOptions& options = {});
 
+  /// Copies are cheap structural shares (see header): the copy and the
+  /// source diverge only on shards a later Insert touches.
+  PrefilterIndex(const PrefilterIndex&) = default;
+  PrefilterIndex& operator=(const PrefilterIndex&) = default;
+  PrefilterIndex(PrefilterIndex&&) = default;
+  PrefilterIndex& operator=(PrefilterIndex&&) = default;
+
   /// Registers contract `contract_id`: for every distinct transition label γ
   /// of `ba`, inserts every satisfiable subset (of size ≤ k) of the expansion
   /// E(γ) taken w.r.t. `contract_events` (the events cited by the contract).
+  /// Writer-side: clones any structurally shared shard before mutating it.
   void Insert(uint32_t contract_id, const automata::Buchi& ba,
               const Bitset& contract_events);
 
   /// S(λ) for |λ| ≤ k, S'(λ) (superset, see header comment) otherwise.
-  /// The empty label (`true`) maps to the universe.
+  /// The empty label (`true`) maps to the universe. Safe to call
+  /// concurrently on a frozen copy.
   Bitset Lookup(const Label& query_label) const;
 
   /// Set of all registered contract ids.
@@ -64,11 +86,28 @@ class PrefilterIndex {
   PrefilterStats Stats() const;
 
  private:
+  /// Hash-sharding granularity: fine enough that a single contract's
+  /// subset keys leave most shards untouched (structural sharing), coarse
+  /// enough that a copy is a handful of pointer copies.
+  static constexpr size_t kShardCount = 64;
+
+  struct Shard {
+    /// Values are shared with older copies of the index until a write
+    /// clones them, so lookups must treat them as immutable.
+    std::unordered_map<LiteralKey, std::shared_ptr<Bitset>, U32VectorHash>
+        nodes;
+  };
+
+  static size_t ShardOf(const LiteralKey& key) {
+    return U32VectorHash{}(key) % kShardCount;
+  }
+  /// Returns shard `index` for writing, cloning it first if shared.
+  Shard* MutableShard(size_t index);
   void InsertSubsets(uint32_t contract_id, const LiteralKey& expansion);
   const Bitset* FindNode(const LiteralKey& key) const;
 
   PrefilterOptions options_;
-  std::unordered_map<LiteralKey, Bitset, U32VectorHash> nodes_;
+  std::array<std::shared_ptr<Shard>, kShardCount> shards_;  ///< never null
   Bitset universe_;
   size_t contract_count_ = 0;
 };

@@ -133,9 +133,15 @@ class Lexer {
 
 class Parser {
  public:
+  /// `vocab` may be null for read-only parsing; then `const_vocab` resolves
+  /// identifiers and interning is impossible (require_known_events implied).
   Parser(std::string_view input, FormulaFactory* factory, Vocabulary* vocab,
-         const ParseOptions& options)
-      : lexer_(input), factory_(factory), vocab_(vocab), options_(options) {}
+         const Vocabulary* const_vocab, const ParseOptions& options)
+      : lexer_(input),
+        factory_(factory),
+        vocab_(vocab),
+        const_vocab_(const_vocab),
+        options_(options) {}
 
   Result<const Formula*> Run() {
     CTDB_RETURN_NOT_OK(Advance());
@@ -285,8 +291,8 @@ class Parser {
       case TokenKind::kIdent: {
         const std::string name = current_.text;
         CTDB_RETURN_NOT_OK(Advance());
-        if (options_.require_known_events) {
-          CTDB_ASSIGN_OR_RETURN(EventId id, vocab_->Find(name));
+        if (options_.require_known_events || vocab_ == nullptr) {
+          CTDB_ASSIGN_OR_RETURN(EventId id, const_vocab_->Find(name));
           return factory_->Prop(id);
         }
         CTDB_ASSIGN_OR_RETURN(EventId id, vocab_->Intern(name));
@@ -302,7 +308,8 @@ class Parser {
   Lexer lexer_;
   Token current_;
   FormulaFactory* factory_;
-  Vocabulary* vocab_;
+  Vocabulary* vocab_;              ///< null for read-only parsing
+  const Vocabulary* const_vocab_;  ///< always valid for lookups
   ParseOptions options_;
   size_t depth_ = 0;
 };
@@ -311,7 +318,14 @@ class Parser {
 
 Result<const Formula*> Parse(std::string_view text, FormulaFactory* factory,
                              Vocabulary* vocab, const ParseOptions& options) {
-  Parser parser(text, factory, vocab, options);
+  Parser parser(text, factory, vocab, vocab, options);
+  return parser.Run();
+}
+
+Result<const Formula*> Parse(std::string_view text, FormulaFactory* factory,
+                             const Vocabulary& vocab,
+                             const ParseOptions& options) {
+  Parser parser(text, factory, /*vocab=*/nullptr, &vocab, options);
   return parser.Run();
 }
 

@@ -50,4 +50,14 @@ Result<const Formula*> Parse(std::string_view text, FormulaFactory* factory,
                              Vocabulary* vocab,
                              const ParseOptions& options = {});
 
+/// \brief Read-only parse against a shared vocabulary.
+///
+/// Like Parse above but never interns: `require_known_events` is implied
+/// (unknown identifiers are a NotFound error), so `vocab` may be shared with
+/// concurrent readers — this is the overload the snapshot-isolated query
+/// path uses with a thread-local factory.
+Result<const Formula*> Parse(std::string_view text, FormulaFactory* factory,
+                             const Vocabulary& vocab,
+                             const ParseOptions& options = {});
+
 }  // namespace ctdb::ltl

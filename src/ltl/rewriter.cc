@@ -29,8 +29,14 @@ class NnfRewriter {
         return negate ? fac.False() : fac.True();
       case Op::kFalse:
         return negate ? fac.True() : fac.False();
-      case Op::kProp:
-        return negate ? fac.Not(f) : f;
+      case Op::kProp: {
+        // Re-intern rather than reuse `f`: the input may live in a different
+        // factory (snapshot queries translate with a call-local one), and
+        // every node of the result must be owned by `factory_` so the
+        // pointer-identity invariants downstream passes rely on hold.
+        const Formula* prop = fac.Prop(f->prop());
+        return negate ? fac.Not(prop) : prop;
+      }
       case Op::kNot:
         return Rewrite(f->left(), !negate);
       case Op::kAnd:

@@ -1,8 +1,10 @@
 #include "projection/store.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cassert>
+#include <mutex>
 
 #include "automata/quotient.h"
 #include "obs/metrics.h"
@@ -44,6 +46,34 @@ class PartitionInterner {
 
 }  // namespace
 
+/// The lazy quotient cache, sharded by mask so concurrent queries hitting
+/// the same contract rarely contend. A quotient is built while holding its
+/// shard's lock, so every quotient is constructed exactly once (concurrent
+/// requesters of the same mask block and then read the cached entry).
+/// Values are held behind unique_ptr, so references handed out remain valid
+/// across later insertions and rehashes.
+struct ContractProjections::QuotientCache {
+  static constexpr size_t kShards = 8;
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<EventMask, std::unique_ptr<const Buchi>> quotients;
+  };
+  std::array<Shard, kShards> shards;
+
+  Shard& ShardFor(EventMask mask) {
+    // Fibonacci scramble: masks are small dense integers, so the low bits
+    // alone would pile popcount-adjacent masks into the same shard.
+    return shards[(mask * 0x9E3779B97F4A7C15ull) >> 61];
+  }
+};
+
+ContractProjections::ContractProjections() = default;
+ContractProjections::~ContractProjections() = default;
+ContractProjections::ContractProjections(ContractProjections&&) noexcept =
+    default;
+ContractProjections& ContractProjections::operator=(
+    ContractProjections&&) noexcept = default;
+
 ContractProjections::EventMask ContractProjections::MaskOf(
     const Bitset& events) const {
   EventMask mask = 0;
@@ -75,6 +105,7 @@ ContractProjections ContractProjections::Precompute(
     Buchi ba, const ProjectionStoreOptions& options, util::ThreadPool* pool) {
   ContractProjections store;
   store.ba_ = std::move(ba);
+  store.quotients_ = std::make_unique<QuotientCache>();
   const Buchi& automaton = store.ba_;
 
   const Bitset cited = automaton.CitedEvents();
@@ -221,7 +252,7 @@ ContractProjections ContractProjections::Precompute(
 }
 
 const Buchi& ContractProjections::ForQueryEvents(
-    const Bitset& query_label_events) {
+    const Bitset& query_label_events) const {
   if (partitions_.empty()) return ba_;  // not precomputed
   EventMask mask = MaskOf(query_label_events);
   auto entry = partition_of_.find(mask);
@@ -234,19 +265,23 @@ const Buchi& ContractProjections::ForQueryEvents(
     if (entry == partition_of_.end()) return ba_;
   }
 
-  auto cached = quotients_.find(mask);
-  if (cached != quotients_.end()) {
+  // quotients_ is always allocated when partitions_ is non-empty
+  // (Precompute is the only producer of both).
+  QuotientCache::Shard& shard = quotients_->ShardFor(mask);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto cached = shard.quotients.find(mask);
+  if (cached != shard.quotients.end()) {
     CTDB_OBS_COUNT("projection.quotient_cache_hits", 1);
     return *cached->second;
   }
   CTDB_OBS_COUNT("projection.quotient_cache_misses", 1);
 
   const Bitset retained = EventsOf(mask);
-  auto quotient = std::make_unique<Buchi>(automata::BuildQuotient(
+  auto quotient = std::make_unique<const Buchi>(automata::BuildQuotient(
       ba_, partitions_[entry->second], &retained, &retained));
   CTDB_OBS_HIST("projection.quotient_states", quotient->StateCount());
   const Buchi& ref = *quotient;
-  quotients_.emplace(mask, std::move(quotient));
+  shard.quotients.emplace(mask, std::move(quotient));
   return ref;
 }
 

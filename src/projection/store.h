@@ -11,7 +11,10 @@
 // partitions (the paper reports ~5%).
 //
 // Storage follows §5.2: only the partitions (block lists) are kept; quotient
-// automata are materialized lazily at query time and cached.
+// automata are materialized lazily at query time and cached. The lazy cache
+// is internally synchronized (sharded, built once per key under the shard
+// lock), so ForQueryEvents is const and safe to call from concurrent query
+// threads sharing one contract — the only mutable state on the read path.
 
 #pragma once
 
@@ -54,7 +57,14 @@ struct ProjectionStats {
 /// \brief All precomputed projections of one contract BA.
 class ContractProjections {
  public:
-  ContractProjections() = default;
+  ContractProjections();
+  ~ContractProjections();
+
+  /// Move-only: the quotient cache owns synchronization state.
+  ContractProjections(ContractProjections&&) noexcept;
+  ContractProjections& operator=(ContractProjections&&) noexcept;
+  ContractProjections(const ContractProjections&) = delete;
+  ContractProjections& operator=(const ContractProjections&) = delete;
 
   /// Runs the lattice-order precomputation over `ba`. With a non-null
   /// `pool`, the partitions of each lattice level (masks of equal popcount
@@ -73,11 +83,13 @@ class ContractProjections {
   /// \brief The simplified automaton to use for a query whose labels cite
   /// `query_label_events`: the quotient of the smallest precomputed
   /// projection that retains every contract literal the compatibility test
-  /// can observe. Lazily built and cached.
+  /// can observe. Lazily built and cached; the cache is internally
+  /// synchronized, so concurrent calls are safe and each quotient is built
+  /// exactly once. Returned references stay valid for the store's lifetime.
   ///
   /// Always sound: falls back to the full-event-set (language-preserving
   /// minimized) automaton when no smaller projection applies.
-  const automata::Buchi& ForQueryEvents(const Bitset& query_label_events);
+  const automata::Buchi& ForQueryEvents(const Bitset& query_label_events) const;
 
   /// The registered (unprojected) automaton.
   const automata::Buchi& original() const { return ba_; }
@@ -86,6 +98,11 @@ class ContractProjections {
 
  private:
   using EventMask = uint64_t;
+
+  /// Sharded mutex-protected lazy cache of quotient automata; defined in
+  /// store.cc. Allocated by Precompute (the only path that leaves
+  /// partitions_ non-empty, which is what ForQueryEvents gates on).
+  struct QuotientCache;
 
   /// Translates global event ids into a mask over `event_list_`; events
   /// outside the contract are dropped (they cannot affect compatibility with
@@ -98,7 +115,7 @@ class ContractProjections {
   std::unordered_map<EventMask, uint32_t> partition_of_;  ///< mask → index
   std::vector<automata::Partition> partitions_;           ///< deduplicated
   EventMask full_mask_ = 0;
-  std::unordered_map<EventMask, std::unique_ptr<automata::Buchi>> quotients_;
+  std::unique_ptr<QuotientCache> quotients_;
   ProjectionStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -18,16 +19,34 @@ thread_local size_t tls_worker = 0;
 
 }  // namespace
 
-ThreadPool::ThreadPool(size_t threads) {
+ThreadPool::ThreadPool(size_t threads, size_t max_threads) {
   const size_t n = threads == 0 ? 1 : threads;
-  queues_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
+  const size_t hw = std::thread::hardware_concurrency();
+  const size_t cap =
+      max_threads == 0 ? std::max(n, hw == 0 ? n : hw) : std::max(n, max_threads);
+  queues_.reserve(cap);
+  for (size_t i = 0; i < cap; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
   }
-  workers_.reserve(n);
+  workers_.reserve(cap);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back(&ThreadPool::WorkerLoop, this, i);
   }
+  active_.store(n, std::memory_order_release);
+}
+
+size_t ThreadPool::Grow(size_t threads) {
+  std::lock_guard<std::mutex> lock(grow_mutex_);
+  const size_t target = std::min(threads, queues_.size());
+  // workers_ only ever grows, and only under grow_mutex_; the destructor
+  // runs exclusively.
+  for (size_t i = workers_.size(); i < target; ++i) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this, i);
+  }
+  if (target > active_.load(std::memory_order_relaxed)) {
+    active_.store(target, std::memory_order_release);
+  }
+  return active_.load(std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
@@ -42,11 +61,15 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::InWorkerThread() const { return tls_pool == this; }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  // External tasks round-robin across the *running* workers' deques only;
+  // slots beyond active_ have no worker popping locally (they would rely on
+  // steals alone).
+  const size_t active = std::max<size_t>(1, thread_count());
   WorkerQueue& queue =
       InWorkerThread()
           ? *queues_[tls_worker]
           : *queues_[next_queue_.fetch_add(1, std::memory_order_relaxed) %
-                     queues_.size()];
+                     active];
   {
     std::lock_guard<std::mutex> lock(queue.mutex);
     queue.tasks.push_back(std::move(task));

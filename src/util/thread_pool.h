@@ -26,11 +26,22 @@
 // Shutdown is graceful: the destructor lets workers drain every queued
 // task before joining them.
 //
-// Thread-safety: Submit/ParallelFor may be called concurrently from any
+// Growth semantics: the pool can grow *in place*, up to a capacity fixed at
+// construction (default: max(initial workers, hardware concurrency)). Grow
+// starts additional workers on the pre-allocated deque slots and never
+// replaces the pool, so a warm pool — its OS threads and any pointer callers
+// hold to it — survives a request for more concurrency. Requests beyond the
+// capacity are clamped: ParallelFor stays correct with fewer workers than
+// requested shards because every participant (workers and the calling
+// thread) claims iterations from one shared counter; the clamp only reduces
+// parallelism, never drops work. The pool never shrinks.
+//
+// Thread-safety: Submit/ParallelFor/Grow may be called concurrently from any
 // thread, including pool workers.
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -44,11 +55,12 @@
 
 namespace ctdb::util {
 
-/// \brief Fixed-size work-stealing executor.
+/// \brief Work-stealing executor that can grow in place (see header).
 class ThreadPool {
  public:
-  /// Starts `threads` workers (clamped to at least 1).
-  explicit ThreadPool(size_t threads);
+  /// Starts `threads` workers (clamped to at least 1). `max_threads` fixes
+  /// the growth capacity; 0 picks max(threads, hardware concurrency).
+  explicit ThreadPool(size_t threads, size_t max_threads = 0);
 
   /// Drains all queued tasks, then joins the workers.
   ~ThreadPool();
@@ -56,7 +68,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t thread_count() const { return queues_.size(); }
+  /// Currently running workers.
+  size_t thread_count() const {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Fixed growth ceiling (see header).
+  size_t capacity() const { return queues_.size(); }
+
+  /// Grows to at least `threads` workers in place, clamped to capacity();
+  /// never shrinks. Returns the worker count after growing. Safe to call
+  /// concurrently with Submit/ParallelFor and with other Grow calls.
+  size_t Grow(size_t threads);
 
   /// Enqueues a fire-and-forget task.
   void Submit(std::function<void()> task);
@@ -83,8 +106,13 @@ class ThreadPool {
   bool AnyQueued();
   void Enqueue(std::function<void()> task);
 
+  /// Sized to capacity() at construction and never resized afterwards, so
+  /// workers and enqueuers can index it without synchronization; only the
+  /// first `active_` slots ever receive tasks.
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+  std::atomic<size_t> active_{0};
+  std::mutex grow_mutex_;  ///< serializes Grow (workers_ appends)
 
   /// Guards the sleep/wake protocol. `work_signal_` is bumped under this
   /// mutex after every enqueue, so a worker that saw empty deques can

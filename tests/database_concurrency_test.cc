@@ -1,0 +1,210 @@
+// Concurrency tests for the snapshot-isolated read path: readers querying
+// while writers register, snapshot replay consistency, and shared-executor
+// growth. These are the tests the CI TSan job is aimed at (DESIGN.md §8) —
+// they are small enough to run everywhere, but their value is the
+// data-race-freedom they demonstrate under `CTDB_SANITIZE=thread`.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "broker/database.h"
+#include "workload/generator.h"
+
+namespace ctdb::broker {
+namespace {
+
+/// Pre-generates contract and query texts (p1..pN vocabulary) so the
+/// threads below only exercise the database, not the generator.
+struct Workload {
+  std::vector<std::string> contracts;
+  std::vector<std::string> queries;
+  size_t vocabulary_size = 10;
+
+  static Workload Make(size_t contracts, size_t queries, uint64_t seed) {
+    Workload w;
+    Vocabulary vocab;
+    ltl::FormulaFactory factory;
+    workload::GeneratorOptions copt;
+    copt.vocabulary_size = w.vocabulary_size;
+    copt.properties = 2;
+    workload::SpecGenerator contract_gen(copt, seed, &vocab, &factory);
+    for (size_t i = 0; i < contracts; ++i) {
+      auto spec = contract_gen.Next();
+      if (spec.ok()) w.contracts.push_back(spec->text);
+    }
+    workload::GeneratorOptions qopt = copt;
+    qopt.properties = 1;
+    workload::SpecGenerator query_gen(qopt, seed + 1, &vocab, &factory);
+    for (size_t i = 0; i < queries; ++i) {
+      auto spec = query_gen.Next();
+      if (spec.ok()) w.queries.push_back(spec->text);
+    }
+    return w;
+  }
+
+  /// Interns the whole p1..pN vocabulary so queries can never cite an
+  /// unknown event regardless of which contracts are registered yet.
+  void InternVocabulary(ContractDatabase* db) const {
+    for (size_t i = 1; i <= vocabulary_size; ++i) {
+      ASSERT_TRUE(db->InternEvent("p" + std::to_string(i)).ok());
+    }
+  }
+};
+
+/// Readers race writers; every reader pins a snapshot and checks that the
+/// optimized parallel evaluation agrees with the unoptimized serial scan *of
+/// that same snapshot* — the snapshot-isolation correctness oracle.
+TEST(DatabaseConcurrencyTest, ReadersAgreeWithSerialReplayWhileWritersRegister) {
+  const Workload w = Workload::Make(/*contracts=*/24, /*queries=*/6, 42);
+  ASSERT_GE(w.contracts.size(), 8u);
+  ASSERT_GE(w.queries.size(), 3u);
+
+  DatabaseOptions dopt;
+  dopt.threads = 2;
+  ContractDatabase db(dopt);
+  w.InternVocabulary(&db);
+
+  // Seed the database with a few contracts so early readers see matches.
+  const size_t preloaded = 4;
+  for (size_t i = 0; i < preloaded; ++i) {
+    ASSERT_TRUE(db.Register("pre" + std::to_string(i), w.contracts[i]).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+
+  std::thread writer([&] {
+    for (size_t i = preloaded; i < w.contracts.size(); ++i) {
+      auto id = db.Register("c" + std::to_string(i), w.contracts[i]);
+      if (!id.ok()) ++failures;
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  QueryOptions optimized;
+  optimized.threads = 2;  // exercises the shared pool concurrently
+  QueryOptions serial_unopt;
+  serial_unopt.use_prefilter = false;
+  serial_unopt.use_projections = false;
+  serial_unopt.threads = 1;
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      size_t round = 0;
+      while (!stop.load(std::memory_order_acquire) || round == 0) {
+        const std::shared_ptr<const DatabaseSnapshot> snap = db.Snapshot();
+        const std::string& q = w.queries[(r + round) % w.queries.size()];
+        auto fast = snap->Query(q, optimized);
+        auto slow = snap->Query(q, serial_unopt);
+        if (!fast.ok() || !slow.ok() || fast->matches != slow->matches) {
+          ++failures;
+        } else {
+          for (uint32_t id : fast->matches) {
+            if (id >= snap->size()) ++failures;
+          }
+        }
+        ++round;
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(db.size(), w.contracts.size());
+}
+
+/// The database-level entry points (Query/QueryBatch against the *current*
+/// snapshot, sharing the lazily grown executor) racing a writer.
+TEST(DatabaseConcurrencyTest, QueryAndBatchSmokeUnderConcurrentWriter) {
+  const Workload w = Workload::Make(/*contracts=*/16, /*queries=*/4, 7);
+  ASSERT_GE(w.contracts.size(), 8u);
+  ASSERT_GE(w.queries.size(), 3u);
+
+  ContractDatabase db;
+  w.InternVocabulary(&db);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(db.Register("pre" + std::to_string(i), w.contracts[i]).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+
+  std::thread writer([&] {
+    for (size_t i = 4; i < w.contracts.size(); ++i) {
+      if (!db.Register("c" + std::to_string(i), w.contracts[i]).ok()) {
+        ++failures;
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      // Each round requests more concurrency than the last, so the shared
+      // executor grows in place while in use (the EnsurePool race).
+      size_t round = 0;
+      while (!stop.load(std::memory_order_acquire) || round == 0) {
+        QueryOptions options;
+        options.threads = 1 + (round + r) % 4;
+        auto single = db.Query(w.queries[round % w.queries.size()], options);
+        if (!single.ok()) ++failures;
+        auto batch = db.QueryBatch(w.queries, options);
+        if (!batch.ok() || batch->size() != w.queries.size()) {
+          ++failures;
+        } else {
+          for (const QueryResult& qr : *batch) {
+            if (!std::is_sorted(qr.matches.begin(), qr.matches.end())) {
+              ++failures;
+            }
+          }
+        }
+        ++round;
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+/// Writers contending on the writer mutex: concurrent Register calls are
+/// serialized, every contract lands, and ids stay dense.
+TEST(DatabaseConcurrencyTest, ConcurrentWritersSerialize) {
+  const Workload w = Workload::Make(/*contracts=*/16, /*queries=*/1, 3);
+  ASSERT_GE(w.contracts.size(), 8u);
+
+  ContractDatabase db;
+  w.InternVocabulary(&db);
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> writers;
+  const size_t per_writer = w.contracts.size() / 2;
+  for (size_t t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      for (size_t i = 0; i < per_writer; ++i) {
+        const size_t k = t * per_writer + i;
+        if (!db.Register("w" + std::to_string(k), w.contracts[k]).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(db.size(), 2 * per_writer);
+  for (uint32_t id = 0; id < db.size(); ++id) {
+    EXPECT_EQ(db.contract(id).id, id);
+  }
+}
+
+}  // namespace
+}  // namespace ctdb::broker

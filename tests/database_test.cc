@@ -64,7 +64,7 @@ TEST_F(DatabaseTest, UnderspecifiedContractNotReturned) {
   // never permit a query about q.
   ContractDatabase db;
   ASSERT_TRUE(db.Register("only_p", "G F p").ok());
-  db.vocabulary()->Intern("q").status();
+  ASSERT_TRUE(db.InternEvent("q").ok());
   const QueryResult r = MustQuery(&db, "F q");
   EXPECT_TRUE(r.matches.empty());
 }
@@ -276,6 +276,90 @@ TEST_F(DatabaseTest, RegisterFormulaDirectly) {
   EXPECT_EQ(db.contract(*id).ltl_text, "G p");
   const QueryResult r = MustQuery(&db, "G p");
   EXPECT_EQ(r.matches, (std::vector<uint32_t>{0}));
+}
+
+TEST_F(DatabaseTest, SnapshotIsStableAcrossRegistrations) {
+  ContractDatabase db;
+  ASSERT_TRUE(db.Register("a", "G(p -> F q)").ok());
+  const std::shared_ptr<const DatabaseSnapshot> snap = db.Snapshot();
+  ASSERT_EQ(snap->size(), 1u);
+
+  ASSERT_TRUE(db.Register("b", "G F q").ok());
+  // The held snapshot is frozen: it neither sees the new contract nor the
+  // database's new snapshot.
+  EXPECT_EQ(snap->size(), 1u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_NE(snap.get(), db.Snapshot().get());
+
+  auto old_r = snap->Query("F q");
+  ASSERT_TRUE(old_r.ok());
+  EXPECT_EQ(old_r->matches, (std::vector<uint32_t>{0}));
+  const QueryResult new_r = MustQuery(&db, "F q");
+  EXPECT_EQ(new_r.matches, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST_F(DatabaseTest, RejectedQueryLeavesSnapshotUntouched) {
+  ContractDatabase db;
+  ASSERT_TRUE(db.Register("a", "G(p -> F q)").ok());
+  const std::shared_ptr<const DatabaseSnapshot> before = db.Snapshot();
+  EXPECT_TRUE(db.Query("F unknownEvent").status().IsNotFound());
+  EXPECT_TRUE(db.QueryBatch({"F q", "F unknownEvent"}).status().IsNotFound());
+  // The read path publishes nothing — same snapshot object, same vocabulary.
+  EXPECT_EQ(before.get(), db.Snapshot().get());
+  EXPECT_FALSE(db.Snapshot()->vocabulary().Contains("unknownEvent"));
+}
+
+TEST_F(DatabaseTest, FailedRegistrationLeavesSnapshotUntouched) {
+  ContractDatabase db;
+  ASSERT_TRUE(db.Register("a", "G(p -> F q)").ok());
+  const std::shared_ptr<const DatabaseSnapshot> before = db.Snapshot();
+
+  // Parse error.
+  EXPECT_FALSE(db.Register("bad", "G(p ->").ok());
+  // Validation error: the initial state is out of range.
+  automata::Buchi bad_ba;
+  bad_ba.SetInitial(5);
+  EXPECT_FALSE(db.RegisterAutomaton("bad", "true", std::move(bad_ba),
+                                    Bitset())
+                   .ok());
+
+  // Queries keep observing the exact pre-failure state.
+  EXPECT_EQ(before.get(), db.Snapshot().get());
+  EXPECT_EQ(db.size(), 1u);
+  const QueryResult r = MustQuery(&db, "F q");
+  EXPECT_EQ(r.matches, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(r.stats.database_size, 1u);
+}
+
+TEST_F(DatabaseTest, InternEventPublishesImmediately) {
+  ContractDatabase db;
+  ASSERT_TRUE(db.Register("only_p", "G F p").ok());
+  const std::shared_ptr<const DatabaseSnapshot> before = db.Snapshot();
+  EXPECT_TRUE(db.Query("F q").status().IsNotFound());
+
+  auto id = db.InternEvent("q");
+  ASSERT_TRUE(id.ok());
+  // Idempotent: re-interning returns the same id.
+  auto again = db.InternEvent("q");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*id, *again);
+
+  // The new snapshot can cite q; the old one still cannot.
+  const QueryResult r = MustQuery(&db, "F q");
+  EXPECT_TRUE(r.matches.empty());
+  EXPECT_TRUE(before->Query("F q").status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, QueryIsConstAndUsableThroughConstRef) {
+  ContractDatabase db;
+  ASSERT_TRUE(db.Register("a", "G(p -> F q)").ok());
+  const ContractDatabase& cdb = db;  // the read API is const
+  auto r = cdb.Query("F q");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->matches, (std::vector<uint32_t>{0}));
+  auto batch = cdb.QueryBatch({"F q", "G !p"});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 2u);
 }
 
 }  // namespace

@@ -40,7 +40,7 @@ class PaperExamplesTest : public ::testing::Test {
                     .ok());
     // Example 4 adds classUpgrade to the common vocabulary (no contract
     // cites it).
-    ASSERT_TRUE(db_.vocabulary()->Intern("classUpgrade").ok());
+    ASSERT_TRUE(db_.InternEvent("classUpgrade").ok());
   }
 
   std::vector<uint32_t> Matches(const std::string& query) {

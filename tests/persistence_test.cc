@@ -91,6 +91,40 @@ TEST(PersistenceTest, GeneratedWorkloadRoundTrip) {
   }
 }
 
+TEST(PersistenceTest, SnapshotRoundTripIgnoresLaterRegistrations) {
+  auto db = MakeSampleDb();
+  // Pin the 3-contract state, then keep writing: the save must reflect the
+  // snapshot, not the database's current state.
+  const std::shared_ptr<const DatabaseSnapshot> snap = db->Snapshot();
+  ASSERT_TRUE(db->Register("Ticket D", "G(!dateChange)").ok());
+  ASSERT_TRUE(db->InternEvent("loungeAccess").ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(SaveSnapshot(*snap, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadDatabase(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  ASSERT_EQ((*loaded)->size(), snap->size());
+  EXPECT_LT((*loaded)->size(), db->size());
+  for (uint32_t id = 0; id < snap->size(); ++id) {
+    EXPECT_EQ((*loaded)->contract(id).name, snap->contract(id).name);
+    EXPECT_EQ((*loaded)->contract(id).ltl_text, snap->contract(id).ltl_text);
+    EXPECT_EQ((*loaded)->contract(id).events, snap->contract(id).events);
+  }
+  EXPECT_EQ((*loaded)->Snapshot()->vocabulary().names(),
+            snap->vocabulary().names());
+  EXPECT_FALSE((*loaded)->Snapshot()->vocabulary().Contains("loungeAccess"));
+
+  for (const char* q : {"F refund", "F dateChange", "G !refund"}) {
+    auto from_snap = snap->Query(q);
+    auto from_loaded = (*loaded)->Query(q);
+    ASSERT_TRUE(from_snap.ok());
+    ASSERT_TRUE(from_loaded.ok()) << q << ": " << from_loaded.status();
+    EXPECT_EQ(from_snap->matches, from_loaded->matches) << q;
+  }
+}
+
 TEST(PersistenceTest, LoadUnderDifferentOptionsStillCorrect) {
   auto db = MakeSampleDb();
   std::ostringstream out;
