@@ -1,0 +1,178 @@
+// Durable broker: the contract database behind a write-ahead log, with
+// group commit, checkpointing and crash recovery (DESIGN.md §10).
+//
+// `DurableDatabase` wraps a `ContractDatabase` and a `wal::LogWriter`.
+// Register applies the registration to the in-memory database (snapshot-
+// isolated, so queries may observe it immediately) and then appends a WAL
+// record; it returns Ok only once the record is durable under the
+// configured `wal::FsyncPolicy`. A crash therefore loses at most the
+// registrations whose Register had not yet returned — everything
+// acknowledged is recovered (verified by the crash-point property test).
+//
+// A checkpoint pins the current snapshot, writes it as a full SaveSnapshot
+// image to `checkpoint-<sequence>.ctdb` (temp file + atomic rename, so a
+// crash mid-checkpoint never damages the previous one), seals the log below
+// it by rotating to a fresh segment, appends a kCheckpoint record, and
+// deletes every sealed segment whose records the image covers — bounding
+// both log size and recovery time.
+//
+// Recovery (`RecoverDatabase`) loads the newest valid checkpoint (falling
+// back to older ones, then to an empty database), replays the segments'
+// registration records past it in sequence order, treats a torn or
+// CRC-corrupt tail as a clean end of log (wal/segment.h), and reports any
+// damage before the tail — including a registration-sequence gap — as
+// Status::Corruption.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "broker/database.h"
+#include "util/result.h"
+#include "wal/wal.h"
+#include "wal/writer.h"
+
+namespace ctdb::broker {
+
+/// "checkpoint-000000000042.ctdb" for sequence 42.
+std::string CheckpointFileName(uint64_t sequence);
+bool ParseCheckpointFileName(std::string_view name, uint64_t* sequence);
+
+/// What recovery found and did.
+struct RecoveryStats {
+  uint64_t checkpoint_sequence = 0;   ///< 0 = recovered without a checkpoint
+  std::string checkpoint_file;        ///< name of the loaded checkpoint
+  size_t checkpoints_skipped = 0;     ///< newer checkpoints that failed to load
+  size_t segments_scanned = 0;
+  size_t records_replayed = 0;
+  size_t records_skipped = 0;         ///< records the checkpoint already covers
+  uint64_t bytes_scanned = 0;
+  bool tail_truncated = false;        ///< a torn tail was treated as end-of-log
+  uint64_t last_sequence = 0;         ///< == recovered database size
+  uint64_t next_segment_index = 1;    ///< where a writer should continue
+  double checkpoint_load_ms = 0;
+  double replay_ms = 0;
+  /// Per-segment bookkeeping handed to the log writer for checkpoint
+  /// truncation (max register sequence each sealed segment holds).
+  std::vector<wal::LogWriter::SegmentInfo> sealed_segments;
+};
+
+/// \brief Rebuilds a database from a WAL directory.
+///
+/// Loads the newest checkpoint that deserializes cleanly and replays every
+/// registration record with a later sequence. Returns Status::Corruption
+/// when the log is damaged anywhere but the tail: an invalid frame followed
+/// by a valid one, a sequence gap or regression, a record whose replayed
+/// registration fails, or a checkpointed image that cannot be reconciled
+/// with the surviving log. A torn tail only sets
+/// RecoveryStats::tail_truncated.
+Result<std::unique_ptr<ContractDatabase>> RecoverDatabase(
+    const std::string& dir, const DatabaseOptions& options = {},
+    RecoveryStats* stats = nullptr);
+
+/// \brief A contract database whose registrations survive crashes.
+///
+/// Thread safety matches ContractDatabase: queries are safe concurrently
+/// with each other and with registrations; Register calls from multiple
+/// threads are safe and share group commits. Checkpoint may run
+/// concurrently with everything (it pins a snapshot).
+class DurableDatabase {
+ public:
+  /// Opens (creating the directory if needed) or recovers a durable
+  /// database. The WAL continues in a fresh segment — recovery never
+  /// appends to a possibly-torn file.
+  static Result<std::unique_ptr<DurableDatabase>> Open(
+      std::string dir, const wal::DurabilityOptions& durability = {},
+      const DatabaseOptions& options = {});
+
+  ~DurableDatabase();
+  DurableDatabase(const DurableDatabase&) = delete;
+  DurableDatabase& operator=(const DurableDatabase&) = delete;
+
+  /// Registers a contract and returns once its WAL record is durable under
+  /// the configured fsync policy. Queries may observe the registration
+  /// slightly before it is durable (never after a failure).
+  Result<uint32_t> Register(std::string name, std::string_view ltl_text,
+                            RegistrationStats* stats = nullptr);
+
+  /// Registers a batch atomically (all-or-nothing in memory, one WAL group
+  /// on disk). Returns once every record of the batch is durable.
+  Result<std::vector<uint32_t>> RegisterBatch(
+      const std::vector<ContractDatabase::BatchEntry>& entries);
+
+  /// \name Read path — forwards to the wrapped snapshot-isolated database.
+  /// @{
+  Result<QueryResult> Query(std::string_view ltl_text,
+                            const QueryOptions& options = {}) const {
+    return db_->Query(ltl_text, options);
+  }
+  Result<std::vector<QueryResult>> QueryBatch(
+      const std::vector<std::string>& queries,
+      const QueryOptions& options = {}) const {
+    return db_->QueryBatch(queries, options);
+  }
+  std::shared_ptr<const DatabaseSnapshot> Snapshot() const {
+    return db_->Snapshot();
+  }
+  size_t size() const { return db_->size(); }
+  const Contract& contract(uint32_t id) const { return db_->contract(id); }
+  /// The wrapped database (read-only: registering through it directly would
+  /// bypass the log).
+  const ContractDatabase& database() const { return *db_; }
+  /// @}
+
+  /// Writes a checkpoint now and truncates the log below it. Serialized
+  /// against the automatic background checkpoint.
+  Status Checkpoint();
+
+  /// Flushes and stops the log writer; further registrations fail. Run by
+  /// the destructor; idempotent.
+  Status Close();
+
+  /// Sequence of the latest applied registration (== size()).
+  uint64_t last_sequence() const { return db_->size(); }
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  const wal::DurabilityOptions& durability_options() const {
+    return durability_;
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurableDatabase(std::string dir, const wal::DurabilityOptions& durability,
+                  std::unique_ptr<ContractDatabase> db,
+                  std::unique_ptr<wal::LogWriter> writer,
+                  RecoveryStats recovery_stats);
+
+  /// Launches a background checkpoint when checkpoint_log_bytes is
+  /// configured and exceeded.
+  void MaybeScheduleCheckpoint();
+  /// Best-effort deletion of checkpoint files older than `sequence` and of
+  /// stale checkpoint temp files.
+  void DeleteOldCheckpoints(uint64_t sequence);
+
+  const std::string dir_;
+  const wal::DurabilityOptions durability_;
+  std::unique_ptr<ContractDatabase> db_;
+  std::unique_ptr<wal::LogWriter> writer_;
+  RecoveryStats recovery_stats_;
+
+  /// Orders apply-then-enqueue across writers so on-disk record order
+  /// equals registration-sequence order.
+  std::mutex append_mutex_;
+  std::atomic<bool> closed_{false};
+
+  /// Serializes checkpoints (manual vs background).
+  std::mutex checkpoint_mutex_;
+  std::mutex checkpoint_thread_mutex_;
+  std::thread checkpoint_thread_;
+  std::atomic<bool> checkpoint_running_{false};
+};
+
+}  // namespace ctdb::broker

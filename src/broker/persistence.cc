@@ -6,6 +6,7 @@
 #include <string>
 
 #include "automata/serialize.h"
+#include "util/file_util.h"
 #include "util/string_util.h"
 
 namespace ctdb::broker {
@@ -52,11 +53,12 @@ Status SaveDatabase(const ContractDatabase& db, std::ostream* out) {
 
 Status SaveDatabaseToFile(const ContractDatabase& db,
                           const std::string& path) {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
-  }
-  return SaveDatabase(db, &out);
+  // Serialize to memory, then publish with temp-file + atomic rename so a
+  // crash mid-save never leaves a truncated image where a previous good one
+  // stood (checkpoints in broker/durable.cc rely on the same helper).
+  std::ostringstream out;
+  CTDB_RETURN_NOT_OK(SaveDatabase(db, &out));
+  return util::WriteFileAtomic(path, out.str());
 }
 
 Result<std::unique_ptr<ContractDatabase>> LoadDatabase(

@@ -32,7 +32,9 @@ Status SaveSnapshot(const DatabaseSnapshot& snapshot, std::ostream* out);
 /// db.Snapshot()).
 Status SaveDatabase(const ContractDatabase& db, std::ostream* out);
 
-/// Writes SaveDatabase output to `path`.
+/// Writes SaveDatabase output to `path` crash-safely: the image is written
+/// to `<path>.tmp`, fsynced, and atomically renamed into place, so `path`
+/// always holds either the previous complete image or the new one.
 Status SaveDatabaseToFile(const ContractDatabase& db, const std::string& path);
 
 /// Rebuilds a database from a SaveDatabase stream. Contract ids are

@@ -1,0 +1,47 @@
+#include "testing/temp_dir.h"
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ctdb::testing {
+
+TempDir::TempDir(const std::string& tag) {
+  const char* base = ::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/ctdb_" +
+                     tag + "_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    std::perror("mkdtemp");
+    std::abort();
+  }
+  path_ = tmpl;
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) RemoveTree(path_);
+}
+
+void RemoveTree(const std::string& path) {
+  DIR* d = ::opendir(path.c_str());
+  if (d != nullptr) {
+    while (const dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      const std::string child = path + "/" + name;
+      struct stat st {};
+      if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        RemoveTree(child);
+      } else {
+        ::unlink(child.c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(path.c_str());
+}
+
+}  // namespace ctdb::testing

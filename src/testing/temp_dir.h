@@ -1,0 +1,32 @@
+// A throwaway directory for tests that exercise real file I/O (WAL
+// segments, checkpoints, crash recovery). Created under TMPDIR (default
+// /tmp) and recursively removed on destruction.
+
+#pragma once
+
+#include <string>
+
+namespace ctdb::testing {
+
+class TempDir {
+ public:
+  /// Creates `${TMPDIR:-/tmp}/ctdb_<tag>_XXXXXX`. Aborts if mkdtemp fails —
+  /// a test cannot do anything sensible without its directory.
+  explicit TempDir(const std::string& tag);
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  /// `path()/name` — convenience for building file paths.
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+/// Recursively deletes `path` (best effort; used by ~TempDir).
+void RemoveTree(const std::string& path);
+
+}  // namespace ctdb::testing

@@ -1,0 +1,21 @@
+#include "util/crash_point.h"
+
+#include <atomic>
+
+namespace ctdb::util {
+
+namespace {
+std::atomic<CrashPointHook> g_crash_hook{nullptr};
+}  // namespace
+
+void SetCrashPointHook(CrashPointHook hook) {
+  g_crash_hook.store(hook, std::memory_order_release);
+}
+
+void CrashPoint(const char* site) {
+  if (CrashPointHook hook = g_crash_hook.load(std::memory_order_acquire)) {
+    hook(site);
+  }
+}
+
+}  // namespace ctdb::util

@@ -1,0 +1,24 @@
+// Crash-point fault injection for the durability subsystem (testing only).
+//
+// Durability code calls CrashPoint("<site>") immediately after every
+// state-changing filesystem step (segment write, fsync, checkpoint temp
+// write, atomic rename, segment deletion) and before every acknowledgement.
+// Tests install a hook that `_exit`s the process at the k-th hit
+// (testing/crash.h), turning each site into a real kill point for the
+// crash-recovery property test; in production the hook is null and the call
+// costs one predicted-not-taken atomic load.
+
+#pragma once
+
+namespace ctdb::util {
+
+using CrashPointHook = void (*)(const char* site);
+
+/// Installs (or with nullptr removes) the process-wide hook. Install before
+/// opening the database under test — not synchronized against concurrent
+/// durability traffic.
+void SetCrashPointHook(CrashPointHook hook);
+
+void CrashPoint(const char* site);
+
+}  // namespace ctdb::util

@@ -1,0 +1,129 @@
+#include "util/file_util.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crash_point.h"
+
+namespace ctdb::util {
+
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+/// Writes all of `data` to `fd`, retrying partial writes and EINTR.
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write", path));
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::Internal(Errno("open", path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::Internal(Errno("read", path));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::Internal(Errno("open", tmp));
+  Status status = WriteAll(fd, contents, tmp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal(Errno("fsync", tmp));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::Internal(Errno("close", tmp));
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  CrashPoint("file.atomic.after_tmp");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_status = Status::Internal(Errno("rename", tmp));
+    ::unlink(tmp.c_str());
+    return rename_status;
+  }
+  CrashPoint("file.atomic.after_rename");
+  return SyncDir(ParentDir(path));
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::Internal(Errno("open dir", dir));
+  Status status;
+  if (::fsync(fd) != 0) status = Status::Internal(Errno("fsync dir", dir));
+  ::close(fd);
+  return status;
+}
+
+Status CreateDirIfMissing(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::Internal(Errno("mkdir", dir));
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such directory: " + dir);
+    return Status::Internal(Errno("opendir", dir));
+  }
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return Status::Internal(Errno("unlink", path));
+}
+
+}  // namespace ctdb::util

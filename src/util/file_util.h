@@ -1,0 +1,44 @@
+// Filesystem helpers for the durability layer (wal/, broker/persistence):
+// whole-file reads, crash-safe atomic writes, and directory fsyncs.
+//
+// Crash-safety convention (shared by SaveDatabaseToFile and WAL
+// checkpoints): a "published" file is produced by writing `<path>.tmp`,
+// fsyncing it, renaming it over `path`, and fsyncing the parent directory —
+// so at every instant `path` either does not exist or holds a complete old
+// or new image, never a torn one. POSIX-only (the project targets linux;
+// see CMakeLists).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ctdb::util {
+
+/// Reads the whole file into a string. NotFound when the file is absent.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `<path>.tmp`, fsyncs, atomically renames it over
+/// `path`, then fsyncs the parent directory. On any error the previous
+/// `path` (if it existed) is untouched; a stale `<path>.tmp` may remain and
+/// is safe to delete or overwrite.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// fsyncs the directory itself, making previously created/renamed/deleted
+/// entries in it durable.
+Status SyncDir(const std::string& dir);
+
+/// Creates the directory if it does not exist (single level). OK when it
+/// already exists.
+Status CreateDirIfMissing(const std::string& dir);
+
+/// Names (not paths) of the directory's entries, excluding "." and "..".
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Deletes the file. OK when it is already absent.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace ctdb::util

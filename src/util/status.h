@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kResourceExhausted = 5, ///< A cap (node budget, DNF size, ...) was hit.
   kInternal = 6,          ///< Invariant violation: indicates a bug in ctdb.
   kUnimplemented = 7,     ///< Feature intentionally not (yet) supported.
+  kCorruption = 8,        ///< Stored data failed validation (CRC, framing, ...).
 };
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
@@ -62,6 +63,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -79,6 +83,7 @@ class Status {
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,169 @@
+#include "wal/record.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace ctdb::wal {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetU32(std::string_view data, size_t* offset, uint32_t* v) {
+  if (data.size() - *offset < 4) return false;
+  const auto* p = reinterpret_cast<const uint8_t*>(data.data() + *offset);
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  *offset += 4;
+  return true;
+}
+
+bool GetU64(std::string_view data, size_t* offset, uint64_t* v) {
+  uint32_t lo = 0, hi = 0;
+  if (!GetU32(data, offset, &lo) || !GetU32(data, offset, &hi)) return false;
+  *v = static_cast<uint64_t>(hi) << 32 | lo;
+  return true;
+}
+
+bool GetString(std::string_view data, size_t* offset, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(data, offset, &len)) return false;
+  if (data.size() - *offset < len) return false;
+  s->assign(data.substr(*offset, len));
+  *offset += len;
+  return true;
+}
+
+}  // namespace
+
+Record Record::Register(uint64_t sequence, std::string name,
+                        std::string ltl_text) {
+  Record r;
+  r.type = RecordType::kRegister;
+  r.sequence = sequence;
+  r.name = std::move(name);
+  r.ltl_text = std::move(ltl_text);
+  return r;
+}
+
+Record Record::Checkpoint(uint64_t sequence, std::string snapshot_path) {
+  Record r;
+  r.type = RecordType::kCheckpoint;
+  r.sequence = sequence;
+  r.snapshot_path = std::move(snapshot_path);
+  return r;
+}
+
+bool Record::operator==(const Record& other) const {
+  return type == other.type && sequence == other.sequence &&
+         name == other.name && ltl_text == other.ltl_text &&
+         snapshot_path == other.snapshot_path;
+}
+
+std::string EncodePayload(const Record& record) {
+  std::string out;
+  out.push_back(static_cast<char>(record.type));
+  PutU64(&out, record.sequence);
+  switch (record.type) {
+    case RecordType::kRegister:
+      PutString(&out, record.name);
+      PutString(&out, record.ltl_text);
+      break;
+    case RecordType::kCheckpoint:
+      PutString(&out, record.snapshot_path);
+      break;
+  }
+  return out;
+}
+
+Status DecodePayload(std::string_view payload, Record* record) {
+  if (payload.empty()) return Status::Corruption("empty record payload");
+  *record = Record();
+  size_t offset = 0;
+  const uint8_t type = static_cast<uint8_t>(payload[offset++]);
+  if (!GetU64(payload, &offset, &record->sequence)) {
+    return Status::Corruption("record payload truncated in sequence");
+  }
+  switch (type) {
+    case static_cast<uint8_t>(RecordType::kRegister):
+      record->type = RecordType::kRegister;
+      if (!GetString(payload, &offset, &record->name) ||
+          !GetString(payload, &offset, &record->ltl_text)) {
+        return Status::Corruption("register record payload truncated");
+      }
+      break;
+    case static_cast<uint8_t>(RecordType::kCheckpoint):
+      record->type = RecordType::kCheckpoint;
+      if (!GetString(payload, &offset, &record->snapshot_path)) {
+        return Status::Corruption("checkpoint record payload truncated");
+      }
+      break;
+    default:
+      return Status::Corruption("unknown record type " + std::to_string(type));
+  }
+  if (offset != payload.size()) {
+    return Status::Corruption("trailing bytes after record body");
+  }
+  return Status::OK();
+}
+
+std::string EncodeFrame(const Record& record) {
+  const std::string payload = EncodePayload(record);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, util::Crc32c(payload));
+  out += payload;
+  return out;
+}
+
+Status DecodeFrame(std::string_view data, size_t* offset, Record* record) {
+  size_t pos = *offset;
+  uint32_t length = 0, crc = 0;
+  if (!GetU32(data, &pos, &length) || !GetU32(data, &pos, &crc)) {
+    return Status::Corruption("frame header truncated");
+  }
+  if (length > kMaxRecordBytes) {
+    return Status::Corruption("frame length " + std::to_string(length) +
+                              " exceeds record size cap");
+  }
+  if (data.size() - pos < length) {
+    return Status::Corruption("frame payload truncated");
+  }
+  const std::string_view payload = data.substr(pos, length);
+  if (util::Crc32c(payload) != crc) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  CTDB_RETURN_NOT_OK(DecodePayload(payload, record));
+  *offset = pos + length;
+  return Status::OK();
+}
+
+bool FrameLooksValid(std::string_view data, size_t offset) {
+  size_t pos = offset;
+  uint32_t length = 0, crc = 0;
+  if (!GetU32(data, &pos, &length) || !GetU32(data, &pos, &crc)) return false;
+  if (length > kMaxRecordBytes) return false;
+  if (data.size() - pos < length) return false;
+  return util::Crc32c(data.substr(pos, length)) == crc;
+}
+
+}  // namespace ctdb::wal

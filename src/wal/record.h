@@ -1,0 +1,83 @@
+// Write-ahead-log record format: binary, length-prefixed, CRC32C-framed.
+//
+// A frame on disk is
+//
+//   ┌────────────┬───────────┬──────────────────────────────┐
+//   │ length u32 │ crc32c u32│ payload (`length` bytes)     │
+//   └────────────┴───────────┴──────────────────────────────┘
+//     little-endian           crc is over the payload only
+//
+//   payload := type u8 · sequence u64 · body
+//   kRegister body   := name_len u32 · name · ltl_len u32 · ltl_text
+//   kCheckpoint body := path_len u32 · snapshot_path
+//
+// For kRegister, `sequence` is the registration's 1-based position in the
+// database (contract id + 1) — the log's logical clock. For kCheckpoint,
+// `sequence` is the registration sequence the checkpoint image covers and
+// `snapshot_path` the checkpoint file's name within the WAL directory.
+//
+// Decoding is hostile-input safe: any framing or structural violation comes
+// back as Status::Corruption, never a crash or overread (fuzzed by
+// tools/fuzz/fuzz_wal).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace ctdb::wal {
+
+enum class RecordType : uint8_t {
+  kRegister = 1,
+  kCheckpoint = 2,
+};
+
+/// One logical log record (see the format comment above).
+struct Record {
+  RecordType type = RecordType::kRegister;
+  uint64_t sequence = 0;
+  std::string name;           ///< kRegister: contract name
+  std::string ltl_text;       ///< kRegister: the contract's LTL specification
+  std::string snapshot_path;  ///< kCheckpoint: checkpoint file name
+
+  static Record Register(uint64_t sequence, std::string name,
+                         std::string ltl_text);
+  static Record Checkpoint(uint64_t sequence, std::string snapshot_path);
+
+  bool operator==(const Record& other) const;
+};
+
+/// Frame header size: length u32 + crc u32.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Upper bound on one payload; larger length prefixes are rejected as
+/// corruption before any allocation, bounding memory under hostile input.
+inline constexpr size_t kMaxRecordBytes = 1u << 26;
+
+/// Serializes the payload (no frame header).
+std::string EncodePayload(const Record& record);
+
+/// Parses a payload produced by EncodePayload. Corruption on any structural
+/// violation; trailing garbage after the body is corruption too.
+Status DecodePayload(std::string_view payload, Record* record);
+
+/// Serializes the full frame: header + payload.
+std::string EncodeFrame(const Record& record);
+
+/// \brief Reads the frame starting at `data[offset]`.
+///
+/// On success advances `*offset` past the frame and fills `*record`. Returns
+/// Corruption when the bytes at `offset` are not a whole, CRC-valid,
+/// decodable frame (the segment reader decides whether that means a torn
+/// tail or real corruption — segment.h).
+Status DecodeFrame(std::string_view data, size_t* offset, Record* record);
+
+/// True iff a syntactically complete frame with a matching CRC starts at
+/// `data[offset]` (no payload decoding). Used by the segment reader to
+/// distinguish a torn tail from mid-log corruption.
+bool FrameLooksValid(std::string_view data, size_t offset);
+
+}  // namespace ctdb::wal

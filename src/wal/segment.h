@@ -1,0 +1,61 @@
+// Write-ahead-log segment files: naming, header, and the reader with the
+// torn-tail rule.
+//
+// A segment file is the 8-byte magic "CTDBWAL1" followed by frames
+// (record.h). Segments are named `wal-<index>.log` with a zero-padded
+// monotonically increasing index, so lexicographic order is append order.
+//
+// Torn-tail rule (the heart of crash recovery, DESIGN.md §10): a crash can
+// leave a partially written frame — or nothing but garbage from a dropped
+// write — at the *physical end* of the segment that was current. Parsing
+// therefore treats an invalid frame as a clean end of the segment iff no
+// syntactically complete, CRC-valid frame exists anywhere after it
+// (ParsedSegment::torn_tail); if one does, bytes in the *middle* of the
+// durable log were damaged and the segment is reported as
+// Status::Corruption. Lost acknowledged records cannot hide behind this
+// rule: recovery (broker/durable.cc) additionally enforces registration-
+// sequence continuity across segments, so a tail truncation that swallowed
+// records followed by surviving later ones still surfaces as corruption.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "wal/record.h"
+
+namespace ctdb::wal {
+
+/// Segment file magic (also the format version).
+inline constexpr std::string_view kSegmentMagic = "CTDBWAL1";
+
+/// "wal-000000000042.log" for index 42.
+std::string SegmentFileName(uint64_t index);
+
+/// Parses a SegmentFileName; false for any other name.
+bool ParseSegmentFileName(std::string_view name, uint64_t* index);
+
+/// The readable content of one segment.
+struct ParsedSegment {
+  std::vector<Record> records;
+  /// Bytes covered by the magic plus the valid frames (the offset a torn
+  /// tail would be truncated at).
+  size_t valid_bytes = 0;
+  /// True when parsing stopped at a torn/corrupt tail (invalid bytes with
+  /// no valid frame after them) instead of the exact end of the data.
+  bool torn_tail = false;
+};
+
+/// \brief Parses segment bytes according to the torn-tail rule.
+///
+/// Returns Corruption when the magic is damaged (on data of at least magic
+/// size) or when an invalid frame is followed by a valid one. Data shorter
+/// than the magic — including an empty file, a crash between segment
+/// creation and the magic write — parses as an empty segment with
+/// torn_tail set when nonempty.
+Status ParseSegment(std::string_view data, ParsedSegment* out);
+
+}  // namespace ctdb::wal

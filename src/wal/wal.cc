@@ -1,0 +1,17 @@
+#include "wal/wal.h"
+
+namespace ctdb::wal {
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kGroup:
+      return "group";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "unknown";
+}
+
+}  // namespace ctdb::wal

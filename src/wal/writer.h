@@ -1,0 +1,150 @@
+// The group-commit log writer: a dedicated background thread that batches
+// concurrently enqueued records into one write+fsync per group.
+//
+// Callers enqueue framed records with AppendAsync and block on the returned
+// future; the writer thread collects everything queued (waiting up to
+// DurabilityOptions::group_commit_window under FsyncPolicy::kGroup), writes
+// the group with a single `write`, makes it durable per the fsync policy,
+// and only then fulfils the futures — so an acknowledged append is durable
+// by construction. Rotation to a new segment happens on the writer thread,
+// either when the current segment exceeds segment_bytes or on an explicit
+// RotateSegment request (the checkpointer uses this to seal the log below a
+// checkpoint so covered segments become deletable).
+//
+// Ordering contract: records are written in enqueue order. The owner
+// (broker::DurableDatabase) enqueues registration records while holding its
+// append mutex, so on-disk order equals registration-sequence order — which
+// recovery then verifies.
+//
+// I/O errors are sticky: the first failed write/fsync fails its whole group
+// and every later append, so a caller can never get an Ok for a record
+// behind a hole in the log.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/result.h"
+#include "wal/record.h"
+#include "wal/wal.h"
+
+namespace ctdb::wal {
+
+/// \brief Appends records to segment files with group commit.
+class LogWriter {
+ public:
+  /// A sealed (no longer written) segment, remembered for checkpoint
+  /// truncation.
+  struct SegmentInfo {
+    uint64_t index = 0;
+    /// Highest kRegister sequence the segment holds (0 = none).
+    uint64_t max_register_sequence = 0;
+    uint64_t bytes = 0;
+  };
+
+  /// Creates the writer and its first segment file
+  /// `dir/SegmentFileName(next_segment_index)`. `recovered_segments`
+  /// carries the sealed segments recovery found on disk so they remain
+  /// candidates for checkpoint truncation. The writer never appends to a
+  /// pre-existing segment — a recovered torn tail stays untouched on disk
+  /// and unreferenced by the record sequence.
+  static Result<std::unique_ptr<LogWriter>> Open(
+      std::string dir, uint64_t next_segment_index,
+      const DurabilityOptions& options,
+      std::vector<SegmentInfo> recovered_segments = {});
+
+  ~LogWriter();
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Enqueues `record`; the future resolves once the record is durable per
+  /// the fsync policy (for kNever: written to the OS).
+  std::future<Status> AppendAsync(const Record& record);
+
+  /// AppendAsync + wait.
+  Status Append(const Record& record);
+
+  /// Seals the current segment and starts a new one; returns once every
+  /// previously enqueued record is flushed and the new segment exists.
+  Status RotateSegment();
+
+  /// Drains the queue, seals the current segment and stops the writer
+  /// thread. Further appends fail. Idempotent; also run by the destructor.
+  Status Close();
+
+  /// Deletes every sealed segment whose records all have register sequence
+  /// <= `sequence` (they are covered by a checkpoint). Never touches the
+  /// open segment.
+  Status DeleteSegmentsCoveredBy(uint64_t sequence);
+
+  /// Log bytes appended since the last ResetBytesSinceCheckpoint (drives
+  /// automatic checkpoint scheduling).
+  uint64_t bytes_since_checkpoint() const {
+    return bytes_since_checkpoint_.load(std::memory_order_relaxed);
+  }
+  void ResetBytesSinceCheckpoint() {
+    bytes_since_checkpoint_.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t current_segment_index() const {
+    return current_segment_index_.load(std::memory_order_relaxed);
+  }
+
+  std::vector<SegmentInfo> SealedSegments() const;
+
+ private:
+  LogWriter(std::string dir, const DurabilityOptions& options,
+            std::vector<SegmentInfo> recovered_segments);
+
+  struct Pending {
+    std::string frame;              ///< empty for rotate requests
+    uint64_t register_sequence = 0; ///< 0 when not a kRegister record
+    bool rotate = false;
+    std::promise<Status> done;
+  };
+
+  void WriterLoop();
+  /// Writes+syncs the accumulated frames of `batch[first..last)` as one
+  /// group and fulfils their promises.
+  void CommitGroup(std::vector<Pending>* batch, size_t first, size_t last);
+  /// Seals the current segment (fsync unless kNever) and opens the next.
+  Status RotateLocked();
+  Status OpenSegment(uint64_t index);
+  Status CloseSegmentFile();
+  bool ShouldSync() const {
+    return options_.fsync_policy != FsyncPolicy::kNever;
+  }
+
+  const std::string dir_;
+  const DurabilityOptions options_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::vector<Pending> queue_;
+  bool stop_ = false;
+  Status sticky_error_;  ///< guarded by queue_mutex_; first I/O failure
+
+  // Writer-thread-only state.
+  int fd_ = -1;
+  uint64_t segment_bytes_written_ = 0;
+  uint64_t segment_max_register_sequence_ = 0;
+
+  std::atomic<uint64_t> current_segment_index_{0};
+  std::atomic<uint64_t> bytes_since_checkpoint_{0};
+
+  mutable std::mutex segments_mutex_;
+  std::vector<SegmentInfo> sealed_segments_;
+
+  std::thread thread_;
+  bool closed_ = false;  ///< guarded by queue_mutex_
+};
+
+}  // namespace ctdb::wal

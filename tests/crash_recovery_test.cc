@@ -1,0 +1,253 @@
+// Crash-recovery property test: kill the process at EVERY injected crash
+// point (for real, with fork + _exit — no destructors, no flushes) while it
+// registers contracts and checkpoints, then recover the WAL directory and
+// check the acceptance property from DESIGN.md §10:
+//
+//   * recovery always succeeds (a clean kill can only tear the tail),
+//   * every ACKNOWLEDGED registration is present (at most the unacked tail
+//     is lost),
+//   * the recovered contract set is a prefix of the intended one, and
+//   * query results match a serial in-memory oracle over that prefix.
+//
+// The schedule is discovered, not hard-coded: a first in-process run records
+// the crash-point trace, then one forked child per position k is killed at
+// exactly the k-th hit.
+//
+// (The suite name deliberately avoids the "Wal"/"Database" substrings so
+// CI's TSan shard — which can't follow fork() — does not pick it up.)
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "broker/database.h"
+#include "broker/durable.h"
+#include "broker/persistence.h"
+#include "testing/crash.h"
+#include "testing/temp_dir.h"
+#include "util/file_util.h"
+#include "wal/wal.h"
+
+namespace ctdb {
+namespace {
+
+constexpr int kContracts = 6;
+constexpr int kCheckpointAfter = 3;  ///< run a checkpoint after this many
+
+std::string NthName(int i) { return "crash-contract-" + std::to_string(i); }
+std::string NthLtl(int i) {
+  switch (i % 3) {
+    case 0: return "F pay";
+    case 1: return "G(request -> F grant)";
+    default: return "pay U deliver";
+  }
+}
+
+const std::vector<std::string>& OracleQueries() {
+  static const std::vector<std::string> queries = {
+      "F pay", "G(request -> F grant)", "pay U deliver", "F deliver"};
+  return queries;
+}
+
+/// The workload under test: sequential registrations with an ack file
+/// appended after each Ok, and one checkpoint in the middle. Returns false
+/// on any unexpected (non-crash) failure.
+bool RunScenario(const std::string& dir) {
+  wal::DurabilityOptions options;
+  // kAlways makes the crash-point schedule deterministic: every Register is
+  // its own write+fsync group, so run k of the sweep kills at the same
+  // logical instant the enumeration run observed.
+  options.fsync_policy = wal::FsyncPolicy::kAlways;
+  auto db = broker::DurableDatabase::Open(dir + "/wal", options);
+  if (!db.ok()) return false;
+  const int ack_fd = ::open((dir + "/acks").c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (ack_fd < 0) return false;
+  bool ok = true;
+  for (int i = 0; i < kContracts && ok; ++i) {
+    auto id = (*db)->Register(NthName(i), NthLtl(i));
+    if (!id.ok()) {
+      ok = false;
+      break;
+    }
+    const std::string line = std::to_string(i) + "\n";
+    if (::write(ack_fd, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size())) {
+      ok = false;
+      break;
+    }
+    if (i + 1 == kCheckpointAfter && !(*db)->Checkpoint().ok()) ok = false;
+  }
+  ::close(ack_fd);
+  if (ok && !(*db)->Close().ok()) ok = false;
+  return ok;
+}
+
+/// Number of acknowledged registrations the (possibly killed) scenario run
+/// managed to record.
+size_t CountAcks(const std::string& dir) {
+  auto data = util::ReadFileToString(dir + "/acks");
+  if (!data.ok()) return 0;
+  size_t lines = 0;
+  for (char c : *data) lines += c == '\n';
+  return lines;
+}
+
+/// Checks the recovered database against a serial in-memory oracle holding
+/// the same prefix of the intended registrations.
+void VerifyAgainstOracle(const broker::ContractDatabase& recovered) {
+  const size_t n = recovered.size();
+  ASSERT_LE(n, static_cast<size_t>(kContracts));
+  broker::ContractDatabase oracle;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(oracle.Register(NthName(static_cast<int>(i)),
+                                NthLtl(static_cast<int>(i)))
+                    .ok());
+    EXPECT_EQ(recovered.contract(static_cast<uint32_t>(i)).name,
+              NthName(static_cast<int>(i)))
+        << "recovered set is not a prefix";
+    EXPECT_EQ(recovered.contract(static_cast<uint32_t>(i)).ltl_text,
+              NthLtl(static_cast<int>(i)));
+  }
+  for (const std::string& query : OracleQueries()) {
+    auto got = recovered.Query(query);
+    auto want = oracle.Query(query);
+    // A query citing an event no recovered contract has interned yet fails
+    // with NotFound on BOTH sides — outcome parity is part of the property.
+    ASSERT_EQ(got.ok(), want.ok())
+        << "query '" << query << "': recovered " << got.status().ToString()
+        << " vs oracle " << want.status().ToString();
+    if (got.ok()) {
+      EXPECT_EQ(got->matches, want->matches) << "query: " << query;
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, EnumerationRunHitsCrashPoints) {
+  testing::TempDir dir("crashenum");
+  std::vector<std::string> sites;
+  testing::RecordCrashPoints(&sites);
+  const bool ok = RunScenario(dir.path());
+  testing::StopCrashPoints();
+  ASSERT_TRUE(ok);
+  // The scenario must exercise the interesting sites; if someone renames or
+  // drops one, this test points straight at the schedule change.
+  const std::vector<std::string> expected = {
+      "wal.segment.after_open",     "wal.writer.after_write",
+      "wal.writer.after_fsync",     "wal.writer.before_ack",
+      "file.atomic.after_tmp",      "file.atomic.after_rename",
+      "wal.checkpoint.after_publish", "wal.checkpoint.after_record",
+      "wal.gc.after_delete",
+  };
+  for (const std::string& site : expected) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
+        << "scenario never reached crash point " << site;
+  }
+}
+
+TEST(CrashRecoveryTest, KillAtEveryCrashPointLosesOnlyUnackedTail) {
+  // Discover the schedule length with an in-process run.
+  size_t schedule = 0;
+  {
+    testing::TempDir dir("crashenum");
+    std::vector<std::string> sites;
+    testing::RecordCrashPoints(&sites);
+    ASSERT_TRUE(RunScenario(dir.path()));
+    testing::StopCrashPoints();
+    schedule = sites.size();
+  }
+  ASSERT_GT(schedule, 0u);
+
+  // Kill at hit k for every k, plus one run past the end (clean exit).
+  for (size_t k = 1; k <= schedule + 1; ++k) {
+    testing::TempDir dir("crashkill");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: arm the k-th overall hit, run, and report. _exit always —
+      // never return into gtest from the forked child.
+      testing::ArmCrashPoint("", k);
+      const bool ok = RunScenario(dir.path());
+      testing::StopCrashPoints();
+      ::_exit(ok ? 0 : 7);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus)) << "child died abnormally at k=" << k;
+    const int code = WEXITSTATUS(wstatus);
+    ASSERT_TRUE(code == 0 || code == testing::kCrashExitCode)
+        << "child failed (exit " << code << ") at k=" << k;
+    if (k <= schedule) {
+      EXPECT_EQ(code, testing::kCrashExitCode)
+          << "crash point " << k << " not reached on the child's run";
+    } else {
+      EXPECT_EQ(code, 0) << "clean run past the schedule still crashed";
+    }
+
+    const size_t acked = CountAcks(dir.path());
+    broker::RecoveryStats stats;
+    auto recovered = broker::RecoverDatabase(dir.path() + "/wal", {}, &stats);
+    ASSERT_TRUE(recovered.ok())
+        << "recovery failed at k=" << k << ": "
+        << recovered.status().ToString();
+    EXPECT_GE((*recovered)->size(), acked)
+        << "lost an acknowledged registration at k=" << k;
+    if (code == 0) {
+      EXPECT_EQ((*recovered)->size(), static_cast<size_t>(kContracts));
+    }
+    VerifyAgainstOracle(**recovered);
+
+    // And the directory is reusable: a fresh writer continues the log.
+    auto reopened = broker::DurableDatabase::Open(dir.path() + "/wal");
+    ASSERT_TRUE(reopened.ok())
+        << "reopen failed at k=" << k << ": " << reopened.status().ToString();
+    auto id = (*reopened)->Register("post-crash", "F pay");
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_TRUE((*reopened)->Close().ok());
+  }
+}
+
+TEST(CrashRecoveryTest, KillInsideAtomicSaveKeepsPreviousImage) {
+  // Satellite check for SaveDatabaseToFile: a kill inside the temp-write /
+  // rename dance never leaves a damaged image where a good one stood.
+  testing::TempDir dir("crashsave");
+  const std::string path = dir.file("image.ctdb");
+  {
+    broker::ContractDatabase db;
+    ASSERT_TRUE(db.Register("first", "F pay").ok());
+    ASSERT_TRUE(broker::SaveDatabaseToFile(db, path).ok());
+  }
+  for (const char* site : {"file.atomic.after_tmp", "file.atomic.after_rename"}) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      testing::ArmCrashPoint(site, 1);
+      broker::ContractDatabase db;
+      if (!db.Register("first", "F pay").ok() ||
+          !db.Register("second", "G(request -> F grant)").ok()) {
+        ::_exit(7);
+      }
+      (void)broker::SaveDatabaseToFile(db, path);
+      ::_exit(0);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    ASSERT_EQ(WEXITSTATUS(wstatus), testing::kCrashExitCode) << site;
+    // Whatever instant the kill hit, the path holds a complete image: the
+    // old one (crash before rename) or the new one (crash after).
+    auto loaded = broker::LoadDatabaseFromFile(path);
+    ASSERT_TRUE(loaded.ok()) << site << ": " << loaded.status().ToString();
+    EXPECT_TRUE((*loaded)->size() == 1u || (*loaded)->size() == 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ctdb

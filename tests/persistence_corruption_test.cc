@@ -8,10 +8,16 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "automata/serialize.h"
+#include "broker/durable.h"
 #include "broker/persistence.h"
+#include "testing/temp_dir.h"
 #include "testing/universe.h"
+#include "util/file_util.h"
+#include "wal/segment.h"
+#include "wal/wal.h"
 
 namespace ctdb::testing {
 namespace {
@@ -98,6 +104,102 @@ TEST(PersistenceCorruptionTest, SerializedAutomatonBitFlipsNeverCrash) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// WAL segment corruption: same contract as above, for the durability layer.
+// Every injected corruption must end in either a successful recovery whose
+// contract set is a PREFIX of what was written (tail truncation) or a clean
+// Status::Corruption — never a crash, never silently altered contracts.
+
+constexpr int kWalContracts = 5;
+
+std::string WalContractName(int i) { return "wal-c" + std::to_string(i); }
+std::string WalContractLtl(int i) {
+  return i % 2 == 0 ? "F pay" : "G(request -> F grant)";
+}
+
+/// Bytes of a single-segment WAL holding kWalContracts registrations.
+const std::string& WalSegmentImage() {
+  static const std::string image = [] {
+    TempDir dir("walimage");
+    wal::DurabilityOptions options;
+    options.fsync_policy = wal::FsyncPolicy::kNever;
+    auto db = broker::DurableDatabase::Open(dir.path(), options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    for (int i = 0; i < kWalContracts; ++i) {
+      auto id = (*db)->Register(WalContractName(i), WalContractLtl(i));
+      EXPECT_TRUE(id.ok()) << id.status().ToString();
+    }
+    EXPECT_TRUE((*db)->Close().ok());
+    auto data = util::ReadFileToString(dir.file(wal::SegmentFileName(1)));
+    EXPECT_TRUE(data.ok()) << data.status().ToString();
+    return data.ok() ? *data : std::string();
+  }();
+  return image;
+}
+
+/// Writes `image` as the only segment of a fresh WAL dir, recovers it, and
+/// enforces the prefix-or-Corruption contract.
+void CheckWalImage(const std::string& image, const std::string& what) {
+  TempDir dir("walcorrupt");
+  ASSERT_TRUE(
+      util::WriteFileAtomic(dir.file(wal::SegmentFileName(1)), image).ok());
+  broker::RecoveryStats stats;
+  auto db = broker::RecoverDatabase(dir.path(), {}, &stats);
+  if (!db.ok()) {
+    EXPECT_TRUE(db.status().IsCorruption())
+        << what << ": unexpected error class " << db.status().ToString();
+    return;
+  }
+  ASSERT_LE((*db)->size(), static_cast<size_t>(kWalContracts)) << what;
+  for (size_t i = 0; i < (*db)->size(); ++i) {
+    ASSERT_EQ((*db)->contract(static_cast<uint32_t>(i)).name,
+              WalContractName(static_cast<int>(i)))
+        << what << ": recovered a non-prefix contract set";
+    ASSERT_EQ((*db)->contract(static_cast<uint32_t>(i)).ltl_text,
+              WalContractLtl(static_cast<int>(i)))
+        << what << ": recovered altered contract text";
+  }
+}
+
+TEST(PersistenceCorruptionTest, WalSegmentCleanImageRecoversEverything) {
+  const std::string& image = WalSegmentImage();
+  ASSERT_FALSE(image.empty());
+  TempDir dir("walclean");
+  ASSERT_TRUE(
+      util::WriteFileAtomic(dir.file(wal::SegmentFileName(1)), image).ok());
+  auto db = broker::RecoverDatabase(dir.path());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->size(), static_cast<size_t>(kWalContracts));
+}
+
+TEST(PersistenceCorruptionTest, WalSegmentBitFlipsRecoverPrefixOrReject) {
+  const std::string& image = WalSegmentImage();
+  ASSERT_FALSE(image.empty());
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::string corrupted = image;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ (1u << (i % 8)));
+    CheckWalImage(corrupted, "bit flip in byte " + std::to_string(i));
+  }
+}
+
+TEST(PersistenceCorruptionTest, WalSegmentTruncationsRecoverPrefix) {
+  const std::string& image = WalSegmentImage();
+  ASSERT_FALSE(image.empty());
+  for (size_t len = 0; len <= image.size(); len += 3) {
+    CheckWalImage(image.substr(0, len),
+                  "truncation to " + std::to_string(len) + " bytes");
+  }
+}
+
+TEST(PersistenceCorruptionTest, WalSegmentGarbageTailRecoversEverything) {
+  const std::string& image = WalSegmentImage();
+  ASSERT_FALSE(image.empty());
+  std::string garbage = "trailing garbage after a crash";
+  garbage += '\0';
+  garbage += "\x13\x37";
+  CheckWalImage(image + garbage, "garbage tail");
 }
 
 TEST(PersistenceCorruptionTest, HugeDeclaredStateCountIsRejected) {

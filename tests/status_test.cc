@@ -27,6 +27,8 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_EQ(Status::Corruption("bad crc").ToString(), "Corruption: bad crc");
 }
 
 TEST(StatusTest, Equality) {

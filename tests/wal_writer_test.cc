@@ -1,0 +1,256 @@
+// Tests for the group-commit log writer: durability of acknowledged
+// appends, ordering, rotation (by size and on request), every fsync policy,
+// concurrent appenders sharing groups, and checkpoint-driven segment
+// deletion. Runs under TSan in CI (the `Wal` filter) — the concurrency
+// tests here are the data-race canary for the writer thread.
+
+#include "wal/writer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "testing/temp_dir.h"
+#include "util/file_util.h"
+#include "wal/record.h"
+#include "wal/segment.h"
+#include "wal/wal.h"
+
+namespace ctdb::wal {
+namespace {
+
+using ::ctdb::testing::TempDir;
+
+/// Reads and parses every segment in `dir` in index order, concatenating
+/// their records.
+std::vector<Record> ReadLog(const std::string& dir) {
+  auto names = util::ListDir(dir);
+  EXPECT_TRUE(names.ok()) << names.status().ToString();
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : *names) {
+    uint64_t index = 0;
+    if (ParseSegmentFileName(name, &index)) segments.emplace_back(index, name);
+  }
+  std::sort(segments.begin(), segments.end());
+  std::vector<Record> records;
+  for (const auto& [index, name] : segments) {
+    auto data = util::ReadFileToString(dir + "/" + name);
+    EXPECT_TRUE(data.ok()) << data.status().ToString();
+    ParsedSegment parsed;
+    const Status status = ParseSegment(*data, &parsed);
+    EXPECT_TRUE(status.ok()) << name << ": " << status.ToString();
+    records.insert(records.end(), parsed.records.begin(),
+                   parsed.records.end());
+  }
+  return records;
+}
+
+DurabilityOptions FastOptions(FsyncPolicy policy) {
+  DurabilityOptions options;
+  options.fsync_policy = policy;
+  options.group_commit_window = std::chrono::microseconds(100);
+  return options;
+}
+
+TEST(WalWriterTest, AppendReadBackRoundTrip) {
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kAlways, FsyncPolicy::kGroup, FsyncPolicy::kNever}) {
+    TempDir dir("walwriter");
+    auto writer = LogWriter::Open(dir.path(), 1, FastOptions(policy));
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    std::vector<Record> written;
+    for (uint64_t seq = 1; seq <= 20; ++seq) {
+      written.push_back(
+          Record::Register(seq, "c" + std::to_string(seq), "F p"));
+      ASSERT_TRUE((*writer)->Append(written.back()).ok())
+          << FsyncPolicyName(policy);
+    }
+    ASSERT_TRUE((*writer)->Close().ok());
+    EXPECT_EQ(ReadLog(dir.path()), written) << FsyncPolicyName(policy);
+  }
+}
+
+TEST(WalWriterTest, AcknowledgedAppendIsOnDiskBeforeClose) {
+  // Durability must not depend on Close: once Append returns Ok the record
+  // parses out of the segment file even while the writer is still open.
+  TempDir dir("walwriter");
+  auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kAlways));
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  const Record record = Record::Register(1, "c", "F p");
+  ASSERT_TRUE((*writer)->Append(record).ok());
+  const std::vector<Record> on_disk = ReadLog(dir.path());
+  ASSERT_EQ(on_disk.size(), 1u);
+  EXPECT_EQ(on_disk[0], record);
+}
+
+TEST(WalWriterTest, ConcurrentAppendersAllDurableInSequenceOrder) {
+  TempDir dir("walwriter");
+  auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kGroup));
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  // Mimic the broker: a shared counter assigns sequences and the enqueue
+  // happens in sequence order (the broker holds its append mutex across
+  // apply+enqueue; here the atomic fetch_add inside AppendAsync's caller
+  // loop is raced, so we only check the SET, not the order).
+  std::atomic<uint64_t> next{1};
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t seq = next.fetch_add(1);
+        const Status status = (*writer)->Append(
+            Record::Register(seq, "c" + std::to_string(seq), "F p"));
+        if (!status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  std::vector<Record> records = ReadLog(dir.path());
+  ASSERT_EQ(records.size(), static_cast<size_t>(kThreads * kPerThread));
+  std::vector<bool> seen(kThreads * kPerThread + 1, false);
+  for (const Record& r : records) {
+    ASSERT_GE(r.sequence, 1u);
+    ASSERT_LE(r.sequence, static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_FALSE(seen[r.sequence]) << "sequence " << r.sequence << " twice";
+    seen[r.sequence] = true;
+  }
+}
+
+TEST(WalWriterTest, RotatesWhenSegmentExceedsSizeThreshold) {
+  TempDir dir("walwriter");
+  DurabilityOptions options = FastOptions(FsyncPolicy::kNever);
+  options.segment_bytes = 256;
+  auto writer = LogWriter::Open(dir.path(), 1, options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  std::vector<Record> written;
+  for (uint64_t seq = 1; seq <= 40; ++seq) {
+    written.push_back(Record::Register(seq, "contract-" + std::to_string(seq),
+                                       "G(p -> F q)"));
+    ASSERT_TRUE((*writer)->Append(written.back()).ok());
+  }
+  EXPECT_GT((*writer)->current_segment_index(), 1u);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto names = util::ListDir(dir.path());
+  ASSERT_TRUE(names.ok());
+  size_t segment_files = 0;
+  for (const std::string& name : *names) {
+    uint64_t index = 0;
+    if (ParseSegmentFileName(name, &index)) ++segment_files;
+  }
+  EXPECT_GT(segment_files, 1u);
+  // Rotation must not lose or reorder anything.
+  EXPECT_EQ(ReadLog(dir.path()), written);
+}
+
+TEST(WalWriterTest, ExplicitRotationSealsSegment) {
+  TempDir dir("walwriter");
+  auto writer = LogWriter::Open(dir.path(), 5, FastOptions(FsyncPolicy::kNever));
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Append(Record::Register(1, "a", "F p")).ok());
+  EXPECT_EQ((*writer)->current_segment_index(), 5u);
+  ASSERT_TRUE((*writer)->RotateSegment().ok());
+  EXPECT_EQ((*writer)->current_segment_index(), 6u);
+
+  const auto sealed = (*writer)->SealedSegments();
+  ASSERT_EQ(sealed.size(), 1u);
+  EXPECT_EQ(sealed[0].index, 5u);
+  EXPECT_EQ(sealed[0].max_register_sequence, 1u);
+
+  ASSERT_TRUE((*writer)->Append(Record::Register(2, "b", "F q")).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  const std::vector<Record> records = ReadLog(dir.path());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].sequence, 1u);
+  EXPECT_EQ(records[1].sequence, 2u);
+}
+
+TEST(WalWriterTest, DeleteSegmentsCoveredByRemovesOnlyCoveredFiles) {
+  TempDir dir("walwriter");
+  auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kNever));
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Append(Record::Register(1, "a", "F p")).ok());
+  ASSERT_TRUE((*writer)->Append(Record::Register(2, "b", "F q")).ok());
+  ASSERT_TRUE((*writer)->RotateSegment().ok());
+  ASSERT_TRUE((*writer)->Append(Record::Register(3, "c", "F r")).ok());
+  ASSERT_TRUE((*writer)->RotateSegment().ok());
+
+  // Covered by sequence 2: segment 1 (max seq 2) but not segment 2 (seq 3).
+  ASSERT_TRUE((*writer)->DeleteSegmentsCoveredBy(2).ok());
+  auto gone = util::ReadFileToString(dir.file(SegmentFileName(1)));
+  EXPECT_TRUE(gone.status().IsNotFound());
+  auto kept = util::ReadFileToString(dir.file(SegmentFileName(2)));
+  EXPECT_TRUE(kept.ok());
+
+  ASSERT_TRUE((*writer)->Close().ok());
+  const std::vector<Record> records = ReadLog(dir.path());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, 3u);
+}
+
+TEST(WalWriterTest, AppendAfterCloseFails) {
+  TempDir dir("walwriter");
+  auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kNever));
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_FALSE((*writer)->Append(Record::Register(1, "a", "F p")).ok());
+  EXPECT_FALSE((*writer)->RotateSegment().ok());
+  // Close is idempotent.
+  EXPECT_TRUE((*writer)->Close().ok());
+}
+
+TEST(WalWriterTest, RefusesToClobberExistingSegment) {
+  TempDir dir("walwriter");
+  ASSERT_TRUE(util::WriteFileAtomic(dir.file(SegmentFileName(1)), "junk").ok());
+  auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kNever));
+  EXPECT_FALSE(writer.ok());
+  // The pre-existing file is untouched.
+  auto data = util::ReadFileToString(dir.file(SegmentFileName(1)));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "junk");
+}
+
+TEST(WalWriterTest, TracksBytesSinceCheckpoint) {
+  TempDir dir("walwriter");
+  auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kNever));
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_EQ((*writer)->bytes_since_checkpoint(), 0u);
+  ASSERT_TRUE((*writer)->Append(Record::Register(1, "a", "F p")).ok());
+  EXPECT_GT((*writer)->bytes_since_checkpoint(), 0u);
+  (*writer)->ResetBytesSinceCheckpoint();
+  EXPECT_EQ((*writer)->bytes_since_checkpoint(), 0u);
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST(WalWriterTest, AsyncAppendsShareOneGroup) {
+  // Enqueue a burst without waiting, then wait for all: with a group window
+  // the batch should land in far fewer groups than records (not asserted on
+  // a metric — just that every future resolves Ok and the log is complete).
+  TempDir dir("walwriter");
+  auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kGroup));
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  std::vector<std::future<Status>> futures;
+  futures.reserve(100);
+  for (uint64_t seq = 1; seq <= 100; ++seq) {
+    futures.push_back((*writer)->AppendAsync(
+        Record::Register(seq, "c" + std::to_string(seq), "F p")));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_EQ(ReadLog(dir.path()).size(), 100u);
+}
+
+}  // namespace
+}  // namespace ctdb::wal

@@ -1,0 +1,70 @@
+// libFuzzer harness for the WAL segment reader and record codec.
+//
+// Feeds arbitrary bytes to wal::ParseSegment. The reader must terminate
+// with OK (possibly torn-tail-truncated) or Status::Corruption — never
+// crash, overread, or allocate unboundedly (the kMaxRecordBytes cap is what
+// keeps a hostile length prefix from turning into a giant allocation).
+// Every record the reader accepts must re-encode and re-decode to itself
+// (frame-level fixed point), and the declared valid_bytes prefix must
+// reparse to exactly the same record list with no torn tail.
+//
+// Built with -fsanitize=fuzzer under Clang; elsewhere fuzz_driver_main.cc
+// supplies a standalone corpus-replay main with the same CLI shape.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "wal/record.h"
+#include "wal/segment.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace ctdb;
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  wal::ParsedSegment parsed;
+  const Status status = wal::ParseSegment(bytes, &parsed);
+  if (!status.ok()) {
+    if (!status.IsCorruption()) {
+      std::fprintf(stderr, "non-Corruption rejection: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    return 0;  // rejected cleanly — fine
+  }
+
+  if (parsed.valid_bytes > size) {
+    std::fprintf(stderr, "valid_bytes %zu exceeds input size %zu\n",
+                 parsed.valid_bytes, size);
+    std::abort();
+  }
+
+  // Accepted records must round-trip through the codec.
+  for (const wal::Record& record : parsed.records) {
+    const std::string frame = wal::EncodeFrame(record);
+    size_t offset = 0;
+    wal::Record again;
+    const Status decode = wal::DecodeFrame(frame, &offset, &again);
+    if (!decode.ok() || offset != frame.size() || !(again == record)) {
+      std::fprintf(stderr, "accepted record does not round-trip: %s\n",
+                   decode.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  // The valid prefix is self-consistent: reparsing it yields the same
+  // records and no torn tail.
+  wal::ParsedSegment prefix;
+  const Status again =
+      wal::ParseSegment(bytes.substr(0, parsed.valid_bytes), &prefix);
+  if (!again.ok() || prefix.torn_tail ||
+      !(prefix.records == parsed.records) ||
+      prefix.valid_bytes != parsed.valid_bytes) {
+    std::fprintf(stderr, "valid_bytes prefix is not a fixed point: %s\n",
+                 again.ToString().c_str());
+    std::abort();
+  }
+  return 0;
+}
