@@ -21,6 +21,22 @@ double Scale() {
   return parsed;
 }
 
+uint64_t DefaultSeed() {
+  static const uint64_t seed = [] {
+    uint64_t value = 0xC7DB;
+    const char* env = std::getenv("CTDB_BENCH_SEED");
+    if (env != nullptr && env[0] != '\0') {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 0);
+      if (end != env && *end == '\0' && parsed != 0) value = parsed;
+    }
+    std::fprintf(stderr, "bench dataset seed: 0x%llx\n",
+                 static_cast<unsigned long long>(value));
+    return value;
+  }();
+  return seed;
+}
+
 QuerySet GenerateQueries(broker::ContractDatabase* db, const char* level,
                          size_t patterns, size_t count, uint64_t seed) {
   QuerySet set;
@@ -39,6 +55,7 @@ QuerySet GenerateQueries(broker::ContractDatabase* db, const char* level,
 Universe BuildUniverse(size_t contracts, size_t contract_patterns,
                        size_t queries_per_level,
                        const broker::DatabaseOptions& options, uint64_t seed) {
+  if (seed == 0) seed = DefaultSeed();
   Universe u;
   Timer timer;
 

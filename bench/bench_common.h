@@ -22,6 +22,13 @@ namespace ctdb::bench {
 double Scale();
 inline constexpr double kDefaultScale = 0.05;
 
+/// The pinned dataset seed shared by every bench binary: CTDB_BENCH_SEED
+/// when set (decimal or 0x-prefixed hex, strtoull base 0), else 0xC7DB.
+/// Printed to stderr once per process, so any recorded run documents the
+/// dataset it measured — recorded numbers are only comparable across runs
+/// that print the same seed.
+uint64_t DefaultSeed();
+
 /// A query workload: LTL text plus the complexity level it was drawn from.
 struct QuerySet {
   std::string level;             ///< "simple" / "medium" / "complex"
@@ -38,11 +45,13 @@ struct Universe {
 };
 
 /// Builds a universe with `contracts` contracts of `patterns` clauses each
-/// and `queries_per_level` queries per complexity level.
+/// and `queries_per_level` queries per complexity level. Seed 0 (the
+/// default) means DefaultSeed() — pass an explicit nonzero seed only when a
+/// bench deliberately measures a different dataset.
 Universe BuildUniverse(size_t contracts, size_t contract_patterns,
                        size_t queries_per_level,
                        const broker::DatabaseOptions& options = {},
-                       uint64_t seed = 0xC7DB);
+                       uint64_t seed = 0);
 
 /// Generates query texts only (against an existing database's vocabulary).
 QuerySet GenerateQueries(broker::ContractDatabase* db, const char* level,

@@ -4,9 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "bench_common.h"
 #include "core/permission.h"
 #include "ltl/parser.h"
+#include "translate/cache.h"
 #include "translate/ltl_to_ba.h"
 #include "workload/generator.h"
 
@@ -116,5 +122,78 @@ BENCHMARK(BM_Ticket_Scc);
 BENCHMARK(BM_Generated_NestedDfs_Seeds);
 BENCHMARK(BM_Generated_NestedDfs_NoSeeds);
 BENCHMARK(BM_Generated_Scc);
+
+// The SCC checker's eager (full product + classify) vs. lazy (on-the-fly,
+// stop at the first accepting SCC) construction. The ticket fixture permits
+// its query, so the early exit skips the unexplored product remainder.
+void BM_Ticket_Scc_Eager(benchmark::State& state) {
+  Fixture* fixture = TicketFixture();
+  core::PermissionOptions options;
+  options.algorithm = core::PermissionAlgorithm::kScc;
+  options.early_exit = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Permits(fixture->contract,
+                                           fixture->contract_events,
+                                           fixture->query, options));
+  }
+}
+BENCHMARK(BM_Ticket_Scc_Eager);
+
+/// One end-to-end universe per translation-cache capacity: the
+/// repeated-query workload below cycles a fixed query set against it, the
+/// regime the cache is built for (same structures queried again and again).
+bench::Universe* CacheUniverse(size_t capacity) {
+  static auto* universes = new std::map<size_t, bench::Universe*>();
+  auto it = universes->find(capacity);
+  if (it == universes->end()) {
+    const double scale = bench::Scale();
+    broker::DatabaseOptions options;
+    options.translation_cache_capacity = capacity;
+    const size_t contracts =
+        std::max<size_t>(16, static_cast<size_t>(200 * scale));
+    const size_t queries =
+        std::max<size_t>(4, static_cast<size_t>(40 * scale));
+    it = universes
+             ->emplace(capacity, new bench::Universe(bench::BuildUniverse(
+                                     contracts, 3, queries, options)))
+             .first;
+  }
+  return it->second;
+}
+
+/// Repeated-query throughput through the whole broker read path
+/// (translate → prefilter → permission). CacheOn vs CacheOff isolates the
+/// translation cache: identical dataset, queries and checker, only
+/// DatabaseOptions::translation_cache_capacity differs. CI's perf-smoke job
+/// gates on the CacheOff/CacheOn time ratio and on cache_hit_rate > 0.
+void RunRepeatedQueries(benchmark::State& state, size_t capacity) {
+  bench::Universe* universe = CacheUniverse(capacity);
+  std::vector<std::string> queries;
+  for (const bench::QuerySet& set : universe->query_sets) {
+    queries.insert(queries.end(), set.queries.begin(), set.queries.end());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = universe->db->Query(queries[i % queries.size()]);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const translate::TranslationCacheStats stats =
+      universe->db->TranslationCacheStats();
+  const double probes = static_cast<double>(stats.hits + stats.misses);
+  state.counters["cache_hit_rate"] =
+      probes > 0 ? static_cast<double>(stats.hits) / probes : 0.0;
+}
+
+void BM_RepeatedQuery_CacheOn(benchmark::State& state) {
+  RunRepeatedQueries(state, 256);
+}
+void BM_RepeatedQuery_CacheOff(benchmark::State& state) {
+  RunRepeatedQueries(state, 0);
+}
+BENCHMARK(BM_RepeatedQuery_CacheOn);
+BENCHMARK(BM_RepeatedQuery_CacheOff);
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "translate/cache.h"
 #include "translate/ltl_to_ba.h"
 #include "workload/generator.h"
 
@@ -58,6 +59,30 @@ void BM_LtlToBuchi(benchmark::State& state) {
       static_cast<double>(states_sum) / static_cast<double>(runs);
 }
 BENCHMARK(BM_LtlToBuchi)->Arg(1)->Arg(2)->Arg(3)->Arg(5)->Arg(6)->Arg(7);
+
+// The same formula pool through the translation cache (translate/cache.h):
+// after the first pass over the pool, every iteration costs NNF
+// normalization + canonical-key build + one hash probe instead of the
+// tableau pipeline. The ratio to BM_LtlToBuchi at the same arg is the
+// per-translation cache win.
+void BM_LtlToBuchi_Cached(benchmark::State& state) {
+  const size_t patterns = static_cast<size_t>(state.range(0));
+  ltl::FormulaFactory* factory = nullptr;
+  const auto& formulas = FormulaPool(patterns, &factory);
+  translate::TranslationCache cache(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto ba = translate::LtlToBuchiCached(formulas[i % formulas.size()],
+                                          factory, &cache);
+    benchmark::DoNotOptimize(ba);
+    ++i;
+  }
+  const translate::TranslationCacheStats stats = cache.Stats();
+  const double probes = static_cast<double>(stats.hits + stats.misses);
+  state.counters["hit_rate"] =
+      probes > 0 ? static_cast<double>(stats.hits) / probes : 0.0;
+}
+BENCHMARK(BM_LtlToBuchi_Cached)->Arg(1)->Arg(3)->Arg(5);
 
 void BM_LtlToBuchi_NoReductions(benchmark::State& state) {
   ltl::FormulaFactory* factory = nullptr;

@@ -90,33 +90,35 @@ Partition CoarsestBisimulation(const Buchi& ba,
     }
   }
 
-  // Signature refinement to fixpoint.
+  // Signature refinement to fixpoint. Signatures are word-packed: each move
+  // is one uint64 (label id in the high word, target block in the low word),
+  // so building a signature is append + sort + unique over machine words and
+  // hashing/equality run word-parallel (util::U64VectorHash) instead of
+  // walking (label, block) pair structs. The scratch vector is reused across
+  // states — a heap allocation happens only when a new block is minted.
+  std::vector<uint64_t> sig;
   while (true) {
     bool changed = false;
-    std::unordered_map<std::vector<uint32_t>, uint32_t, U32VectorHash>
+    std::unordered_map<std::vector<uint64_t>, uint32_t, U64VectorHash>
         sig_to_block;
+    sig_to_block.reserve(part.block_count * 2);
     std::vector<uint32_t> new_block(n);
     uint32_t next_block = 0;
     for (StateId s = 0; s < n; ++s) {
-      // Signature: current block, then sorted distinct (label, target block)
-      // pairs packed as single u32... labels and blocks both fit comfortably;
-      // pack as two entries to avoid overflow concerns.
-      std::vector<uint32_t> sig;
-      sig.reserve(2 + out[s].size() * 2);
+      sig.clear();
+      sig.reserve(1 + out[s].size());
+      // Word 0: the state's current block; then sorted distinct packed moves.
       sig.push_back(part.block_of[s]);
-      std::vector<std::pair<uint32_t, uint32_t>> moves;
-      moves.reserve(out[s].size());
       for (const LabelRef& r : out[s]) {
-        moves.emplace_back(r.label_id, part.block_of[r.to]);
+        sig.push_back((static_cast<uint64_t>(r.label_id) << 32) |
+                      part.block_of[r.to]);
       }
-      std::sort(moves.begin(), moves.end());
-      moves.erase(std::unique(moves.begin(), moves.end()), moves.end());
-      for (const auto& [label, block] : moves) {
-        sig.push_back(label);
-        sig.push_back(block);
+      std::sort(sig.begin() + 1, sig.end());
+      sig.erase(std::unique(sig.begin() + 1, sig.end()), sig.end());
+      auto it = sig_to_block.find(sig);
+      if (it == sig_to_block.end()) {
+        it = sig_to_block.emplace(sig, next_block++).first;
       }
-      auto [it, inserted] = sig_to_block.emplace(std::move(sig), next_block);
-      if (inserted) ++next_block;
       new_block[s] = it->second;
     }
     if (next_block != part.block_count) changed = true;

@@ -30,7 +30,10 @@ RegistrationStats* StatsOrObsFallback(RegistrationStats* stats,
 }  // namespace
 
 ContractDatabase::ContractDatabase(const DatabaseOptions& options)
-    : options_(options), prefilter_(options.prefilter) {
+    : options_(options),
+      prefilter_(options.prefilter),
+      translation_cache_(std::make_shared<translate::TranslationCache>(
+          options.translation_cache_capacity)) {
   Publish();  // the empty snapshot, so Snapshot() is never null
 }
 
@@ -63,6 +66,7 @@ void ContractDatabase::Publish() {
   snapshot->vocab_ = published_vocab_;
   snapshot->contracts_ = contracts_;
   snapshot->prefilter_ = prefilter_;
+  snapshot->translation_cache_ = translation_cache_;
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   snapshot_ = std::move(snapshot);
 }

@@ -171,6 +171,13 @@ class ContractDatabase {
   /// compile-time: the CTDB_OBS CMake option.
   obs::MetricsSnapshot MetricsSnapshot() const;
 
+  /// Cumulative counters of the shared query-translation cache
+  /// (translate/cache.h). All zeros (capacity included) when the cache was
+  /// disabled via DatabaseOptions::translation_cache_capacity = 0.
+  translate::TranslationCacheStats TranslationCacheStats() const {
+    return translation_cache_->Stats();
+  }
+
  private:
   /// Registration bodies; the caller holds writer_mutex_.
   Result<uint32_t> RegisterFormulaLocked(std::string name,
@@ -210,6 +217,10 @@ class ContractDatabase {
   ltl::FormulaFactory factory_;
   std::vector<std::shared_ptr<const Contract>> contracts_;
   index::PrefilterIndex prefilter_;
+  /// Shared query-translation cache, created once at construction and handed
+  /// to every published snapshot (internally synchronized; see
+  /// translate/cache.h). Never null.
+  std::shared_ptr<translate::TranslationCache> translation_cache_;
   /// The vocabulary copy the last published snapshot points at; reused by
   /// Publish while no new event was interned (the vocabulary is
   /// append-only, so equal size ⇒ identical contents).

@@ -38,6 +38,7 @@
 #include "index/pruning.h"
 #include "ltl/formula.h"
 #include "projection/store.h"
+#include "translate/cache.h"
 #include "translate/ltl_to_ba.h"
 #include "util/result.h"
 
@@ -59,6 +60,13 @@ struct DatabaseOptions {
 
   /// LTL → BA pipeline settings.
   translate::TranslateOptions translate;
+
+  /// Entry budget for the shared query-translation cache
+  /// (translate/cache.h): repeated query structures skip the tableau
+  /// pipeline entirely. 0 disables caching (every query translates afresh —
+  /// the paper-faithful ablation baseline). Registration-side translations
+  /// never consult the cache; it serves the read path only.
+  size_t translation_cache_capacity = 256;
 
   /// Default concurrency for the database's parallel phases (registration
   /// precompute, per-candidate permission checks, batched queries). The
@@ -199,6 +207,13 @@ class DatabaseSnapshot {
   std::shared_ptr<const Vocabulary> vocab_ = std::make_shared<Vocabulary>();
   std::vector<std::shared_ptr<const Contract>> contracts_;
   index::PrefilterIndex prefilter_;
+  /// The database's shared query-translation cache (translate/cache.h),
+  /// handed to every published snapshot: a formula translated through one
+  /// snapshot is a hit for queries on any other. Null or disabled ⇒ every
+  /// query translates afresh. The cache is internally synchronized, so
+  /// sharing it does not compromise snapshot immutability — cached automata
+  /// are immutable values behind shared_ptr.
+  std::shared_ptr<translate::TranslationCache> translation_cache_;
 };
 
 }  // namespace ctdb::broker

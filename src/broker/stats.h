@@ -24,6 +24,10 @@ struct QueryStats {
   size_t query_states = 0;       ///< states of the query BA
   size_t query_transitions = 0;  ///< transitions of the query BA
 
+  /// True when the query BA came from the shared translation cache
+  /// (translate/cache.h) instead of a fresh tableau construction.
+  bool translate_cache_hit = false;
+
   core::PermissionStats permission;
 
   std::string ToString() const;

@@ -226,6 +226,105 @@ bool PermitsScc(const Buchi& contract, const Bitset& contract_events,
   return false;
 }
 
+/// Early-exit variant of PermitsScc: the product is discovered lazily during
+/// an iterative Tarjan DFS, and the check returns the instant an accepting
+/// cyclic SCC (contract-final + query-final member, cycle present) is popped.
+/// A permitted contract therefore pays only for the pairs on the DFS path to
+/// its first witness lasso; only rejections explore the whole product.
+bool PermitsSccEarlyExit(const Buchi& contract, const Bitset& contract_events,
+                         const Buchi& query, PermissionStats* stats) {
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::unordered_map<uint64_t, uint32_t> id_of;
+  std::vector<std::pair<StateId, StateId>> nodes;
+  std::vector<std::vector<uint32_t>> adj;  ///< filled when DFS enters a node
+  std::vector<uint32_t> index;
+  std::vector<uint32_t> lowlink;
+  std::vector<uint8_t> on_stack;
+  std::vector<uint8_t> self_loop;
+
+  auto intern = [&](StateId s, StateId q) -> uint32_t {
+    const uint64_t key = PairKey(s, q);
+    auto [it, inserted] =
+        id_of.emplace(key, static_cast<uint32_t>(nodes.size()));
+    if (inserted) {
+      nodes.emplace_back(s, q);
+      adj.emplace_back();
+      index.push_back(kUnvisited);
+      lowlink.push_back(0);
+      on_stack.push_back(0);
+      self_loop.push_back(0);
+    }
+    return it->second;
+  };
+
+  struct Frame {
+    uint32_t node;
+    uint32_t edge;
+  };
+  std::vector<Frame> frames;
+  std::vector<uint32_t> scc_stack;
+  uint32_t next_index = 0;
+
+  // Enters `v`: assigns its DFS index, pushes it on both stacks, and
+  // materializes its product successors (the lazy construction step).
+  auto discover = [&](uint32_t v) {
+    index[v] = lowlink[v] = next_index++;
+    scc_stack.push_back(v);
+    on_stack[v] = 1;
+    if (stats != nullptr) ++stats->pairs_visited;
+    const auto [s, q] = nodes[v];
+    ForEachSuccessor(contract, contract_events, query, s, q,
+                     [&](StateId s2, StateId q2) {
+                       const uint32_t w = intern(s2, q2);
+                       if (w == v) self_loop[v] = 1;
+                       adj[v].push_back(w);
+                     });
+    frames.push_back({v, 0});
+  };
+
+  discover(intern(contract.initial(), query.initial()));
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.edge < adj[f.node].size()) {
+      const uint32_t w = adj[f.node][f.edge];
+      ++f.edge;
+      if (index[w] == kUnvisited) {
+        discover(w);  // invalidates `f`; loop re-reads frames.back()
+      } else if (on_stack[w]) {
+        lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+      }
+      continue;
+    }
+    const uint32_t v = f.node;
+    frames.pop_back();
+    if (!frames.empty()) {
+      lowlink[frames.back().node] =
+          std::min(lowlink[frames.back().node], lowlink[v]);
+    }
+    if (lowlink[v] == index[v]) {
+      // SCC rooted at v closes: classify it as it pops. Any SCC with more
+      // than one member is cyclic; a singleton is cyclic iff it self-loops.
+      bool contract_final = false;
+      bool query_final = false;
+      bool cyclic = false;
+      size_t size = 0;
+      while (true) {
+        const uint32_t w = scc_stack.back();
+        scc_stack.pop_back();
+        on_stack[w] = 0;
+        ++size;
+        if (contract.IsFinal(nodes[w].first)) contract_final = true;
+        if (query.IsFinal(nodes[w].second)) query_final = true;
+        if (self_loop[w] != 0) cyclic = true;
+        if (w == v) break;
+      }
+      if (size > 1) cyclic = true;
+      if (cyclic && contract_final && query_final) return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 Bitset ComputeSeedStates(const Buchi& contract) {
@@ -258,7 +357,10 @@ bool Permits(const Buchi& contract, const Bitset& contract_events,
                                    seed_states, options.use_seeds, target);
       break;
     case PermissionAlgorithm::kScc:
-      permitted = PermitsScc(contract, contract_events, query, target);
+      permitted =
+          options.early_exit
+              ? PermitsSccEarlyExit(contract, contract_events, query, target)
+              : PermitsScc(contract, contract_events, query, target);
       break;
   }
 #if CTDB_OBS

@@ -90,12 +90,22 @@ Bitset Condition::Evaluate(const PrefilterIndex& index) const {
       return index.universe();
     case Kind::kFalse:
       return Bitset(index.universe().size());
-    case Kind::kLeaf:
-      return index.Lookup(label_);
+    case Kind::kLeaf: {
+      Bitset result = index.Lookup(label_);
+      result.Resize(index.universe().size());
+      return result;
+    }
     case Kind::kAnd: {
+      // Leaf children combine via the index's word-parallel AND-into kernel:
+      // one pass over the accumulator per leaf, no per-leaf Bitset
+      // materialization. Non-leaf children still evaluate recursively.
       Bitset result = index.universe();
       for (const Condition& child : children_) {
-        result &= child.Evaluate(index);
+        if (child.kind_ == Kind::kLeaf) {
+          index.LookupAndInto(child.label_, &result);
+        } else {
+          result &= child.Evaluate(index);
+        }
         if (result.None()) break;
       }
       return result;
@@ -103,8 +113,13 @@ Bitset Condition::Evaluate(const PrefilterIndex& index) const {
     case Kind::kOr: {
       Bitset result(index.universe().size());
       for (const Condition& child : children_) {
-        result |= child.Evaluate(index);
+        if (child.kind_ == Kind::kLeaf) {
+          index.LookupOrInto(child.label_, &result);
+        } else {
+          result |= child.Evaluate(index);
+        }
       }
+      result.Resize(index.universe().size());
       return result;
     }
   }

@@ -108,34 +108,65 @@ Bitset PrefilterIndex::Lookup(const Label& query_label) const {
 
   // |λ| > k: intersect S(l) over all k-subsets l of λ.
   Bitset result = universe_;
-  const size_t k = options_.max_depth;
-  const size_t n = key.size();
-  std::vector<size_t> comb(k);
-  for (size_t i = 0; i < k; ++i) comb[i] = i;
-  LiteralKey sub(k);
-
-  // Advances `comb` to the next k-combination of [0, n); false when done.
-  auto next_combination = [&]() {
-    size_t i = k;
-    while (i > 0) {
-      --i;
-      if (comb[i] != i + n - k) {
-        ++comb[i];
-        for (size_t j = i + 1; j < k; ++j) comb[j] = comb[j - 1] + 1;
-        return true;
-      }
+  ForEachSubsetNode(key, [&](const Bitset* node) {
+    if (node == nullptr) {  // S(l) empty ⇒ S'(λ) empty
+      result.ClearAll();
+      return false;
     }
-    return false;
-  };
-
-  do {
-    for (size_t i = 0; i < k; ++i) sub[i] = key[comb[i]];
-    const Bitset* node = FindNode(sub);
-    if (node == nullptr) return Bitset(universe_.size());  // S(l) empty
     result &= *node;
-    if (result.None()) return result;
-  } while (next_combination());
+    return !result.None();
+  });
   return result;
+}
+
+void PrefilterIndex::LookupAndInto(const Label& query_label,
+                                   Bitset* acc) const {
+  const LiteralKey key = query_label.Key();
+  CTDB_OBS_COUNT("prefilter.lookups", 1);
+  CTDB_OBS_HIST("prefilter.lookup_label_size", key.size());
+  if (key.empty()) {  // S(true) = all contracts
+    *acc &= universe_;
+    return;
+  }
+  if (key.size() <= options_.max_depth) {
+    const Bitset* node = FindNode(key);
+    if (node == nullptr) {
+      acc->ClearAll();  // S(λ) = ∅
+    } else {
+      *acc &= *node;  // bits past the node's size intersect to 0, as needed
+    }
+    return;
+  }
+  // |λ| > k: AND in S(l) for every k-subset l (the S'(λ) over-approximation
+  // of Lookup), short-circuiting when the accumulator empties.
+  ForEachSubsetNode(key, [&](const Bitset* node) {
+    if (node == nullptr) {
+      acc->ClearAll();
+      return false;
+    }
+    *acc &= *node;
+    return !acc->None();
+  });
+}
+
+void PrefilterIndex::LookupOrInto(const Label& query_label, Bitset* acc) const {
+  const LiteralKey key = query_label.Key();
+  if (key.empty()) {
+    CTDB_OBS_COUNT("prefilter.lookups", 1);
+    CTDB_OBS_HIST("prefilter.lookup_label_size", 0);
+    *acc |= universe_;
+    return;
+  }
+  if (key.size() <= options_.max_depth) {
+    CTDB_OBS_COUNT("prefilter.lookups", 1);
+    CTDB_OBS_HIST("prefilter.lookup_label_size", key.size());
+    const Bitset* node = FindNode(key);
+    if (node != nullptr) *acc |= *node;
+    return;
+  }
+  // The subset-intersection path needs its own accumulator; fall back to
+  // Lookup (which counts itself) and OR the result in.
+  *acc |= Lookup(query_label);
 }
 
 PrefilterStats PrefilterIndex::Stats() const {

@@ -77,6 +77,16 @@ class PrefilterIndex {
   /// concurrently on a frozen copy.
   Bitset Lookup(const Label& query_label) const;
 
+  /// \name Word-parallel combine variants for the condition evaluator
+  /// (index/condition.h): compute S(λ) and AND/OR it into `*acc` directly
+  /// from the stored node bitsets — 64 contracts per instruction, no
+  /// intermediate copy on the exact-node path (|λ| ≤ k). `acc` must already
+  /// be sized to the universe. Concurrency contract matches Lookup.
+  /// @{
+  void LookupAndInto(const Label& query_label, Bitset* acc) const;
+  void LookupOrInto(const Label& query_label, Bitset* acc) const;
+  /// @}
+
   /// Set of all registered contract ids.
   const Bitset& universe() const { return universe_; }
 
@@ -105,6 +115,35 @@ class PrefilterIndex {
   Shard* MutableShard(size_t index);
   void InsertSubsets(uint32_t contract_id, const LiteralKey& expansion);
   const Bitset* FindNode(const LiteralKey& key) const;
+
+  /// Invokes `fn(FindNode(l))` for every k-combination l of `key` (requires
+  /// |key| > k); stops early when `fn` returns false. Shared driver for the
+  /// S'(λ) over-approximation paths of Lookup / LookupAndInto.
+  template <typename Fn>
+  void ForEachSubsetNode(const LiteralKey& key, Fn fn) const {
+    const size_t k = options_.max_depth;
+    const size_t n = key.size();
+    std::vector<size_t> comb(k);
+    for (size_t i = 0; i < k; ++i) comb[i] = i;
+    LiteralKey sub(k);
+    while (true) {
+      for (size_t i = 0; i < k; ++i) sub[i] = key[comb[i]];
+      if (!fn(FindNode(sub))) return;
+      // Advance `comb` to the next k-combination of [0, n); done when none.
+      bool advanced = false;
+      size_t i = k;
+      while (i > 0) {
+        --i;
+        if (comb[i] != i + n - k) {
+          ++comb[i];
+          for (size_t j = i + 1; j < k; ++j) comb[j] = comb[j - 1] + 1;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) return;
+    }
+  }
 
   PrefilterOptions options_;
   std::array<std::shared_ptr<Shard>, kShardCount> shards_;  ///< never null

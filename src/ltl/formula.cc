@@ -1,6 +1,8 @@
 #include "ltl/formula.h"
 
 #include <cassert>
+#include <new>
+#include <type_traits>
 
 #include "util/hash.h"
 
@@ -163,9 +165,12 @@ const Formula* FormulaFactory::Intern(Op op, EventId prop, const Formula* left,
   const NodeKey key{op, prop, left, right};
   auto it = interned_.find(key);
   if (it != interned_.end()) return it->second;
-  nodes_.push_back(
-      Formula(op, prop, left, right, static_cast<uint32_t>(nodes_.size())));
-  const Formula* node = &nodes_.back();
+  static_assert(std::is_trivially_destructible_v<Formula>,
+                "arena-placed nodes are never destroyed");
+  void* mem = arena_.Allocate(sizeof(Formula), alignof(Formula));
+  const Formula* node =
+      new (mem) Formula(op, prop, left, right,
+                        static_cast<uint32_t>(node_count_++));
   interned_.emplace(key, node);
   return node;
 }

@@ -12,12 +12,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/vocabulary.h"
+#include "util/arena.h"
 #include "util/bitset.h"
 
 namespace ctdb::ltl {
@@ -132,7 +132,7 @@ class FormulaFactory {
   const Formula* Make(Op op, const Formula* left, const Formula* right);
 
   /// Number of distinct nodes created (diagnostics).
-  size_t NodeCount() const { return nodes_.size(); }
+  size_t NodeCount() const { return node_count_; }
 
  private:
   const Formula* Intern(Op op, EventId prop, const Formula* left,
@@ -152,7 +152,12 @@ class FormulaFactory {
     size_t operator()(const NodeKey& k) const;
   };
 
-  std::deque<Formula> nodes_;
+  /// Nodes live in a bump arena (util/arena.h): formula construction is the
+  /// first stage of every translation, and arena placement makes each intern
+  /// a pointer bump instead of a container allocation. Formula is trivially
+  /// destructible, so releasing the arena wholesale is safe.
+  util::Arena arena_;
+  size_t node_count_ = 0;
   std::unordered_map<NodeKey, const Formula*, NodeKeyHash> interned_;
   const Formula* true_;
   const Formula* false_;

@@ -1,0 +1,168 @@
+#include "translate/cache.h"
+
+#include <cstring>
+#include <functional>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ctdb::translate {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  out->append(bytes, sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  out->append(bytes, sizeof(v));
+}
+
+}  // namespace
+
+std::string CanonicalTranslationKey(const ltl::Formula* nnf,
+                                    const TranslateOptions& options) {
+  std::string out;
+  // Post-order DFS over the DAG; each node is serialized once, at the moment
+  // its dense id is assigned, referencing the (already assigned) child ids.
+  // Hash-consing makes shared subterms shared pointers, so the visit order —
+  // and therefore the byte string — is a function of formula structure only.
+  std::unordered_map<const ltl::Formula*, uint32_t> ids;
+  struct Frame {
+    const ltl::Formula* f;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({nnf, false});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (ids.count(frame.f) != 0) continue;
+    if (!frame.expanded) {
+      stack.push_back({frame.f, true});
+      if (frame.f->left() != nullptr) stack.push_back({frame.f->left(), false});
+      if (frame.f->right() != nullptr) {
+        stack.push_back({frame.f->right(), false});
+      }
+      continue;
+    }
+    const uint32_t id = static_cast<uint32_t>(ids.size());
+    ids.emplace(frame.f, id);
+    out.push_back(static_cast<char>(frame.f->op()));
+    if (frame.f->op() == ltl::Op::kProp) AppendU32(&out, frame.f->prop());
+    if (frame.f->left() != nullptr) AppendU32(&out, ids.at(frame.f->left()));
+    if (frame.f->right() != nullptr) AppendU32(&out, ids.at(frame.f->right()));
+  }
+  AppendU32(&out, ids.at(nnf));
+  // Every knob that changes the translation output participates in the key.
+  out.push_back(options.simplify_formula ? 1 : 0);
+  out.push_back(options.prune ? 1 : 0);
+  out.push_back(options.reduce ? 1 : 0);
+  AppendU64(&out, options.tableau.max_nodes);
+  AppendU64(&out, options.tableau.max_work);
+  return out;
+}
+
+TranslationCache::TranslationCache(size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) return;
+  const size_t shard_count = capacity_ < 64 ? 1 : 8;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute the budget; earlier shards absorb the remainder so the
+    // per-shard budgets sum exactly to `capacity`.
+    shard->max_entries =
+        capacity_ / shard_count + (i < capacity_ % shard_count ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+TranslationCache::Shard& TranslationCache::ShardOf(std::string_view key) {
+  return *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const automata::Buchi> TranslationCache::Lookup(
+    std::string_view key) {
+  if (!enabled()) return nullptr;
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(key);
+  if (it == shard.by_key.end()) {
+    ++shard.misses;
+    CTDB_OBS_COUNT("translate_cache.misses", 1);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  CTDB_OBS_COUNT("translate_cache.hits", 1);
+  return it->second->value;
+}
+
+void TranslationCache::Insert(std::string_view key,
+                              std::shared_ptr<const automata::Buchi> value) {
+  if (!enabled()) return;
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(key);
+  if (it != shard.by_key.end()) {
+    // Raced with another translator of the same formula: keep one value.
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{std::string(key), std::move(value)});
+  shard.by_key.emplace(std::string_view(shard.lru.front().key),
+                       shard.lru.begin());
+  while (shard.lru.size() > shard.max_entries) {
+    shard.by_key.erase(std::string_view(shard.lru.back().key));
+    shard.lru.pop_back();
+    ++shard.evictions;
+    CTDB_OBS_COUNT("translate_cache.evictions", 1);
+  }
+}
+
+TranslationCacheStats TranslationCache::Stats() const {
+  TranslationCacheStats stats;
+  stats.capacity = capacity_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+Result<std::shared_ptr<const automata::Buchi>> LtlToBuchiCached(
+    const ltl::Formula* formula, ltl::FormulaFactory* factory,
+    TranslationCache* cache, const TranslateOptions& options,
+    TranslateInfo* info, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  const ltl::Formula* nnf = NormalizeForTableau(formula, factory, options);
+  if (cache == nullptr || !cache->enabled()) {
+    CTDB_ASSIGN_OR_RETURN(automata::Buchi ba,
+                          NnfToBuchi(nnf, factory, options, info));
+    return std::make_shared<const automata::Buchi>(std::move(ba));
+  }
+  const std::string key = CanonicalTranslationKey(nnf, options);
+  if (std::shared_ptr<const automata::Buchi> hit = cache->Lookup(key)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    if (info != nullptr) {
+      info->final_states = hit->StateCount();
+      info->final_transitions = hit->TransitionCount();
+    }
+    return hit;
+  }
+  CTDB_ASSIGN_OR_RETURN(automata::Buchi ba,
+                        NnfToBuchi(nnf, factory, options, info));
+  auto shared = std::make_shared<const automata::Buchi>(std::move(ba));
+  cache->Insert(key, shared);
+  return shared;
+}
+
+}  // namespace ctdb::translate

@@ -1,0 +1,116 @@
+// Translation cache: canonical-NNF formula → translated Büchi automaton.
+//
+// Translation (tableau → degeneralize → prune → quotient) dominates query
+// latency for small databases and is pure: the output depends only on the
+// normalized formula and the pipeline options. Query workloads repeat
+// structure heavily — the same contract templates are queried with the same
+// shapes — so a small LRU keyed by the formula's canonical serialization
+// converts repeat translations into a hash lookup plus a shared_ptr copy.
+//
+// Key canonicity: formulas are hash-consed within a factory, so serializing
+// the NNF DAG with dense first-visit ids yields identical bytes for
+// structurally equal formulas from *different* factories (queries parse into
+// call-local factories; see broker/snapshot.h). The DAG walk — not a tree
+// walk — keeps the key linear in the DAG size even for formulas whose tree
+// expansion is exponential (nested W/R rewrites).
+//
+// Concurrency: values are immutable automata behind shared_ptr<const Buchi>;
+// the cache itself is sharded, each shard a mutex + exact-LRU list. Readers
+// on the snapshot path share one cache owned by the ContractDatabase, so a
+// formula translated by one query thread is a hit for every other.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/buchi.h"
+#include "ltl/formula.h"
+#include "translate/ltl_to_ba.h"
+#include "util/result.h"
+
+namespace ctdb::translate {
+
+/// \brief Canonical cache key: byte serialization of the NNF DAG (dense
+/// first-visit ids, children before parents) followed by every option that
+/// affects the translation result. Equal bytes ⇔ same normalized formula and
+/// options, across factories. `nnf` must be the output of
+/// NormalizeForTableau under the same `options`.
+std::string CanonicalTranslationKey(const ltl::Formula* nnf,
+                                    const TranslateOptions& options);
+
+/// Cumulative cache counters (process-lifetime, monotone except `entries`).
+struct TranslationCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;   ///< current resident entries
+  size_t capacity = 0;  ///< configured maximum entries (0 = disabled)
+};
+
+/// \brief Sharded exact-LRU map from canonical translation keys to immutable
+/// translated automata. Thread-safe; capacity 0 disables caching (Lookup
+/// always misses, Insert is a no-op).
+class TranslationCache {
+ public:
+  /// `capacity` is the total entry budget across shards. Small capacities
+  /// (< 64) use a single shard so LRU order is exact and testable; larger
+  /// caches spread over 8 shards to keep the mutex off the hot path.
+  explicit TranslationCache(size_t capacity);
+
+  TranslationCache(const TranslationCache&) = delete;
+  TranslationCache& operator=(const TranslationCache&) = delete;
+
+  /// Returns the cached automaton and refreshes its LRU position, or nullptr.
+  std::shared_ptr<const automata::Buchi> Lookup(std::string_view key);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least recently used
+  /// entry when over budget.
+  void Insert(std::string_view key,
+              std::shared_ptr<const automata::Buchi> value);
+
+  TranslationCacheStats Stats() const;
+
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const automata::Buchi> value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. Nodes are stable, so the map's
+    /// string_view keys alias Entry::key safely across splices.
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> by_key;
+    size_t max_entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardOf(std::string_view key);
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// \brief Cached front-end to LtlToBuchi: normalizes once, keys the cache on
+/// the normal form, and runs the tableau-onward pipeline only on a miss.
+/// `cache` may be nullptr or disabled (plain translation). On a hit, `info`
+/// receives only the final automaton's shape (the construction stages did
+/// not run) and `*cache_hit` is set when non-null.
+Result<std::shared_ptr<const automata::Buchi>> LtlToBuchiCached(
+    const ltl::Formula* formula, ltl::FormulaFactory* factory,
+    TranslationCache* cache, const TranslateOptions& options = {},
+    TranslateInfo* info = nullptr, bool* cache_hit = nullptr);
+
+}  // namespace ctdb::translate

@@ -10,16 +10,29 @@
 
 namespace ctdb::translate {
 
-Result<automata::Buchi> LtlToBuchi(const ltl::Formula* formula,
-                                   ltl::FormulaFactory* factory,
-                                   const TranslateOptions& options,
-                                   TranslateInfo* info) {
-  CTDB_OBS_SPAN(span, "translate");
+const ltl::Formula* NormalizeForTableau(const ltl::Formula* formula,
+                                        ltl::FormulaFactory* factory,
+                                        const TranslateOptions& options) {
   const ltl::Formula* nnf = ltl::ToNnf(formula, factory);
   if (options.simplify_formula) {
     nnf = ltl::SimplifyNnf(nnf, factory);
   }
+  return nnf;
+}
 
+Result<automata::Buchi> LtlToBuchi(const ltl::Formula* formula,
+                                   ltl::FormulaFactory* factory,
+                                   const TranslateOptions& options,
+                                   TranslateInfo* info) {
+  const ltl::Formula* nnf = NormalizeForTableau(formula, factory, options);
+  return NnfToBuchi(nnf, factory, options, info);
+}
+
+Result<automata::Buchi> NnfToBuchi(const ltl::Formula* nnf,
+                                   ltl::FormulaFactory* factory,
+                                   const TranslateOptions& options,
+                                   TranslateInfo* info) {
+  CTDB_OBS_SPAN(span, "translate");
   CTDB_ASSIGN_OR_RETURN(GeneralizedBuchi gba,
                         BuildTableau(nnf, factory, options.tableau));
   const size_t tableau_states = gba.automaton.StateCount();

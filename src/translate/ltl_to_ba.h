@@ -42,4 +42,19 @@ Result<automata::Buchi> LtlToBuchi(const ltl::Formula* formula,
                                    const TranslateOptions& options = {},
                                    TranslateInfo* info = nullptr);
 
+/// \brief Normalizes `formula` for the tableau: NNF plus (per `options`)
+/// SimplifyNnf rewriting. LtlToBuchi ≡ NnfToBuchi ∘ NormalizeForTableau;
+/// the split lets the translation cache (translate/cache.h) key on the
+/// normal form without re-running normalization on a hit.
+const ltl::Formula* NormalizeForTableau(const ltl::Formula* formula,
+                                        ltl::FormulaFactory* factory,
+                                        const TranslateOptions& options = {});
+
+/// \brief Runs the tableau-onward pipeline on an already-normalized formula
+/// (`nnf` must come from NormalizeForTableau with the same options).
+Result<automata::Buchi> NnfToBuchi(const ltl::Formula* nnf,
+                                   ltl::FormulaFactory* factory,
+                                   const TranslateOptions& options = {},
+                                   TranslateInfo* info = nullptr);
+
 }  // namespace ctdb::translate

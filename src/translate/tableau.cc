@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/hash.h"
 #include "util/string_util.h"
 
@@ -33,15 +34,6 @@ void SetInsert(FormulaSet* set, const Formula* f) {
   if (it == set->end() || *it != f) set->insert(it, f);
 }
 
-uint64_t SetHash(const FormulaSet& set) {
-  uint64_t h = 1469598103934665603ULL;
-  for (const Formula* f : set) {
-    h ^= f->id();
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 /// True for literals and constants (no further tableau decomposition).
 bool IsBasic(const Formula* f) {
   return f->op() == Op::kTrue || f->op() == Op::kFalse ||
@@ -61,18 +53,45 @@ struct WorkNode {
 
 constexpr uint32_t kInitMark = UINT32_MAX;
 
+/// A registered state's (Old, Next) identity as spans. Registered sets are
+/// immutable, so they live as flat arrays in the builder's arena; the probe
+/// key used for lookup may point at a WorkNode's vectors instead — hashing
+/// and equality only read the pointed-at formulas.
 struct StateKey {
-  FormulaSet old_set;
-  FormulaSet next_set;
-  bool operator==(const StateKey& other) const {
-    return old_set == other.old_set && next_set == other.next_set;
-  }
+  const Formula* const* old_set = nullptr;
+  const Formula* const* next_set = nullptr;
+  uint32_t old_size = 0;
+  uint32_t next_size = 0;
 };
+
+uint64_t SpanHash(const Formula* const* set, uint32_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint32_t i = 0; i < n; ++i) {
+    h ^= set[i]->id();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool SpanContains(const Formula* const* set, uint32_t n, const Formula* f) {
+  return std::binary_search(
+      set, set + n, f,
+      [](const Formula* a, const Formula* b) { return a->id() < b->id(); });
+}
 
 struct StateKeyHash {
   size_t operator()(const StateKey& k) const {
     return static_cast<size_t>(
-        HashCombine(SetHash(k.old_set), SetHash(k.next_set)));
+        HashCombine(SpanHash(k.old_set, k.old_size),
+                    SpanHash(k.next_set, k.next_size)));
+  }
+};
+
+struct StateKeyEq {
+  bool operator()(const StateKey& a, const StateKey& b) const {
+    return a.old_size == b.old_size && a.next_size == b.next_size &&
+           std::equal(a.old_set, a.old_set + a.old_size, b.old_set) &&
+           std::equal(a.next_set, a.next_set + a.next_size, b.next_set);
   }
 };
 
@@ -263,10 +282,14 @@ class TableauBuilder {
   }
 
   /// A fully-expanded node: merge with an existing state with the same
-  /// (Old, Next), or mint a new state and enqueue its successor.
+  /// (Old, Next), or mint a new state and enqueue its successor. New states'
+  /// formula sets are copied into the builder arena once and shared by the
+  /// interning map key and the StateInfo — no per-state vector allocations.
   Status Register(WorkNode q) {
-    const StateKey key{q.old_set, q.next_set};
-    auto it = states_.find(key);
+    const StateKey probe{q.old_set.data(), q.next_set.data(),
+                         static_cast<uint32_t>(q.old_set.size()),
+                         static_cast<uint32_t>(q.next_set.size())};
+    auto it = states_.find(probe);
     if (it != states_.end()) {
       MergeIncoming(it->second, q.incoming);
       return Status::OK();
@@ -276,12 +299,17 @@ class TableauBuilder {
           "tableau exceeded %zu nodes", options_.max_nodes));
     }
     const uint32_t id = static_cast<uint32_t>(state_infos_.size());
+    const StateKey key{
+        arena_.CopyArray(q.old_set.data(), q.old_set.size()),
+        arena_.CopyArray(q.next_set.data(), q.next_set.size()),
+        probe.old_size, probe.next_size};
     states_.emplace(key, id);
-    state_infos_.push_back(StateInfo{q.old_set, q.next_set, q.incoming});
+    state_infos_.push_back(StateInfo{key, std::move(q.incoming)});
 
     WorkNode succ;
     succ.incoming.push_back(id);
-    succ.new_set = q.next_set;  // becomes New of the successor
+    // The registered Next set becomes New of the successor.
+    succ.new_set.assign(key.next_set, key.next_set + key.next_size);
     queue_.push_back(std::move(succ));
     return Status::OK();
   }
@@ -305,7 +333,7 @@ class TableauBuilder {
 
     for (uint32_t i = 0; i < state_infos_.size(); ++i) {
       const StateInfo& info = state_infos_[i];
-      Label label = LiteralLabel(info.old_set);
+      Label label = LiteralLabel(info.sets.old_set, info.sets.old_size);
       for (uint32_t src : info.incoming) {
         const automata::StateId from = src == kInitMark ? 0 : src + 1;
         ba.AddTransition(from, label, i + 1);
@@ -318,8 +346,8 @@ class TableauBuilder {
       // The fresh initial state is never on a cycle; exclude it.
       for (uint32_t i = 0; i < state_infos_.size(); ++i) {
         const StateInfo& info = state_infos_[i];
-        if (!SetContains(info.old_set, u) ||
-            SetContains(info.old_set, u->right())) {
+        if (!SpanContains(info.sets.old_set, info.sets.old_size, u) ||
+            SpanContains(info.sets.old_set, info.sets.old_size, u->right())) {
           f_set.Set(i + 1);
         }
       }
@@ -328,9 +356,10 @@ class TableauBuilder {
     return out;
   }
 
-  static Label LiteralLabel(const FormulaSet& old_set) {
+  static Label LiteralLabel(const Formula* const* old_set, uint32_t n) {
     Label label;
-    for (const Formula* f : old_set) {
+    for (uint32_t i = 0; i < n; ++i) {
+      const Formula* f = old_set[i];
       if (f->op() == Op::kProp) {
         label.AddPositive(f->prop());
       } else if (f->op() == Op::kNot && f->left()->op() == Op::kProp) {
@@ -341,8 +370,7 @@ class TableauBuilder {
   }
 
   struct StateInfo {
-    FormulaSet old_set;
-    FormulaSet next_set;
+    StateKey sets;  ///< arena-backed Old/Next spans, shared with states_
     std::vector<uint32_t> incoming;
   };
 
@@ -350,7 +378,10 @@ class TableauBuilder {
   FormulaFactory* factory_;
   TableauOptions options_;
   FormulaSet untils_;
-  std::unordered_map<StateKey, uint32_t, StateKeyHash> states_;
+  /// Arena for registered states' formula-set arrays (see Register). The
+  /// 16 KiB blocks keep a typical translation within one or two allocations.
+  util::Arena arena_{16 * 1024};
+  std::unordered_map<StateKey, uint32_t, StateKeyHash, StateKeyEq> states_;
   std::vector<StateInfo> state_infos_;
   std::vector<WorkNode> queue_;  ///< Fully-expanded states' pending successors.
   size_t work_done_ = 0;

@@ -1,0 +1,90 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+namespace ctdb::util {
+
+Arena::Arena(size_t block_bytes)
+    : block_bytes_(std::max<size_t>(block_bytes, 64)) {}
+
+Arena::Arena(Arena&& other) noexcept
+    : block_bytes_(other.block_bytes_),
+      blocks_(std::move(other.blocks_)),
+      current_(other.current_),
+      offset_(other.offset_),
+      bytes_allocated_(other.bytes_allocated_),
+      bytes_reserved_(other.bytes_reserved_) {
+  other.blocks_.clear();
+  other.current_ = 0;
+  other.offset_ = 0;
+  other.bytes_allocated_ = 0;
+  other.bytes_reserved_ = 0;
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this != &other) {
+    block_bytes_ = other.block_bytes_;
+    blocks_ = std::move(other.blocks_);
+    current_ = other.current_;
+    offset_ = other.offset_;
+    bytes_allocated_ = other.bytes_allocated_;
+    bytes_reserved_ = other.bytes_reserved_;
+    other.blocks_.clear();
+    other.current_ = 0;
+    other.offset_ = 0;
+    other.bytes_allocated_ = 0;
+    other.bytes_reserved_ = 0;
+  }
+  return *this;
+}
+
+void Arena::AddBlock(size_t min_bytes) {
+  Block block;
+  block.size = std::max(block_bytes_, min_bytes);
+  block.data = std::make_unique<std::byte[]>(block.size);
+  bytes_reserved_ += block.size;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0 && "align: power of two");
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers for empty requests
+  if (blocks_.empty()) AddBlock(bytes + align);
+  // Alignment is computed on the actual address, not the block offset:
+  // new[] storage only guarantees max_align_t alignment, so for larger
+  // `align` the block base itself may be misaligned.
+  auto base = reinterpret_cast<uintptr_t>(blocks_[current_].data.get());
+  size_t aligned = ((base + offset_ + align - 1) & ~(align - 1)) - base;
+  if (aligned + bytes > blocks_[current_].size) {
+    AddBlock(bytes + align);
+    base = reinterpret_cast<uintptr_t>(blocks_[current_].data.get());
+    aligned = ((base + offset_ + align - 1) & ~(align - 1)) - base;
+  }
+  void* out = blocks_[current_].data.get() + aligned;
+  offset_ = aligned + bytes;
+  bytes_allocated_ += bytes;
+  return out;
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1) {
+    // Keep the largest block (usually the most recently grown one) so steady
+    // state settles on a single reused allocation.
+    auto largest = std::max_element(
+        blocks_.begin(), blocks_.end(),
+        [](const Block& a, const Block& b) { return a.size < b.size; });
+    Block keep = std::move(*largest);
+    blocks_.clear();
+    blocks_.push_back(std::move(keep));
+  }
+  current_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = blocks_.empty() ? 0 : blocks_[0].size;
+}
+
+}  // namespace ctdb::util

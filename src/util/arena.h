@@ -1,0 +1,99 @@
+// Bump-pointer arena for hot-path construction nodes (formula interning,
+// tableau state sets). The translate→check path allocates many small,
+// same-lifetime objects per query; an arena turns each into a pointer bump
+// and frees them all at once when the owning builder is destroyed, cutting
+// allocator churn on the translation-cache miss path.
+//
+// Objects placed in the arena must be trivially destructible: the arena
+// releases raw memory only and never runs destructors (enforced by a
+// static_assert in New/AllocateArray).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ctdb::util {
+
+/// \brief A growable bump allocator. Not thread-safe; one arena per builder.
+class Arena {
+ public:
+  /// `block_bytes` is the size of each backing block; allocations larger
+  /// than a block get a dedicated block of exactly their size.
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&& other) noexcept;
+  ~Arena() = default;
+
+  static constexpr size_t kDefaultBlockBytes = 4096;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two ≤ alignof
+  /// max_align_t is always honored; larger powers of two also work because
+  /// alignment is applied to the bump offset of a max-aligned block).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Constructs a T in the arena. T must be trivially destructible — the
+  /// arena never runs destructors.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never destroys; T must be trivially destructible");
+    return new (Allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Uninitialized storage for `n` Ts (n == 0 returns a valid unique pointer
+  /// region of zero length). Same trivial-destructibility contract as New.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never destroys; T must be trivially destructible");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Copies [data, data + n) into the arena and returns the copy.
+  template <typename T>
+  T* CopyArray(const T* data, size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "CopyArray memcpy-copies; T must be trivially copyable");
+    T* out = AllocateArray<T>(n);
+    if (n != 0) std::memcpy(out, data, n * sizeof(T));
+    return out;
+  }
+
+  /// Discards every allocation but retains the first block for reuse, so a
+  /// builder processing many items pays the block allocations only once.
+  void Reset();
+
+  /// Total bytes handed out since construction / last Reset.
+  size_t BytesAllocated() const { return bytes_allocated_; }
+  /// Backing blocks currently held (diagnostics; ≥ 1 after first use).
+  size_t BlockCount() const { return blocks_.size(); }
+  /// Total bytes of backing memory held (capacity, not usage).
+  size_t BytesReserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  /// Appends a block of at least `min_bytes` and makes it current.
+  void AddBlock(size_t min_bytes);
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  ///< index of the block being bumped
+  size_t offset_ = 0;   ///< bump offset within blocks_[current_]
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace ctdb::util

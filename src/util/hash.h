@@ -39,10 +39,18 @@ struct PairHash {
   }
 };
 
-/// \brief std::hash adapter for vector<uint32_t> keys (literal-set index keys,
-/// bisimulation signatures).
+/// \brief std::hash adapter for vector<uint32_t> keys (literal-set index
+/// keys).
 struct U32VectorHash {
   size_t operator()(const std::vector<uint32_t>& v) const {
+    return static_cast<size_t>(HashRange(v.begin(), v.end()));
+  }
+};
+
+/// \brief std::hash adapter for vector<uint64_t> keys (word-packed partition
+/// refinement signatures): FNV-1a consumed one 64-bit word at a time.
+struct U64VectorHash {
+  size_t operator()(const std::vector<uint64_t>& v) const {
     return static_cast<size_t>(HashRange(v.begin(), v.end()));
   }
 };

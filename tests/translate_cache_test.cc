@@ -1,0 +1,222 @@
+#include "translate/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/bisimulation.h"
+#include "automata/serialize.h"
+#include "broker/database.h"
+#include "ltl/parser.h"
+#include "translate/ltl_to_ba.h"
+
+namespace ctdb::translate {
+namespace {
+
+std::shared_ptr<const automata::Buchi> MakeValue() {
+  automata::Buchi ba;
+  return std::make_shared<const automata::Buchi>(std::move(ba));
+}
+
+const ltl::Formula* ParseNnf(const std::string& text, Vocabulary* vocab,
+                             ltl::FormulaFactory* factory,
+                             const TranslateOptions& options = {}) {
+  auto parsed = ltl::Parse(text, factory, vocab);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return NormalizeForTableau(*parsed, factory, options);
+}
+
+TEST(TranslateCacheTest, KeyIsCanonicalAcrossFactories) {
+  Vocabulary vocab;
+  ltl::FormulaFactory f1;
+  ltl::FormulaFactory f2;
+  const std::string text = "G(purchase -> F refund) & (use U refund)";
+  const std::string key1 =
+      CanonicalTranslationKey(ParseNnf(text, &vocab, &f1), {});
+  const std::string key2 =
+      CanonicalTranslationKey(ParseNnf(text, &vocab, &f2), {});
+  EXPECT_EQ(key1, key2);
+}
+
+TEST(TranslateCacheTest, KeySeparatesFormulasAndOptions) {
+  Vocabulary vocab;
+  ltl::FormulaFactory factory;
+  const std::string a =
+      CanonicalTranslationKey(ParseNnf("F purchase", &vocab, &factory), {});
+  const std::string b =
+      CanonicalTranslationKey(ParseNnf("G purchase", &vocab, &factory), {});
+  EXPECT_NE(a, b);
+
+  TranslateOptions no_reduce;
+  no_reduce.reduce = false;
+  const ltl::Formula* nnf = ParseNnf("F purchase", &vocab, &factory);
+  EXPECT_NE(CanonicalTranslationKey(nnf, {}),
+            CanonicalTranslationKey(nnf, no_reduce));
+}
+
+TEST(TranslateCacheTest, HitMissAndStats) {
+  TranslationCache cache(4);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.Lookup("k1"), nullptr);
+  auto value = MakeValue();
+  cache.Insert("k1", value);
+  EXPECT_EQ(cache.Lookup("k1"), value);
+  const TranslationCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.capacity, 4u);
+}
+
+TEST(TranslateCacheTest, EvictsLeastRecentlyUsed) {
+  TranslationCache cache(2);  // small capacity ⇒ single shard, exact LRU
+  cache.Insert("a", MakeValue());
+  cache.Insert("b", MakeValue());
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // refresh "a": "b" is now LRU
+  cache.Insert("c", MakeValue());
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.Stats().entries, 2u);
+}
+
+TEST(TranslateCacheTest, CapacityZeroDisables) {
+  TranslationCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert("k", MakeValue());
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
+  const TranslationCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.capacity, 0u);
+}
+
+TEST(TranslateCacheTest, CachedTranslationEqualsFresh) {
+  Vocabulary vocab;
+  const std::string text =
+      "G(purchase -> !use) & (purchase B use) & G(use -> F refund)";
+  TranslationCache cache(16);
+
+  // Fill + hit through one factory.
+  bool hit = false;
+  ltl::FormulaFactory f1;
+  auto first = LtlToBuchiCached(*ltl::Parse(text, &f1, &vocab), &f1, &cache,
+                                {}, nullptr, &hit);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(hit);
+
+  // Same text through a *different* factory must hit and return the shared
+  // automaton.
+  ltl::FormulaFactory f2;
+  auto second = LtlToBuchiCached(*ltl::Parse(text, &f2, &vocab), &f2, &cache,
+                                 {}, nullptr, &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first->get(), second->get());
+
+  // The cached automaton is byte-identical to an uncached translation (the
+  // pipeline is deterministic)...
+  ltl::FormulaFactory f3;
+  auto fresh = translate::LtlToBuchi(*ltl::Parse(text, &f3, &vocab), &f3);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(automata::Serialize(**second, vocab),
+            automata::Serialize(*fresh, vocab));
+  // ...and bisimulation-equivalent to it: the coarsest bisimulation of the
+  // disjoint union must put the two initial states in one block.
+  automata::Buchi combined = **second;
+  const automata::StateId offset = combined.StateCount();
+  for (automata::StateId s = 0; s < fresh->StateCount(); ++s) {
+    const automata::StateId n = combined.AddState();
+    if (fresh->IsFinal(s)) combined.SetFinal(n);
+  }
+  for (automata::StateId s = 0; s < fresh->StateCount(); ++s) {
+    for (const automata::Transition& t : fresh->Out(s)) {
+      combined.AddTransition(offset + s, t.label, offset + t.to);
+    }
+  }
+  const automata::Partition partition =
+      automata::CoarsestBisimulation(combined);
+  EXPECT_EQ(partition.block_of[(*second)->initial()],
+            partition.block_of[offset + fresh->initial()]);
+}
+
+TEST(TranslateCacheTest, DatabaseQueriesShareTheCache) {
+  broker::ContractDatabase db;
+  ASSERT_TRUE(db.Register("c1", "G(a -> F b)").ok());
+  ASSERT_TRUE(db.Register("c2", "G(b -> !a)").ok());
+
+  auto first = db.Query("F(a & F b)");
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->stats.translate_cache_hit);
+  auto second = db.Query("F(a & F b)");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->stats.translate_cache_hit);
+  EXPECT_EQ(second->matches, first->matches);
+
+  const TranslationCacheStats stats = db.TranslationCacheStats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST(TranslateCacheTest, DatabaseCacheCanBeDisabled) {
+  broker::DatabaseOptions options;
+  options.translation_cache_capacity = 0;
+  broker::ContractDatabase db(options);
+  ASSERT_TRUE(db.Register("c1", "G(a -> F b)").ok());
+  for (int i = 0; i < 3; ++i) {
+    auto r = db.Query("F a");
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->stats.translate_cache_hit);
+  }
+  const TranslationCacheStats stats = db.TranslationCacheStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+/// Concurrent readers of one database share the translation cache; run under
+/// TSan in CI (the sanitize job's filter includes "TranslateCache"). Every
+/// thread issues the same query mix, so later threads hit entries earlier
+/// threads inserted while insertions are still racing in.
+TEST(TranslateCacheConcurrencyTest, ConcurrentReadersShareCache) {
+  broker::ContractDatabase db;
+  ASSERT_TRUE(db.Register("c1", "G(a -> F b) & (a B c)").ok());
+  ASSERT_TRUE(db.Register("c2", "G(c -> !a) & G(b -> F c)").ok());
+  const std::vector<std::string> queries = {"F(a & F b)", "G(a -> F c)",
+                                            "F b & F c", "a U b"};
+
+  auto baseline = db.Query(queries[0]);
+  ASSERT_TRUE(baseline.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kRoundsPerThread = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        for (const std::string& q : queries) {
+          auto r = db.Query(q);
+          if (!r.ok()) ++failures[t];
+          if (q == queries[0] && r.ok() && r->matches != baseline->matches) {
+            ++failures[t];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+
+  const TranslationCacheStats stats = db.TranslationCacheStats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_LE(stats.entries, stats.capacity);
+}
+
+}  // namespace
+}  // namespace ctdb::translate

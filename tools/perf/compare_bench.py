@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Gate CI on the committed perf trajectory.
+
+For each ``BENCH_<name>.json`` trajectory file (written by
+``record_bench.py``), compares the *latest* entry against the most recent
+*prior* entry recorded on the same host. Absolute benchmark times are not
+comparable across machines, so entries from other hosts are never used as a
+baseline; when a file has no prior same-host entry (e.g. a fresh CI runner
+fleet), the file passes with an explanatory note rather than failing.
+
+The gate: the geomean over common benchmarks of candidate/baseline real
+time must stay below ``--threshold`` (default 1.10, i.e. a 10% regression
+budget to absorb runner noise). Individual benchmarks may exceed the
+threshold without failing the gate — only the geomean fails it — but every
+per-benchmark ratio is printed so regressions localized to one benchmark
+are visible in the log.
+
+Exit status: 0 = all files pass (or had no comparable baseline),
+1 = regression beyond threshold, 2 = malformed input.
+
+Usage:
+    tools/perf/compare_bench.py BENCH_permission.json BENCH_translate.json
+                                [--threshold 1.10]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_trajectory(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    entries = data.get("entries", [])
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: no entries")
+    return data
+
+
+def find_baseline(entries, candidate):
+    """Most recent entry before `candidate` recorded on the same host."""
+    for entry in reversed(entries[:-1]):
+        if entry.get("host") == candidate.get("host"):
+            return entry
+    return None
+
+
+def compare_file(path, threshold):
+    """Returns True if the file passes the gate."""
+    try:
+        data = load_trajectory(path)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"FAIL {path}: {err}")
+        return None  # malformed, not a perf regression
+    entries = data["entries"]
+    candidate = entries[-1]
+    baseline = find_baseline(entries, candidate)
+    if baseline is None:
+        print(f"PASS {path}: no prior entry from host "
+              f"'{candidate.get('host', '?')}' — nothing to compare "
+              f"(recorded as the new baseline)")
+        return True
+
+    common = sorted(set(candidate.get("metrics", {}))
+                    & set(baseline.get("metrics", {})))
+    if not common:
+        print(f"PASS {path}: no common benchmarks with baseline "
+              f"{baseline.get('sha', '?')[:12]} — nothing to compare")
+        return True
+
+    log_sum = 0.0
+    rows = []
+    for name in common:
+        base = baseline["metrics"][name]
+        cand = candidate["metrics"][name]
+        if base <= 0 or cand <= 0:
+            continue
+        ratio = cand / base
+        log_sum += math.log(ratio)
+        rows.append((name, base, cand, ratio))
+    if not rows:
+        print(f"PASS {path}: no positive-valued common benchmarks")
+        return True
+    geomean = math.exp(log_sum / len(rows))
+
+    ok = geomean <= threshold
+    verdict = "PASS" if ok else "FAIL"
+    print(f"{verdict} {path}: geomean ratio {geomean:.3f} "
+          f"(threshold {threshold:.2f}) vs baseline "
+          f"{baseline.get('sha', '?')[:12]} ({baseline.get('date', '?')})")
+    width = max(len(name) for name, *_ in rows)
+    for name, base, cand, ratio in rows:
+        marker = "  <-- regression" if ratio > threshold else ""
+        print(f"  {name:<{width}}  {base:>12.1f} ns -> {cand:>12.1f} ns  "
+              f"x{ratio:.3f}{marker}")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trajectories", nargs="+",
+                        help="BENCH_<name>.json files to check")
+    parser.add_argument("--threshold", type=float, default=1.10,
+                        help="max allowed geomean candidate/baseline ratio "
+                             "(default: 1.10)")
+    args = parser.parse_args()
+
+    results = [compare_file(path, args.threshold)
+               for path in args.trajectories]
+    if any(r is None for r in results):
+        return 2
+    return 0 if all(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
