@@ -1,0 +1,117 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ctdb::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("unparsable host " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status status = Errno("connect");
+    close(fd);
+    return status;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() { Close(); }
+
+Status Client::Send(const Request& request) {
+  return SendBytes(EncodeRequestFrame(request));
+}
+
+Status Client::SendBytes(std::string_view bytes) {
+  if (fd_ < 0) return Status::Unavailable("client closed");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return Errno("send");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Response> Client::Receive() {
+  if (fd_ < 0) return Status::Unavailable("client closed");
+  char buf[64 * 1024];
+  for (;;) {
+    std::string_view payload;
+    size_t offset = in_pos_;
+    const FrameScan scan = ScanFrame(inbuf_, &offset, &payload);
+    if (scan == FrameScan::kCorrupt) {
+      return Status::Corruption("invalid response frame");
+    }
+    if (scan == FrameScan::kFrame) {
+      Response response;
+      CTDB_RETURN_NOT_OK(DecodeResponsePayload(payload, &response));
+      in_pos_ = offset;
+      if (in_pos_ == inbuf_.size()) {
+        inbuf_.clear();
+        in_pos_ = 0;
+      } else if (in_pos_ > (1u << 20)) {
+        inbuf_.erase(0, in_pos_);
+        in_pos_ = 0;
+      }
+      return response;
+    }
+    const ssize_t n = read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+    } else if (n == 0) {
+      return Status::Unavailable("connection closed by server");
+    } else if (errno != EINTR) {
+      return Errno("read");
+    }
+  }
+}
+
+Result<Response> Client::Call(const Request& request) {
+  CTDB_RETURN_NOT_OK(Send(request));
+  return Receive();
+}
+
+void Client::CloseWrite() {
+  if (fd_ >= 0) shutdown(fd_, SHUT_WR);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ctdb::net

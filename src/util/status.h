@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kInternal = 6,          ///< Invariant violation: indicates a bug in ctdb.
   kUnimplemented = 7,     ///< Feature intentionally not (yet) supported.
   kCorruption = 8,        ///< Stored data failed validation (CRC, framing, ...).
+  kUnavailable = 9,       ///< Service overloaded or shutting down; retry later.
 };
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
@@ -66,6 +67,9 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -84,6 +88,7 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,295 @@
+// Unit tests for the network wire protocol codec (net/protocol.h):
+// round trips for every message shape, streaming ScanFrame semantics, and
+// hostile-input rejection — bit flips, truncations, oversized length
+// prefixes, trailing garbage, and element counts that promise more bytes
+// than the payload holds (the CountFits guard that keeps a hostile count
+// from turning into a giant allocation).
+
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ctdb::net {
+namespace {
+
+Request SampleRequest(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kRegister:
+      return Request::Register(7, "lease-42", "G (request -> F grant)");
+    case MsgKind::kRegisterBatch:
+      return Request::RegisterBatch(
+          8, {{"a", "F p1"}, {"b", "G (p1 -> X p2)"}, {"", ""}});
+    case MsgKind::kQuery:
+      return Request::Query(9, "F (p1 & X p2)");
+    case MsgKind::kQueryBatch:
+      return Request::QueryBatch(10, {"F p1", "G p2", "p1 U p2", ""});
+    case MsgKind::kCheckpoint:
+      return Request::Checkpoint(11);
+    case MsgKind::kStats:
+      return Request::Stats(12);
+    case MsgKind::kResponse:
+      break;
+  }
+  return {};
+}
+
+std::vector<Response> SampleResponses() {
+  std::vector<Response> all;
+  Response reg;
+  reg.id = 7;
+  reg.request_kind = MsgKind::kRegister;
+  reg.ids = {42};
+  all.push_back(reg);
+
+  Response batch;
+  batch.id = 8;
+  batch.request_kind = MsgKind::kRegisterBatch;
+  batch.ids = {1, 2, 3};
+  all.push_back(batch);
+
+  Response query;
+  query.id = 9;
+  query.request_kind = MsgKind::kQuery;
+  query.answers.push_back({{1, 2, 7}, 1234, 5});
+  all.push_back(query);
+
+  Response query_batch;
+  query_batch.id = 10;
+  query_batch.request_kind = MsgKind::kQueryBatch;
+  query_batch.answers.push_back({{3}, 10, 1});
+  query_batch.answers.push_back({{}, 4, 0});
+  all.push_back(query_batch);
+
+  Response checkpoint;
+  checkpoint.id = 11;
+  checkpoint.request_kind = MsgKind::kCheckpoint;
+  checkpoint.sequence = 99;
+  all.push_back(checkpoint);
+
+  Response stats;
+  stats.id = 12;
+  stats.request_kind = MsgKind::kStats;
+  stats.stats_json = "{\"counters\":{\"net.requests\":1}}";
+  all.push_back(stats);
+
+  all.push_back(Response::Error(Request::Query(13, "bad (("),
+                                Status::InvalidArgument("parse error")));
+  all.push_back(
+      Response::Error(Request::Register(14, "x", "F p1"),
+                      Status::Unavailable("request queue full")));
+  return all;
+}
+
+TEST(NetProtocolTest, RequestPayloadRoundTripsEveryKind) {
+  for (MsgKind kind :
+       {MsgKind::kRegister, MsgKind::kRegisterBatch, MsgKind::kQuery,
+        MsgKind::kQueryBatch, MsgKind::kCheckpoint, MsgKind::kStats}) {
+    const Request request = SampleRequest(kind);
+    const std::string payload = EncodeRequestPayload(request);
+    Request decoded;
+    const Status status = DecodeRequestPayload(payload, &decoded);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(decoded, request);
+    // Fixed point: re-encoding reproduces the exact bytes.
+    EXPECT_EQ(EncodeRequestPayload(decoded), payload);
+  }
+}
+
+TEST(NetProtocolTest, ResponsePayloadRoundTripsEveryShape) {
+  for (const Response& response : SampleResponses()) {
+    const std::string payload = EncodeResponsePayload(response);
+    Response decoded;
+    const Status status = DecodeResponsePayload(payload, &decoded);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(decoded, response);
+    EXPECT_EQ(EncodeResponsePayload(decoded), payload);
+  }
+}
+
+TEST(NetProtocolTest, FrameRoundTrip) {
+  const Request request = SampleRequest(MsgKind::kRegisterBatch);
+  const std::string frame = EncodeRequestFrame(request);
+  size_t offset = 0;
+  Request decoded;
+  const Status status = DecodeRequestFrame(frame, &offset, &decoded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(offset, frame.size());
+  EXPECT_EQ(decoded, request);
+}
+
+TEST(NetProtocolTest, ErrorResponseEchoesRequestIdentity) {
+  const Request request = Request::QueryBatch(77, {"F p1"});
+  const Response error =
+      Response::Error(request, Status::Unavailable("overloaded"));
+  EXPECT_EQ(error.id, 77u);
+  EXPECT_EQ(error.request_kind, MsgKind::kQueryBatch);
+  EXPECT_TRUE(error.status().IsUnavailable());
+  EXPECT_TRUE(error.answers.empty());
+  EXPECT_TRUE(error.ids.empty());
+}
+
+TEST(NetProtocolTest, ScanFrameStreamsBackToBackFrames) {
+  const Request first = SampleRequest(MsgKind::kQuery);
+  const Request second = SampleRequest(MsgKind::kCheckpoint);
+  const std::string stream =
+      EncodeRequestFrame(first) + EncodeRequestFrame(second);
+
+  size_t offset = 0;
+  std::string_view payload;
+  ASSERT_EQ(ScanFrame(stream, &offset, &payload), FrameScan::kFrame);
+  Request decoded;
+  ASSERT_TRUE(DecodeRequestPayload(payload, &decoded).ok());
+  EXPECT_EQ(decoded, first);
+
+  ASSERT_EQ(ScanFrame(stream, &offset, &payload), FrameScan::kFrame);
+  ASSERT_TRUE(DecodeRequestPayload(payload, &decoded).ok());
+  EXPECT_EQ(decoded, second);
+  EXPECT_EQ(offset, stream.size());
+  EXPECT_EQ(ScanFrame(stream, &offset, &payload), FrameScan::kNeedMore);
+}
+
+TEST(NetProtocolTest, ScanFrameNeedsMoreOnEveryProperPrefix) {
+  const std::string frame =
+      EncodeRequestFrame(SampleRequest(MsgKind::kRegister));
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    size_t offset = 0;
+    std::string_view payload;
+    EXPECT_EQ(ScanFrame(std::string_view(frame).substr(0, cut), &offset,
+                        &payload),
+              FrameScan::kNeedMore)
+        << "prefix length " << cut;
+    EXPECT_EQ(offset, 0u);  // offset must not move without a frame
+  }
+}
+
+TEST(NetProtocolTest, ScanFrameRejectsOversizedLengthBeforeAllocating) {
+  // length prefix = 0xFFFFFFFF: must come back kCorrupt immediately, even
+  // though only 8 header bytes are present (no attempt to wait for 4 GiB).
+  const std::string header = {'\xff', '\xff', '\xff', '\xff',
+                              '\0',   '\0',   '\0',   '\0'};
+  size_t offset = 0;
+  std::string_view payload;
+  EXPECT_EQ(ScanFrame(header, &offset, &payload), FrameScan::kCorrupt);
+}
+
+TEST(NetProtocolTest, ScanFrameRejectsCrcMismatch) {
+  std::string frame = EncodeRequestFrame(SampleRequest(MsgKind::kQuery));
+  frame[kFrameHeaderBytes] ^= 0x01;  // flip one payload bit
+  size_t offset = 0;
+  std::string_view payload;
+  EXPECT_EQ(ScanFrame(frame, &offset, &payload), FrameScan::kCorrupt);
+}
+
+TEST(NetProtocolTest, ZeroLengthPayloadIsCorrupt) {
+  // A zero-length payload has a valid CRC (crc of "") but no kind byte.
+  const std::string frame = {'\0', '\0', '\0', '\0', '\0', '\0', '\0', '\0'};
+  size_t offset = 0;
+  std::string_view payload;
+  ASSERT_EQ(ScanFrame(frame, &offset, &payload), FrameScan::kFrame);
+  EXPECT_TRUE(payload.empty());
+  Request request;
+  EXPECT_TRUE(DecodeRequestPayload(payload, &request).IsCorruption());
+  Response response;
+  EXPECT_TRUE(DecodeResponsePayload(payload, &response).IsCorruption());
+}
+
+TEST(NetProtocolTest, SingleBitFlipsNeverDecodeToADifferentMessage) {
+  // Any single bit flip either fails to decode or (if it lands in free
+  // bytes) must still round-trip; it must never silently produce a message
+  // that re-encodes differently.
+  const Request request = SampleRequest(MsgKind::kRegisterBatch);
+  const std::string payload = EncodeRequestPayload(request);
+  for (size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = payload;
+      mutated[byte] ^= static_cast<char>(1 << bit);
+      Request decoded;
+      const Status status = DecodeRequestPayload(mutated, &decoded);
+      if (status.ok()) {
+        EXPECT_EQ(EncodeRequestPayload(decoded), mutated)
+            << "byte " << byte << " bit " << bit;
+      } else {
+        EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+      }
+    }
+  }
+}
+
+TEST(NetProtocolTest, TrailingGarbageIsCorrupt) {
+  for (MsgKind kind : {MsgKind::kQuery, MsgKind::kCheckpoint}) {
+    std::string payload = EncodeRequestPayload(SampleRequest(kind));
+    payload.push_back('\0');
+    Request request;
+    EXPECT_TRUE(DecodeRequestPayload(payload, &request).IsCorruption());
+  }
+  std::string payload = EncodeResponsePayload(SampleResponses()[0]);
+  payload.push_back('x');
+  Response response;
+  EXPECT_TRUE(DecodeResponsePayload(payload, &response).IsCorruption());
+}
+
+TEST(NetProtocolTest, TruncatedPayloadsAreCorrupt) {
+  for (MsgKind kind :
+       {MsgKind::kRegister, MsgKind::kRegisterBatch, MsgKind::kQuery,
+        MsgKind::kQueryBatch}) {
+    const std::string payload = EncodeRequestPayload(SampleRequest(kind));
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      Request request;
+      const Status status =
+          DecodeRequestPayload(std::string_view(payload).substr(0, cut),
+                               &request);
+      EXPECT_TRUE(status.IsCorruption())
+          << "kind " << static_cast<int>(kind) << " cut " << cut << ": "
+          << status.ToString();
+    }
+  }
+}
+
+TEST(NetProtocolTest, HostileElementCountIsRejectedWithoutAllocating) {
+  // kQueryBatch payload claiming 2^31 queries backed by 4 bytes. The
+  // decoder must reject it instead of resizing a vector to the count.
+  std::string payload;
+  payload.push_back(static_cast<char>(MsgKind::kQueryBatch));
+  payload.append(8, '\0');                   // id
+  payload += {'\0', '\0', '\0', '\x80'};     // count = 0x80000000
+  payload.append(4, '\0');                   // only 4 bytes of "queries"
+  Request request;
+  EXPECT_TRUE(DecodeRequestPayload(payload, &request).IsCorruption());
+
+  // Same attack through a string length inside kRegister.
+  std::string reg;
+  reg.push_back(static_cast<char>(MsgKind::kRegister));
+  reg.append(8, '\0');                       // id
+  reg += {'\xff', '\xff', '\xff', '\x7f'};   // name length ~2 GiB
+  Request reg_request;
+  EXPECT_TRUE(DecodeRequestPayload(reg, &reg_request).IsCorruption());
+}
+
+TEST(NetProtocolTest, UnknownKindAndBadStatusCodeAreCorrupt) {
+  std::string payload;
+  payload.push_back('\x1f');  // kind 31: not a request, not kResponse
+  payload.append(8, '\0');
+  Request request;
+  EXPECT_TRUE(DecodeRequestPayload(payload, &request).IsCorruption());
+  Response response;
+  EXPECT_TRUE(DecodeResponsePayload(payload, &response).IsCorruption());
+
+  // A response frame whose status code is past the enum's last value.
+  std::string resp = EncodeResponsePayload(SampleResponses()[0]);
+  resp[9 + 1] = '\x7f';  // kResponse u8 · id u64 · request_kind u8 · code u8
+  Response bad;
+  EXPECT_TRUE(DecodeResponsePayload(resp, &bad).IsCorruption());
+}
+
+TEST(NetProtocolTest, IsRequestKindCoversExactlyTheSixOperations) {
+  for (int kind = 0; kind < 256; ++kind) {
+    const bool expected = kind >= 1 && kind <= 6;
+    EXPECT_EQ(IsRequestKind(static_cast<uint8_t>(kind)), expected) << kind;
+  }
+}
+
+}  // namespace
+}  // namespace ctdb::net

@@ -1,0 +1,325 @@
+// In-process integration tests for the network service (net/server.h):
+// a real server on an ephemeral port over a real DurableDatabase, real
+// sockets, concurrent mixed-operation clients, pipelining, graceful drain,
+// and restart recovery — everything acked over the wire must be present
+// after the server and database are reopened.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "broker/durable.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "testing/temp_dir.h"
+#include "wal/wal.h"
+
+namespace ctdb::net {
+namespace {
+
+using ::ctdb::broker::DurableDatabase;
+using ::ctdb::testing::TempDir;
+
+wal::DurabilityOptions FastDurability() {
+  wal::DurabilityOptions options;
+  options.fsync_policy = wal::FsyncPolicy::kNever;  // tests survive exit()
+  return options;
+}
+
+std::string NthLtl(int i) {
+  switch (i % 3) {
+    case 0: return "F pay";
+    case 1: return "G(request -> F grant)";
+    default: return "pay U deliver";
+  }
+}
+
+/// A database + server pair on an ephemeral port.
+struct Harness {
+  explicit Harness(const std::string& dir, ServerOptions options = {}) {
+    auto opened = DurableDatabase::Open(dir, FastDurability());
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    db = std::move(*opened);
+    auto started = Server::Start(db.get(), options);
+    EXPECT_TRUE(started.ok()) << started.status().ToString();
+    server = std::move(*started);
+  }
+  ~Harness() {
+    if (server != nullptr) {
+      EXPECT_TRUE(server->Shutdown().ok());
+    }
+    if (db != nullptr) {
+      EXPECT_TRUE(db->Close().ok());
+    }
+  }
+  std::unique_ptr<Client> Connect() {
+    auto client = Client::Connect("127.0.0.1", server->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+  std::unique_ptr<DurableDatabase> db;
+  std::unique_ptr<Server> server;
+};
+
+TEST(ServerIntegrationTest, AllSixOperationsRoundTrip) {
+  TempDir dir("net");
+  Harness harness(dir.path());
+  auto client = harness.Connect();
+
+  auto reg = client->Call(Request::Register(1, "alpha", "F pay"));
+  ASSERT_TRUE(reg.ok()) << reg.status().ToString();
+  ASSERT_TRUE(reg->status().ok()) << reg->message;
+  EXPECT_EQ(reg->id, 1u);
+  EXPECT_EQ(reg->request_kind, MsgKind::kRegister);
+  ASSERT_EQ(reg->ids.size(), 1u);
+  EXPECT_EQ(reg->ids[0], 0u);
+
+  auto batch = client->Call(Request::RegisterBatch(
+      2, {{"beta", "G(request -> F grant)"}, {"gamma", "pay U deliver"}}));
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(batch->status().ok()) << batch->message;
+  EXPECT_EQ(batch->ids, (std::vector<uint32_t>{1, 2}));
+
+  auto query = client->Call(Request::Query(3, "F pay"));
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE(query->status().ok()) << query->message;
+  ASSERT_EQ(query->answers.size(), 1u);
+  // "F pay" permits at least the identical contract "alpha".
+  EXPECT_NE(std::find(query->answers[0].matches.begin(),
+                      query->answers[0].matches.end(), 0u),
+            query->answers[0].matches.end());
+
+  auto query_batch =
+      client->Call(Request::QueryBatch(4, {"F pay", "F deliver"}));
+  ASSERT_TRUE(query_batch.ok());
+  ASSERT_TRUE(query_batch->status().ok()) << query_batch->message;
+  EXPECT_EQ(query_batch->answers.size(), 2u);
+
+  auto checkpoint = client->Call(Request::Checkpoint(5));
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(checkpoint->status().ok()) << checkpoint->message;
+  EXPECT_EQ(checkpoint->sequence, 3u);  // three registrations acked
+
+  auto stats = client->Call(Request::Stats(6));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->status().ok()) << stats->message;
+  EXPECT_NE(stats->stats_json.find("broker.registrations"),
+            std::string::npos);
+}
+
+TEST(ServerIntegrationTest, BadQueryComesBackAsErrorResponseNotHangup) {
+  TempDir dir("net");
+  Harness harness(dir.path());
+  auto client = harness.Connect();
+
+  auto bad = client->Call(Request::Query(1, "F (("));
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_FALSE(bad->status().ok());
+  EXPECT_EQ(bad->id, 1u);
+
+  // The connection survives an application-level error.
+  auto good = client->Call(Request::Register(2, "a", "F pay"));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->status().ok()) << good->message;
+}
+
+TEST(ServerIntegrationTest, PipelinedRequestsAllAnsweredWithMatchingIds) {
+  TempDir dir("net");
+  Harness harness(dir.path());
+  auto client = harness.Connect();
+
+  ASSERT_TRUE(
+      client->Call(Request::Register(0, "seed", "F pay"))->status().ok());
+
+  // Requests execute on concurrent workers, so responses may arrive in any
+  // order — correlation ids are the contract, and every id must come back
+  // exactly once.
+  constexpr uint64_t kInFlight = 64;
+  for (uint64_t id = 1; id <= kInFlight; ++id) {
+    ASSERT_TRUE(client->Send(Request::Query(id, "F pay")).ok());
+  }
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < kInFlight; ++i) {
+    auto response = client->Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->status().ok()) << response->message;
+    EXPECT_GE(response->id, 1u);
+    EXPECT_LE(response->id, kInFlight);
+    EXPECT_TRUE(seen.insert(response->id).second)
+        << "duplicate response id " << response->id;
+  }
+  EXPECT_EQ(seen.size(), kInFlight);
+}
+
+TEST(ServerIntegrationTest, ConcurrentMixedClients) {
+  TempDir dir("net");
+  Harness harness(dir.path());
+
+  // Prime the vocabulary so no query can race ahead of the registration
+  // that would introduce its events.
+  {
+    auto prime = harness.Connect();
+    auto response = prime->Call(
+        Request::Register(0, "prime", "F (pay | request | grant | deliver)"));
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->status().ok()) << response->message;
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 24;
+  std::atomic<int> failures{0};
+  std::atomic<int> ok_responses{0};
+  std::atomic<int> acked_registers{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto connected = Client::Connect("127.0.0.1", harness.server->port());
+      if (!connected.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto& client = *connected;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const uint64_t id = static_cast<uint64_t>(c) * 1000 + i;
+        Request request;
+        switch (i % 4) {
+          case 0:
+            request = Request::Register(
+                id, "c" + std::to_string(c) + "-" + std::to_string(i),
+                NthLtl(i));
+            break;
+          case 1: request = Request::Query(id, "F pay"); break;
+          case 2: request = Request::QueryBatch(id, {"F pay", "F grant"}); break;
+          default: request = Request::Stats(id); break;
+        }
+        auto response = client->Call(request);
+        if (!response.ok() || response->id != id) {
+          failures.fetch_add(1);
+          return;
+        }
+        // Admission control may shed under load; anything else must be OK.
+        if (response->status().ok()) {
+          ok_responses.fetch_add(1);
+          if (i % 4 == 0) acked_registers.fetch_add(1);
+        } else if (!response->status().IsUnavailable()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(ok_responses.load(), 0);
+  // Every registration acked OK over the wire is in the database, and
+  // nothing else is (names are unique, so no double counting; +1 for the
+  // priming contract).
+  EXPECT_EQ(harness.db->size(),
+            static_cast<size_t>(acked_registers.load()) + 1);
+}
+
+TEST(ServerIntegrationTest, GracefulDrainAnswersEveryReceivedRequest) {
+  TempDir dir("net");
+  Harness harness(dir.path());
+  auto client = harness.Connect();
+
+  // Make sure the server has read and is executing real work, then drain.
+  constexpr uint64_t kPipelined = 16;
+  for (uint64_t id = 1; id <= kPipelined; ++id) {
+    ASSERT_TRUE(
+        client->Send(Request::Register(id, "d" + std::to_string(id),
+                                       NthLtl(static_cast<int>(id))))
+            .ok());
+  }
+  // First response proves the server has started consuming the pipeline.
+  auto first = client->Receive();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->status().ok()) << first->message;
+
+  harness.server->RequestDrain();
+
+  // Every request the server had already received must still be answered
+  // before the connection closes; the stream then ends cleanly. Responses
+  // may arrive out of order (concurrent workers) but never duplicated.
+  std::set<uint64_t> answered = {first->id};
+  for (;;) {
+    auto response = client->Receive();
+    if (!response.ok()) break;  // server closed after flushing
+    EXPECT_TRUE(response->status().ok()) << response->message;
+    EXPECT_GE(response->id, 1u);
+    EXPECT_LE(response->id, kPipelined);
+    EXPECT_TRUE(answered.insert(response->id).second)
+        << "duplicate response id " << response->id;
+  }
+  EXPECT_GE(answered.size(), 1u);
+  ASSERT_TRUE(harness.server->Shutdown().ok());
+
+  // Acked-over-the-wire implies recoverable: every answered registration
+  // survives a close + reopen.
+  ASSERT_TRUE(harness.db->Close().ok());
+  harness.db.reset();
+  harness.server.reset();
+  auto reopened = DurableDatabase::Open(dir.path(), FastDurability());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GE((*reopened)->size(), answered.size());
+  ASSERT_TRUE((*reopened)->Close().ok());
+}
+
+TEST(ServerIntegrationTest, RestartedServerRecoversContractSet) {
+  TempDir dir("net");
+  {
+    Harness harness(dir.path());
+    auto client = harness.Connect();
+    for (uint64_t id = 0; id < 10; ++id) {
+      auto response = client->Call(Request::Register(
+          id, "r" + std::to_string(id), NthLtl(static_cast<int>(id))));
+      ASSERT_TRUE(response.ok());
+      ASSERT_TRUE(response->status().ok()) << response->message;
+    }
+    auto checkpoint = client->Call(Request::Checkpoint(99));
+    ASSERT_TRUE(checkpoint.ok());
+    ASSERT_TRUE(checkpoint->status().ok()) << checkpoint->message;
+  }  // server shutdown + db close
+
+  // A new server over the recovered database answers queries for the
+  // contracts registered through the old one.
+  Harness harness(dir.path());
+  EXPECT_EQ(harness.db->size(), 10u);
+  auto client = harness.Connect();
+  auto query = client->Call(Request::Query(1, "F pay"));
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE(query->status().ok()) << query->message;
+  ASSERT_EQ(query->answers.size(), 1u);
+  EXPECT_FALSE(query->answers[0].matches.empty());
+  auto stats = client->Call(Request::Stats(2));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->status().ok());
+}
+
+TEST(ServerIntegrationTest, ExecuteRequestMapsUnknownKindsToError) {
+  TempDir dir("net");
+  auto db = DurableDatabase::Open(dir.path(), FastDurability());
+  ASSERT_TRUE(db.ok());
+  Request request;
+  request.kind = MsgKind::kResponse;  // not an operation
+  request.id = 5;
+  const Response response = ExecuteRequest(db->get(), request);
+  EXPECT_FALSE(response.status().ok());
+  EXPECT_EQ(response.id, 5u);
+  ASSERT_TRUE((*db)->Close().ok());
+}
+
+}  // namespace
+}  // namespace ctdb::net

@@ -29,6 +29,9 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_EQ(Status::Corruption("bad crc").ToString(), "Corruption: bad crc");
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_EQ(Status::Unavailable("queue full").ToString(),
+            "Unavailable: queue full");
 }
 
 TEST(StatusTest, Equality) {
