@@ -1,0 +1,65 @@
+// The abstract broker surface: what a contract-database service needs from
+// its storage engine, independent of whether that engine is one durable
+// instance (broker::DurableDatabase) or a hash-partitioned fleet of them
+// (shard::ShardedDatabase, DESIGN.md §13).
+//
+// The network layer (net/server.h) executes every wire operation against
+// this interface, so `ctdb_server --shards=N` can put the same protocol in
+// front of either topology. Implementations must be internally synchronized
+// exactly like DurableDatabase: queries safe concurrently with each other
+// and with registrations, Register* safe from multiple threads, Checkpoint
+// safe concurrently with everything.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "broker/database.h"
+#include "broker/snapshot.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace ctdb::broker {
+
+/// \brief Abstract registration/query/checkpoint surface shared by the
+/// durable database and the sharded router.
+class Broker {
+ public:
+  virtual ~Broker() = default;
+
+  /// Registers a contract; Ok only once the registration is durable under
+  /// the implementation's policy.
+  virtual Result<uint32_t> Register(std::string name,
+                                    std::string_view ltl_text,
+                                    RegistrationStats* stats = nullptr) = 0;
+
+  /// Registers a batch; ids are returned in entry order.
+  virtual Result<std::vector<uint32_t>> RegisterBatch(
+      const std::vector<ContractDatabase::BatchEntry>& entries) = 0;
+
+  virtual Result<QueryResult> Query(std::string_view ltl_text,
+                                    const QueryOptions& options = {}) const = 0;
+
+  virtual Result<std::vector<QueryResult>> QueryBatch(
+      const std::vector<std::string>& queries,
+      const QueryOptions& options = {}) const = 0;
+
+  /// Writes a checkpoint now and truncates the log(s) below it.
+  virtual Status Checkpoint() = 0;
+
+  /// Flushes and stops; further registrations fail. Idempotent.
+  virtual Status Close() = 0;
+
+  /// Number of registered contracts.
+  virtual size_t size() const = 0;
+
+  /// Sequence of the latest applied registration.
+  virtual uint64_t last_sequence() const = 0;
+
+  /// Scrape of the process-wide metrics registry (obs/metrics.h).
+  virtual obs::MetricsSnapshot Metrics() const = 0;
+};
+
+}  // namespace ctdb::broker

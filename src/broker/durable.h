@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "broker/broker.h"
 #include "broker/database.h"
 #include "util/result.h"
 #include "wal/wal.h"
@@ -82,7 +83,7 @@ Result<std::unique_ptr<ContractDatabase>> RecoverDatabase(
 /// with each other and with registrations; Register calls from multiple
 /// threads are safe and share group commits. Checkpoint may run
 /// concurrently with everything (it pins a snapshot).
-class DurableDatabase {
+class DurableDatabase : public Broker {
  public:
   /// Opens (creating the directory if needed) or recovers a durable
   /// database. The WAL continues in a fresh segment — recovery never
@@ -91,7 +92,7 @@ class DurableDatabase {
       std::string dir, const wal::DurabilityOptions& durability = {},
       const DatabaseOptions& options = {});
 
-  ~DurableDatabase();
+  ~DurableDatabase() override;
   DurableDatabase(const DurableDatabase&) = delete;
   DurableDatabase& operator=(const DurableDatabase&) = delete;
 
@@ -99,28 +100,38 @@ class DurableDatabase {
   /// the configured fsync policy. Queries may observe the registration
   /// slightly before it is durable (never after a failure).
   Result<uint32_t> Register(std::string name, std::string_view ltl_text,
-                            RegistrationStats* stats = nullptr);
+                            RegistrationStats* stats = nullptr) override;
 
   /// Registers a batch atomically (all-or-nothing in memory, one WAL group
   /// on disk). Returns once every record of the batch is durable.
   Result<std::vector<uint32_t>> RegisterBatch(
-      const std::vector<ContractDatabase::BatchEntry>& entries);
+      const std::vector<ContractDatabase::BatchEntry>& entries) override;
+
+  /// Interns a query-only event into the vocabulary, publishing it
+  /// immediately (see ContractDatabase::InternEvent). Deliberately NOT
+  /// logged to the WAL: recovery rebuilds the vocabulary from the replayed
+  /// contracts alone, so interned-but-uncited events do not survive a
+  /// restart. The sharded router (src/shard) relies on exactly that — it
+  /// re-broadcasts the union vocabulary across shards at Open.
+  Result<EventId> InternEvent(std::string_view name) {
+    return db_->InternEvent(name);
+  }
 
   /// \name Read path — forwards to the wrapped snapshot-isolated database.
   /// @{
   Result<QueryResult> Query(std::string_view ltl_text,
-                            const QueryOptions& options = {}) const {
+                            const QueryOptions& options = {}) const override {
     return db_->Query(ltl_text, options);
   }
   Result<std::vector<QueryResult>> QueryBatch(
       const std::vector<std::string>& queries,
-      const QueryOptions& options = {}) const {
+      const QueryOptions& options = {}) const override {
     return db_->QueryBatch(queries, options);
   }
   std::shared_ptr<const DatabaseSnapshot> Snapshot() const {
     return db_->Snapshot();
   }
-  size_t size() const { return db_->size(); }
+  size_t size() const override { return db_->size(); }
   const Contract& contract(uint32_t id) const { return db_->contract(id); }
   /// The wrapped database (read-only: registering through it directly would
   /// bypass the log).
@@ -129,14 +140,19 @@ class DurableDatabase {
 
   /// Writes a checkpoint now and truncates the log below it. Serialized
   /// against the automatic background checkpoint.
-  Status Checkpoint();
+  Status Checkpoint() override;
 
   /// Flushes and stops the log writer; further registrations fail. Run by
   /// the destructor; idempotent.
-  Status Close();
+  Status Close() override;
 
   /// Sequence of the latest applied registration (== size()).
-  uint64_t last_sequence() const { return db_->size(); }
+  uint64_t last_sequence() const override { return db_->size(); }
+
+  /// Scrape of the process-wide metrics registry (Broker interface).
+  obs::MetricsSnapshot Metrics() const override {
+    return db_->MetricsSnapshot();
+  }
 
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
   const wal::DurabilityOptions& durability_options() const {

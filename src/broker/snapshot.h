@@ -78,6 +78,13 @@ struct DatabaseOptions {
   /// calling thread. QueryOptions::threads and RegisterBatch's `threads`
   /// argument override this per call (there, 0 means "inherit this value").
   size_t threads = 1;
+
+  /// Number of independent durable shards the contract space is partitioned
+  /// into — consumed by shard::ShardedDatabase::Open (DESIGN.md §13), where
+  /// 0 means "adopt whatever the directory's manifest records". Ignored by
+  /// ContractDatabase/DurableDatabase themselves: a single instance is
+  /// always exactly one shard.
+  size_t shards = 1;
 };
 
 /// Query-time configuration.

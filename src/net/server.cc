@@ -15,7 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "broker/durable.h"
+#include "broker/broker.h"
 #include "obs/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -369,7 +369,7 @@ class Server::Loop {
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;
 };
 
-Result<std::unique_ptr<Server>> Server::Start(broker::DurableDatabase* db,
+Result<std::unique_ptr<Server>> Server::Start(broker::Broker* db,
                                               const ServerOptions& options) {
   if (db == nullptr) return Status::InvalidArgument("null database");
   std::unique_ptr<Server> server(new Server);
@@ -450,7 +450,7 @@ Status Server::Shutdown() {
   return Status::OK();
 }
 
-Response ExecuteRequest(broker::DurableDatabase* db, const Request& request) {
+Response ExecuteRequest(broker::Broker* db, const Request& request) {
   Response response;
   response.id = request.id;
   response.request_kind = request.kind;
@@ -503,7 +503,7 @@ Response ExecuteRequest(broker::DurableDatabase* db, const Request& request) {
       break;
     }
     case MsgKind::kStats: {
-      response.stats_json = db->database().MetricsSnapshot().ToJson();
+      response.stats_json = db->Metrics().ToJson();
       break;
     }
     case MsgKind::kResponse:

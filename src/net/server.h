@@ -1,5 +1,6 @@
 // The ctdb network service: a long-running multi-client TCP server in
-// front of broker::DurableDatabase (DESIGN.md §12).
+// front of a broker::Broker — a single DurableDatabase or a sharded
+// topology (src/shard) — selected by the caller (DESIGN.md §12).
 //
 // Architecture: one event-loop thread multiplexes every socket with
 // poll(2) — the listener, a self-pipe for cross-thread wakeups, and all
@@ -48,7 +49,7 @@
 #include "util/result.h"
 
 namespace ctdb::broker {
-class DurableDatabase;
+class Broker;
 }
 namespace ctdb::util {
 class ThreadPool;
@@ -70,7 +71,7 @@ struct ServerOptions {
   int drain_timeout_ms = 5000;
 };
 
-/// \brief Multi-client TCP front end for a DurableDatabase.
+/// \brief Multi-client TCP front end for a Broker.
 ///
 /// Thread safety: Start/Shutdown/RequestDrain may be called from any
 /// thread; RequestDrain is async-signal-safe after Start returned (one
@@ -80,7 +81,7 @@ class Server {
   /// Binds, listens and starts the event loop. `db` must outlive the
   /// server. With options.port == 0 the kernel picks a free port,
   /// reported by port().
-  static Result<std::unique_ptr<Server>> Start(broker::DurableDatabase* db,
+  static Result<std::unique_ptr<Server>> Start(broker::Broker* db,
                                                const ServerOptions& options = {});
 
   /// Shuts down (gracefully) if still running.
@@ -123,7 +124,7 @@ class Server {
   /// Pokes the self-pipe so a blocked poll() returns (async-signal-safe).
   void Wake();
 
-  broker::DurableDatabase* db_ = nullptr;
+  broker::Broker* db_ = nullptr;
   ServerOptions options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
@@ -144,6 +145,6 @@ class Server {
 /// Executes one request against the database (shared by the server workers
 /// and in-process tests). Never returns a transport error: the outcome —
 /// including InvalidArgument for a bad query — is encoded in the Response.
-Response ExecuteRequest(broker::DurableDatabase* db, const Request& request);
+Response ExecuteRequest(broker::Broker* db, const Request& request);
 
 }  // namespace ctdb::net

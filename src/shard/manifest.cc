@@ -1,0 +1,110 @@
+#include "shard/manifest.h"
+
+#include <cinttypes>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace ctdb::shard {
+
+namespace {
+
+constexpr std::string_view kMagic = "CTDBSHARDS1";
+
+/// Consumes the next line (without its '\n') from `*rest`; false at end.
+bool NextLine(std::string_view* rest, std::string_view* line) {
+  if (rest->empty()) return false;
+  const size_t pos = rest->find('\n');
+  if (pos == std::string_view::npos) {
+    // Every line, including the last, must be newline-terminated; a torn
+    // tail is how a non-atomic writer would look, and we never write one.
+    return false;
+  }
+  *line = rest->substr(0, pos);
+  rest->remove_prefix(pos + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string ShardDirName(size_t shard) {
+  return StringFormat("shard-%03zu", shard);
+}
+
+std::string EncodeManifest(const Manifest& manifest) {
+  std::string out(kMagic);
+  out += '\n';
+  out += StringFormat("shards %" PRIu32 "\n", manifest.shards);
+  for (const std::string& dir : manifest.dirs) {
+    out += "dir ";
+    out += dir;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Manifest> DecodeManifest(std::string_view text) {
+  std::string_view rest = text;
+  std::string_view line;
+  if (!NextLine(&rest, &line) || line != kMagic) {
+    return Status::Corruption("manifest: bad magic");
+  }
+  if (!NextLine(&rest, &line) || !StartsWith(line, "shards ")) {
+    return Status::Corruption("manifest: missing shards line");
+  }
+  const std::string_view digits = line.substr(7);
+  if (digits.empty() || digits.size() > 9) {
+    return Status::Corruption("manifest: bad shard count");
+  }
+  uint64_t shards = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::Corruption("manifest: bad shard count");
+    }
+    shards = shards * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (shards == 0 || shards > 1024) {
+    return Status::Corruption("manifest: shard count out of range");
+  }
+  Manifest manifest;
+  manifest.shards = static_cast<uint32_t>(shards);
+  for (uint64_t i = 0; i < shards; ++i) {
+    if (!NextLine(&rest, &line) || !StartsWith(line, "dir ") ||
+        line.size() <= 4) {
+      return Status::Corruption(
+          StringFormat("manifest: missing dir line %" PRIu64, i));
+    }
+    const std::string_view name = line.substr(4);
+    if (name.find('/') != std::string_view::npos ||
+        name.find('\\') != std::string_view::npos || name == "." ||
+        name == "..") {
+      return Status::Corruption("manifest: unsafe shard directory name");
+    }
+    manifest.dirs.emplace_back(name);
+  }
+  if (!rest.empty()) return Status::Corruption("manifest: trailing bytes");
+  return manifest;
+}
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  CTDB_ASSIGN_OR_RETURN(
+      std::string data,
+      util::ReadFileToString(dir + "/" + kManifestFileName));
+  auto manifest = DecodeManifest(data);
+  if (!manifest.ok()) {
+    return Status::Corruption(dir + "/" + kManifestFileName + ": " +
+                              manifest.status().message());
+  }
+  return manifest;
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& manifest) {
+  if (manifest.shards == 0 || manifest.dirs.size() != manifest.shards) {
+    return Status::InvalidArgument("manifest: dirs must match shard count");
+  }
+  CTDB_RETURN_NOT_OK(util::WriteFileAtomic(dir + "/" + kManifestFileName,
+                                           EncodeManifest(manifest)));
+  return util::SyncDir(dir);
+}
+
+}  // namespace ctdb::shard

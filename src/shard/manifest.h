@@ -1,0 +1,59 @@
+// The sharded database's topology manifest (DESIGN.md §13).
+//
+// A sharded directory holds one `MANIFEST` file naming the shard count and
+// the per-shard subdirectories. The manifest is written atomically when the
+// topology is first created and never rewritten; ShardedDatabase::Open
+// compares it against the requested shard count and fails cleanly on a
+// mismatch — re-opening a 4-shard directory with `--shards=2` must never
+// silently mis-route contract ids whose hash partition assumed 4.
+//
+// Format (plain text, one token pair per line, strict parse):
+//
+//   CTDBSHARDS1
+//   shards 4
+//   dir shard-000
+//   dir shard-001
+//   dir shard-002
+//   dir shard-003
+//
+// Exactly `shards` dir lines, in shard order. Anything else — wrong magic,
+// duplicate keys, trailing garbage — is Status::Corruption.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ctdb::shard {
+
+/// Name of the manifest file inside a sharded directory.
+inline constexpr const char* kManifestFileName = "MANIFEST";
+
+/// Recorded topology of a sharded database directory.
+struct Manifest {
+  uint32_t shards = 0;
+  std::vector<std::string> dirs;  ///< shard subdirectory names, in order
+};
+
+/// "shard-000" for shard 0.
+std::string ShardDirName(size_t shard);
+
+/// Serializes `manifest` to the strict text format above.
+std::string EncodeManifest(const Manifest& manifest);
+
+/// Parses a manifest; Corruption on any structural violation (every
+/// accepted input is a decode∘encode fixed point).
+Result<Manifest> DecodeManifest(std::string_view text);
+
+/// Reads and parses `dir`'s manifest. NotFound when the file is absent.
+Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Atomically writes `dir`'s manifest (util::WriteFileAtomic) and fsyncs
+/// the directory, so a crash mid-create never leaves a half-made topology.
+Status WriteManifest(const std::string& dir, const Manifest& manifest);
+
+}  // namespace ctdb::shard

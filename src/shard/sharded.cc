@@ -1,0 +1,457 @@
+#include "shard/sharded.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "base/vocabulary.h"
+#include "broker/contract.h"
+#include "ltl/formula.h"
+#include "ltl/parser.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/file_util.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+#include "wal/segment.h"
+
+namespace ctdb::shard {
+
+namespace {
+
+/// Prefixes a shard-local error with the shard directory, so "checksum
+/// mismatch" becomes "shard-002: checksum mismatch".
+Status AnnotateShard(size_t shard, const Status& status) {
+  if (status.ok()) return status;
+  return Status(status.code(), ShardDirName(shard) + ": " + status.message());
+}
+
+/// True when `dir` looks like an unsharded DurableDatabase directory —
+/// i.e. it already holds WAL segments at the top level. Opening such a
+/// directory as sharded would shadow the existing data, so Open refuses.
+bool LooksLikeUnshardedData(const std::string& dir) {
+  auto entries = util::ListDir(dir);
+  if (!entries.ok()) return false;
+  for (const std::string& name : *entries) {
+    uint64_t index = 0;
+    if (wal::ParseSegmentFileName(name, &index)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedDatabase>> ShardedDatabase::Open(
+    std::string dir, const wal::DurabilityOptions& durability,
+    const broker::DatabaseOptions& options) {
+  Timer open_timer;
+  CTDB_RETURN_NOT_OK(util::CreateDirIfMissing(dir));
+
+  // Establish the topology: adopt the manifest when one exists (and verify
+  // the caller agrees), otherwise stamp a fresh one.
+  Manifest manifest;
+  auto existing = ReadManifest(dir);
+  if (existing.ok()) {
+    manifest = std::move(*existing);
+    if (options.shards != 0 && options.shards != manifest.shards) {
+      return Status::InvalidArgument(StringFormat(
+          "sharded database at %s has %u shards, but %zu were requested; "
+          "resharding is not supported — open with the recorded topology "
+          "(or shards=0 to adopt it)",
+          dir.c_str(), manifest.shards, options.shards));
+    }
+  } else if (existing.status().code() == StatusCode::kNotFound) {
+    if (LooksLikeUnshardedData(dir)) {
+      return Status::InvalidArgument(
+          dir + ": holds an unsharded database (WAL segments present but no " +
+          kManifestFileName + "); refusing to shard over it");
+    }
+    if (options.shards > 1024) {
+      return Status::InvalidArgument("shards must be <= 1024");
+    }
+    manifest.shards =
+        static_cast<uint32_t>(options.shards == 0 ? 1 : options.shards);
+    for (size_t k = 0; k < manifest.shards; ++k) {
+      manifest.dirs.push_back(ShardDirName(k));
+    }
+    CTDB_RETURN_NOT_OK(WriteManifest(dir, manifest));
+  } else {
+    return existing.status();
+  }
+
+  const size_t n = manifest.shards;
+  broker::DatabaseOptions shard_options = options;
+  shard_options.shards = 1;  // each shard is a plain DurableDatabase
+
+  // Router pool: one participant per shard up to the hardware, remembering
+  // that the calling thread claims iterations too.
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t workers = std::max<size_t>(1, std::min(n, hw) - 1);
+  auto pool = n > 1 ? std::make_unique<util::ThreadPool>(workers) : nullptr;
+
+  // Recover every shard in parallel; wall time is the slowest shard.
+  std::vector<std::unique_ptr<broker::DurableDatabase>> shards(n);
+  std::vector<Status> open_status(n, Status::OK());
+  auto open_one = [&](size_t k) {
+    auto opened = broker::DurableDatabase::Open(
+        dir + "/" + manifest.dirs[k], durability, shard_options);
+    if (!opened.ok()) {
+      open_status[k] = AnnotateShard(k, opened.status());
+      return open_status[k];
+    }
+    shards[k] = std::move(*opened);
+    return Status::OK();
+  };
+  if (pool) {
+    // Ignore ParallelFor's first-error shortcut: report the lowest shard's
+    // error deterministically, whatever the interleaving.
+    (void)pool->ParallelFor(0, n, open_one);
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      if (!shards[k]) (void)open_one(k);
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    if (!shards[k] && open_status[k].ok()) (void)open_one(k);
+    CTDB_RETURN_NOT_OK(open_status[k]);
+  }
+
+  ShardedRecoveryStats stats;
+  stats.shards = n;
+  for (size_t k = 0; k < n; ++k) {
+    const broker::RecoveryStats& rs = shards[k]->recovery_stats();
+    stats.replay_ms_sum += rs.replay_ms + rs.checkpoint_load_ms;
+    stats.records_replayed += rs.records_replayed;
+    stats.bytes_scanned += rs.bytes_scanned;
+    stats.tail_truncated = stats.tail_truncated || rs.tail_truncated;
+    stats.per_shard.push_back(rs);
+  }
+
+  // Re-broadcast the union vocabulary: InternEvent is not WAL-logged, so a
+  // recovered shard only knows the events its own contracts cite.
+  if (n > 1) {
+    std::vector<std::string> union_names;
+    for (size_t k = 0; k < n; ++k) {
+      const auto snapshot = shards[k]->Snapshot();
+      for (const std::string& name : snapshot->vocabulary().names()) {
+        union_names.push_back(name);
+      }
+    }
+    for (size_t k = 0; k < n; ++k) {
+      for (const std::string& name : union_names) {
+        CTDB_RETURN_NOT_OK(
+            AnnotateShard(k, shards[k]->InternEvent(name).status()));
+      }
+    }
+  }
+  stats.wall_ms = open_timer.ElapsedMillis();
+
+  return std::unique_ptr<ShardedDatabase>(new ShardedDatabase(
+      std::move(dir), std::move(shards), std::move(pool), std::move(stats)));
+}
+
+ShardedDatabase::ShardedDatabase(
+    std::string dir,
+    std::vector<std::unique_ptr<broker::DurableDatabase>> shards,
+    std::unique_ptr<util::ThreadPool> pool, ShardedRecoveryStats recovery_stats)
+    : dir_(std::move(dir)),
+      shards_(std::move(shards)),
+      pool_(std::move(pool)),
+      recovery_stats_(std::move(recovery_stats)) {
+  sizes_.resize(shards_.size());
+  for (size_t k = 0; k < shards_.size(); ++k) sizes_[k] = shards_[k]->size();
+#if CTDB_OBS
+  // Counters are cached at construction, so a runtime-disabled registry
+  // stays empty (the documented CTDB_OBS=0 contract); enabling obs after
+  // construction leaves the per-shard counters unrecorded by design.
+  if (obs::Enabled()) {
+    register_counters_.resize(shards_.size());
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      register_counters_[k] = obs::MetricsRegistry::Default()->GetCounter(
+          StringFormat("shard.%03zu.registrations", k));
+    }
+    obs::MetricsRegistry::Default()
+        ->GetGauge("shard.count")
+        ->Add(static_cast<int64_t>(shards_.size()));
+  }
+#endif
+}
+
+ShardedDatabase::~ShardedDatabase() {
+  (void)Close();
+#if CTDB_OBS
+  if (!register_counters_.empty()) {
+    obs::MetricsRegistry::Default()
+        ->GetGauge("shard.count")
+        ->Sub(static_cast<int64_t>(shards_.size()));
+  }
+#endif
+}
+
+size_t ShardedDatabase::RouteShardLocked() const {
+  size_t best = 0;
+  for (size_t k = 1; k < shards_.size(); ++k) {
+    if (NextGlobalIdOf(k) < NextGlobalIdOf(best)) best = k;
+  }
+  return best;
+}
+
+Status ShardedDatabase::BroadcastEventsLocked(size_t from, uint32_t local_id) {
+  if (shards_.size() == 1) return Status::OK();
+  const auto snapshot = shards_[from]->Snapshot();
+  const broker::Contract& contract = snapshot->contract(local_id);
+  const Vocabulary& vocab = snapshot->vocabulary();
+  for (size_t event : contract.events.Indices()) {
+    const std::string& name = vocab.Name(static_cast<EventId>(event));
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      if (k == from) continue;
+      CTDB_RETURN_NOT_OK(
+          AnnotateShard(k, shards_[k]->InternEvent(name).status()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> ShardedDatabase::Register(std::string name,
+                                           std::string_view ltl_text,
+                                           broker::RegistrationStats* stats) {
+  CTDB_RETURN_NOT_OK(CheckOpen());
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  const size_t k = RouteShardLocked();
+  CTDB_ASSIGN_OR_RETURN(uint32_t local_id,
+                        shards_[k]->Register(std::move(name), ltl_text, stats));
+  // The shard assigns local ids densely from its own size; the route table
+  // tracked that size, so the striped global id is exactly the next one.
+  if (local_id != sizes_[k]) {
+    return Status::Internal(StringFormat(
+        "shard %zu assigned local id %u, router expected %llu", k, local_id,
+        static_cast<unsigned long long>(sizes_[k])));
+  }
+  sizes_[k] += 1;
+#if CTDB_OBS
+  if (obs::Enabled() && !register_counters_.empty()) {
+    register_counters_[k]->Add();
+  }
+#endif
+  CTDB_RETURN_NOT_OK(BroadcastEventsLocked(k, local_id));
+  return GlobalId(k, local_id, shards_.size());
+}
+
+Result<std::vector<uint32_t>> ShardedDatabase::RegisterBatch(
+    const std::vector<broker::ContractDatabase::BatchEntry>& entries) {
+  CTDB_RETURN_NOT_OK(CheckOpen());
+  if (entries.empty()) return std::vector<uint32_t>{};
+
+  // Pre-validate every entry with a scratch parser so a malformed entry
+  // fails the whole batch before anything touches any shard — the same
+  // all-or-nothing surface as the unsharded RegisterBatch.
+  {
+    ltl::FormulaFactory scratch_factory;
+    Vocabulary scratch_vocab;
+    for (const auto& entry : entries) {
+      CTDB_RETURN_NOT_OK(
+          ltl::Parse(entry.ltl_text, &scratch_factory, &scratch_vocab)
+              .status());
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  const size_t n = shards_.size();
+
+  // Assign global ids up front (round-robin over the lowest-next-id
+  // shards), grouping entries into per-shard sub-batches.
+  std::vector<uint32_t> global_ids(entries.size());
+  std::vector<std::vector<broker::ContractDatabase::BatchEntry>> sub(n);
+  std::vector<std::vector<size_t>> sub_origin(n);  // entry index per slot
+  std::vector<uint64_t> planned = sizes_;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    size_t best = 0;
+    for (size_t k = 1; k < n; ++k) {
+      if (planned[k] * n + k < planned[best] * n + best) best = k;
+    }
+    global_ids[i] =
+        GlobalId(best, static_cast<uint32_t>(planned[best]), n);
+    planned[best] += 1;
+    sub[best].push_back(entries[i]);
+    sub_origin[best].push_back(i);
+  }
+
+  // Commit the sub-batches, each atomic within its shard.
+  std::vector<Status> shard_status(n, Status::OK());
+  auto commit_one = [&](size_t k) {
+    if (sub[k].empty()) return Status::OK();
+    auto ids = shards_[k]->RegisterBatch(sub[k]);
+    if (!ids.ok()) {
+      shard_status[k] = AnnotateShard(k, ids.status());
+      return shard_status[k];
+    }
+    for (size_t slot = 0; slot < ids->size(); ++slot) {
+      if ((*ids)[slot] !=
+          LocalId(global_ids[sub_origin[k][slot]], n)) {
+        shard_status[k] = Status::Internal(
+            AnnotateShard(k, Status::Internal("local id out of step"))
+                .message());
+        return shard_status[k];
+      }
+    }
+    return Status::OK();
+  };
+  Status first;
+  if (pool_) {
+    (void)pool_->ParallelFor(0, n, commit_one);
+    // ParallelFor may skip shards after the first error; run the skipped
+    // ones so the commit is as complete as it can be, then report the
+    // lowest-numbered failure deterministically.
+    for (size_t k = 0; k < n; ++k) {
+      if (!sub[k].empty() && shard_status[k].ok() &&
+          shards_[k]->size() < planned[k]) {
+        (void)commit_one(k);
+      }
+      if (first.ok() && !shard_status[k].ok()) first = shard_status[k];
+    }
+  } else {
+    first = commit_one(0);
+  }
+  for (size_t k = 0; k < n; ++k) sizes_[k] = shards_[k]->size();
+  CTDB_RETURN_NOT_OK(first);
+
+  for (size_t k = 0; k < n; ++k) {
+#if CTDB_OBS
+    if (obs::Enabled() && !register_counters_.empty() && !sub[k].empty()) {
+      register_counters_[k]->Add(sub[k].size());
+    }
+#endif
+    for (size_t slot = 0; slot < sub[k].size(); ++slot) {
+      CTDB_RETURN_NOT_OK(BroadcastEventsLocked(
+          k, LocalId(global_ids[sub_origin[k][slot]], n)));
+    }
+  }
+  return global_ids;
+}
+
+Result<broker::QueryResult> ShardedDatabase::Query(
+    std::string_view ltl_text, const broker::QueryOptions& options) const {
+  const std::string query(ltl_text);
+  CTDB_ASSIGN_OR_RETURN(std::vector<broker::QueryResult> results,
+                        QueryBatch({query}, options));
+  return std::move(results[0]);
+}
+
+Result<std::vector<broker::QueryResult>> ShardedDatabase::QueryBatch(
+    const std::vector<std::string>& queries,
+    const broker::QueryOptions& options) const {
+  CTDB_RETURN_NOT_OK(CheckOpen());
+  const size_t n = shards_.size();
+  Timer wall;
+
+  // Scatter: every shard evaluates the whole batch against one of its
+  // snapshots.
+  std::vector<Result<std::vector<broker::QueryResult>>> per_shard(
+      n, Status::Internal("shard not reached"));
+  auto run_one = [&](size_t k) {
+    per_shard[k] = shards_[k]->QueryBatch(queries, options);
+    return Status::OK();  // errors merge below, in shard order
+  };
+  if (pool_ && n > 1) {
+    CTDB_RETURN_NOT_OK(pool_->ParallelFor(0, n, run_one));
+  } else {
+    for (size_t k = 0; k < n; ++k) (void)run_one(k);
+  }
+  for (size_t k = 0; k < n; ++k) {
+    // Parse / unknown-event errors are identical across shards (the
+    // vocabularies are kept in sync); report shard 0's wording.
+    CTDB_RETURN_NOT_OK(per_shard[k].status());
+  }
+  const double wall_ms = wall.ElapsedMillis();
+
+  // Gather: merge each query's shard results by ascending global id.
+  std::vector<broker::QueryResult> merged(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    broker::QueryResult& out = merged[q];
+    // k-way merge by global id; shard streams are already sorted by local
+    // id, and global = local * n + k preserves that order within a shard.
+    std::vector<size_t> cursor(n, 0);
+    size_t total = 0;
+    for (size_t k = 0; k < n; ++k) {
+      total += (*per_shard[k])[q].matches.size();
+    }
+    out.matches.reserve(total);
+    if (options.collect_witnesses) out.witnesses.reserve(total);
+    while (out.matches.size() < total) {
+      size_t best = n;
+      uint64_t best_id = 0;
+      for (size_t k = 0; k < n; ++k) {
+        const auto& r = (*per_shard[k])[q];
+        if (cursor[k] >= r.matches.size()) continue;
+        const uint64_t gid = GlobalId(k, r.matches[cursor[k]], n);
+        if (best == n || gid < best_id) {
+          best = k;
+          best_id = gid;
+        }
+      }
+      auto& r = (*per_shard[best])[q];
+      out.matches.push_back(static_cast<uint32_t>(best_id));
+      if (options.collect_witnesses) {
+        out.witnesses.push_back(std::move(r.witnesses[cursor[best]]));
+      }
+      cursor[best] += 1;
+    }
+    // Stats: sizes and counts sum; the parallel phases (translate,
+    // prefilter) cost their slowest shard; permission is summed CPU time;
+    // total is the scatter-gather wall clock for the whole batch.
+    for (size_t k = 0; k < n; ++k) {
+      const broker::QueryStats& s = (*per_shard[k])[q].stats;
+      broker::QueryStats& m = out.stats;
+      m.database_size += s.database_size;
+      m.candidates += s.candidates;
+      m.matches += s.matches;
+      m.translate_ms = std::max(m.translate_ms, s.translate_ms);
+      m.prefilter_ms = std::max(m.prefilter_ms, s.prefilter_ms);
+      m.permission_ms += s.permission_ms;
+      m.translate_cache_hit = m.translate_cache_hit || s.translate_cache_hit;
+    }
+    out.stats.total_ms = wall_ms;
+  }
+  CTDB_OBS_COUNT("shard.queries", queries.size());
+  return merged;
+}
+
+Status ShardedDatabase::Checkpoint() {
+  CTDB_RETURN_NOT_OK(CheckOpen());
+  const size_t n = shards_.size();
+  std::vector<Status> status(n, Status::OK());
+  auto one = [&](size_t k) {
+    status[k] = AnnotateShard(k, shards_[k]->Checkpoint());
+    return Status::OK();  // attempt every shard; merge below
+  };
+  if (pool_ && n > 1) {
+    (void)pool_->ParallelFor(0, n, one);
+  } else {
+    for (size_t k = 0; k < n; ++k) (void)one(k);
+  }
+  for (size_t k = 0; k < n; ++k) CTDB_RETURN_NOT_OK(status[k]);
+  CTDB_OBS_COUNT("shard.checkpoints", 1);
+  return Status::OK();
+}
+
+Status ShardedDatabase::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return Status::OK();
+  Status first;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    Status s = AnnotateShard(k, shards_[k]->Close());
+    if (first.ok()) first = s;
+  }
+  return first;
+}
+
+size_t ShardedDatabase::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+obs::MetricsSnapshot ShardedDatabase::Metrics() const {
+  return obs::MetricsRegistry::Default()->Snapshot();
+}
+
+}  // namespace ctdb::shard

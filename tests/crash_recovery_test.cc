@@ -30,6 +30,7 @@
 #include "broker/database.h"
 #include "broker/durable.h"
 #include "broker/persistence.h"
+#include "shard/sharded.h"
 #include "testing/crash.h"
 #include "testing/temp_dir.h"
 #include "util/file_util.h"
@@ -213,6 +214,202 @@ TEST(CrashRecoveryTest, KillAtEveryCrashPointLosesOnlyUnackedTail) {
     EXPECT_TRUE((*reopened)->Close().ok());
   }
 }
+
+// ---------------------------------------------------------------------------
+// Sharded crash matrix: the same kill-at-every-point sweep against a
+// shard::ShardedDatabase. The acceptance property generalizes per shard:
+// each shard's recovered contracts are a prefix of the contracts routed to
+// it, every ACKNOWLEDGED global id is present, and query results match a
+// serial oracle over exactly the surviving (possibly id-ragged) set.
+// (Suite name avoids the TSan filter's substrings — fork() is not TSan-able.)
+
+/// The sharded workload: sequential registrations acked by global id, one
+/// fan-out checkpoint in the middle.
+bool RunShardedScenario(const std::string& dir, size_t shards) {
+  wal::DurabilityOptions options;
+  options.fsync_policy = wal::FsyncPolicy::kAlways;
+  broker::DatabaseOptions db_options;
+  db_options.shards = shards;
+  auto db = shard::ShardedDatabase::Open(dir + "/db", options, db_options);
+  if (!db.ok()) return false;
+  const int ack_fd = ::open((dir + "/acks").c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (ack_fd < 0) return false;
+  bool ok = true;
+  for (int i = 0; i < kContracts && ok; ++i) {
+    auto id = (*db)->Register(NthName(i), NthLtl(i));
+    if (!id.ok()) {
+      ok = false;
+      break;
+    }
+    const std::string line = std::to_string(*id) + "\n";
+    if (::write(ack_fd, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size())) {
+      ok = false;
+      break;
+    }
+    if (i + 1 == kCheckpointAfter && !(*db)->Checkpoint().ok()) ok = false;
+  }
+  ::close(ack_fd);
+  if (ok && !(*db)->Close().ok()) ok = false;
+  return ok;
+}
+
+/// Global ids the (possibly killed) scenario run acknowledged.
+std::vector<uint32_t> ReadAckedIds(const std::string& dir) {
+  std::vector<uint32_t> ids;
+  auto data = util::ReadFileToString(dir + "/acks");
+  if (!data.ok()) return ids;
+  uint32_t current = 0;
+  bool in_number = false;
+  for (char c : *data) {
+    if (c == '\n') {
+      if (in_number) ids.push_back(current);
+      current = 0;
+      in_number = false;
+    } else if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<uint32_t>(c - '0');
+      in_number = true;
+    }
+  }
+  return ids;
+}
+
+/// Full acceptance check of a recovered sharded directory: per-shard
+/// prefixes of the intended routing, no lost acks, oracle query parity over
+/// the surviving set.
+void VerifyShardedRecovery(const std::string& dir, size_t shards,
+                           size_t expect_total_when_clean, bool clean_run) {
+  // A kill inside the manifest's own atomic write leaves no topology — and
+  // therefore can have acked nothing (the database never opened). Recovery
+  // of that window is simply a fresh create with the intended shard count;
+  // past it, shards = 0 must adopt the surviving manifest.
+  broker::DatabaseOptions open_options;
+  const bool manifest_survived =
+      shard::ReadManifest(dir + "/db").ok();
+  if (!manifest_survived) {
+    ASSERT_TRUE(ReadAckedIds(dir).empty())
+        << "acks recorded before the topology existed";
+    open_options.shards = shards;
+  } else {
+    open_options.shards = 0;
+  }
+  auto db = shard::ShardedDatabase::Open(dir + "/db", {}, open_options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_EQ((*db)->shard_count(), shards);
+
+  // The striped id space: shard k holds locals 0..size_k-1, i.e. global ids
+  // {l*shards + k}. Sequential registration assigned global id i to the
+  // i-th intended contract, so every surviving global id g must carry
+  // NthName(g)/NthLtl(g) — per-shard prefixes of the intended assignment.
+  std::vector<uint32_t> surviving;
+  for (size_t k = 0; k < shards; ++k) {
+    const broker::DurableDatabase& s = (*db)->shard(k);
+    for (uint32_t local = 0; local < s.size(); ++local) {
+      const uint32_t gid =
+          shard::ShardedDatabase::GlobalId(k, local, shards);
+      ASSERT_LT(gid, static_cast<uint32_t>(kContracts));
+      EXPECT_EQ(s.contract(local).name, NthName(static_cast<int>(gid)))
+          << "shard " << k << " local " << local;
+      EXPECT_EQ(s.contract(local).ltl_text, NthLtl(static_cast<int>(gid)));
+      surviving.push_back(gid);
+    }
+  }
+  std::sort(surviving.begin(), surviving.end());
+  EXPECT_EQ((*db)->size(), surviving.size());
+  if (clean_run) {
+    EXPECT_EQ(surviving.size(), expect_total_when_clean);
+  }
+
+  // Durability: everything acknowledged survived the kill.
+  for (uint32_t acked : ReadAckedIds(dir)) {
+    EXPECT_TRUE(
+        std::binary_search(surviving.begin(), surviving.end(), acked))
+        << "lost acknowledged global id " << acked;
+  }
+
+  // Query parity: a serial oracle over exactly the surviving contracts, in
+  // ascending global id order; sharded matches map through that order.
+  broker::ContractDatabase oracle;
+  for (uint32_t gid : surviving) {
+    ASSERT_TRUE(oracle
+                    .Register(NthName(static_cast<int>(gid)),
+                              NthLtl(static_cast<int>(gid)))
+                    .ok());
+  }
+  for (const std::string& query : OracleQueries()) {
+    auto got = (*db)->Query(query);
+    auto want = oracle.Query(query);
+    ASSERT_EQ(got.ok(), want.ok())
+        << "query '" << query << "': sharded " << got.status().ToString()
+        << " vs oracle " << want.status().ToString();
+    if (!got.ok()) continue;
+    std::vector<uint32_t> mapped;
+    for (uint32_t oracle_id : want->matches) {
+      mapped.push_back(surviving[oracle_id]);
+    }
+    EXPECT_EQ(got->matches, mapped) << "query: " << query;
+  }
+
+  // The directory stays writable: the next registration fills the lowest
+  // hole the crash tore into the striped id space.
+  auto next = (*db)->Register("post-crash", "F pay");
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_FALSE(
+      std::binary_search(surviving.begin(), surviving.end(), *next));
+  EXPECT_TRUE((*db)->Close().ok());
+}
+
+class ShardedCrashRecoveryTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ShardedCrashRecoveryTest, KillAtEveryCrashPointLosesOnlyUnackedTail) {
+  const size_t shards = GetParam();
+
+  // Discover the schedule length with an in-process run. Parallel shard
+  // opens/checkpoints may permute WHICH site the k-th hit lands on between
+  // runs, but the total hit count is deterministic — and the acceptance
+  // property must hold wherever the kill lands anyway.
+  size_t schedule = 0;
+  {
+    testing::TempDir dir("shardenum");
+    std::vector<std::string> sites;
+    testing::RecordCrashPoints(&sites);
+    ASSERT_TRUE(RunShardedScenario(dir.path(), shards));
+    testing::StopCrashPoints();
+    schedule = sites.size();
+  }
+  ASSERT_GT(schedule, 0u);
+
+  for (size_t k = 1; k <= schedule + 1; ++k) {
+    testing::TempDir dir("shardkill");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      testing::ArmCrashPoint("", k);
+      const bool ok = RunShardedScenario(dir.path(), shards);
+      testing::StopCrashPoints();
+      ::_exit(ok ? 0 : 7);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus)) << "child died abnormally at k=" << k;
+    const int code = WEXITSTATUS(wstatus);
+    ASSERT_TRUE(code == 0 || code == testing::kCrashExitCode)
+        << "child failed (exit " << code << ") at k=" << k;
+    if (k > schedule) {
+      EXPECT_EQ(code, 0) << "clean run past the schedule still crashed";
+    }
+    VerifyShardedRecovery(dir.path(), shards,
+                          static_cast<size_t>(kContracts),
+                          /*clean_run=*/code == 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedCrashRecoveryTest,
+                         ::testing::Values(2u, 4u),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
 
 TEST(CrashRecoveryTest, KillInsideAtomicSaveKeepsPreviousImage) {
   // Satellite check for SaveDatabaseToFile: a kill inside the temp-write /

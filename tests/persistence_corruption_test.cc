@@ -13,6 +13,8 @@
 #include "automata/serialize.h"
 #include "broker/durable.h"
 #include "broker/persistence.h"
+#include "shard/manifest.h"
+#include "shard/sharded.h"
 #include "testing/temp_dir.h"
 #include "testing/universe.h"
 #include "util/file_util.h"
@@ -200,6 +202,144 @@ TEST(PersistenceCorruptionTest, WalSegmentGarbageTailRecoversEverything) {
   garbage += '\0';
   garbage += "\x13\x37";
   CheckWalImage(image + garbage, "garbage tail");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded directory corruption: damage to ONE shard's log must stay that
+// shard's problem. Recovery of the whole topology either succeeds with the
+// healthy shard complete and the damaged shard a prefix of its intended
+// contracts, or fails with a Corruption naming the damaged shard — it must
+// never poison a healthy shard's contract set or blame the wrong directory.
+
+constexpr size_t kShardedShards = 2;
+constexpr int kShardedContracts = 6;
+
+/// Per-shard intended contracts under striped routing: global id i lands on
+/// shard i % 2 as local i / 2.
+std::vector<int> IntendedGlobals(size_t shard) {
+  std::vector<int> globals;
+  for (int i = 0; i < kShardedContracts; ++i) {
+    if (static_cast<size_t>(i) % kShardedShards == shard) globals.push_back(i);
+  }
+  return globals;
+}
+
+/// Segment bytes of each shard of a freshly written 2-shard database,
+/// captured once (registration is the expensive part; trials only rewrite
+/// files).
+const std::vector<std::string>& ShardSegmentImages() {
+  static const std::vector<std::string> images = [] {
+    TempDir dir("shardimage");
+    wal::DurabilityOptions options;
+    options.fsync_policy = wal::FsyncPolicy::kNever;
+    broker::DatabaseOptions db_options;
+    db_options.shards = kShardedShards;
+    auto db = shard::ShardedDatabase::Open(dir.path(), options, db_options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    for (int i = 0; i < kShardedContracts; ++i) {
+      auto id = (*db)->Register(WalContractName(i), WalContractLtl(i));
+      EXPECT_TRUE(id.ok()) << id.status().ToString();
+      EXPECT_EQ(*id, static_cast<uint32_t>(i));
+    }
+    EXPECT_TRUE((*db)->Close().ok());
+    std::vector<std::string> captured;
+    for (size_t k = 0; k < kShardedShards; ++k) {
+      auto data = util::ReadFileToString(
+          dir.path() + "/" + shard::ShardDirName(k) + "/" +
+          wal::SegmentFileName(1));
+      EXPECT_TRUE(data.ok()) << data.status().ToString();
+      captured.push_back(data.ok() ? *data : std::string());
+    }
+    return captured;
+  }();
+  return images;
+}
+
+/// Materializes a 2-shard directory with shard 1's segment replaced by
+/// `damaged` and enforces the isolation contract described above.
+void CheckShardedImage(const std::string& damaged, const std::string& what) {
+  const std::vector<std::string>& images = ShardSegmentImages();
+  TempDir dir("shardcorrupt");
+  shard::Manifest manifest;
+  manifest.shards = kShardedShards;
+  for (size_t k = 0; k < kShardedShards; ++k) {
+    manifest.dirs.push_back(shard::ShardDirName(k));
+    ASSERT_TRUE(
+        util::CreateDirIfMissing(dir.file(shard::ShardDirName(k))).ok());
+  }
+  ASSERT_TRUE(shard::WriteManifest(dir.path(), manifest).ok());
+  ASSERT_TRUE(util::WriteFileAtomic(dir.file(shard::ShardDirName(0)) + "/" +
+                                        wal::SegmentFileName(1),
+                                    images[0])
+                  .ok());
+  ASSERT_TRUE(util::WriteFileAtomic(dir.file(shard::ShardDirName(1)) + "/" +
+                                        wal::SegmentFileName(1),
+                                    damaged)
+                  .ok());
+
+  broker::DatabaseOptions adopt;
+  adopt.shards = 0;
+  auto db = shard::ShardedDatabase::Open(dir.path(), {}, adopt);
+  if (!db.ok()) {
+    EXPECT_TRUE(db.status().IsCorruption())
+        << what << ": unexpected error class " << db.status().ToString();
+    EXPECT_NE(db.status().message().find("shard-001"), std::string::npos)
+        << what << ": corruption must name the damaged shard, got "
+        << db.status().ToString();
+    return;
+  }
+
+  // Healthy shard: completely unaffected by the neighbor's damage.
+  const broker::DurableDatabase& healthy = (*db)->shard(0);
+  const std::vector<int> intended0 = IntendedGlobals(0);
+  ASSERT_EQ(healthy.size(), intended0.size()) << what;
+  for (size_t local = 0; local < healthy.size(); ++local) {
+    EXPECT_EQ(healthy.contract(static_cast<uint32_t>(local)).name,
+              WalContractName(intended0[local]))
+        << what;
+  }
+  // Damaged shard: a prefix of its intended contracts, nothing else.
+  const broker::DurableDatabase& hurt = (*db)->shard(1);
+  const std::vector<int> intended1 = IntendedGlobals(1);
+  ASSERT_LE(hurt.size(), intended1.size()) << what;
+  for (size_t local = 0; local < hurt.size(); ++local) {
+    EXPECT_EQ(hurt.contract(static_cast<uint32_t>(local)).name,
+              WalContractName(intended1[local]))
+        << what << ": damaged shard recovered a non-prefix contract set";
+    EXPECT_EQ(hurt.contract(static_cast<uint32_t>(local)).ltl_text,
+              WalContractLtl(intended1[local]))
+        << what << ": damaged shard recovered altered contract text";
+  }
+}
+
+TEST(PersistenceCorruptionTest, ShardedCleanImagesRecoverEverything) {
+  const std::vector<std::string>& images = ShardSegmentImages();
+  ASSERT_EQ(images.size(), kShardedShards);
+  ASSERT_FALSE(images[1].empty());
+  CheckShardedImage(images[1], "clean image");
+}
+
+TEST(PersistenceCorruptionTest, ShardedBitFlipsStayInTheirShard) {
+  const std::vector<std::string>& images = ShardSegmentImages();
+  ASSERT_FALSE(images[1].empty());
+  // Stride 3 keeps the sweep dense enough to hit every record while each
+  // trial pays for a full two-shard recovery.
+  for (size_t i = 0; i < images[1].size(); i += 3) {
+    std::string corrupted = images[1];
+    corrupted[i] = static_cast<char>(corrupted[i] ^ (1u << (i % 8)));
+    CheckShardedImage(corrupted, "bit flip in shard-001 byte " +
+                                     std::to_string(i));
+  }
+}
+
+TEST(PersistenceCorruptionTest, ShardedTruncationsRecoverShardPrefix) {
+  const std::vector<std::string>& images = ShardSegmentImages();
+  ASSERT_FALSE(images[1].empty());
+  for (size_t len = 0; len <= images[1].size(); len += 5) {
+    CheckShardedImage(images[1].substr(0, len),
+                      "truncation of shard-001 to " + std::to_string(len) +
+                          " bytes");
+  }
 }
 
 TEST(PersistenceCorruptionTest, HugeDeclaredStateCountIsRejected) {

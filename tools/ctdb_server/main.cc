@@ -1,7 +1,9 @@
 // ctdb_server: the contract database as a long-running network service.
 //
-// Opens (or recovers) a broker::DurableDatabase in --dir and serves the
-// wire protocol of net/protocol.h on --host:--port until SIGTERM/SIGINT,
+// Opens (or recovers) a broker::DurableDatabase in --dir — or, with
+// --shards=N, a shard::ShardedDatabase partitioned across N durable shard
+// directories (DESIGN.md §13) — and serves the wire protocol of
+// net/protocol.h on --host:--port until SIGTERM/SIGINT,
 // then drains gracefully: stop accepting, finish in-flight requests (their
 // WAL group flushes as they complete), flush responses, close, and write
 // the final metrics snapshot to --metrics-out.
@@ -19,8 +21,10 @@
 #include <string>
 #include <thread>
 
+#include "broker/broker.h"
 #include "broker/durable.h"
 #include "net/server.h"
+#include "shard/sharded.h"
 #include "obs/metrics.h"
 #include "util/result.h"
 
@@ -46,7 +50,8 @@ int Usage(const char* argv0) {
       "usage: %s --dir=PATH [--host=127.0.0.1] [--port=0]\n"
       "          [--workers=4] [--db-threads=1] [--max-pending=256]\n"
       "          [--max-connections=1024] [--fsync=group|always|never]\n"
-      "          [--checkpoint-log-bytes=N] [--metrics-out=PATH]\n",
+      "          [--checkpoint-log-bytes=N] [--metrics-out=PATH]\n"
+      "          [--shards=N]  (0 adopts the directory's manifest)\n",
       argv0);
   return 2;
 }
@@ -59,6 +64,7 @@ int main(int argc, char** argv) {
   ctdb::wal::DurabilityOptions durability;
   ctdb::broker::DatabaseOptions db_options;
   std::string metrics_out;
+  bool sharded = false;
   std::string value;
 
   for (int i = 1; i < argc; ++i) {
@@ -92,6 +98,9 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "--checkpoint-log-bytes", &value)) {
       durability.checkpoint_log_bytes =
           static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "--shards", &value)) {
+      db_options.shards = static_cast<size_t>(std::atol(value.c_str()));
+      sharded = true;
     } else if (ParseFlag(arg, "--metrics-out", &value)) {
       metrics_out = value;
     } else {
@@ -100,16 +109,34 @@ int main(int argc, char** argv) {
   }
   if (dir.empty()) return Usage(argv[0]);
 
-  auto db = ctdb::broker::DurableDatabase::Open(dir, durability, db_options);
-  if (!db.ok()) {
-    std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
-                 db.status().ToString().c_str());
-    return 1;
+  // A --shards flag (even --shards=1) selects the sharded topology; without
+  // it the directory is a plain single-WAL DurableDatabase, as before.
+  std::unique_ptr<ctdb::broker::Broker> db;
+  if (sharded) {
+    auto opened = ctdb::shard::ShardedDatabase::Open(dir, durability,
+                                                     db_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "recovered %zu contracts from %zu shards in %s\n",
+                 (*opened)->size(), (*opened)->shard_count(), dir.c_str());
+    db = std::move(*opened);
+  } else {
+    auto opened = ctdb::broker::DurableDatabase::Open(dir, durability,
+                                                      db_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "recovered %zu contracts from %s\n",
+                 (*opened)->size(), dir.c_str());
+    db = std::move(*opened);
   }
-  std::fprintf(stderr, "recovered %zu contracts from %s\n", (*db)->size(),
-               dir.c_str());
 
-  auto server = ctdb::net::Server::Start(db->get(), server_options);
+  auto server = ctdb::net::Server::Start(db.get(), server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "start: %s\n", server.status().ToString().c_str());
     return 1;
@@ -133,7 +160,7 @@ int main(int argc, char** argv) {
   (*server)->Shutdown();
   g_server = nullptr;
 
-  const ctdb::Status close_status = (*db)->Close();
+  const ctdb::Status close_status = db->Close();
   if (!close_status.ok()) {
     std::fprintf(stderr, "close: %s\n", close_status.ToString().c_str());
   }
@@ -147,7 +174,6 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::fprintf(stderr, "shut down cleanly with %zu contracts\n",
-               (*db)->size());
+  std::fprintf(stderr, "shut down cleanly with %zu contracts\n", db->size());
   return close_status.ok() ? 0 : 1;
 }
