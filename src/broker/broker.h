@@ -39,8 +39,27 @@ class Broker {
   virtual Result<std::vector<uint32_t>> RegisterBatch(
       const std::vector<ContractDatabase::BatchEntry>& entries) = 0;
 
+  /// Unregisters the live contract `id`; Ok only once durable. Returns the
+  /// system-period clock the removal happened at — as-of queries strictly
+  /// below it keep seeing the contract (DESIGN.md §14).
+  virtual Result<uint64_t> Unregister(uint32_t id) = 0;
+
+  /// Replaces the live contract `id`'s specification, keeping id and name;
+  /// Ok only once durable. Returns the clock of the supersession.
+  virtual Result<uint64_t> Replace(uint32_t id, std::string_view ltl_text,
+                                   RegistrationStats* stats = nullptr) = 0;
+
   virtual Result<QueryResult> Query(std::string_view ltl_text,
                                     const QueryOptions& options = {}) const = 0;
+
+  /// Time travel: Query against the contract set as of clock `seq`
+  /// (QueryOptions::as_of semantics — `seq` past the current clock answers
+  /// "latest", below the retention floor is InvalidArgument).
+  Result<QueryResult> QueryAsOf(uint64_t seq, std::string_view ltl_text,
+                                QueryOptions options = {}) const {
+    options.as_of = seq;
+    return Query(ltl_text, options);
+  }
 
   virtual Result<std::vector<QueryResult>> QueryBatch(
       const std::vector<std::string>& queries,
@@ -52,10 +71,10 @@ class Broker {
   /// Flushes and stops; further registrations fail. Idempotent.
   virtual Status Close() = 0;
 
-  /// Number of registered contracts.
+  /// Number of live contracts.
   virtual size_t size() const = 0;
 
-  /// Sequence of the latest applied registration.
+  /// System-period clock of the latest applied mutation (the `as_of` axis).
   virtual uint64_t last_sequence() const = 0;
 
   /// Scrape of the process-wide metrics registry (obs/metrics.h).

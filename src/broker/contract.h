@@ -17,6 +17,12 @@ struct Contract {
   std::string name;
   std::string ltl_text;  ///< as registered (conjunction of clauses)
 
+  /// System-period clock at which this contract version became visible
+  /// (the Register or Replace that produced it — DESIGN.md §14). A version
+  /// is visible as-of `s` iff `valid_from <= s` and, once superseded, the
+  /// history store bounds it with an exclusive `valid_to`.
+  uint64_t valid_from = 0;
+
   /// Events cited by the LTL specification — the vocabulary V of
   /// Definition 5 (may strictly contain the events on BA labels).
   Bitset events;

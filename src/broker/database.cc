@@ -65,34 +65,51 @@ void ContractDatabase::Publish() {
   snapshot->options_ = options_;
   snapshot->vocab_ = published_vocab_;
   snapshot->contracts_ = contracts_;
+  snapshot->live_ = live_;
+  snapshot->live_count_ = live_.Count();
+  snapshot->ops_ = ops_;
+  snapshot->clock_ = clock_;
+  snapshot->history_ = history_;
   snapshot->prefilter_ = prefilter_;
   snapshot->translation_cache_ = translation_cache_;
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   snapshot_ = std::move(snapshot);
 }
 
+Result<uint64_t> ContractDatabase::ResolveClockLocked(uint64_t clock) const {
+  if (clock == 0) return clock_ + 1;
+  if (clock <= clock_) {
+    return Status::InvalidArgument(
+        "clock " + std::to_string(clock) + " does not advance the system "
+        "clock " + std::to_string(clock_));
+  }
+  return clock;
+}
+
 Result<uint32_t> ContractDatabase::Register(std::string name,
                                             std::string_view ltl_text,
-                                            RegistrationStats* stats) {
+                                            RegistrationStats* stats,
+                                            uint64_t clock) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
   CTDB_ASSIGN_OR_RETURN(const ltl::Formula* spec,
                         ltl::Parse(ltl_text, &factory_, &vocab_));
   return RegisterFormulaLocked(std::move(name), spec, std::string(ltl_text),
-                               stats);
+                               stats, clock);
 }
 
 Result<uint32_t> ContractDatabase::RegisterFormula(std::string name,
                                                    const ltl::Formula* spec,
                                                    std::string ltl_text,
-                                                   RegistrationStats* stats) {
+                                                   RegistrationStats* stats,
+                                                   uint64_t clock) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
   return RegisterFormulaLocked(std::move(name), spec, std::move(ltl_text),
-                               stats);
+                               stats, clock);
 }
 
 Result<uint32_t> ContractDatabase::RegisterFormulaLocked(
     std::string name, const ltl::Formula* spec, std::string ltl_text,
-    RegistrationStats* stats) {
+    RegistrationStats* stats, uint64_t clock) {
   CTDB_OBS_SPAN(span, "register");
   RegistrationStats obs_stats;
   stats = StatsOrObsFallback(stats, &obs_stats);
@@ -106,33 +123,38 @@ Result<uint32_t> ContractDatabase::RegisterFormulaLocked(
       translate::LtlToBuchi(spec, &factory_, options_.translate));
   if (stats != nullptr) stats->translate_ms = timer.ElapsedMillis();
   return RegisterAutomatonLocked(std::move(name), std::move(ltl_text),
-                                 std::move(ba), std::move(events), stats);
+                                 std::move(ba), std::move(events), stats,
+                                 clock);
 }
 
 Result<uint32_t> ContractDatabase::RegisterAutomaton(std::string name,
                                                      std::string ltl_text,
                                                      automata::Buchi ba,
                                                      Bitset events,
-                                                     RegistrationStats* stats) {
+                                                     RegistrationStats* stats,
+                                                     uint64_t clock) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
   return RegisterAutomatonLocked(std::move(name), std::move(ltl_text),
-                                 std::move(ba), std::move(events), stats);
+                                 std::move(ba), std::move(events), stats,
+                                 clock);
 }
 
 Result<uint32_t> ContractDatabase::RegisterAutomatonLocked(
     std::string name, std::string ltl_text, automata::Buchi ba, Bitset events,
-    RegistrationStats* stats) {
+    RegistrationStats* stats, uint64_t clock) {
   CTDB_OBS_SPAN(span, "register.automaton");
   RegistrationStats obs_stats;
   stats = StatsOrObsFallback(stats, &obs_stats);
   // Validation failures return before any master state is touched, so the
   // published snapshot is untouched too.
   CTDB_RETURN_NOT_OK(ba.Validate());
+  CTDB_ASSIGN_OR_RETURN(const uint64_t at, ResolveClockLocked(clock));
   auto contract = std::make_unique<Contract>();
   contract->id = static_cast<uint32_t>(contracts_.size());
   contract->name = std::move(name);
   contract->ltl_text = std::move(ltl_text);
   contract->events = std::move(events);
+  contract->valid_from = at;
   if (stats != nullptr) {
     stats->ba_states = ba.StateCount();
     stats->ba_transitions = ba.TransitionCount();
@@ -168,13 +190,206 @@ Result<uint32_t> ContractDatabase::RegisterAutomatonLocked(
   if (stats != nullptr) RecordRegistrationStats(*stats);
   const uint32_t id = contract->id;
   contracts_.push_back(std::move(contract));
+  live_.Resize(contracts_.size());
+  live_.Set(id);
+  ops_ += 1;
+  clock_ = at;
   Publish();
   return id;
 }
 
-Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
-    const std::vector<BatchEntry>& entries, size_t threads) {
+Result<uint64_t> ContractDatabase::Unregister(uint32_t id, uint64_t clock) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
+  CTDB_OBS_SPAN(span, "unregister");
+  if (id >= contracts_.size() || contracts_[id] == nullptr) {
+    return Status::NotFound("contract " + std::to_string(id) +
+                            " is not live");
+  }
+  CTDB_ASSIGN_OR_RETURN(const uint64_t at, ResolveClockLocked(clock));
+  std::shared_ptr<const Contract> victim = contracts_[id];
+  if (options_.build_prefilter) {
+    prefilter_.Remove(id, victim->projections.original(), victim->events);
+  }
+  history_ = history_->Append(
+      ContractVersion{victim, victim->valid_from, at});
+  contracts_[id] = nullptr;
+  live_.Clear(id);
+  ops_ += 1;
+  clock_ = at;
+  Publish();
+  CTDB_OBS_COUNT("broker.unregisters", 1);
+  return at;
+}
+
+Result<uint64_t> ContractDatabase::Replace(uint32_t id,
+                                           std::string_view ltl_text,
+                                           RegistrationStats* stats,
+                                           uint64_t clock) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  CTDB_OBS_SPAN(span, "replace");
+  RegistrationStats obs_stats;
+  stats = StatsOrObsFallback(stats, &obs_stats);
+  if (id >= contracts_.size() || contracts_[id] == nullptr) {
+    return Status::NotFound("contract " + std::to_string(id) +
+                            " is not live");
+  }
+  CTDB_ASSIGN_OR_RETURN(const uint64_t at, ResolveClockLocked(clock));
+
+  // Build the replacement fully before touching master state, so a parse or
+  // translation failure leaves the old version live and unobserved.
+  CTDB_ASSIGN_OR_RETURN(const ltl::Formula* spec,
+                        ltl::Parse(ltl_text, &factory_, &vocab_));
+  Bitset events;
+  spec->CollectEvents(&events);
+  Timer timer;
+  CTDB_ASSIGN_OR_RETURN(
+      automata::Buchi ba,
+      translate::LtlToBuchi(spec, &factory_, options_.translate));
+  if (stats != nullptr) stats->translate_ms = timer.ElapsedMillis();
+  CTDB_RETURN_NOT_OK(ba.Validate());
+
+  std::shared_ptr<const Contract> old = contracts_[id];
+  auto fresh = std::make_unique<Contract>();
+  fresh->id = id;
+  fresh->name = old->name;
+  fresh->ltl_text = std::string(ltl_text);
+  fresh->events = std::move(events);
+  fresh->valid_from = at;
+  if (stats != nullptr) {
+    stats->ba_states = ba.StateCount();
+    stats->ba_transitions = ba.TransitionCount();
+  }
+  fresh->seed_states = core::ComputeSeedStates(ba);
+  timer.Reset();
+  if (options_.build_projections) {
+    fresh->projections = projection::ContractProjections::Precompute(
+        std::move(ba), options_.projections, EnsurePool(options_.threads));
+    if (stats != nullptr) {
+      stats->projection_precompute_ms = timer.ElapsedMillis();
+      const projection::ProjectionStats ps = fresh->projections.stats();
+      stats->projection_subsets = ps.subsets_computed;
+      stats->projection_distinct = ps.distinct_partitions;
+    }
+  } else {
+    fresh->projections =
+        projection::ContractProjections::WrapOnly(std::move(ba));
+  }
+  if (options_.build_prefilter) {
+    timer.Reset();
+    prefilter_.Remove(id, old->projections.original(), old->events);
+    prefilter_.Insert(id, fresh->projections.original(), fresh->events);
+    if (stats != nullptr) stats->prefilter_insert_ms = timer.ElapsedMillis();
+  }
+  if (stats != nullptr) RecordRegistrationStats(*stats);
+
+  history_ = history_->Append(ContractVersion{old, old->valid_from, at});
+  contracts_[id] = std::move(fresh);
+  ops_ += 1;
+  clock_ = at;
+  Publish();
+  CTDB_OBS_COUNT("broker.replacements", 1);
+  return at;
+}
+
+Result<uint32_t> ContractDatabase::RestoreContract(
+    uint32_t id, std::string name, std::string ltl_text, automata::Buchi ba,
+    Bitset events, uint64_t valid_from) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (id < contracts_.size()) {
+    return Status::InvalidArgument("restored contract ids must ascend");
+  }
+  CTDB_RETURN_NOT_OK(ba.Validate());
+  auto contract = std::make_unique<Contract>();
+  contract->id = id;
+  contract->name = std::move(name);
+  contract->ltl_text = std::move(ltl_text);
+  contract->events = std::move(events);
+  contract->valid_from = valid_from;
+  contract->seed_states = core::ComputeSeedStates(ba);
+  contract->projections =
+      options_.build_projections
+          ? projection::ContractProjections::Precompute(
+                std::move(ba), options_.projections,
+                EnsurePool(options_.threads))
+          : projection::ContractProjections::WrapOnly(std::move(ba));
+  if (options_.build_prefilter) {
+    prefilter_.Insert(id, contract->projections.original(), contract->events);
+  }
+  contracts_.resize(id);  // intervening slots stay holes
+  contracts_.push_back(std::move(contract));
+  live_.Resize(contracts_.size());
+  live_.Set(id);
+  Publish();
+  return id;
+}
+
+Status ContractDatabase::RestoreHistoryVersion(
+    uint32_t id, std::string name, std::string ltl_text, automata::Buchi ba,
+    Bitset events, uint64_t valid_from, uint64_t valid_to) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (valid_to <= valid_from) {
+    return Status::InvalidArgument("history version has an empty period");
+  }
+  CTDB_RETURN_NOT_OK(ba.Validate());
+  auto contract = std::make_shared<Contract>();
+  contract->id = id;
+  contract->name = std::move(name);
+  contract->ltl_text = std::move(ltl_text);
+  contract->events = std::move(events);
+  contract->valid_from = valid_from;
+  contract->seed_states = core::ComputeSeedStates(ba);
+  contract->projections =
+      options_.build_projections
+          ? projection::ContractProjections::Precompute(
+                std::move(ba), options_.projections,
+                EnsurePool(options_.threads))
+          : projection::ContractProjections::WrapOnly(std::move(ba));
+  history_ = history_->Append(
+      ContractVersion{std::move(contract), valid_from, valid_to});
+  Publish();
+  return Status::OK();
+}
+
+Status ContractDatabase::RestoreLifecycle(uint64_t ops, uint64_t clock,
+                                          uint64_t history_floor,
+                                          uint64_t slot_count) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (slot_count < contracts_.size()) {
+    return Status::InvalidArgument("slot count below restored contracts");
+  }
+  contracts_.resize(slot_count);  // trailing holes
+  live_.Resize(contracts_.size());
+  if (history_floor > 0) history_ = history_->Prune(history_floor);
+  ops_ = ops;
+  clock_ = clock;
+  Publish();
+  return Status::OK();
+}
+
+void ContractDatabase::PruneHistory(uint64_t horizon) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (horizon == 0) return;
+  history_ = history_->Prune(horizon);
+  Publish();
+}
+
+Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
+    const std::vector<BatchEntry>& entries, size_t threads,
+    const std::vector<uint64_t>* clocks) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (clocks != nullptr) {
+    if (clocks->size() != entries.size()) {
+      return Status::InvalidArgument("clock count does not match batch size");
+    }
+    uint64_t last = clock_;
+    for (uint64_t c : *clocks) {
+      if (c <= last) {
+        return Status::InvalidArgument(
+            "batch clocks must be strictly increasing past the system clock");
+      }
+      last = c;
+    }
+  }
 
   // Phase 1 (serial): parse against the shared vocabulary so every event is
   // interned with its final id, and collect each contract's cited events.
@@ -244,18 +459,25 @@ Result<std::vector<uint32_t>> ContractDatabase::RegisterBatch(
     CTDB_RETURN_NOT_OK(b.status);
   }
 
-  // Phase 3 (serial): assign ids, fill the shared index, commit. One
-  // publication at the end — queries observe the whole batch or none of it.
+  // Phase 3 (serial): assign ids and clocks, fill the shared index, commit.
+  // One publication at the end — queries observe the whole batch or none of
+  // it.
   std::vector<uint32_t> ids;
   ids.reserve(entries.size());
-  for (Built& b : built) {
+  for (size_t i = 0; i < built.size(); ++i) {
+    Built& b = built[i];
     b.contract->id = static_cast<uint32_t>(contracts_.size());
+    b.contract->valid_from = clocks != nullptr ? (*clocks)[i] : clock_ + 1;
     if (options_.build_prefilter) {
       prefilter_.Insert(b.contract->id, b.contract->projections.original(),
                         b.contract->events);
     }
     ids.push_back(b.contract->id);
     contracts_.push_back(std::move(b.contract));
+    live_.Resize(contracts_.size());
+    live_.Set(ids.back());
+    ops_ += 1;
+    clock_ = contracts_.back()->valid_from;
   }
   Publish();
   return ids;

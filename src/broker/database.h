@@ -47,14 +47,22 @@ class ContractDatabase {
 
   /// Registers a contract given as LTL text (clauses conjoined with '&').
   /// New event names are interned into the vocabulary.
+  ///
+  /// Every mutating call takes an optional system-period `clock` (DESIGN.md
+  /// §14): 0 (the default) self-assigns the next tick (`sequence() + 1` —
+  /// the unsharded case, where clock == mutation count), while an explicit
+  /// value stamps that clock (the sharded router and recovery replay both
+  /// assign clocks externally). An explicit clock must exceed sequence().
   Result<uint32_t> Register(std::string name, std::string_view ltl_text,
-                            RegistrationStats* stats = nullptr);
+                            RegistrationStats* stats = nullptr,
+                            uint64_t clock = 0);
 
   /// Registers a pre-parsed contract formula (writer-side entry point: the
   /// formula must come from this database's factory() — see there).
   Result<uint32_t> RegisterFormula(std::string name, const ltl::Formula* spec,
                                    std::string ltl_text = {},
-                                   RegistrationStats* stats = nullptr);
+                                   RegistrationStats* stats = nullptr,
+                                   uint64_t clock = 0);
 
   /// Registers a contract from its already-translated automaton (the
   /// persistence loader's path): skips the LTL→BA translation but performs
@@ -62,7 +70,64 @@ class ContractDatabase {
   /// events cited by the contract's specification (Definition 5).
   Result<uint32_t> RegisterAutomaton(std::string name, std::string ltl_text,
                                      automata::Buchi ba, Bitset events,
-                                     RegistrationStats* stats = nullptr);
+                                     RegistrationStats* stats = nullptr,
+                                     uint64_t clock = 0);
+
+  /// \brief Unregisters the live contract `id`.
+  ///
+  /// The contract's current version moves to the history store with its
+  /// period closed at the operation's clock; its id is never reused (the
+  /// slot becomes a hole). Queries observe the removal atomically, as-of
+  /// queries below the clock keep seeing the contract. Returns the clock
+  /// the removal happened at. NotFound when `id` is not live.
+  Result<uint64_t> Unregister(uint32_t id, uint64_t clock = 0);
+
+  /// \brief Replaces the live contract `id`'s specification, keeping its id
+  /// and name.
+  ///
+  /// The superseded version (projections included) moves to the history
+  /// store, the new version becomes live at the operation's clock, and
+  /// the prefilter swaps entries copy-on-write. Returns the clock of the
+  /// supersession. NotFound when `id` is not live; on any parse/translate
+  /// error nothing changes.
+  Result<uint64_t> Replace(uint32_t id, std::string_view ltl_text,
+                           RegistrationStats* stats = nullptr,
+                           uint64_t clock = 0);
+
+  /// Drops history versions fully dead at or before `horizon` and raises
+  /// the as-of retention floor there (RetentionOptions). Publishes.
+  void PruneHistory(uint64_t horizon);
+
+  /// \name Persistence-restore hooks (broker/persistence.cc only).
+  ///
+  /// The loader rebuilds a database image that may contain holes, history
+  /// and counters that plain Register* calls cannot reproduce. None of
+  /// these advance ops/clock — RestoreLifecycle stamps the saved counters
+  /// at the end of the load.
+  /// @{
+
+  /// Installs a live contract at exactly slot `id` (>= slot_count();
+  /// intervening slots become holes), with its saved system period start.
+  /// Runs the full registration-time precompute (seeds, projections,
+  /// prefilter).
+  Result<uint32_t> RestoreContract(uint32_t id, std::string name,
+                                   std::string ltl_text, automata::Buchi ba,
+                                   Bitset events, uint64_t valid_from);
+
+  /// Appends a superseded version `[valid_from, valid_to)` of contract `id`
+  /// to the history store (projections precomputed so as-of queries answer
+  /// at full fidelity after a restart).
+  Status RestoreHistoryVersion(uint32_t id, std::string name,
+                               std::string ltl_text, automata::Buchi ba,
+                               Bitset events, uint64_t valid_from,
+                               uint64_t valid_to);
+
+  /// Finishes a restore: pads trailing holes out to `slot_count`, raises
+  /// the history floor, stamps the mutation count and system clock, and
+  /// publishes.
+  Status RestoreLifecycle(uint64_t ops, uint64_t clock, uint64_t history_floor,
+                          uint64_t slot_count);
+  /// @}
 
   /// One contract of a batch registration.
   struct BatchEntry {
@@ -77,9 +142,12 @@ class ContractDatabase {
   /// DatabaseOptions::threads). Equivalent to registering the entries in
   /// order; returns their ids. On any error nothing is registered, and
   /// queries never observe a partially committed batch (one snapshot is
-  /// published at the end).
+  /// published at the end). `clocks`, when given, must hold one
+  /// strictly-increasing clock per entry (the sharded router's path);
+  /// nullptr self-assigns consecutive ticks.
   Result<std::vector<uint32_t>> RegisterBatch(
-      const std::vector<BatchEntry>& entries, size_t threads = 0);
+      const std::vector<BatchEntry>& entries, size_t threads = 0,
+      const std::vector<uint64_t>* clocks = nullptr);
 
   /// Interns an event into the vocabulary without registering a contract,
   /// and publishes the change so subsequent queries may cite it. Returns the
@@ -121,10 +189,18 @@ class ContractDatabase {
       const std::vector<std::string>& queries,
       const QueryOptions& options = {}) const;
 
-  /// Contract count of the current snapshot.
+  /// Live-contract count of the current snapshot.
   size_t size() const { return Snapshot()->size(); }
-  /// The contract with id `id`. The reference stays valid for the
-  /// database's lifetime (contracts are never removed).
+  /// Id slots ever allocated (ids are never reused; see
+  /// DatabaseSnapshot::slot_count()).
+  size_t slot_count() const { return Snapshot()->slot_count(); }
+  /// Mutations applied so far (the dense WAL sequence).
+  uint64_t op_count() const { return Snapshot()->ops(); }
+  /// System-period clock of the last mutation (the `as_of` axis).
+  uint64_t last_sequence() const { return Snapshot()->sequence(); }
+  /// The live contract with id `id`. The reference stays valid as long as
+  /// some snapshot (or the history store) retains the version — holding the
+  /// Snapshot() you resolved it through is the safe pattern.
   const Contract& contract(uint32_t id) const {
     return Snapshot()->contract(id);
   }
@@ -183,11 +259,18 @@ class ContractDatabase {
   Result<uint32_t> RegisterFormulaLocked(std::string name,
                                          const ltl::Formula* spec,
                                          std::string ltl_text,
-                                         RegistrationStats* stats);
+                                         RegistrationStats* stats,
+                                         uint64_t clock);
   Result<uint32_t> RegisterAutomatonLocked(std::string name,
                                            std::string ltl_text,
                                            automata::Buchi ba, Bitset events,
-                                           RegistrationStats* stats);
+                                           RegistrationStats* stats,
+                                           uint64_t clock);
+
+  /// Resolves an optional caller clock (0 = self-assign the next tick);
+  /// InvalidArgument when an explicit clock does not advance. The caller
+  /// holds writer_mutex_.
+  Result<uint64_t> ResolveClockLocked(uint64_t clock) const;
 
   /// Builds a snapshot of the master state and publishes it; the caller
   /// holds writer_mutex_ (the constructor publishes without it — no
@@ -215,7 +298,15 @@ class ContractDatabase {
   // --- master state, mutated only under writer_mutex_ -------------------
   Vocabulary vocab_;
   ltl::FormulaFactory factory_;
+  /// Slot table indexed by contract id; nullptr = unregistered (hole).
   std::vector<std::shared_ptr<const Contract>> contracts_;
+  Bitset live_;         ///< bit i set iff contracts_[i] is live
+  uint64_t ops_ = 0;    ///< dense mutation count (the WAL sequence)
+  uint64_t clock_ = 0;  ///< system-period clock of the last mutation
+  /// Superseded contract versions; immutable stores swapped copy-on-append
+  /// so published snapshots share them. Never null.
+  std::shared_ptr<const HistoryStore> history_ =
+      std::make_shared<HistoryStore>();
   index::PrefilterIndex prefilter_;
   /// Shared query-translation cache, created once at construction and handed
   /// to every published snapshot (internally synchronized; see

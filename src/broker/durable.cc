@@ -72,7 +72,9 @@ Result<std::unique_ptr<ContractDatabase>> RecoverDatabase(
   Timer checkpoint_timer;
   for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
     auto loaded = LoadDatabaseFromFile(dir + "/" + it->second, options);
-    if (loaded.ok() && (*loaded)->size() == it->first) {
+    // A checkpoint is named by the mutation count it covers (not the live
+    // contract count — unregistration decouples the two).
+    if (loaded.ok() && (*loaded)->op_count() == it->first) {
       db = std::move(*loaded);
       base = it->first;
       stats.checkpoint_sequence = base;
@@ -110,19 +112,48 @@ Result<std::unique_ptr<ContractDatabase>> RecoverDatabase(
       }
       if (record.sequence != next_expected) {
         return Status::Corruption(StringFormat(
-            "register sequence gap in %s: expected %" PRIu64 ", found %" PRIu64,
+            "mutation sequence gap in %s: expected %" PRIu64 ", found %" PRIu64,
             name.c_str(), next_expected, record.sequence));
       }
-      auto id = db->Register(record.name, record.ltl_text);
-      if (!id.ok()) {
-        return Status::Corruption(
-            StringFormat("replay of record %" PRIu64, record.sequence) +
-            " failed: " + id.status().ToString());
-      }
-      if (*id + 1 != record.sequence) {
-        return Status::Corruption(StringFormat(
-            "replayed record %" PRIu64 " got contract id %u", record.sequence,
-            *id));
+      // Replay with the recorded system-period clock so valid periods (and
+      // therefore as_of answers) reproduce exactly, sharded or not.
+      switch (record.type) {
+        case wal::RecordType::kRegister: {
+          auto id = db->Register(record.name, record.ltl_text, nullptr,
+                                 record.clock);
+          if (!id.ok()) {
+            return Status::Corruption(
+                StringFormat("replay of record %" PRIu64, record.sequence) +
+                " failed: " + id.status().ToString());
+          }
+          if (*id != record.contract_id) {
+            return Status::Corruption(StringFormat(
+                "replayed record %" PRIu64 " got contract id %u, logged %u",
+                record.sequence, *id, record.contract_id));
+          }
+          break;
+        }
+        case wal::RecordType::kUnregister: {
+          auto at = db->Unregister(record.contract_id, record.clock);
+          if (!at.ok()) {
+            return Status::Corruption(
+                StringFormat("replay of unregister %" PRIu64, record.sequence) +
+                " failed: " + at.status().ToString());
+          }
+          break;
+        }
+        case wal::RecordType::kReplace: {
+          auto at = db->Replace(record.contract_id, record.ltl_text, nullptr,
+                                record.clock);
+          if (!at.ok()) {
+            return Status::Corruption(
+                StringFormat("replay of replace %" PRIu64, record.sequence) +
+                " failed: " + at.status().ToString());
+          }
+          break;
+        }
+        case wal::RecordType::kCheckpoint:
+          break;  // unreachable: skipped above
       }
       ++next_expected;
       ++stats.records_replayed;
@@ -152,7 +183,8 @@ DurableDatabase::DurableDatabase(std::string dir,
       durability_(durability),
       db_(std::move(db)),
       writer_(std::move(writer)),
-      recovery_stats_(std::move(recovery_stats)) {}
+      recovery_stats_(std::move(recovery_stats)),
+      sequence_(recovery_stats_.last_sequence) {}
 
 Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
     std::string dir, const wal::DurabilityOptions& durability,
@@ -175,16 +207,25 @@ DurableDatabase::~DurableDatabase() { Close(); }
 Result<uint32_t> DurableDatabase::Register(std::string name,
                                            std::string_view ltl_text,
                                            RegistrationStats* stats) {
+  return RegisterWithClock(std::move(name), ltl_text, stats, 0);
+}
+
+Result<uint32_t> DurableDatabase::RegisterWithClock(std::string name,
+                                                    std::string_view ltl_text,
+                                                    RegistrationStats* stats,
+                                                    uint64_t clock) {
   std::future<Status> durable;
   Result<uint32_t> id = [&]() -> Result<uint32_t> {
     std::lock_guard<std::mutex> lock(append_mutex_);
     if (closed_.load(std::memory_order_relaxed)) {
       return Status::InvalidArgument("durable database is closed");
     }
-    auto result = db_->Register(name, ltl_text, stats);
+    auto result = db_->Register(name, ltl_text, stats, clock);
     if (!result.ok()) return result;
-    durable = writer_->AppendAsync(wal::Record::Register(
-        *result + 1, std::move(name), std::string(ltl_text)));
+    sequence_ += 1;
+    durable = writer_->AppendAsync(
+        wal::Record::Register(sequence_, db_->last_sequence(), *result,
+                              std::move(name), std::string(ltl_text)));
     return result;
   }();
   if (!id.ok()) return id;
@@ -195,18 +236,29 @@ Result<uint32_t> DurableDatabase::Register(std::string name,
 
 Result<std::vector<uint32_t>> DurableDatabase::RegisterBatch(
     const std::vector<ContractDatabase::BatchEntry>& entries) {
+  return RegisterBatchWithClocks(entries, nullptr);
+}
+
+Result<std::vector<uint32_t>> DurableDatabase::RegisterBatchWithClocks(
+    const std::vector<ContractDatabase::BatchEntry>& entries,
+    const std::vector<uint64_t>* clocks) {
   std::vector<std::future<Status>> durable;
   Result<std::vector<uint32_t>> ids = [&]() -> Result<std::vector<uint32_t>> {
     std::lock_guard<std::mutex> lock(append_mutex_);
     if (closed_.load(std::memory_order_relaxed)) {
       return Status::InvalidArgument("durable database is closed");
     }
-    auto result = db_->RegisterBatch(entries);
+    auto result = db_->RegisterBatch(entries, 0, clocks);
     if (!result.ok()) return result;
+    // Each record logs its contract's actual valid_from so replay with
+    // explicit clocks reproduces the same periods.
+    const std::shared_ptr<const DatabaseSnapshot> snapshot = db_->Snapshot();
     durable.reserve(entries.size());
     for (size_t i = 0; i < entries.size(); ++i) {
+      sequence_ += 1;
       durable.push_back(writer_->AppendAsync(wal::Record::Register(
-          (*result)[i] + 1, entries[i].name, entries[i].ltl_text)));
+          sequence_, snapshot->contract((*result)[i]).valid_from, (*result)[i],
+          entries[i].name, entries[i].ltl_text)));
     }
     return result;
   }();
@@ -221,12 +273,66 @@ Result<std::vector<uint32_t>> DurableDatabase::RegisterBatch(
   return ids;
 }
 
+Result<uint64_t> DurableDatabase::UnregisterWithClock(uint32_t id,
+                                                      uint64_t clock) {
+  std::future<Status> durable;
+  Result<uint64_t> at = [&]() -> Result<uint64_t> {
+    std::lock_guard<std::mutex> lock(append_mutex_);
+    if (closed_.load(std::memory_order_relaxed)) {
+      return Status::InvalidArgument("durable database is closed");
+    }
+    auto result = db_->Unregister(id, clock);
+    if (!result.ok()) return result;
+    util::CrashPoint("durable.unregister.after_apply");
+    sequence_ += 1;
+    durable =
+        writer_->AppendAsync(wal::Record::Unregister(sequence_, *result, id));
+    return result;
+  }();
+  if (!at.ok()) return at;
+  CTDB_RETURN_NOT_OK(durable.get());
+  MaybeScheduleCheckpoint();
+  return at;
+}
+
+Result<uint64_t> DurableDatabase::ReplaceWithClock(uint32_t id,
+                                                   std::string_view ltl_text,
+                                                   RegistrationStats* stats,
+                                                   uint64_t clock) {
+  std::future<Status> durable;
+  Result<uint64_t> at = [&]() -> Result<uint64_t> {
+    std::lock_guard<std::mutex> lock(append_mutex_);
+    if (closed_.load(std::memory_order_relaxed)) {
+      return Status::InvalidArgument("durable database is closed");
+    }
+    auto result = db_->Replace(id, ltl_text, stats, clock);
+    if (!result.ok()) return result;
+    util::CrashPoint("durable.replace.after_apply");
+    sequence_ += 1;
+    durable = writer_->AppendAsync(wal::Record::Replace(
+        sequence_, *result, id, std::string(ltl_text)));
+    return result;
+  }();
+  if (!at.ok()) return at;
+  CTDB_RETURN_NOT_OK(durable.get());
+  MaybeScheduleCheckpoint();
+  return at;
+}
+
 Status DurableDatabase::Checkpoint() {
   std::lock_guard<std::mutex> lock(checkpoint_mutex_);
   Timer timer;
-  // Pin: the snapshot is immutable, its size is the sequence it covers.
+  // Retention first: checkpoints are the GC boundary, so history older than
+  // the configured window is dropped before the image pins it (ISSUE 9 —
+  // the checkpoint-GC story generalized to a retention policy).
+  const uint64_t keep = db_->options().retention.keep_history_seqs;
+  if (keep > 0) {
+    const uint64_t clock = db_->last_sequence();
+    if (clock > keep) db_->PruneHistory(clock - keep);
+  }
+  // Pin: the snapshot is immutable, its op count is the sequence it covers.
   const std::shared_ptr<const DatabaseSnapshot> snapshot = db_->Snapshot();
-  const uint64_t sequence = snapshot->size();
+  const uint64_t sequence = snapshot->ops();
   std::ostringstream image;
   CTDB_RETURN_NOT_OK(SaveSnapshot(*snapshot, &image));
   const std::string file = CheckpointFileName(sequence);

@@ -2,12 +2,12 @@
 // group commit, checkpointing and crash recovery (DESIGN.md §10).
 //
 // `DurableDatabase` wraps a `ContractDatabase` and a `wal::LogWriter`.
-// Register applies the registration to the in-memory database (snapshot-
-// isolated, so queries may observe it immediately) and then appends a WAL
-// record; it returns Ok only once the record is durable under the
-// configured `wal::FsyncPolicy`. A crash therefore loses at most the
-// registrations whose Register had not yet returned — everything
-// acknowledged is recovered (verified by the crash-point property test).
+// Every mutation — Register, Unregister, Replace — applies to the in-memory
+// database (snapshot-isolated, so queries may observe it immediately) and
+// then appends a WAL record; it returns Ok only once the record is durable
+// under the configured `wal::FsyncPolicy`. A crash therefore loses at most
+// the mutations whose call had not yet returned — everything acknowledged
+// is recovered (verified by the crash-point property test).
 //
 // A checkpoint pins the current snapshot, writes it as a full SaveSnapshot
 // image to `checkpoint-<sequence>.ctdb` (temp file + atomic rename, so a
@@ -18,9 +18,10 @@
 //
 // Recovery (`RecoverDatabase`) loads the newest valid checkpoint (falling
 // back to older ones, then to an empty database), replays the segments'
-// registration records past it in sequence order, treats a torn or
-// CRC-corrupt tail as a clean end of log (wal/segment.h), and reports any
-// damage before the tail — including a registration-sequence gap — as
+// mutation records past it in sequence order — Register, Unregister and
+// Replace alike, with their recorded system-period clocks — treats a torn
+// or CRC-corrupt tail as a clean end of log (wal/segment.h), and reports
+// any damage before the tail — including a mutation-sequence gap — as
 // Status::Corruption.
 
 #pragma once
@@ -55,12 +56,12 @@ struct RecoveryStats {
   size_t records_skipped = 0;         ///< records the checkpoint already covers
   uint64_t bytes_scanned = 0;
   bool tail_truncated = false;        ///< a torn tail was treated as end-of-log
-  uint64_t last_sequence = 0;         ///< == recovered database size
+  uint64_t last_sequence = 0;         ///< == recovered database op count
   uint64_t next_segment_index = 1;    ///< where a writer should continue
   double checkpoint_load_ms = 0;
   double replay_ms = 0;
   /// Per-segment bookkeeping handed to the log writer for checkpoint
-  /// truncation (max register sequence each sealed segment holds).
+  /// truncation (max mutation sequence each sealed segment holds).
   std::vector<wal::LogWriter::SegmentInfo> sealed_segments;
 };
 
@@ -107,6 +108,36 @@ class DurableDatabase : public Broker {
   Result<std::vector<uint32_t>> RegisterBatch(
       const std::vector<ContractDatabase::BatchEntry>& entries) override;
 
+  /// Unregisters the live contract `id`; Ok only once the kUnregister
+  /// record is durable. Returns the system-period clock of the removal.
+  Result<uint64_t> Unregister(uint32_t id) override {
+    return UnregisterWithClock(id, 0);
+  }
+
+  /// Replaces the live contract `id`'s specification; Ok only once the
+  /// kReplace record is durable. Returns the clock of the supersession.
+  Result<uint64_t> Replace(uint32_t id, std::string_view ltl_text,
+                           RegistrationStats* stats = nullptr) override {
+    return ReplaceWithClock(id, ltl_text, stats, 0);
+  }
+
+  /// \name Explicit-clock mutation variants (the sharded router's path).
+  ///
+  /// `clock` = 0 self-assigns the next tick (== the unsharded WAL
+  /// sequence); the router passes its global clock so valid periods are
+  /// comparable across shards (DESIGN.md §14).
+  /// @{
+  Result<uint32_t> RegisterWithClock(std::string name,
+                                     std::string_view ltl_text,
+                                     RegistrationStats* stats, uint64_t clock);
+  Result<std::vector<uint32_t>> RegisterBatchWithClocks(
+      const std::vector<ContractDatabase::BatchEntry>& entries,
+      const std::vector<uint64_t>* clocks);
+  Result<uint64_t> UnregisterWithClock(uint32_t id, uint64_t clock);
+  Result<uint64_t> ReplaceWithClock(uint32_t id, std::string_view ltl_text,
+                                    RegistrationStats* stats, uint64_t clock);
+  /// @}
+
   /// Interns a query-only event into the vocabulary, publishing it
   /// immediately (see ContractDatabase::InternEvent). Deliberately NOT
   /// logged to the WAL: recovery rebuilds the vocabulary from the replayed
@@ -132,6 +163,11 @@ class DurableDatabase : public Broker {
     return db_->Snapshot();
   }
   size_t size() const override { return db_->size(); }
+  /// Slot-table width (live contracts + holes left by Unregister); the next
+  /// registration's id. The sharded router routes off this, not size().
+  size_t slot_count() const { return db_->slot_count(); }
+  /// Dense mutation count (== the WAL sequence of the latest record).
+  uint64_t op_count() const { return db_->op_count(); }
   const Contract& contract(uint32_t id) const { return db_->contract(id); }
   /// The wrapped database (read-only: registering through it directly would
   /// bypass the log).
@@ -146,8 +182,9 @@ class DurableDatabase : public Broker {
   /// the destructor; idempotent.
   Status Close() override;
 
-  /// Sequence of the latest applied registration (== size()).
-  uint64_t last_sequence() const override { return db_->size(); }
+  /// System-period clock of the latest applied mutation (the `as_of`
+  /// axis; == the dense mutation count when clocks are self-assigned).
+  uint64_t last_sequence() const override { return db_->last_sequence(); }
 
   /// Scrape of the process-wide metrics registry (Broker interface).
   obs::MetricsSnapshot Metrics() const override {
@@ -180,8 +217,11 @@ class DurableDatabase : public Broker {
   RecoveryStats recovery_stats_;
 
   /// Orders apply-then-enqueue across writers so on-disk record order
-  /// equals registration-sequence order.
+  /// equals mutation-sequence order.
   std::mutex append_mutex_;
+  /// Dense mutation count (the WAL sequence); guarded by append_mutex_.
+  /// Seeded from recovery, advanced by every Register/Unregister/Replace.
+  uint64_t sequence_ = 0;
   std::atomic<bool> closed_{false};
 
   /// Serializes checkpoints (manual vs background).

@@ -1,5 +1,7 @@
 #include "broker/persistence.h"
 
+#include <cinttypes>
+
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -13,7 +15,8 @@ namespace ctdb::broker {
 
 namespace {
 
-constexpr const char* kHeader = "ctdb-database-v1";
+constexpr const char* kHeaderV1 = "ctdb-database-v1";
+constexpr const char* kHeaderV2 = "ctdb-database-v2";
 
 std::string OneLine(std::string s) {
   for (char& c : s) {
@@ -22,25 +25,47 @@ std::string OneLine(std::string s) {
   return s;
 }
 
+/// Shared body writer for live contracts and history versions.
+void WriteContractBody(const Contract& contract, const Vocabulary& vocab,
+                       std::ostream* out) {
+  *out << "name " << OneLine(contract.name) << "\n";
+  *out << "ltl " << OneLine(contract.ltl_text) << "\n";
+  *out << "events";
+  for (size_t e : contract.events.Indices()) *out << " " << e;
+  *out << "\n";
+  *out << automata::Serialize(contract.automaton(), vocab);
+}
+
 }  // namespace
 
 Status SaveSnapshot(const DatabaseSnapshot& snapshot, std::ostream* out) {
   const Vocabulary& vocab = snapshot.vocabulary();
-  *out << kHeader << "\n";
+  *out << kHeaderV2 << "\n";
+  // Mutation count and system clock: recovery validates a checkpoint by its
+  // op count and resumes the as_of axis from the clock (DESIGN.md §14).
+  *out << "sequence " << snapshot.ops() << " " << snapshot.sequence() << "\n";
   *out << "vocabulary " << vocab.size() << "\n";
   for (const std::string& name : vocab.names()) {
     *out << "v " << name << "\n";
   }
-  *out << "contracts " << snapshot.size() << "\n";
-  for (uint32_t id = 0; id < snapshot.size(); ++id) {
-    const Contract& contract = snapshot.contract(id);
-    *out << "contract " << id << "\n";
-    *out << "name " << OneLine(contract.name) << "\n";
-    *out << "ltl " << OneLine(contract.ltl_text) << "\n";
-    *out << "events";
-    for (size_t e : contract.events.Indices()) *out << " " << e;
-    *out << "\n";
-    *out << automata::Serialize(contract.automaton(), vocab);
+  // Live contracts carry explicit (possibly sparse) ids; `slots` restores
+  // trailing holes so later registrations keep allocating fresh ids.
+  *out << "contracts " << snapshot.size() << " slots "
+       << snapshot.slot_count() << "\n";
+  for (uint32_t id = 0; id < snapshot.slot_count(); ++id) {
+    const Contract* contract = snapshot.contract_or_null(id);
+    if (contract == nullptr) continue;
+    *out << "contract " << id << " valid-from " << contract->valid_from
+         << "\n";
+    WriteContractBody(*contract, vocab, out);
+  }
+  const HistoryStore& history = snapshot.history();
+  *out << "history " << history.size() << " floor " << history.floor()
+       << "\n";
+  for (const ContractVersion& v : history.versions()) {
+    *out << "version " << v.contract->id << " " << v.valid_from << " "
+         << v.valid_to << "\n";
+    WriteContractBody(*v.contract, vocab, out);
   }
   *out << "end-database\n";
   if (!out->good()) return Status::Internal("write failure while saving");
@@ -75,9 +100,67 @@ Result<std::unique_ptr<ContractDatabase>> LoadDatabase(
                                    "expected " + what);
   };
 
+  /// One contract body: name, ltl, events, serialized BA — shared by the v1
+  /// contract list, the v2 live list and the v2 history list.
+  struct Body {
+    std::string name;
+    std::string ltl;
+    Bitset events;
+    automata::Buchi ba;
+  };
+  auto read_body = [&]() -> Result<Body> {
+    Body body;
+    CTDB_ASSIGN_OR_RETURN(std::string name_line, next_line("name"));
+    if (!StartsWith(name_line, "name ")) {
+      return Status::InvalidArgument("expected 'name', got: " + name_line);
+    }
+    body.name = name_line.substr(5);
+    CTDB_ASSIGN_OR_RETURN(std::string ltl_line, next_line("ltl"));
+    if (!StartsWith(ltl_line, "ltl ")) {
+      return Status::InvalidArgument("expected 'ltl', got: " + ltl_line);
+    }
+    body.ltl = ltl_line.substr(4);
+    CTDB_ASSIGN_OR_RETURN(std::string events_line, next_line("events"));
+    if (!StartsWith(events_line, "events")) {
+      return Status::InvalidArgument("expected 'events', got: " + events_line);
+    }
+    for (const std::string& tok : Split(events_line.substr(6), ' ')) {
+      const std::string_view t = Trim(tok);
+      if (t.empty()) continue;
+      size_t e = 0;
+      if (std::sscanf(std::string(t).c_str(), "%zu", &e) != 1 ||
+          e >= db->vocabulary()->size()) {
+        return Status::InvalidArgument("bad event id in: " + events_line);
+      }
+      body.events.Resize(e + 1);
+      body.events.Set(e);
+    }
+    // Collect the BA block up to and including its 'end'.
+    std::string ba_text;
+    while (true) {
+      CTDB_ASSIGN_OR_RETURN(std::string ba_line, next_line("ba body"));
+      ba_text += ba_line;
+      ba_text += "\n";
+      if (ba_line == "end") break;
+    }
+    CTDB_ASSIGN_OR_RETURN(body.ba,
+                          automata::Deserialize(ba_text, db->vocabulary()));
+    return body;
+  };
+
   CTDB_ASSIGN_OR_RETURN(std::string header, next_line("header"));
-  if (header != kHeader) {
+  const bool v2 = header == kHeaderV2;
+  if (!v2 && header != kHeaderV1) {
     return Status::InvalidArgument("not a ctdb database: bad header");
+  }
+
+  uint64_t ops = 0, clock = 0;
+  if (v2) {
+    CTDB_ASSIGN_OR_RETURN(std::string seq_line, next_line("sequence"));
+    if (std::sscanf(seq_line.c_str(), "sequence %" SCNu64 " %" SCNu64, &ops,
+                    &clock) != 2) {
+      return Status::InvalidArgument("malformed sequence line");
+    }
   }
 
   CTDB_ASSIGN_OR_RETURN(std::string vocab_line, next_line("vocabulary"));
@@ -98,67 +181,99 @@ Result<std::unique_ptr<ContractDatabase>> LoadDatabase(
 
   CTDB_ASSIGN_OR_RETURN(std::string contracts_line, next_line("contracts"));
   size_t contract_count = 0;
-  if (std::sscanf(contracts_line.c_str(), "contracts %zu",
-                  &contract_count) != 1) {
-    return Status::InvalidArgument("malformed contracts line");
+  size_t slot_count = 0;
+  if (v2) {
+    if (std::sscanf(contracts_line.c_str(), "contracts %zu slots %zu",
+                    &contract_count, &slot_count) != 2) {
+      return Status::InvalidArgument("malformed contracts line");
+    }
+  } else {
+    if (std::sscanf(contracts_line.c_str(), "contracts %zu",
+                    &contract_count) != 1) {
+      return Status::InvalidArgument("malformed contracts line");
+    }
+    slot_count = contract_count;
   }
 
+  size_t min_next_id = 0;
   for (size_t c = 0; c < contract_count; ++c) {
     CTDB_ASSIGN_OR_RETURN(std::string contract_line, next_line("contract"));
     size_t declared_id = 0;
-    if (std::sscanf(contract_line.c_str(), "contract %zu", &declared_id) !=
-        1) {
-      return Status::InvalidArgument("malformed contract line: " +
-                                     contract_line);
-    }
-    if (declared_id != c) {
-      return Status::InvalidArgument("contract ids must be dense and "
-                                     "in-order");
-    }
-    CTDB_ASSIGN_OR_RETURN(std::string name_line, next_line("name"));
-    if (!StartsWith(name_line, "name ")) {
-      return Status::InvalidArgument("expected 'name', got: " + name_line);
-    }
-    CTDB_ASSIGN_OR_RETURN(std::string ltl_line, next_line("ltl"));
-    if (!StartsWith(ltl_line, "ltl ")) {
-      return Status::InvalidArgument("expected 'ltl', got: " + ltl_line);
-    }
-    CTDB_ASSIGN_OR_RETURN(std::string events_line, next_line("events"));
-    if (!StartsWith(events_line, "events")) {
-      return Status::InvalidArgument("expected 'events', got: " + events_line);
-    }
-    Bitset events;
-    for (const std::string& tok : Split(events_line.substr(6), ' ')) {
-      const std::string_view t = Trim(tok);
-      if (t.empty()) continue;
-      size_t e = 0;
-      if (std::sscanf(std::string(t).c_str(), "%zu", &e) != 1 ||
-          e >= db->vocabulary()->size()) {
-        return Status::InvalidArgument("bad event id in: " + events_line);
+    uint64_t valid_from = 0;
+    if (v2) {
+      if (std::sscanf(contract_line.c_str(),
+                      "contract %zu valid-from %" SCNu64, &declared_id,
+                      &valid_from) != 2) {
+        return Status::InvalidArgument("malformed contract line: " +
+                                       contract_line);
       }
-      events.Resize(e + 1);
-      events.Set(e);
+      if (declared_id < min_next_id || declared_id >= slot_count) {
+        return Status::InvalidArgument(
+            "contract ids must ascend within the slot range");
+      }
+      min_next_id = declared_id + 1;
+    } else {
+      if (std::sscanf(contract_line.c_str(), "contract %zu", &declared_id) !=
+          1) {
+        return Status::InvalidArgument("malformed contract line: " +
+                                       contract_line);
+      }
+      if (declared_id != c) {
+        return Status::InvalidArgument("contract ids must be dense and "
+                                       "in-order");
+      }
     }
-    // Collect the BA block up to and including its 'end'.
-    std::string ba_text;
-    while (true) {
-      CTDB_ASSIGN_OR_RETURN(std::string ba_line, next_line("ba body"));
-      ba_text += ba_line;
-      ba_text += "\n";
-      if (ba_line == "end") break;
+    CTDB_ASSIGN_OR_RETURN(Body body, read_body());
+    if (v2) {
+      CTDB_RETURN_NOT_OK(
+          db->RestoreContract(static_cast<uint32_t>(declared_id),
+                              std::move(body.name), std::move(body.ltl),
+                              std::move(body.ba), std::move(body.events),
+                              valid_from)
+              .status());
+    } else {
+      // The v1 image is append-only: RegisterAutomaton self-assigns dense
+      // ids and consecutive clocks, reproducing ops == clock == count.
+      CTDB_RETURN_NOT_OK(
+          db->RegisterAutomaton(std::move(body.name), std::move(body.ltl),
+                                std::move(body.ba), std::move(body.events))
+              .status());
     }
-    CTDB_ASSIGN_OR_RETURN(automata::Buchi ba,
-                          automata::Deserialize(ba_text, db->vocabulary()));
-    CTDB_ASSIGN_OR_RETURN(
-        uint32_t id,
-        db->RegisterAutomaton(name_line.substr(5), ltl_line.substr(4),
-                              std::move(ba), std::move(events)));
-    (void)id;
+  }
+
+  uint64_t history_floor = 0;
+  if (v2) {
+    CTDB_ASSIGN_OR_RETURN(std::string history_line, next_line("history"));
+    size_t history_count = 0;
+    if (std::sscanf(history_line.c_str(), "history %zu floor %" SCNu64,
+                    &history_count, &history_floor) != 2) {
+      return Status::InvalidArgument("malformed history line");
+    }
+    for (size_t i = 0; i < history_count; ++i) {
+      CTDB_ASSIGN_OR_RETURN(std::string version_line, next_line("version"));
+      size_t id = 0;
+      uint64_t from = 0, to = 0;
+      if (std::sscanf(version_line.c_str(),
+                      "version %zu %" SCNu64 " %" SCNu64, &id, &from,
+                      &to) != 3) {
+        return Status::InvalidArgument("malformed version line: " +
+                                       version_line);
+      }
+      CTDB_ASSIGN_OR_RETURN(Body body, read_body());
+      CTDB_RETURN_NOT_OK(db->RestoreHistoryVersion(
+          static_cast<uint32_t>(id), std::move(body.name),
+          std::move(body.ltl), std::move(body.ba), std::move(body.events),
+          from, to));
+    }
   }
 
   CTDB_ASSIGN_OR_RETURN(std::string footer, next_line("end-database"));
   if (footer != "end-database") {
     return Status::InvalidArgument("missing end-database footer");
+  }
+  if (v2) {
+    CTDB_RETURN_NOT_OK(
+        db->RestoreLifecycle(ops, clock, history_floor, slot_count));
   }
   return db;
 }

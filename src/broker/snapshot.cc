@@ -6,6 +6,7 @@
 #include "core/compatibility.h"
 #include "core/witness.h"
 #include "ltl/parser.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -41,14 +42,13 @@ Result<QueryResult> DatabaseSnapshot::QueryFormula(
   return RunQuery(query, &factory, options, pool);
 }
 
-void DatabaseSnapshot::CheckCandidate(size_t contract_index,
+void DatabaseSnapshot::CheckCandidate(const Contract& contract,
                                       const automata::Buchi& query_ba,
                                       const Bitset& query_events,
                                       const QueryOptions& options,
                                       std::vector<uint32_t>* matches,
                                       std::vector<LassoWord>* witnesses,
                                       core::PermissionStats* stats) const {
-  const Contract& contract = *contracts_[contract_index];
   const bool use_projection =
       options.use_projections && options_.build_projections;
   const automata::Buchi& contract_ba =
@@ -77,7 +77,7 @@ Result<QueryResult> DatabaseSnapshot::RunQuery(const ltl::Formula* query,
                                                const QueryOptions& options,
                                                util::ThreadPool* pool) const {
   QueryResult result;
-  result.stats.database_size = contracts_.size();
+  result.stats.database_size = live_count_;
   Timer total;
   CTDB_OBS_SPAN(query_span, "query");
 
@@ -97,7 +97,16 @@ Result<QueryResult> DatabaseSnapshot::RunQuery(const ltl::Formula* query,
   result.stats.query_states = query_ba.StateCount();
   result.stats.query_transitions = query_ba.TransitionCount();
 
-  // 2. Prefilter: pruning condition → candidate set (§4).
+  // Time travel: an as_of clock strictly before this snapshot's diverts to
+  // the historical engine (full scan over the reconstructed version set); a
+  // clock at or past the snapshot is just "latest" and stays on this path.
+  if (options.as_of != 0 && options.as_of < clock_) {
+    return RunQueryAsOf(query_ba, options, std::move(result), &total);
+  }
+
+  // 2. Prefilter: pruning condition → candidate set (§4). Dead contracts
+  // are scrubbed from the index by Unregister/Replace, but the live mask is
+  // ANDed in anyway — exactness must not hinge on index hygiene.
   phase.Reset();
   Bitset candidates;
   {
@@ -106,10 +115,11 @@ Result<QueryResult> DatabaseSnapshot::RunQuery(const ltl::Formula* query,
       const index::Condition condition =
           index::ExtractPruningCondition(query_ba, options.pruning);
       candidates = condition.Evaluate(prefilter_);
+      candidates.Resize(contracts_.size());
+      candidates &= live_;
     } else {
-      candidates = Bitset::AllSet(contracts_.size());
+      candidates = live_;
     }
-    candidates.Resize(contracts_.size());
     CTDB_OBS_SPAN_ATTR(prefilter_span, "candidates", candidates.Count());
   }
   result.stats.prefilter_ms = phase.ElapsedMillis();
@@ -127,8 +137,9 @@ Result<QueryResult> DatabaseSnapshot::RunQuery(const ltl::Formula* query,
                candidate_ids.size() == 0 ? size_t{1} : candidate_ids.size());
   if (threads <= 1) {
     for (size_t idx : candidate_ids) {
-      CheckCandidate(idx, query_ba, query_events, options, &result.matches,
-                     &result.witnesses, &result.stats.permission);
+      CheckCandidate(*contracts_[idx], query_ba, query_events, options,
+                     &result.matches, &result.witnesses,
+                     &result.stats.permission);
     }
   } else {
     // Strided static partition (shard t takes candidates t, t+threads, …):
@@ -145,8 +156,8 @@ Result<QueryResult> DatabaseSnapshot::RunQuery(const ltl::Formula* query,
     std::vector<Shard> shards(threads);
     CTDB_RETURN_NOT_OK(pool->ParallelFor(0, threads, [&](size_t t) -> Status {
       for (size_t i = t; i < candidate_ids.size(); i += threads) {
-        CheckCandidate(candidate_ids[i], query_ba, query_events, options,
-                       &shards[t].matches, &shards[t].witnesses,
+        CheckCandidate(*contracts_[candidate_ids[i]], query_ba, query_events,
+                       options, &shards[t].matches, &shards[t].witnesses,
                        &shards[t].stats);
       }
       return Status::OK();
@@ -179,6 +190,59 @@ Result<QueryResult> DatabaseSnapshot::RunQuery(const ltl::Formula* query,
   return result;
 }
 
+std::vector<const Contract*> DatabaseSnapshot::VisibleAt(uint64_t seq) const {
+  // At any clock a contract id has at most one visible version: live
+  // versions are open-ended ([valid_from, ∞)) and historical periods of the
+  // same id are disjoint (each Replace closes the old period exactly where
+  // the new one opens).
+  std::vector<const Contract*> visible;
+  for (const auto& c : contracts_) {
+    if (c != nullptr && c->valid_from <= seq) visible.push_back(c.get());
+  }
+  for (const ContractVersion& v : history_->versions()) {
+    if (v.VisibleAt(seq)) visible.push_back(v.contract.get());
+  }
+  std::sort(visible.begin(), visible.end(),
+            [](const Contract* a, const Contract* b) { return a->id < b->id; });
+  return visible;
+}
+
+Result<QueryResult> DatabaseSnapshot::RunQueryAsOf(
+    const automata::Buchi& query_ba, const QueryOptions& options,
+    QueryResult result, Timer* total) const {
+  if (options.as_of < history_->floor()) {
+    return Status::InvalidArgument(
+        "as_of " + std::to_string(options.as_of) +
+        " is below the retention floor " + std::to_string(history_->floor()) +
+        ": history there has been discarded");
+  }
+  CTDB_OBS_SPAN(asof_span, "query.as_of");
+  CTDB_OBS_COUNT("broker.queries.as_of", 1);
+  Timer phase;
+  const std::vector<const Contract*> visible = VisibleAt(options.as_of);
+  result.stats.database_size = visible.size();
+  result.stats.prefilter_ms = phase.ElapsedMillis();
+  result.stats.candidates = visible.size();
+
+  // Full scan: every visible version gets a real permission check. The
+  // prefilter only indexes live contracts, so using it here could drop
+  // historical matches — exactness wins over speed for audit queries.
+  phase.Reset();
+  const Bitset query_events = query_ba.CitedEvents();
+  for (const Contract* contract : visible) {
+    CheckCandidate(*contract, query_ba, query_events, options,
+                   &result.matches, &result.witnesses,
+                   &result.stats.permission);
+  }
+  result.stats.permission_ms = phase.ElapsedMillis();
+  result.stats.matches = result.matches.size();
+  result.stats.total_ms = total->ElapsedMillis();
+  CTDB_OBS_SPAN_ATTR(asof_span, "visible", visible.size());
+  CTDB_OBS_SPAN_ATTR(asof_span, "matches", result.stats.matches);
+  RecordQueryStats(result.stats);
+  return result;
+}
+
 Result<std::vector<QueryResult>> DatabaseSnapshot::QueryBatch(
     const std::vector<std::string>& queries, const QueryOptions& options,
     util::ThreadPool* pool) const {
@@ -203,9 +267,14 @@ Result<std::vector<QueryResult>> DatabaseSnapshot::QueryBatch(
   }
 
   std::vector<QueryResult> results(queries.size());
+  // Historical batches take the serial path unconditionally: the parallel
+  // phases below are built around the live prefilter, while as-of
+  // evaluation is a per-query full scan (RunQuery diverts internally).
   const size_t threads =
-      std::min(ResolveThreads(options.threads, pool),
-               queries.size() == 0 ? size_t{1} : queries.size());
+      options.as_of != 0
+          ? 1
+          : std::min(ResolveThreads(options.threads, pool),
+                     queries.size() == 0 ? size_t{1} : queries.size());
   if (threads <= 1) {
     // Serial: exactly a sequence of Query calls.
     for (size_t i = 0; i < queries.size(); ++i) {
@@ -234,7 +303,7 @@ Result<std::vector<QueryResult>> DatabaseSnapshot::QueryBatch(
       for (size_t i = t; i < queries.size(); i += prep_workers) {
         Prep& prep = preps[i];
         QueryStats& stats = results[i].stats;
-        stats.database_size = contracts_.size();
+        stats.database_size = live_count_;
         Timer phase;
         auto parsed = ltl::Parse(queries[i], &local_factory, *vocab_);
         if (!parsed.ok()) {
@@ -262,10 +331,11 @@ Result<std::vector<QueryResult>> DatabaseSnapshot::QueryBatch(
           const index::Condition condition =
               index::ExtractPruningCondition(*prep.ba, options.pruning);
           candidates = condition.Evaluate(prefilter_);
+          candidates.Resize(contracts_.size());
+          candidates &= live_;
         } else {
-          candidates = Bitset::AllSet(contracts_.size());
+          candidates = live_;
         }
-        candidates.Resize(contracts_.size());
         stats.prefilter_ms = phase.ElapsedMillis();
         prep.candidates = candidates.ToVector();
         stats.candidates = prep.candidates.size();
@@ -301,8 +371,9 @@ Result<std::vector<QueryResult>> DatabaseSnapshot::QueryBatch(
         Timer timer;
         for (size_t idx : preps[q].candidates) {
           if (idx % shards != s) continue;
-          CheckCandidate(idx, *preps[q].ba, preps[q].query_events, options,
-                         &shard.matches, &shard.witnesses, &shard.stats);
+          CheckCandidate(*contracts_[idx], *preps[q].ba, preps[q].query_events,
+                         options, &shard.matches, &shard.witnesses,
+                         &shard.stats);
         }
         shard.elapsed_ms = timer.ElapsedMillis();
       }
@@ -346,7 +417,12 @@ Result<std::vector<QueryResult>> DatabaseSnapshot::QueryBatch(
 size_t DatabaseSnapshot::ContractMemoryUsage() const {
   size_t bytes = 0;
   for (const auto& c : contracts_) {
-    bytes += c->automaton().MemoryUsage();
+    if (c != nullptr) bytes += c->automaton().MemoryUsage();
+  }
+  // Superseded versions never alias live slots (Replace installs a fresh
+  // Contract; Unregister empties the slot), so summing both is exact.
+  for (const ContractVersion& v : history_->versions()) {
+    bytes += v.contract->automaton().MemoryUsage();
   }
   return bytes;
 }
@@ -354,7 +430,10 @@ size_t DatabaseSnapshot::ContractMemoryUsage() const {
 size_t DatabaseSnapshot::ProjectionMemoryUsage() const {
   size_t bytes = 0;
   for (const auto& c : contracts_) {
-    bytes += c->projections.stats().partition_memory_bytes;
+    if (c != nullptr) bytes += c->projections.stats().partition_memory_bytes;
+  }
+  for (const ContractVersion& v : history_->versions()) {
+    bytes += v.contract->projections.stats().partition_memory_bytes;
   }
   return bytes;
 }

@@ -32,6 +32,7 @@
 #include "base/run.h"
 #include "base/vocabulary.h"
 #include "broker/contract.h"
+#include "broker/history.h"
 #include "broker/stats.h"
 #include "core/permission.h"
 #include "index/prefilter.h"
@@ -41,12 +42,22 @@
 #include "translate/cache.h"
 #include "translate/ltl_to_ba.h"
 #include "util/result.h"
+#include "util/timer.h"
 
 namespace ctdb::util {
 class ThreadPool;
 }
 
 namespace ctdb::broker {
+
+/// How much contract history to retain for `as_of` queries (DESIGN.md §14).
+struct RetentionOptions {
+  /// Number of recent system-clock ticks whose history must stay
+  /// answerable: after a checkpoint at clock `c`, superseded versions dead
+  /// at or before `c - keep_history_seqs` may be discarded and the as-of
+  /// floor raised there. 0 (the default) keeps all history forever.
+  uint64_t keep_history_seqs = 0;
+};
 
 /// Registration-time configuration.
 struct DatabaseOptions {
@@ -85,6 +96,11 @@ struct DatabaseOptions {
   /// ContractDatabase/DurableDatabase themselves: a single instance is
   /// always exactly one shard.
   size_t shards = 1;
+
+  /// History retention for time-travel queries. Applied by the durable
+  /// layer at checkpoint time (the natural pruning point: the checkpoint
+  /// image is what re-seeds history on recovery).
+  RetentionOptions retention;
 };
 
 /// Query-time configuration.
@@ -107,6 +123,17 @@ struct QueryOptions {
   /// Permission algorithm knobs (Algorithm 2 vs SCC, seeds).
   core::PermissionOptions permission;
   index::PruningOptions pruning;
+
+  /// Time travel: answer against the contract set as of this system clock
+  /// (DESIGN.md §14) instead of the live set. 0 (the default) means
+  /// "latest"; clock 0 itself is never assigned to a mutation, so the
+  /// sentinel is unambiguous. A value at or above the snapshot's clock is
+  /// clamped to "latest"; a value below the retention floor is
+  /// InvalidArgument (history there has been discarded, an exact answer is
+  /// impossible). Historical evaluation scans every visible version — the
+  /// prefilter indexes only live contracts — so exactness, not speed, is
+  /// the contract here.
+  uint64_t as_of = 0;
 };
 
 /// A query's outcome.
@@ -172,11 +199,42 @@ class DatabaseSnapshot {
       const std::vector<std::string>& queries, const QueryOptions& options = {},
       util::ThreadPool* pool = nullptr) const;
 
-  /// Number of contracts in this snapshot.
-  size_t size() const { return contracts_.size(); }
-  /// The contract with id `id` (< size()). The reference is valid for the
-  /// snapshot's lifetime.
+  /// Number of *live* contracts in this snapshot (unregistered ones leave
+  /// holes — see slot_count()).
+  size_t size() const { return live_count_; }
+
+  /// Number of id slots ever allocated (== one past the largest id). Ids
+  /// are never reused, so dead contracts leave nullptr holes in the slot
+  /// table and `slot_count() >= size()`.
+  size_t slot_count() const { return contracts_.size(); }
+
+  /// The live contract with id `id` (requires `is_live(id)`). The reference
+  /// is valid for the snapshot's lifetime.
   const Contract& contract(uint32_t id) const { return *contracts_[id]; }
+
+  /// The contract in slot `id`, or nullptr when the slot is a hole (dead
+  /// contract) or out of range.
+  const Contract* contract_or_null(uint32_t id) const {
+    return id < contracts_.size() ? contracts_[id].get() : nullptr;
+  }
+
+  bool is_live(uint32_t id) const {
+    return id < contracts_.size() && contracts_[id] != nullptr;
+  }
+
+  /// Count of mutations applied (the dense WAL sequence — what checkpoint
+  /// coverage is keyed by).
+  uint64_t ops() const { return ops_; }
+
+  /// System-period clock of the last mutation (== ops() unsharded;
+  /// router-assigned, sparse per shard, when sharded). The `as_of` axis.
+  uint64_t sequence() const { return clock_; }
+
+  /// Superseded contract versions (never null).
+  const HistoryStore& history() const { return *history_; }
+  const std::shared_ptr<const HistoryStore>& history_ptr() const {
+    return history_;
+  }
 
   const Vocabulary& vocabulary() const { return *vocab_; }
   const index::PrefilterIndex& prefilter() const { return prefilter_; }
@@ -204,15 +262,35 @@ class DatabaseSnapshot {
                                util::ThreadPool* pool) const;
 
   /// Runs one permission check; appends to the given output buffers.
-  void CheckCandidate(size_t contract_index, const automata::Buchi& query_ba,
+  void CheckCandidate(const Contract& contract,
+                      const automata::Buchi& query_ba,
                       const Bitset& query_events, const QueryOptions& options,
                       std::vector<uint32_t>* matches,
                       std::vector<LassoWord>* witnesses,
                       core::PermissionStats* stats) const;
 
+  /// The contract versions visible as-of clock `seq`: live contracts with
+  /// valid_from <= seq plus history versions whose period covers seq. One
+  /// version per contract id, sorted by id.
+  std::vector<const Contract*> VisibleAt(uint64_t seq) const;
+
+  /// The historical-query engine behind RunQuery when options.as_of names a
+  /// clock before this snapshot's: full scan over VisibleAt(as_of).
+  Result<QueryResult> RunQueryAsOf(const automata::Buchi& query_ba,
+                                   const QueryOptions& options,
+                                   QueryResult result, Timer* total) const;
+
   DatabaseOptions options_;
   std::shared_ptr<const Vocabulary> vocab_ = std::make_shared<Vocabulary>();
+  /// Slot table indexed by contract id; nullptr = unregistered (hole).
   std::vector<std::shared_ptr<const Contract>> contracts_;
+  /// Bit i set iff slot i holds a live contract.
+  Bitset live_;
+  size_t live_count_ = 0;
+  uint64_t ops_ = 0;    ///< dense mutation count (WAL sequence)
+  uint64_t clock_ = 0;  ///< system-period clock of the last mutation
+  std::shared_ptr<const HistoryStore> history_ =
+      std::make_shared<HistoryStore>();
   index::PrefilterIndex prefilter_;
   /// The database's shared query-translation cache (translate/cache.h),
   /// handed to every published snapshot: a formula translated through one

@@ -86,6 +86,66 @@ void PrefilterIndex::InsertSubsets(uint32_t contract_id,
   }
 }
 
+void PrefilterIndex::Remove(uint32_t contract_id, const automata::Buchi& ba,
+                            const Bitset& contract_events) {
+  CTDB_OBS_COUNT("prefilter.removes", 1);
+  for (const Label& label : ba.DistinctLabels()) {
+    RemoveSubsets(contract_id, label.Expansion(contract_events));
+  }
+  if (contract_id < universe_.size()) universe_.Clear(contract_id);
+  contract_count_ = universe_.Count();
+}
+
+void PrefilterIndex::RemoveSubsets(uint32_t contract_id,
+                                   const LiteralKey& expansion) {
+  // Mirror of InsertSubsets' enumeration: visit the same satisfiable
+  // subsets of size 1..k and undo the Set. A subset reached through several
+  // labels may already be gone — that just means nothing to do here.
+  const size_t n = expansion.size();
+  const size_t k = std::min(options_.max_depth, n);
+  LiteralKey subset;
+
+  struct Frame {
+    size_t next;  // next candidate index into `expansion`
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (subset.size() == k || f.next >= n) {
+      stack.pop_back();
+      if (!subset.empty()) subset.pop_back();
+      continue;
+    }
+    const LiteralId lit = expansion[f.next];
+    ++f.next;
+    bool contradictory = false;
+    for (LiteralId existing : subset) {
+      if (Literal::NegationOf(existing) == lit) {
+        contradictory = true;
+        break;
+      }
+    }
+    if (contradictory) continue;
+    subset.push_back(lit);
+    Shard* shard = MutableShard(ShardOf(subset));
+    auto it = shard->nodes.find(subset);
+    if (it != shard->nodes.end()) {
+      std::shared_ptr<Bitset>& contracts = it->second;
+      if (contract_id < contracts->size() && contracts->Test(contract_id)) {
+        if (contracts.use_count() != 1) {
+          // Shared with a published copy that must keep seeing the
+          // contract — clone before clearing.
+          contracts = std::make_shared<Bitset>(*contracts);
+        }
+        contracts->Clear(contract_id);
+        if (contracts->None()) shard->nodes.erase(it);
+      }
+    }
+    stack.push_back({f.next});
+  }
+}
+
 const Bitset* PrefilterIndex::FindNode(const LiteralKey& key) const {
   const Shard& shard = *shards_[ShardOf(key)];
   auto it = shard.nodes.find(key);

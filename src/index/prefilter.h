@@ -72,6 +72,15 @@ class PrefilterIndex {
   void Insert(uint32_t contract_id, const automata::Buchi& ba,
               const Bitset& contract_events);
 
+  /// Unregisters contract `contract_id`: clears its bit from every node a
+  /// matching Insert set (same BA, same contract events — the caller keeps
+  /// the registered automaton around for exactly this), erasing nodes whose
+  /// contract sets empty out. Idempotent per node: distinct labels sharing
+  /// subsets just re-clear a cleared bit. Writer-side, copy-on-write like
+  /// Insert, so published snapshot copies keep the contract.
+  void Remove(uint32_t contract_id, const automata::Buchi& ba,
+              const Bitset& contract_events);
+
   /// S(λ) for |λ| ≤ k, S'(λ) (superset, see header comment) otherwise.
   /// The empty label (`true`) maps to the universe. Safe to call
   /// concurrently on a frozen copy.
@@ -114,6 +123,7 @@ class PrefilterIndex {
   /// Returns shard `index` for writing, cloning it first if shared.
   Shard* MutableShard(size_t index);
   void InsertSubsets(uint32_t contract_id, const LiteralKey& expansion);
+  void RemoveSubsets(uint32_t contract_id, const LiteralKey& expansion);
   const Bitset* FindNode(const LiteralKey& key) const;
 
   /// Invokes `fn(FindNode(l))` for every k-combination l of `key` (requires

@@ -73,7 +73,7 @@ Status Corrupt(const char* what) { return Status::Corruption(what); }
 
 bool IsRequestKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(MsgKind::kRegister) &&
-         kind <= static_cast<uint8_t>(MsgKind::kStats);
+         kind <= static_cast<uint8_t>(MsgKind::kReplace);
 }
 
 Request Request::Register(uint64_t id, std::string name, std::string ltl) {
@@ -93,19 +93,22 @@ Request Request::RegisterBatch(uint64_t id, std::vector<Entry> entries) {
   return r;
 }
 
-Request Request::Query(uint64_t id, std::string ltl) {
+Request Request::Query(uint64_t id, std::string ltl, uint64_t as_of) {
   Request r;
   r.kind = MsgKind::kQuery;
   r.id = id;
   r.ltl = std::move(ltl);
+  r.as_of = as_of;
   return r;
 }
 
-Request Request::QueryBatch(uint64_t id, std::vector<std::string> queries) {
+Request Request::QueryBatch(uint64_t id, std::vector<std::string> queries,
+                            uint64_t as_of) {
   Request r;
   r.kind = MsgKind::kQueryBatch;
   r.id = id;
   r.queries = std::move(queries);
+  r.as_of = as_of;
   return r;
 }
 
@@ -120,6 +123,23 @@ Request Request::Stats(uint64_t id) {
   Request r;
   r.kind = MsgKind::kStats;
   r.id = id;
+  return r;
+}
+
+Request Request::Unregister(uint64_t id, uint32_t contract_id) {
+  Request r;
+  r.kind = MsgKind::kUnregister;
+  r.id = id;
+  r.contract_id = contract_id;
+  return r;
+}
+
+Request Request::Replace(uint64_t id, uint32_t contract_id, std::string ltl) {
+  Request r;
+  r.kind = MsgKind::kReplace;
+  r.id = id;
+  r.contract_id = contract_id;
+  r.ltl = std::move(ltl);
   return r;
 }
 
@@ -150,10 +170,19 @@ std::string EncodeRequestPayload(const Request& request) {
       break;
     case MsgKind::kQuery:
       PutString(&out, request.ltl);
+      PutU64(&out, request.as_of);
       break;
     case MsgKind::kQueryBatch:
       PutU32(&out, static_cast<uint32_t>(request.queries.size()));
       for (const std::string& q : request.queries) PutString(&out, q);
+      PutU64(&out, request.as_of);
+      break;
+    case MsgKind::kUnregister:
+      PutU32(&out, request.contract_id);
+      break;
+    case MsgKind::kReplace:
+      PutU32(&out, request.contract_id);
+      PutString(&out, request.ltl);
       break;
     case MsgKind::kCheckpoint:
     case MsgKind::kStats:
@@ -198,7 +227,8 @@ Status DecodeRequestPayload(std::string_view payload, Request* request) {
       break;
     }
     case MsgKind::kQuery:
-      if (!GetString(payload, &offset, &request->ltl)) {
+      if (!GetString(payload, &offset, &request->ltl) ||
+          !GetU64(payload, &offset, &request->as_of)) {
         return Corrupt("query request truncated");
       }
       break;
@@ -214,8 +244,22 @@ Status DecodeRequestPayload(std::string_view payload, Request* request) {
           return Corrupt("query batch entry truncated");
         }
       }
+      if (!GetU64(payload, &offset, &request->as_of)) {
+        return Corrupt("query batch as_of truncated");
+      }
       break;
     }
+    case MsgKind::kUnregister:
+      if (!GetU32(payload, &offset, &request->contract_id)) {
+        return Corrupt("unregister request truncated");
+      }
+      break;
+    case MsgKind::kReplace:
+      if (!GetU32(payload, &offset, &request->contract_id) ||
+          !GetString(payload, &offset, &request->ltl)) {
+        return Corrupt("replace request truncated");
+      }
+      break;
     case MsgKind::kCheckpoint:
     case MsgKind::kStats:
     case MsgKind::kResponse:
@@ -252,6 +296,8 @@ std::string EncodeResponsePayload(const Response& response) {
       }
       break;
     case MsgKind::kCheckpoint:
+    case MsgKind::kUnregister:
+    case MsgKind::kReplace:
       PutU64(&out, response.sequence);
       break;
     case MsgKind::kStats:
@@ -332,8 +378,10 @@ Status DecodeResponsePayload(std::string_view payload, Response* response) {
         break;
       }
       case MsgKind::kCheckpoint:
+      case MsgKind::kUnregister:
+      case MsgKind::kReplace:
         if (!GetU64(payload, &offset, &response->sequence)) {
-          return Corrupt("checkpoint response truncated");
+          return Corrupt("sequence response truncated");
         }
         break;
       case MsgKind::kStats:

@@ -14,11 +14,17 @@
 //
 //   body(kRegister)      := str name · str ltl
 //   body(kRegisterBatch) := u32 count · count × (str name · str ltl)
-//   body(kQuery)         := str ltl
-//   body(kQueryBatch)    := u32 count · count × str
+//   body(kQuery)         := str ltl · u64 as_of
+//   body(kQueryBatch)    := u32 count · count × str · u64 as_of
 //   body(kCheckpoint)    := (empty)
 //   body(kStats)         := (empty)
+//   body(kUnregister)    := u32 contract_id
+//   body(kReplace)       := u32 contract_id · str ltl
 //   str                  := len u32 · bytes
+//
+// `as_of` = 0 asks for the latest state; any other value evaluates the
+// query against the contract set as of that system-period clock tick
+// (DESIGN.md §14).
 //
 // Response bodies:
 //   kRegister      := u32 contract id
@@ -27,6 +33,8 @@
 //   kQueryBatch    := u32 count · count × (u32 match_count · ids)
 //   kCheckpoint    := u64 covered sequence
 //   kStats         := str metrics JSON
+//   kUnregister    := u64 clock of the removal
+//   kReplace       := u64 clock of the supersession
 //
 // `id` is a client-assigned correlation id echoed verbatim by the response,
 // which is what makes per-connection pipelining work: a client may have any
@@ -68,10 +76,12 @@ enum class MsgKind : uint8_t {
   kQueryBatch = 4,
   kCheckpoint = 5,
   kStats = 6,
+  kUnregister = 7,
+  kReplace = 8,
   kResponse = 32,
 };
 
-/// True for the six operation kinds (not kResponse).
+/// True for the eight operation kinds (not kResponse).
 bool IsRequestKind(uint8_t kind);
 
 /// \brief One client request.
@@ -85,16 +95,21 @@ struct Request {
     bool operator==(const Entry&) const = default;
   };
   std::string name;             ///< kRegister: contract name
-  std::string ltl;              ///< kRegister / kQuery: LTL text
+  std::string ltl;              ///< kRegister / kQuery / kReplace: LTL text
   std::vector<Entry> entries;   ///< kRegisterBatch
   std::vector<std::string> queries;  ///< kQueryBatch
+  uint32_t contract_id = 0;     ///< kUnregister / kReplace: target contract
+  uint64_t as_of = 0;           ///< kQuery / kQueryBatch: 0 = latest
 
   static Request Register(uint64_t id, std::string name, std::string ltl);
   static Request RegisterBatch(uint64_t id, std::vector<Entry> entries);
-  static Request Query(uint64_t id, std::string ltl);
-  static Request QueryBatch(uint64_t id, std::vector<std::string> queries);
+  static Request Query(uint64_t id, std::string ltl, uint64_t as_of = 0);
+  static Request QueryBatch(uint64_t id, std::vector<std::string> queries,
+                            uint64_t as_of = 0);
   static Request Checkpoint(uint64_t id);
   static Request Stats(uint64_t id);
+  static Request Unregister(uint64_t id, uint32_t contract_id);
+  static Request Replace(uint64_t id, uint32_t contract_id, std::string ltl);
 
   bool operator==(const Request&) const = default;
 };
@@ -116,7 +131,9 @@ struct Response {
     bool operator==(const Answer&) const = default;
   };
   std::vector<Answer> answers;
-  uint64_t sequence = 0;     ///< kCheckpoint: covered registration sequence
+  /// kCheckpoint: covered mutation sequence; kUnregister / kReplace: the
+  /// system-period clock of the lifecycle change.
+  uint64_t sequence = 0;
   std::string stats_json;    ///< kStats: metrics registry snapshot
 
   /// The response's status as a Status value.

@@ -473,7 +473,9 @@ Response ExecuteRequest(broker::Broker* db, const Request& request) {
       break;
     }
     case MsgKind::kQuery: {
-      auto result = db->Query(request.ltl);
+      broker::QueryOptions options;
+      options.as_of = request.as_of;
+      auto result = db->Query(request.ltl, options);
       if (!result.ok()) return Response::Error(request, result.status());
       Response::Answer answer;
       answer.matches = std::move(result->matches);
@@ -484,7 +486,9 @@ Response ExecuteRequest(broker::Broker* db, const Request& request) {
       break;
     }
     case MsgKind::kQueryBatch: {
-      auto result = db->QueryBatch(request.queries);
+      broker::QueryOptions options;
+      options.as_of = request.as_of;
+      auto result = db->QueryBatch(request.queries, options);
       if (!result.ok()) return Response::Error(request, result.status());
       response.answers.reserve(result->size());
       for (broker::QueryResult& qr : *result) {
@@ -504,6 +508,18 @@ Response ExecuteRequest(broker::Broker* db, const Request& request) {
     }
     case MsgKind::kStats: {
       response.stats_json = db->Metrics().ToJson();
+      break;
+    }
+    case MsgKind::kUnregister: {
+      auto result = db->Unregister(request.contract_id);
+      if (!result.ok()) return Response::Error(request, result.status());
+      response.sequence = *result;
+      break;
+    }
+    case MsgKind::kReplace: {
+      auto result = db->Replace(request.contract_id, request.ltl);
+      if (!result.ok()) return Response::Error(request, result.status());
+      response.sequence = *result;
       break;
     }
     case MsgKind::kResponse:

@@ -158,8 +158,13 @@ ShardedDatabase::ShardedDatabase(
       shards_(std::move(shards)),
       pool_(std::move(pool)),
       recovery_stats_(std::move(recovery_stats)) {
-  sizes_.resize(shards_.size());
-  for (size_t k = 0; k < shards_.size(); ++k) sizes_[k] = shards_[k]->size();
+  slots_.resize(shards_.size());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    slots_[k] = shards_[k]->slot_count();
+    // Shard clocks are sparse samples of one global clock; the max is the
+    // latest tick any shard acknowledged.
+    clock_ = std::max(clock_, shards_[k]->last_sequence());
+  }
 #if CTDB_OBS
   // Counters are cached at construction, so a runtime-disabled registry
   // stays empty (the documented CTDB_OBS=0 contract); enabling obs after
@@ -218,16 +223,24 @@ Result<uint32_t> ShardedDatabase::Register(std::string name,
   CTDB_RETURN_NOT_OK(CheckOpen());
   std::lock_guard<std::mutex> lock(route_mutex_);
   const size_t k = RouteShardLocked();
-  CTDB_ASSIGN_OR_RETURN(uint32_t local_id,
-                        shards_[k]->Register(std::move(name), ltl_text, stats));
-  // The shard assigns local ids densely from its own size; the route table
-  // tracked that size, so the striped global id is exactly the next one.
-  if (local_id != sizes_[k]) {
+  const uint64_t at = clock_ + 1;
+  auto local = shards_[k]->RegisterWithClock(std::move(name), ltl_text, stats,
+                                             at);
+  // Resync even on failure: a WAL-append error still applied the mutation
+  // (and its clock) in the shard's memory, and the router must not hand the
+  // same tick out twice.
+  clock_ = std::max(clock_, shards_[k]->last_sequence());
+  CTDB_RETURN_NOT_OK(local.status());
+  const uint32_t local_id = *local;
+  // The shard assigns local ids densely from its own slot count; the route
+  // table tracked that count, so the striped global id is exactly the next
+  // one.
+  if (local_id != slots_[k]) {
     return Status::Internal(StringFormat(
         "shard %zu assigned local id %u, router expected %llu", k, local_id,
-        static_cast<unsigned long long>(sizes_[k])));
+        static_cast<unsigned long long>(slots_[k])));
   }
-  sizes_[k] += 1;
+  slots_[k] += 1;
 #if CTDB_OBS
   if (obs::Enabled() && !register_counters_.empty()) {
     register_counters_[k]->Add();
@@ -258,12 +271,15 @@ Result<std::vector<uint32_t>> ShardedDatabase::RegisterBatch(
   std::lock_guard<std::mutex> lock(route_mutex_);
   const size_t n = shards_.size();
 
-  // Assign global ids up front (round-robin over the lowest-next-id
-  // shards), grouping entries into per-shard sub-batches.
+  // Assign global ids and clocks up front (round-robin over the
+  // lowest-next-id shards), grouping entries into per-shard sub-batches.
+  // Entry i gets global clock clock_ + 1 + i, so the batch occupies the
+  // same clock range as the equivalent sequence of single registrations.
   std::vector<uint32_t> global_ids(entries.size());
   std::vector<std::vector<broker::ContractDatabase::BatchEntry>> sub(n);
   std::vector<std::vector<size_t>> sub_origin(n);  // entry index per slot
-  std::vector<uint64_t> planned = sizes_;
+  std::vector<std::vector<uint64_t>> sub_clocks(n);
+  std::vector<uint64_t> planned = slots_;
   for (size_t i = 0; i < entries.size(); ++i) {
     size_t best = 0;
     for (size_t k = 1; k < n; ++k) {
@@ -274,13 +290,14 @@ Result<std::vector<uint32_t>> ShardedDatabase::RegisterBatch(
     planned[best] += 1;
     sub[best].push_back(entries[i]);
     sub_origin[best].push_back(i);
+    sub_clocks[best].push_back(clock_ + 1 + i);
   }
 
   // Commit the sub-batches, each atomic within its shard.
   std::vector<Status> shard_status(n, Status::OK());
   auto commit_one = [&](size_t k) {
     if (sub[k].empty()) return Status::OK();
-    auto ids = shards_[k]->RegisterBatch(sub[k]);
+    auto ids = shards_[k]->RegisterBatchWithClocks(sub[k], &sub_clocks[k]);
     if (!ids.ok()) {
       shard_status[k] = AnnotateShard(k, ids.status());
       return shard_status[k];
@@ -304,7 +321,7 @@ Result<std::vector<uint32_t>> ShardedDatabase::RegisterBatch(
     // lowest-numbered failure deterministically.
     for (size_t k = 0; k < n; ++k) {
       if (!sub[k].empty() && shard_status[k].ok() &&
-          shards_[k]->size() < planned[k]) {
+          shards_[k]->slot_count() < planned[k]) {
         (void)commit_one(k);
       }
       if (first.ok() && !shard_status[k].ok()) first = shard_status[k];
@@ -312,7 +329,13 @@ Result<std::vector<uint32_t>> ShardedDatabase::RegisterBatch(
   } else {
     first = commit_one(0);
   }
-  for (size_t k = 0; k < n; ++k) sizes_[k] = shards_[k]->size();
+  // Resync slots and the clock from the shards: on a partial failure some
+  // sub-batches committed (and consumed their planned clocks), and the
+  // router view must cover them.
+  for (size_t k = 0; k < n; ++k) {
+    slots_[k] = shards_[k]->slot_count();
+    clock_ = std::max(clock_, shards_[k]->last_sequence());
+  }
   CTDB_RETURN_NOT_OK(first);
 
   for (size_t k = 0; k < n; ++k) {
@@ -327,6 +350,62 @@ Result<std::vector<uint32_t>> ShardedDatabase::RegisterBatch(
     }
   }
   return global_ids;
+}
+
+Result<uint64_t> ShardedDatabase::Unregister(uint32_t id) {
+  CTDB_RETURN_NOT_OK(CheckOpen());
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  const size_t n = shards_.size();
+  const size_t k = ShardOfId(id, n);
+  // Surface the global id in the not-found case: the shard only knows the
+  // local id, and an out-of-range local would read as a different contract.
+  if (LocalId(id, n) >= slots_[k]) {
+    return Status::NotFound("contract " + std::to_string(id) +
+                            " is not live");
+  }
+  const uint64_t at = clock_ + 1;
+  auto result = shards_[k]->UnregisterWithClock(LocalId(id, n), at);
+  // Resync even on failure: a WAL-append error still ticked the shard.
+  clock_ = std::max(clock_, shards_[k]->last_sequence());
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("contract " + std::to_string(id) +
+                              " is not live");
+    }
+    return AnnotateShard(k, result.status());
+  }
+  CTDB_OBS_COUNT("shard.unregisters", 1);
+  return at;
+}
+
+Result<uint64_t> ShardedDatabase::Replace(uint32_t id,
+                                          std::string_view ltl_text,
+                                          broker::RegistrationStats* stats) {
+  CTDB_RETURN_NOT_OK(CheckOpen());
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  const size_t n = shards_.size();
+  const size_t k = ShardOfId(id, n);
+  if (LocalId(id, n) >= slots_[k]) {
+    return Status::NotFound("contract " + std::to_string(id) +
+                            " is not live");
+  }
+  const uint64_t at = clock_ + 1;
+  auto result = shards_[k]->ReplaceWithClock(LocalId(id, n), ltl_text, stats,
+                                             at);
+  // Resync even on failure: a WAL-append error still ticked the shard.
+  clock_ = std::max(clock_, shards_[k]->last_sequence());
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("contract " + std::to_string(id) +
+                              " is not live");
+    }
+    return result.status();  // parse/translate errors keep their wording
+  }
+  // The replacement text may cite brand-new events; keep the vocabularies
+  // in sync exactly as Register does.
+  CTDB_RETURN_NOT_OK(BroadcastEventsLocked(k, LocalId(id, n)));
+  CTDB_OBS_COUNT("shard.replaces", 1);
+  return at;
 }
 
 Result<broker::QueryResult> ShardedDatabase::Query(
@@ -448,6 +527,11 @@ size_t ShardedDatabase::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->size();
   return total;
+}
+
+uint64_t ShardedDatabase::last_sequence() const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  return clock_;
 }
 
 obs::MetricsSnapshot ShardedDatabase::Metrics() const {

@@ -11,11 +11,24 @@
 // byte-identical id assignment to an unsharded database, which is what the
 // differential suite (sharded_database_test) holds it to. The striping is
 // also crash-stable: a contract's global id is a function of its shard and
-// its shard-local WAL sequence alone, so after a crash that tears different
+// its shard-local slot index alone, so after a crash that tears different
 // amounts off different shards' logs every surviving contract keeps its id
 // (the global id space simply has holes where unlucky shards lost their
 // unacked tails). Registration always routes to the shard with the lowest
 // next global id, which refills those holes before extending the space.
+// Routing is by slot count, not live count: Unregister leaves a hole in its
+// shard's slot table (ids are never reused — a recycled id would corrupt
+// the as_of history), so lifecycle ops route deterministically by
+// shard(id) = id % N while new registrations keep striping off the end.
+//
+// Clocks. Each mutation ticks one global system-period clock held by the
+// router (recovered as the max of the shards' clocks); the ticked value is
+// passed down via the shards' *WithClock entry points and stamped into the
+// contract's [valid_from, valid_to) period and WAL record. Per-shard clocks
+// are therefore sparse but mutually comparable, which is exactly what
+// QueryAsOf's scatter-gather needs: a shard whose clock is behind `as_of`
+// simply answers with its latest state — correct, because it had no
+// mutations in between (DESIGN.md §14).
 //
 // Durability. Each shard is a full broker::DurableDatabase with its own WAL
 // and checkpoint directory — its own group-commit writer, its own fsync
@@ -120,6 +133,17 @@ class ShardedDatabase : public broker::Broker {
   Result<std::vector<uint32_t>> RegisterBatch(
       const std::vector<broker::ContractDatabase::BatchEntry>& entries) override;
 
+  /// Unregisters global contract `id` on its owning shard (id % N) and
+  /// returns the global clock of the removal once durable. The slot is
+  /// never reused; NotFound names the global id.
+  Result<uint64_t> Unregister(uint32_t id) override;
+
+  /// Replaces global contract `id`'s specification in place (same global
+  /// id, new [valid_from, ∞) version) and returns the global clock once
+  /// durable. The new text's events are broadcast to the other shards.
+  Result<uint64_t> Replace(uint32_t id, std::string_view ltl_text,
+                           broker::RegistrationStats* stats = nullptr) override;
+
   /// Evaluates the query on every shard in parallel and merges: matches
   /// (and their witnesses) re-mapped to global ids, ascending; candidate /
   /// match / database-size counts summed; translate_ms and prefilter_ms the
@@ -145,11 +169,12 @@ class ShardedDatabase : public broker::Broker {
   /// Closes every shard; idempotent, run by the destructor.
   Status Close() override;
 
-  /// Total contracts across shards.
+  /// Total live contracts across shards.
   size_t size() const override;
 
-  /// Total registrations == size() (the global sequence view).
-  uint64_t last_sequence() const override { return size(); }
+  /// Global system-period clock: the tick of the latest acknowledged
+  /// mutation on any shard (the `as_of` axis).
+  uint64_t last_sequence() const override;
 
   obs::MetricsSnapshot Metrics() const override;
 
@@ -183,7 +208,7 @@ class ShardedDatabase : public broker::Broker {
 
   /// Global id the next registration on shard `k` would get.
   uint64_t NextGlobalIdOf(size_t k) const {
-    return sizes_[k] * shards_.size() + k;
+    return slots_[k] * shards_.size() + k;
   }
   /// Shard owning the lowest next global id (route target). Caller holds
   /// route_mutex_.
@@ -207,10 +232,12 @@ class ShardedDatabase : public broker::Broker {
   std::unique_ptr<util::ThreadPool> pool_;
   ShardedRecoveryStats recovery_stats_;
 
-  /// Serializes routing decisions + the per-shard size table, so global id
-  /// assignment is race-free even with concurrent registering threads.
+  /// Serializes routing decisions, the per-shard slot table and the global
+  /// clock, so id and clock assignment are race-free even with concurrent
+  /// mutating threads.
   mutable std::mutex route_mutex_;
-  std::vector<uint64_t> sizes_;  ///< per-shard contract counts (route view)
+  std::vector<uint64_t> slots_;  ///< per-shard slot counts (route view)
+  uint64_t clock_ = 0;           ///< global system-period clock
 
   std::atomic<bool> closed_{false};
 

@@ -14,6 +14,7 @@
 #include "testing/universe.h"
 #include "translate/ltl_to_ba.h"
 #include "util/string_util.h"
+#include "workload/generator.h"
 
 namespace ctdb::testing {
 
@@ -347,6 +348,231 @@ void Iteration::CheckTranslationSubstrate() {
   }
 }
 
+/// One RunLifecycleDifferential iteration: evolve, record, probe.
+class LifecycleIteration {
+ public:
+  LifecycleIteration(uint64_t seed, const LifecycleDiffOptions& options,
+                     DiffReport* report)
+      : seed_(seed), options_(options), report_(report) {}
+
+  void Run();
+
+ private:
+  /// One live contract in the model: enough to re-register it verbatim.
+  struct ModelEntry {
+    uint32_t id = 0;
+    std::string name;
+    std::string ltl;
+  };
+
+  void Report(const char* oracle, std::string detail) {
+    report_->mismatches.push_back(
+        DiffMismatch{seed_, oracle, std::move(detail)});
+  }
+
+  bool ProbeTick(uint64_t tick, const std::vector<ModelEntry>& model,
+                 const broker::ContractDatabase& reloaded);
+
+  uint64_t seed_;
+  const LifecycleDiffOptions& options_;
+  DiffReport* report_;
+
+  std::unique_ptr<broker::ContractDatabase> db_;
+  std::vector<std::string> queries_;
+};
+
+void LifecycleIteration::Run() {
+  db_ = std::make_unique<broker::ContractDatabase>();
+  workload::GeneratorOptions gen_options;
+  gen_options.vocabulary_size = options_.vocabulary_size;
+  gen_options.properties = options_.contract_patterns;
+  workload::SpecGenerator generator(gen_options, seed_, db_->vocabulary(),
+                                    db_->factory());
+  Rng rng(seed_ ^ 0x11FEC7C1Eu);  // lifecycle stream choices
+
+  std::vector<ModelEntry> live;  // ascending by id (ids are never reused)
+  std::vector<std::pair<uint64_t, std::vector<ModelEntry>>> timeline;
+  size_t names = 0;
+
+  for (size_t m = 0; m < options_.mutations; ++m) {
+    const uint64_t dice = rng.Uniform(4);
+    if (live.empty() || dice < 2) {
+      auto gen = generator.Next();
+      if (!gen.ok()) {
+        Report("generator", "spec draw failed: " + gen.status().ToString());
+        return;
+      }
+      const std::string name = "c" + std::to_string(names++);
+      auto id = db_->Register(name, gen->text);
+      if (!id.ok()) {
+        Report("lifecycle", "Register failed: " + id.status().ToString());
+        return;
+      }
+      live.push_back(ModelEntry{*id, name, gen->text});
+    } else if (dice == 2) {
+      const size_t pick = static_cast<size_t>(rng.Uniform(live.size()));
+      auto at = db_->Unregister(live[pick].id);
+      if (!at.ok()) {
+        Report("lifecycle", "Unregister failed: " + at.status().ToString());
+        return;
+      }
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      const size_t pick = static_cast<size_t>(rng.Uniform(live.size()));
+      auto gen = generator.Next();
+      if (!gen.ok()) {
+        Report("generator", "spec draw failed: " + gen.status().ToString());
+        return;
+      }
+      auto at = db_->Replace(live[pick].id, gen->text);
+      if (!at.ok()) {
+        Report("lifecycle", "Replace failed: " + at.status().ToString());
+        return;
+      }
+      live[pick].ltl = gen->text;
+    }
+    timeline.emplace_back(db_->last_sequence(), live);
+  }
+
+  auto queries = RandomQueries(db_.get(), options_.query_patterns,
+                               options_.queries, seed_ ^ 0x51C0FFEEULL,
+                               options_.vocabulary_size);
+  if (!queries.ok()) {
+    Report("generator", "RandomQueries failed: " + queries.status().ToString());
+    return;
+  }
+  queries_ = std::move(*queries);
+
+  // The evolved database — holes, history and all — must round-trip
+  // through persistence with every sampled time-travel answer intact.
+  std::stringstream stream;
+  Status save = broker::SaveDatabase(*db_, &stream);
+  if (!save.ok()) {
+    Report("lifecycle-persist", "save failed: " + save.ToString());
+    return;
+  }
+  auto reloaded = broker::LoadDatabase(stream);
+  if (!reloaded.ok()) {
+    Report("lifecycle-persist",
+           "load failed: " + reloaded.status().ToString());
+    return;
+  }
+
+  // Probe evenly spaced ticks, always including the final state (where
+  // as_of == clock exercises the latest-path clamp).
+  const size_t n = timeline.size();
+  const size_t samples = std::min(options_.sample_ticks, n);
+  for (size_t j = 0; j < samples; ++j) {
+    const size_t at = (samples == 1) ? n - 1 : j * (n - 1) / (samples - 1);
+    if (!ProbeTick(timeline[at].first, timeline[at].second, **reloaded)) {
+      return;
+    }
+  }
+}
+
+bool LifecycleIteration::ProbeTick(uint64_t tick,
+                                   const std::vector<ModelEntry>& model,
+                                   const broker::ContractDatabase& reloaded) {
+  // Fresh database holding exactly the prefix's live set. The full
+  // vocabulary is interned first so query texts parse identically (events
+  // cited only by dead contracts stay known, as they do in the evolved db).
+  broker::ContractDatabase fresh;
+  for (const std::string& name : db_->vocabulary()->names()) {
+    auto interned = fresh.InternEvent(name);
+    if (!interned.ok()) {
+      Report("as-of-vs-prefix",
+             "intern failed: " + interned.status().ToString());
+      return false;
+    }
+  }
+  for (const ModelEntry& entry : model) {
+    auto id = fresh.Register(entry.name, entry.ltl);
+    if (!id.ok()) {
+      Report("as-of-vs-prefix",
+             "prefix Register failed: " + id.status().ToString());
+      return false;
+    }
+  }
+
+  for (const std::string& q : queries_) {
+    broker::QueryOptions as_of;
+    as_of.as_of = tick;
+    as_of.collect_witnesses = true;
+    auto r = db_->Query(q, as_of);
+    if (!r.ok()) {
+      Report("as-of-vs-prefix", "QueryAsOf failed: " + r.status().ToString());
+      return false;
+    }
+    auto f = fresh.Query(q);
+    if (!f.ok()) {
+      Report("as-of-vs-prefix",
+             "prefix Query failed: " + f.status().ToString());
+      return false;
+    }
+    // The fresh database assigned dense ids in model order; map back.
+    std::vector<uint32_t> expected;
+    expected.reserve(f->matches.size());
+    for (uint32_t dense : f->matches) expected.push_back(model[dense].id);
+    ++report_->checks;
+    if (Sorted(expected) != Sorted(r->matches)) {
+      Report("as-of-vs-prefix",
+             StringFormat("tick %llu query '%s': expected %s got %s",
+                          static_cast<unsigned long long>(tick), q.c_str(),
+                          RenderMatches(Sorted(expected)).c_str(),
+                          RenderMatches(Sorted(r->matches)).c_str()));
+      return false;
+    }
+
+    // Witnesses: one per match, each satisfying the query formula.
+    ++report_->checks;
+    if (r->witnesses.size() != r->matches.size()) {
+      Report("as-of-witnesses",
+             StringFormat("tick %llu query '%s': %zu matches, %zu witnesses",
+                          static_cast<unsigned long long>(tick), q.c_str(),
+                          r->matches.size(), r->witnesses.size()));
+      return false;
+    }
+    auto qf = ltl::Parse(q, db_->factory(), db_->vocabulary(),
+                         {.require_known_events = true});
+    if (!qf.ok()) {
+      Report("as-of-witnesses",
+             "query reparse failed: " + qf.status().ToString());
+      return false;
+    }
+    for (size_t w = 0; w < r->witnesses.size(); ++w) {
+      ++report_->checks;
+      if (!ltl::Evaluate(*qf, r->witnesses[w])) {
+        Report("as-of-witnesses",
+               StringFormat("tick %llu query '%s': witness for contract %u "
+                            "does not satisfy the query",
+                            static_cast<unsigned long long>(tick), q.c_str(),
+                            r->matches[w]));
+        return false;
+      }
+    }
+
+    // The reloaded database must time-travel identically.
+    broker::QueryOptions reload_as_of;
+    reload_as_of.as_of = tick;
+    auto rr = reloaded.Query(q, reload_as_of);
+    if (!rr.ok()) {
+      Report("lifecycle-persist",
+             "reloaded QueryAsOf failed: " + rr.status().ToString());
+      return false;
+    }
+    ++report_->checks;
+    if (Sorted(rr->matches) != Sorted(r->matches)) {
+      Report("lifecycle-persist",
+             StringFormat("tick %llu query '%s': reloaded %s vs live %s",
+                          static_cast<unsigned long long>(tick), q.c_str(),
+                          RenderMatches(Sorted(rr->matches)).c_str(),
+                          RenderMatches(Sorted(r->matches)).c_str()));
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 DiffReport RunDifferential(const DiffOptions& options) {
@@ -354,6 +580,17 @@ DiffReport RunDifferential(const DiffOptions& options) {
   for (size_t i = 0; i < options.iters; ++i) {
     if (report.mismatches.size() >= options.max_mismatches) break;
     Iteration iteration(options.seed + i, options, &report);
+    iteration.Run();
+    ++report.iterations;
+  }
+  return report;
+}
+
+DiffReport RunLifecycleDifferential(const LifecycleDiffOptions& options) {
+  DiffReport report;
+  for (size_t i = 0; i < options.iters; ++i) {
+    if (report.mismatches.size() >= options.max_mismatches) break;
+    LifecycleIteration iteration(options.seed + i, options, &report);
     iteration.Run();
     ++report.iterations;
   }

@@ -79,6 +79,39 @@ struct DiffReport {
 /// Runs `options.iters` seeded iterations of every oracle.
 DiffReport RunDifferential(const DiffOptions& options);
 
+/// Configuration of the lifecycle / time-travel differential
+/// (RunLifecycleDifferential).
+struct LifecycleDiffOptions {
+  uint64_t seed = 1;
+  size_t iters = 50;
+  /// Mutations per iteration: a random Register / Unregister / Replace mix
+  /// (registration-heavy so the live set keeps material to retire).
+  size_t mutations = 24;
+  size_t contract_patterns = 2;
+  size_t queries = 3;
+  size_t query_patterns = 1;
+  size_t vocabulary_size = 8;
+  /// Clock ticks probed per iteration (evenly spaced, always including the
+  /// final state); each probed tick rebuilds a fresh prefix database.
+  size_t sample_ticks = 6;
+  size_t max_mismatches = 8;
+};
+
+/// \brief Cross-checks time travel against re-execution.
+///
+/// Each iteration evolves one database through a random lifecycle stream,
+/// recording the exact live set (id, name, ltl) after every mutation. For
+/// sampled ticks s it then checks, per query:
+///
+///   as-of-vs-prefix     QueryAsOf(s) == a fresh database registered with
+///                       exactly the contracts live at s (ids re-mapped
+///                       through the model)
+///   as-of-witnesses     every as-of match carries a witness satisfying
+///                       the query formula
+///   lifecycle-persist   save → load of the evolved database preserves
+///                       every sampled QueryAsOf answer
+DiffReport RunLifecycleDifferential(const LifecycleDiffOptions& options);
+
 /// "oracle=<o> seed=<s>: <detail> (reproduce: ctdb_diff_fuzz ...)".
 std::string FormatMismatch(const DiffMismatch& m);
 

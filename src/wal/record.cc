@@ -54,12 +54,36 @@ bool GetString(std::string_view data, size_t* offset, std::string* s) {
 
 }  // namespace
 
-Record Record::Register(uint64_t sequence, std::string name,
+Record Record::Register(uint64_t sequence, uint64_t clock,
+                        uint32_t contract_id, std::string name,
                         std::string ltl_text) {
   Record r;
   r.type = RecordType::kRegister;
   r.sequence = sequence;
+  r.clock = clock;
+  r.contract_id = contract_id;
   r.name = std::move(name);
+  r.ltl_text = std::move(ltl_text);
+  return r;
+}
+
+Record Record::Unregister(uint64_t sequence, uint64_t clock,
+                          uint32_t contract_id) {
+  Record r;
+  r.type = RecordType::kUnregister;
+  r.sequence = sequence;
+  r.clock = clock;
+  r.contract_id = contract_id;
+  return r;
+}
+
+Record Record::Replace(uint64_t sequence, uint64_t clock, uint32_t contract_id,
+                       std::string ltl_text) {
+  Record r;
+  r.type = RecordType::kReplace;
+  r.sequence = sequence;
+  r.clock = clock;
+  r.contract_id = contract_id;
   r.ltl_text = std::move(ltl_text);
   return r;
 }
@@ -74,6 +98,7 @@ Record Record::Checkpoint(uint64_t sequence, std::string snapshot_path) {
 
 bool Record::operator==(const Record& other) const {
   return type == other.type && sequence == other.sequence &&
+         clock == other.clock && contract_id == other.contract_id &&
          name == other.name && ltl_text == other.ltl_text &&
          snapshot_path == other.snapshot_path;
 }
@@ -82,9 +107,16 @@ std::string EncodePayload(const Record& record) {
   std::string out;
   out.push_back(static_cast<char>(record.type));
   PutU64(&out, record.sequence);
+  PutU64(&out, record.clock);
+  PutU32(&out, record.contract_id);
   switch (record.type) {
     case RecordType::kRegister:
       PutString(&out, record.name);
+      PutString(&out, record.ltl_text);
+      break;
+    case RecordType::kUnregister:
+      break;  // the common header carries everything
+    case RecordType::kReplace:
       PutString(&out, record.ltl_text);
       break;
     case RecordType::kCheckpoint:
@@ -99,8 +131,10 @@ Status DecodePayload(std::string_view payload, Record* record) {
   *record = Record();
   size_t offset = 0;
   const uint8_t type = static_cast<uint8_t>(payload[offset++]);
-  if (!GetU64(payload, &offset, &record->sequence)) {
-    return Status::Corruption("record payload truncated in sequence");
+  if (!GetU64(payload, &offset, &record->sequence) ||
+      !GetU64(payload, &offset, &record->clock) ||
+      !GetU32(payload, &offset, &record->contract_id)) {
+    return Status::Corruption("record payload truncated in header");
   }
   switch (type) {
     case static_cast<uint8_t>(RecordType::kRegister):
@@ -108,6 +142,15 @@ Status DecodePayload(std::string_view payload, Record* record) {
       if (!GetString(payload, &offset, &record->name) ||
           !GetString(payload, &offset, &record->ltl_text)) {
         return Status::Corruption("register record payload truncated");
+      }
+      break;
+    case static_cast<uint8_t>(RecordType::kUnregister):
+      record->type = RecordType::kUnregister;
+      break;
+    case static_cast<uint8_t>(RecordType::kReplace):
+      record->type = RecordType::kReplace;
+      if (!GetString(payload, &offset, &record->ltl_text)) {
+        return Status::Corruption("replace record payload truncated");
       }
       break;
     case static_cast<uint8_t>(RecordType::kCheckpoint):
@@ -161,7 +204,11 @@ bool FrameLooksValid(std::string_view data, size_t offset) {
   size_t pos = offset;
   uint32_t length = 0, crc = 0;
   if (!GetU32(data, &pos, &length) || !GetU32(data, &pos, &crc)) return false;
-  if (length > kMaxRecordBytes) return false;
+  // The minimum bound matters beyond hygiene: a run of ≥8 zero bytes decodes
+  // as length 0 · crc 0, and CRC32C("") == 0 — without it, any torn tail
+  // containing such a run (easy with u64 header fields) would look like a
+  // valid later frame and misclassify the tear as mid-log corruption.
+  if (length < kMinRecordBytes || length > kMaxRecordBytes) return false;
   if (data.size() - pos < length) return false;
   return util::Crc32c(data.substr(pos, length)) == crc;
 }

@@ -7,14 +7,22 @@
 //   └────────────┴───────────┴──────────────────────────────┘
 //     little-endian           crc is over the payload only
 //
-//   payload := type u8 · sequence u64 · body
+//   payload := type u8 · sequence u64 · clock u64 · contract_id u32 · body
 //   kRegister body   := name_len u32 · name · ltl_len u32 · ltl_text
+//   kUnregister body := (empty — contract_id is in the common header)
+//   kReplace body    := ltl_len u32 · ltl_text
 //   kCheckpoint body := path_len u32 · snapshot_path
 //
-// For kRegister, `sequence` is the registration's 1-based position in the
-// database (contract id + 1) — the log's logical clock. For kCheckpoint,
-// `sequence` is the registration sequence the checkpoint image covers and
-// `snapshot_path` the checkpoint file's name within the WAL directory.
+// `sequence` is the record's 1-based position among this log's mutating
+// records (dense: every kRegister/kUnregister/kReplace advances it by one) —
+// what recovery checks for continuity. `clock` is the system-period clock
+// the mutation happened at (DESIGN.md §14): equal to `sequence` for an
+// unsharded database, a router-assigned global value (sparse per shard) for
+// a sharded one. `contract_id` names the contract the mutation touched; for
+// kRegister it is the id the registration was assigned, which recovery
+// verifies replay reproduces. For kCheckpoint, `sequence` is the mutation
+// sequence the checkpoint image covers and `snapshot_path` the checkpoint
+// file's name within the WAL directory (clock/contract_id are zero).
 //
 // Decoding is hostile-input safe: any framing or structural violation comes
 // back as Status::Corruption, never a crash or overread (fuzzed by
@@ -33,18 +41,34 @@ namespace ctdb::wal {
 enum class RecordType : uint8_t {
   kRegister = 1,
   kCheckpoint = 2,
+  kUnregister = 3,
+  kReplace = 4,
 };
+
+/// True for the record types that mutate the contract set (and therefore
+/// advance the mutation sequence); kCheckpoint is bookkeeping.
+inline constexpr bool IsMutationType(RecordType type) {
+  return type == RecordType::kRegister || type == RecordType::kUnregister ||
+         type == RecordType::kReplace;
+}
 
 /// One logical log record (see the format comment above).
 struct Record {
   RecordType type = RecordType::kRegister;
   uint64_t sequence = 0;
+  uint64_t clock = 0;         ///< system-period clock of the mutation
+  uint32_t contract_id = 0;   ///< contract the mutation touched
   std::string name;           ///< kRegister: contract name
-  std::string ltl_text;       ///< kRegister: the contract's LTL specification
+  std::string ltl_text;       ///< kRegister/kReplace: the LTL specification
   std::string snapshot_path;  ///< kCheckpoint: checkpoint file name
 
-  static Record Register(uint64_t sequence, std::string name,
+  static Record Register(uint64_t sequence, uint64_t clock,
+                         uint32_t contract_id, std::string name,
                          std::string ltl_text);
+  static Record Unregister(uint64_t sequence, uint64_t clock,
+                           uint32_t contract_id);
+  static Record Replace(uint64_t sequence, uint64_t clock,
+                        uint32_t contract_id, std::string ltl_text);
   static Record Checkpoint(uint64_t sequence, std::string snapshot_path);
 
   bool operator==(const Record& other) const;
@@ -52,6 +76,14 @@ struct Record {
 
 /// Frame header size: length u32 + crc u32.
 inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Lower bound on one payload: the common header (type u8 · sequence u64 ·
+/// clock u64 · contract_id u32) that every record type carries. Anything
+/// shorter is rejected before the CRC is even consulted — which also keeps a
+/// run of zero bytes (length 0 · crc 0 · empty payload, and CRC32C("") == 0)
+/// from passing FrameLooksValid and turning a torn tail into a false
+/// mid-log-corruption verdict.
+inline constexpr size_t kMinRecordBytes = 1 + 8 + 8 + 4;
 
 /// Upper bound on one payload; larger length prefixes are rejected as
 /// corruption before any allocation, bounding memory under hostile input.

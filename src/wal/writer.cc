@@ -67,8 +67,9 @@ std::future<Status> LogWriter::AppendAsync(const Record& record) {
   }
   Pending pending;
   pending.frame = EncodeFrame(record);
-  pending.register_sequence =
-      record.type == RecordType::kRegister ? record.sequence : 0;
+  // Every mutating type advances the segment's sequence watermark;
+  // kCheckpoint records are bookkeeping and never pin a segment.
+  pending.sequence = IsMutationType(record.type) ? record.sequence : 0;
   pending.done = std::move(promise);
   queue_.push_back(std::move(pending));
   queue_cv_.notify_all();
@@ -123,7 +124,7 @@ Status LogWriter::DeleteSegmentsCoveredBy(uint64_t sequence) {
   std::vector<SegmentInfo> keep;
   size_t deleted = 0;
   for (const SegmentInfo& info : sealed_segments_) {
-    if (info.max_register_sequence > sequence) {
+    if (info.max_sequence > sequence) {
       keep.push_back(info);
       continue;
     }
@@ -210,11 +211,10 @@ void LogWriter::CommitGroup(std::vector<Pending>* batch, size_t first,
     status = sticky_error_;
   }
   std::string buffer;
-  uint64_t max_register_sequence = 0;
+  uint64_t max_sequence = 0;
   for (size_t i = first; i < last; ++i) {
     buffer += (*batch)[i].frame;
-    max_register_sequence =
-        std::max(max_register_sequence, (*batch)[i].register_sequence);
+    max_sequence = std::max(max_sequence, (*batch)[i].sequence);
   }
   if (status.ok() && segment_bytes_written_ > kSegmentMagic.size() &&
       segment_bytes_written_ + buffer.size() > options_.segment_bytes) {
@@ -237,8 +237,7 @@ void LogWriter::CommitGroup(std::vector<Pending>* batch, size_t first,
   }
   if (status.ok()) {
     segment_bytes_written_ += buffer.size();
-    segment_max_register_sequence_ =
-        std::max(segment_max_register_sequence_, max_register_sequence);
+    segment_max_sequence_ = std::max(segment_max_sequence_, max_sequence);
     bytes_since_checkpoint_.fetch_add(buffer.size(),
                                       std::memory_order_relaxed);
     CTDB_OBS_COUNT("wal.appends", last - first);
@@ -285,7 +284,7 @@ Status LogWriter::OpenSegment(uint64_t index) {
     CTDB_RETURN_NOT_OK(util::SyncDir(dir_));
   }
   segment_bytes_written_ = kSegmentMagic.size();
-  segment_max_register_sequence_ = 0;
+  segment_max_sequence_ = 0;
   current_segment_index_.store(index, std::memory_order_relaxed);
   util::CrashPoint("wal.segment.after_open");
   return Status::OK();
@@ -305,7 +304,7 @@ Status LogWriter::CloseSegmentFile() {
   fd_ = -1;
   std::lock_guard<std::mutex> lock(segments_mutex_);
   sealed_segments_.push_back(SegmentInfo{current_segment_index(),
-                                         segment_max_register_sequence_,
+                                         segment_max_sequence_,
                                          segment_bytes_written_});
   return status;
 }

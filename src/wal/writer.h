@@ -12,8 +12,8 @@
 // checkpoint so covered segments become deletable).
 //
 // Ordering contract: records are written in enqueue order. The owner
-// (broker::DurableDatabase) enqueues registration records while holding its
-// append mutex, so on-disk order equals registration-sequence order — which
+// (broker::DurableDatabase) enqueues mutation records while holding its
+// append mutex, so on-disk order equals mutation-sequence order — which
 // recovery then verifies.
 //
 // I/O errors are sticky: the first failed write/fsync fails its whole group
@@ -45,8 +45,10 @@ class LogWriter {
   /// truncation.
   struct SegmentInfo {
     uint64_t index = 0;
-    /// Highest kRegister sequence the segment holds (0 = none).
-    uint64_t max_register_sequence = 0;
+    /// Highest mutation sequence the segment holds (0 = none). Every
+    /// mutating record type — kRegister, kUnregister, kReplace — advances
+    /// it; kCheckpoint records are bookkeeping and do not.
+    uint64_t max_sequence = 0;
     uint64_t bytes = 0;
   };
 
@@ -80,7 +82,7 @@ class LogWriter {
   /// thread. Further appends fail. Idempotent; also run by the destructor.
   Status Close();
 
-  /// Deletes every sealed segment whose records all have register sequence
+  /// Deletes every sealed segment whose mutating records all have sequence
   /// <= `sequence` (they are covered by a checkpoint). Never touches the
   /// open segment.
   Status DeleteSegmentsCoveredBy(uint64_t sequence);
@@ -105,8 +107,8 @@ class LogWriter {
             std::vector<SegmentInfo> recovered_segments);
 
   struct Pending {
-    std::string frame;              ///< empty for rotate requests
-    uint64_t register_sequence = 0; ///< 0 when not a kRegister record
+    std::string frame;      ///< empty for rotate requests
+    uint64_t sequence = 0;  ///< 0 when not a mutating record
     bool rotate = false;
     std::promise<Status> done;
   };
@@ -135,7 +137,7 @@ class LogWriter {
   // Writer-thread-only state.
   int fd_ = -1;
   uint64_t segment_bytes_written_ = 0;
-  uint64_t segment_max_register_sequence_ = 0;
+  uint64_t segment_max_sequence_ = 0;
 
   std::atomic<uint64_t> current_segment_index_{0};
   std::atomic<uint64_t> bytes_since_checkpoint_{0};

@@ -24,9 +24,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#include "broker/broker.h"
 #include "broker/database.h"
 #include "broker/durable.h"
 #include "broker/persistence.h"
@@ -406,6 +408,326 @@ TEST_P(ShardedCrashRecoveryTest, KillAtEveryCrashPointLosesOnlyUnackedTail) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedCrashRecoveryTest,
+                         ::testing::Values(2u, 4u),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Lifecycle crash matrix (DESIGN.md §14): the same fork-and-kill sweep over
+// a stream that also retires (Unregister) and supersedes (Replace)
+// contracts, unsharded and sharded. The acceptance property extends §10's:
+//
+//   * recovery succeeds and yields an exact prefix of the mutation stream
+//     (ops are issued sequentially under FsyncPolicy::kAlways, so at most
+//     the one in-flight mutation is lost),
+//   * every ACKNOWLEDGED mutation survives, and
+//   * QueryAsOf(s) matches an in-memory oracle replay of the prefix ≤ s for
+//     EVERY clock s the recovered log covers — time travel is crash-durable.
+
+struct LifecycleOp {
+  char kind;        ///< 'R' register, 'U' unregister, 'X' replace
+  int target;       ///< U/X: index into registration order; unused for R
+  const char* ltl;  ///< R/X: the specification
+};
+
+constexpr LifecycleOp kLifecycleStream[] = {
+    {'R', -1, "F pay"},
+    {'R', -1, "G(request -> F grant)"},
+    {'R', -1, "pay U deliver"},
+    {'X', 1, "F deliver"},
+    {'U', 2, nullptr},
+    {'R', -1, "G(pay -> X deliver)"},
+    {'X', 0, "G(pay -> F deliver)"},
+    {'U', 1, nullptr},
+};
+constexpr size_t kLifecycleOps = std::size(kLifecycleStream);
+constexpr size_t kLifecycleCheckpointAfter = 4;
+
+/// Plays the fixed lifecycle stream against `db`, acking each durable
+/// mutation's global contract id (one line per op, in stream order).
+bool RunLifecycleOps(broker::Broker* db, const std::string& dir) {
+  const int ack_fd = ::open((dir + "/acks").c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (ack_fd < 0) return false;
+  std::vector<uint32_t> regs;
+  bool ok = true;
+  size_t done = 0;
+  for (const LifecycleOp& op : kLifecycleStream) {
+    uint32_t gid = 0;
+    if (op.kind == 'R') {
+      auto id = db->Register("lc-" + std::to_string(regs.size()), op.ltl);
+      if (!id.ok()) {
+        ok = false;
+        break;
+      }
+      gid = *id;
+      regs.push_back(gid);
+    } else if (op.kind == 'U') {
+      gid = regs[static_cast<size_t>(op.target)];
+      if (!db->Unregister(gid).ok()) {
+        ok = false;
+        break;
+      }
+    } else {
+      gid = regs[static_cast<size_t>(op.target)];
+      if (!db->Replace(gid, op.ltl).ok()) {
+        ok = false;
+        break;
+      }
+    }
+    const std::string line = std::to_string(gid) + "\n";
+    if (::write(ack_fd, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size())) {
+      ok = false;
+      break;
+    }
+    ++done;
+    if (done == kLifecycleCheckpointAfter && !db->Checkpoint().ok()) {
+      ok = false;
+      break;
+    }
+  }
+  ::close(ack_fd);
+  return ok;
+}
+
+bool RunLifecycleScenario(const std::string& dir) {
+  wal::DurabilityOptions options;
+  options.fsync_policy = wal::FsyncPolicy::kAlways;
+  auto db = broker::DurableDatabase::Open(dir + "/wal", options);
+  if (!db.ok()) return false;
+  bool ok = RunLifecycleOps(db->get(), dir);
+  if (ok && !(*db)->Close().ok()) ok = false;
+  return ok;
+}
+
+bool RunShardedLifecycleScenario(const std::string& dir, size_t shards) {
+  wal::DurabilityOptions options;
+  options.fsync_policy = wal::FsyncPolicy::kAlways;
+  broker::DatabaseOptions db_options;
+  db_options.shards = shards;
+  auto db = shard::ShardedDatabase::Open(dir + "/db", options, db_options);
+  if (!db.ok()) return false;
+  bool ok = RunLifecycleOps(db->get(), dir);
+  if (ok && !(*db)->Close().ok()) ok = false;
+  return ok;
+}
+
+/// \brief As-of parity between a recovered database and an oracle replay.
+///
+/// `t` is the number of stream mutations that survived; `ref_gids` holds the
+/// global id each stream op targeted on a clean reference run (routing is
+/// deterministic, so kill runs assign the same ids). Checks Query at
+/// as_of = 0 (latest) and at every clock 1..t against a fresh in-memory
+/// replay of the surviving prefix, mapping oracle dense ids back to global
+/// ids through the registration order.
+template <typename Database>
+void VerifyLifecycleParity(const Database& recovered, uint64_t t,
+                           const std::vector<uint32_t>& ref_gids) {
+  ASSERT_LE(t, kLifecycleOps);
+  broker::ContractDatabase oracle;
+  std::vector<uint32_t> dense_to_gid;  // oracle id -> global id
+  for (size_t i = 0; i < t; ++i) {
+    const LifecycleOp& op = kLifecycleStream[i];
+    const uint32_t gid = ref_gids[i];
+    if (op.kind == 'R') {
+      auto dense = oracle.Register("lc-" + std::to_string(dense_to_gid.size()),
+                                   op.ltl);
+      ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+      ASSERT_EQ(*dense, dense_to_gid.size());
+      dense_to_gid.push_back(gid);
+    } else {
+      uint32_t dense = 0;
+      while (dense_to_gid[dense] != gid) ++dense;
+      if (op.kind == 'U') {
+        ASSERT_TRUE(oracle.Unregister(dense).ok());
+      } else {
+        ASSERT_TRUE(oracle.Replace(dense, op.ltl).ok());
+      }
+    }
+  }
+  for (uint64_t s = 0; s <= t; ++s) {
+    broker::QueryOptions options;
+    options.as_of = s;
+    for (const std::string& query : OracleQueries()) {
+      auto got = recovered.Query(query, options);
+      auto want = oracle.Query(query, options);
+      ASSERT_EQ(got.ok(), want.ok())
+          << "as_of=" << s << " query '" << query << "': recovered "
+          << got.status().ToString() << " vs oracle "
+          << want.status().ToString();
+      if (!got.ok()) continue;
+      std::vector<uint32_t> mapped;
+      for (uint32_t dense : want->matches) mapped.push_back(dense_to_gid[dense]);
+      std::sort(mapped.begin(), mapped.end());
+      std::vector<uint32_t> actual = got->matches;
+      std::sort(actual.begin(), actual.end());
+      EXPECT_EQ(actual, mapped) << "as_of=" << s << " query: " << query;
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, LifecycleScenarioHitsLifecycleCrashPoints) {
+  testing::TempDir dir("lcenum");
+  std::vector<std::string> sites;
+  testing::RecordCrashPoints(&sites);
+  const bool ok = RunLifecycleScenario(dir.path());
+  testing::StopCrashPoints();
+  ASSERT_TRUE(ok);
+  const std::vector<std::string> expected = {
+      "durable.unregister.after_apply", "durable.replace.after_apply",
+      "wal.writer.after_write",         "wal.writer.before_ack",
+      "wal.checkpoint.after_publish",
+  };
+  for (const std::string& site : expected) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
+        << "lifecycle scenario never reached crash point " << site;
+  }
+}
+
+TEST(CrashRecoveryTest, LifecycleKillSweepKeepsAckedOpsAndAsOfParity) {
+  // Reference clean run: captures the (deterministic) id each op targets.
+  std::vector<uint32_t> ref_gids;
+  {
+    testing::TempDir ref_dir("lcref");
+    ASSERT_TRUE(RunLifecycleScenario(ref_dir.path()));
+    ref_gids = ReadAckedIds(ref_dir.path());
+  }
+  ASSERT_EQ(ref_gids.size(), kLifecycleOps);
+
+  size_t schedule = 0;
+  {
+    testing::TempDir dir("lcenum");
+    std::vector<std::string> sites;
+    testing::RecordCrashPoints(&sites);
+    ASSERT_TRUE(RunLifecycleScenario(dir.path()));
+    testing::StopCrashPoints();
+    schedule = sites.size();
+  }
+  ASSERT_GT(schedule, 0u);
+
+  for (size_t k = 1; k <= schedule + 1; ++k) {
+    testing::TempDir dir("lckill");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      testing::ArmCrashPoint("", k);
+      const bool ok = RunLifecycleScenario(dir.path());
+      testing::StopCrashPoints();
+      ::_exit(ok ? 0 : 7);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus)) << "child died abnormally at k=" << k;
+    const int code = WEXITSTATUS(wstatus);
+    ASSERT_TRUE(code == 0 || code == testing::kCrashExitCode)
+        << "child failed (exit " << code << ") at k=" << k;
+
+    const size_t acked = CountAcks(dir.path());
+    broker::RecoveryStats stats;
+    auto recovered = broker::RecoverDatabase(dir.path() + "/wal", {}, &stats);
+    ASSERT_TRUE(recovered.ok())
+        << "recovery failed at k=" << k << ": "
+        << recovered.status().ToString();
+    const uint64_t t = (*recovered)->op_count();
+    // Sequential fsynced ops: survivors are an exact prefix, and only the
+    // one in-flight mutation may be lost past the acked count.
+    ASSERT_GE(t, acked) << "lost an acknowledged mutation at k=" << k;
+    ASSERT_LE(t, acked + 1) << "phantom mutation at k=" << k;
+    EXPECT_EQ((*recovered)->last_sequence(), t);
+    if (code == 0) {
+      EXPECT_EQ(t, kLifecycleOps);
+    }
+    VerifyLifecycleParity(**recovered, t, ref_gids);
+
+    // The directory is reusable and the clock continues past the crash.
+    auto reopened = broker::DurableDatabase::Open(dir.path() + "/wal");
+    ASSERT_TRUE(reopened.ok())
+        << "reopen failed at k=" << k << ": " << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->last_sequence(), t);
+    auto id = (*reopened)->Register("post-crash", "F pay");
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ((*reopened)->last_sequence(), t + 1);
+    EXPECT_TRUE((*reopened)->Close().ok());
+  }
+}
+
+class ShardedLifecycleCrashTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ShardedLifecycleCrashTest, KillSweepKeepsAckedOpsAndAsOfParity) {
+  const size_t shards = GetParam();
+
+  std::vector<uint32_t> ref_gids;
+  {
+    testing::TempDir ref_dir("shlcref");
+    ASSERT_TRUE(RunShardedLifecycleScenario(ref_dir.path(), shards));
+    ref_gids = ReadAckedIds(ref_dir.path());
+  }
+  ASSERT_EQ(ref_gids.size(), kLifecycleOps);
+
+  size_t schedule = 0;
+  {
+    testing::TempDir dir("shlcenum");
+    std::vector<std::string> sites;
+    testing::RecordCrashPoints(&sites);
+    ASSERT_TRUE(RunShardedLifecycleScenario(dir.path(), shards));
+    testing::StopCrashPoints();
+    schedule = sites.size();
+  }
+  ASSERT_GT(schedule, 0u);
+
+  for (size_t k = 1; k <= schedule + 1; ++k) {
+    testing::TempDir dir("shlckill");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      testing::ArmCrashPoint("", k);
+      const bool ok = RunShardedLifecycleScenario(dir.path(), shards);
+      testing::StopCrashPoints();
+      ::_exit(ok ? 0 : 7);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus)) << "child died abnormally at k=" << k;
+    const int code = WEXITSTATUS(wstatus);
+    ASSERT_TRUE(code == 0 || code == testing::kCrashExitCode)
+        << "child failed (exit " << code << ") at k=" << k;
+
+    // A kill inside the manifest's own write leaves no topology; see
+    // VerifyShardedRecovery for the rationale.
+    broker::DatabaseOptions open_options;
+    if (!shard::ReadManifest(dir.path() + "/db").ok()) {
+      ASSERT_TRUE(ReadAckedIds(dir.path()).empty());
+      open_options.shards = shards;
+    } else {
+      open_options.shards = 0;
+    }
+    auto db = shard::ShardedDatabase::Open(dir.path() + "/db", {},
+                                           open_options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+    const size_t acked = CountAcks(dir.path());
+    uint64_t t = 0;
+    for (size_t s = 0; s < shards; ++s) t += (*db)->shard(s).op_count();
+    ASSERT_GE(t, acked) << "lost an acknowledged mutation at k=" << k;
+    ASSERT_LE(t, acked + 1) << "phantom mutation at k=" << k;
+    if (t > 0) {
+      EXPECT_EQ((*db)->last_sequence(), t);
+    }
+    if (code == 0) {
+      EXPECT_EQ(t, kLifecycleOps);
+    }
+    VerifyLifecycleParity(**db, t, ref_gids);
+
+    auto id = (*db)->Register("post-crash", "F pay");
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ((*db)->last_sequence(), t + 1);
+    EXPECT_TRUE((*db)->Close().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedLifecycleCrashTest,
                          ::testing::Values(2u, 4u),
                          [](const ::testing::TestParamInfo<size_t>& info) {
                            return "shards" + std::to_string(info.param);

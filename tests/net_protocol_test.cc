@@ -23,13 +23,18 @@ Request SampleRequest(MsgKind kind) {
       return Request::RegisterBatch(
           8, {{"a", "F p1"}, {"b", "G (p1 -> X p2)"}, {"", ""}});
     case MsgKind::kQuery:
-      return Request::Query(9, "F (p1 & X p2)");
+      return Request::Query(9, "F (p1 & X p2)", /*as_of=*/17);
     case MsgKind::kQueryBatch:
-      return Request::QueryBatch(10, {"F p1", "G p2", "p1 U p2", ""});
+      return Request::QueryBatch(10, {"F p1", "G p2", "p1 U p2", ""},
+                                 /*as_of=*/3);
     case MsgKind::kCheckpoint:
       return Request::Checkpoint(11);
     case MsgKind::kStats:
       return Request::Stats(12);
+    case MsgKind::kUnregister:
+      return Request::Unregister(13, 42);
+    case MsgKind::kReplace:
+      return Request::Replace(14, 42, "G !breach");
     case MsgKind::kResponse:
       break;
   }
@@ -75,6 +80,18 @@ std::vector<Response> SampleResponses() {
   stats.stats_json = "{\"counters\":{\"net.requests\":1}}";
   all.push_back(stats);
 
+  Response unregister;
+  unregister.id = 13;
+  unregister.request_kind = MsgKind::kUnregister;
+  unregister.sequence = 57;
+  all.push_back(unregister);
+
+  Response replace;
+  replace.id = 14;
+  replace.request_kind = MsgKind::kReplace;
+  replace.sequence = 58;
+  all.push_back(replace);
+
   all.push_back(Response::Error(Request::Query(13, "bad (("),
                                 Status::InvalidArgument("parse error")));
   all.push_back(
@@ -86,7 +103,8 @@ std::vector<Response> SampleResponses() {
 TEST(NetProtocolTest, RequestPayloadRoundTripsEveryKind) {
   for (MsgKind kind :
        {MsgKind::kRegister, MsgKind::kRegisterBatch, MsgKind::kQuery,
-        MsgKind::kQueryBatch, MsgKind::kCheckpoint, MsgKind::kStats}) {
+        MsgKind::kQueryBatch, MsgKind::kCheckpoint, MsgKind::kStats,
+        MsgKind::kUnregister, MsgKind::kReplace}) {
     const Request request = SampleRequest(kind);
     const std::string payload = EncodeRequestPayload(request);
     Request decoded;
@@ -284,9 +302,9 @@ TEST(NetProtocolTest, UnknownKindAndBadStatusCodeAreCorrupt) {
   EXPECT_TRUE(DecodeResponsePayload(resp, &bad).IsCorruption());
 }
 
-TEST(NetProtocolTest, IsRequestKindCoversExactlyTheSixOperations) {
+TEST(NetProtocolTest, IsRequestKindCoversExactlyTheEightOperations) {
   for (int kind = 0; kind < 256; ++kind) {
-    const bool expected = kind >= 1 && kind <= 6;
+    const bool expected = kind >= 1 && kind <= 8;
     EXPECT_EQ(IsRequestKind(static_cast<uint8_t>(kind)), expected) << kind;
   }
 }

@@ -116,6 +116,53 @@ TEST(ServerIntegrationTest, AllSixOperationsRoundTrip) {
             std::string::npos);
 }
 
+TEST(ServerIntegrationTest, LifecycleOperationsAndTimeTravelRoundTrip) {
+  TempDir dir("net");
+  Harness harness(dir.path());
+  auto client = harness.Connect();
+
+  ASSERT_TRUE(client->Call(Request::Register(1, "a", "F pay"))->status().ok());
+  ASSERT_TRUE(client->Call(Request::Register(2, "b", "F pay"))->status().ok());
+
+  auto gone = client->Call(Request::Unregister(3, 0));
+  ASSERT_TRUE(gone.ok()) << gone.status().ToString();
+  ASSERT_TRUE(gone->status().ok()) << gone->message;
+  EXPECT_EQ(gone->request_kind, MsgKind::kUnregister);
+  EXPECT_EQ(gone->sequence, 3u);  // third mutation's clock
+
+  auto swapped = client->Call(Request::Replace(4, 1, "G !pay"));
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  ASSERT_TRUE(swapped->status().ok()) << swapped->message;
+  EXPECT_EQ(swapped->request_kind, MsgKind::kReplace);
+  EXPECT_EQ(swapped->sequence, 4u);
+
+  // Latest: "F pay" matches nothing; time travel to before the lifecycle
+  // ops sees both originals.
+  auto latest = client->Call(Request::Query(5, "F pay"));
+  ASSERT_TRUE(latest.ok());
+  ASSERT_TRUE(latest->status().ok()) << latest->message;
+  EXPECT_TRUE(latest->answers[0].matches.empty());
+  auto historic = client->Call(Request::Query(6, "F pay", /*as_of=*/2));
+  ASSERT_TRUE(historic.ok());
+  ASSERT_TRUE(historic->status().ok()) << historic->message;
+  EXPECT_EQ(historic->answers[0].matches, (std::vector<uint32_t>{0, 1}));
+  auto batch = client->Call(
+      Request::QueryBatch(7, {"F pay", "G !pay"}, /*as_of=*/3));
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(batch->status().ok()) << batch->message;
+  ASSERT_EQ(batch->answers.size(), 2u);
+  EXPECT_EQ(batch->answers[0].matches, (std::vector<uint32_t>{1}));
+  EXPECT_TRUE(batch->answers[1].matches.empty());
+
+  // Lifecycle errors come back as responses, not hangups.
+  auto dead = client->Call(Request::Unregister(8, 0));
+  ASSERT_TRUE(dead.ok());
+  EXPECT_TRUE(dead->status().IsNotFound());
+  auto missing = client->Call(Request::Replace(9, 42, "F pay"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->status().IsNotFound());
+}
+
 TEST(ServerIntegrationTest, BadQueryComesBackAsErrorResponseNotHangup) {
   TempDir dir("net");
   Harness harness(dir.path());

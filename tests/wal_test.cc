@@ -60,16 +60,51 @@ TEST(Crc32cTest, SensitiveToEveryBit) {
 // ---------------------------------------------------------------------------
 // Record codec
 
+// Registration shorthand: clock == sequence (the unsharded invariant) and an
+// arbitrary contract id derived from the sequence.
+Record Reg(uint64_t sequence, std::string name, std::string ltl) {
+  return Record::Register(sequence, sequence,
+                          static_cast<uint32_t>(sequence - 1), std::move(name),
+                          std::move(ltl));
+}
+
 TEST(WalRecordTest, RegisterRoundTrip) {
-  const Record in = Record::Register(7, "gold-cust", "G(request -> F grant)");
+  const Record in = Record::Register(7, 21, 4, "gold-cust",
+                                     "G(request -> F grant)");
   std::string payload = EncodePayload(in);
   Record out;
   ASSERT_TRUE(DecodePayload(payload, &out).ok());
   EXPECT_EQ(out, in);
   EXPECT_EQ(out.type, RecordType::kRegister);
   EXPECT_EQ(out.sequence, 7u);
+  EXPECT_EQ(out.clock, 21u);
+  EXPECT_EQ(out.contract_id, 4u);
   EXPECT_EQ(out.name, "gold-cust");
   EXPECT_EQ(out.ltl_text, "G(request -> F grant)");
+}
+
+TEST(WalRecordTest, UnregisterRoundTrip) {
+  const Record in = Record::Unregister(8, 23, 4);
+  Record out;
+  ASSERT_TRUE(DecodePayload(EncodePayload(in), &out).ok());
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(out.type, RecordType::kUnregister);
+  EXPECT_EQ(out.sequence, 8u);
+  EXPECT_EQ(out.clock, 23u);
+  EXPECT_EQ(out.contract_id, 4u);
+  EXPECT_TRUE(out.name.empty());
+  EXPECT_TRUE(out.ltl_text.empty());
+}
+
+TEST(WalRecordTest, ReplaceRoundTrip) {
+  const Record in = Record::Replace(9, 25, 4, "G !breach");
+  Record out;
+  ASSERT_TRUE(DecodePayload(EncodePayload(in), &out).ok());
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(out.type, RecordType::kReplace);
+  EXPECT_EQ(out.clock, 25u);
+  EXPECT_EQ(out.contract_id, 4u);
+  EXPECT_EQ(out.ltl_text, "G !breach");
 }
 
 TEST(WalRecordTest, CheckpointRoundTrip) {
@@ -80,7 +115,7 @@ TEST(WalRecordTest, CheckpointRoundTrip) {
 }
 
 TEST(WalRecordTest, EmptyStringsRoundTrip) {
-  const Record in = Record::Register(1, "", "");
+  const Record in = Reg(1, "", "");
   Record out;
   ASSERT_TRUE(DecodePayload(EncodePayload(in), &out).ok());
   EXPECT_EQ(out, in);
@@ -88,7 +123,7 @@ TEST(WalRecordTest, EmptyStringsRoundTrip) {
 
 TEST(WalRecordTest, PayloadRejectsTruncationAtEveryLength) {
   const std::string payload =
-      EncodePayload(Record::Register(3, "name", "F done"));
+      EncodePayload(Reg(3, "name", "F done"));
   Record out;
   for (size_t len = 0; len < payload.size(); ++len) {
     EXPECT_TRUE(DecodePayload(payload.substr(0, len), &out).IsCorruption())
@@ -97,21 +132,21 @@ TEST(WalRecordTest, PayloadRejectsTruncationAtEveryLength) {
 }
 
 TEST(WalRecordTest, PayloadRejectsTrailingGarbage) {
-  std::string payload = EncodePayload(Record::Register(3, "n", "F x"));
+  std::string payload = EncodePayload(Reg(3, "n", "F x"));
   payload += '\0';
   Record out;
   EXPECT_TRUE(DecodePayload(payload, &out).IsCorruption());
 }
 
 TEST(WalRecordTest, PayloadRejectsUnknownType) {
-  std::string payload = EncodePayload(Record::Register(3, "n", "F x"));
+  std::string payload = EncodePayload(Reg(3, "n", "F x"));
   payload[0] = '\x09';
   Record out;
   EXPECT_TRUE(DecodePayload(payload, &out).IsCorruption());
 }
 
 TEST(WalRecordTest, FrameRoundTripAdvancesOffset) {
-  const Record a = Record::Register(1, "a", "F p");
+  const Record a = Reg(1, "a", "F p");
   const Record b = Record::Checkpoint(1, "checkpoint-000000000001.ctdb");
   const std::string data = EncodeFrame(a) + EncodeFrame(b);
 
@@ -125,7 +160,7 @@ TEST(WalRecordTest, FrameRoundTripAdvancesOffset) {
 }
 
 TEST(WalRecordTest, FrameDetectsEveryPossibleBitFlip) {
-  std::string data = EncodeFrame(Record::Register(9, "n", "G p"));
+  std::string data = EncodeFrame(Reg(9, "n", "G p"));
   for (size_t byte = 0; byte < data.size(); ++byte) {
     for (int bit = 0; bit < 8; ++bit) {
       data[byte] ^= static_cast<char>(1 << bit);
@@ -151,7 +186,7 @@ TEST(WalRecordTest, FrameRejectsOversizedLengthWithoutAllocating) {
 }
 
 TEST(WalRecordTest, FrameLooksValidMatchesDecodeOnWholeFrames) {
-  const std::string data = EncodeFrame(Record::Register(2, "x", "F q"));
+  const std::string data = EncodeFrame(Reg(2, "x", "F q"));
   EXPECT_TRUE(FrameLooksValid(data, 0));
   EXPECT_FALSE(FrameLooksValid(data, 1));
   for (size_t len = 0; len < data.size(); ++len) {
@@ -196,8 +231,8 @@ std::string SegmentWith(const std::vector<Record>& records) {
 
 TEST(WalSegmentTest, ParsesWellFormedSegment) {
   const std::vector<Record> records = {
-      Record::Register(1, "a", "F p"),
-      Record::Register(2, "b", "G q"),
+      Reg(1, "a", "F p"),
+      Reg(2, "b", "G q"),
       Record::Checkpoint(2, "checkpoint-000000000002.ctdb"),
   };
   const std::string data = SegmentWith(records);
@@ -221,7 +256,7 @@ TEST(WalSegmentTest, EmptyOrSubMagicDataIsTornNotCorrupt) {
 }
 
 TEST(WalSegmentTest, BadMagicIsCorruption) {
-  std::string data = SegmentWith({Record::Register(1, "a", "F p")});
+  std::string data = SegmentWith({Reg(1, "a", "F p")});
   data[0] ^= 1;
   ParsedSegment parsed;
   EXPECT_TRUE(ParseSegment(data, &parsed).IsCorruption());
@@ -232,9 +267,9 @@ TEST(WalSegmentTest, TruncationSweepAlwaysYieldsPrefix) {
   // prefix with torn_tail set (or the full set at full length) — never a
   // crash, never corruption, never a non-prefix record set.
   const std::vector<Record> records = {
-      Record::Register(1, "alpha", "F p"),
-      Record::Register(2, "beta", "p U q"),
-      Record::Register(3, "gamma", "G(p -> X q)"),
+      Reg(1, "alpha", "F p"),
+      Reg(2, "beta", "p U q"),
+      Reg(3, "gamma", "G(p -> X q)"),
   };
   const std::string data = SegmentWith(records);
   for (size_t len = 0; len <= data.size(); ++len) {
@@ -254,7 +289,7 @@ TEST(WalSegmentTest, TruncationSweepAlwaysYieldsPrefix) {
 }
 
 TEST(WalSegmentTest, GarbageTailWithoutLaterFrameIsTorn) {
-  std::string data = SegmentWith({Record::Register(1, "a", "F p")});
+  std::string data = SegmentWith({Reg(1, "a", "F p")});
   const size_t good = data.size();
   data += "\x13\x37garbage-not-a-frame";
   ParsedSegment parsed;
@@ -267,8 +302,8 @@ TEST(WalSegmentTest, GarbageTailWithoutLaterFrameIsTorn) {
 TEST(WalSegmentTest, CorruptFrameBeforeValidFrameIsCorruption) {
   // Flip one payload byte of the FIRST record: its CRC fails, but a fully
   // valid frame follows — that is mid-log damage, not a torn tail.
-  const std::string first = EncodeFrame(Record::Register(1, "a", "F p"));
-  const std::string second = EncodeFrame(Record::Register(2, "b", "G q"));
+  const std::string first = EncodeFrame(Reg(1, "a", "F p"));
+  const std::string second = EncodeFrame(Reg(2, "b", "G q"));
   std::string data(kSegmentMagic);
   data += first;
   data += second;
@@ -280,8 +315,8 @@ TEST(WalSegmentTest, CorruptFrameBeforeValidFrameIsCorruption) {
 TEST(WalSegmentTest, MissingBytesBeforeValidFrameIsCorruption) {
   // Drop a byte from the middle of the first frame; the second frame is
   // still intact somewhere after the damage, so this must be corruption.
-  const std::string first = EncodeFrame(Record::Register(1, "a", "F p"));
-  const std::string second = EncodeFrame(Record::Register(2, "b", "G q"));
+  const std::string first = EncodeFrame(Reg(1, "a", "F p"));
+  const std::string second = EncodeFrame(Reg(2, "b", "G q"));
   std::string data(kSegmentMagic);
   data += first.substr(0, first.size() / 2);
   data += first.substr(first.size() / 2 + 1);
@@ -295,8 +330,8 @@ TEST(WalSegmentTest, BitFlipSweepNeverYieldsWrongRecords) {
   // a torn-tail prefix, or (flips in a frame's *unvalidated* spots do not
   // exist — every payload byte is CRC-covered) the original records.
   const std::vector<Record> records = {
-      Record::Register(1, "a", "F p"),
-      Record::Register(2, "b", "G q"),
+      Reg(1, "a", "F p"),
+      Reg(2, "b", "G q"),
   };
   const std::string pristine = SegmentWith(records);
   std::string data = pristine;

@@ -50,6 +50,14 @@ std::vector<Record> ReadLog(const std::string& dir) {
   return records;
 }
 
+/// The writer never interprets record contents; the tests only need
+/// distinct, mutation-typed frames, so clock == sequence and contract_id ==
+/// sequence keeps the fixtures terse.
+Record Reg(uint64_t seq, std::string name, std::string ltl) {
+  return Record::Register(seq, seq, static_cast<uint32_t>(seq),
+                          std::move(name), std::move(ltl));
+}
+
 DurabilityOptions FastOptions(FsyncPolicy policy) {
   DurabilityOptions options;
   options.fsync_policy = policy;
@@ -66,7 +74,7 @@ TEST(WalWriterTest, AppendReadBackRoundTrip) {
     std::vector<Record> written;
     for (uint64_t seq = 1; seq <= 20; ++seq) {
       written.push_back(
-          Record::Register(seq, "c" + std::to_string(seq), "F p"));
+          Reg(seq, "c" + std::to_string(seq), "F p"));
       ASSERT_TRUE((*writer)->Append(written.back()).ok())
           << FsyncPolicyName(policy);
     }
@@ -81,7 +89,7 @@ TEST(WalWriterTest, AcknowledgedAppendIsOnDiskBeforeClose) {
   TempDir dir("walwriter");
   auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kAlways));
   ASSERT_TRUE(writer.ok()) << writer.status().ToString();
-  const Record record = Record::Register(1, "c", "F p");
+  const Record record = Reg(1, "c", "F p");
   ASSERT_TRUE((*writer)->Append(record).ok());
   const std::vector<Record> on_disk = ReadLog(dir.path());
   ASSERT_EQ(on_disk.size(), 1u);
@@ -108,7 +116,7 @@ TEST(WalWriterTest, ConcurrentAppendersAllDurableInSequenceOrder) {
       for (int i = 0; i < kPerThread; ++i) {
         const uint64_t seq = next.fetch_add(1);
         const Status status = (*writer)->Append(
-            Record::Register(seq, "c" + std::to_string(seq), "F p"));
+            Reg(seq, "c" + std::to_string(seq), "F p"));
         if (!status.ok()) failures.fetch_add(1);
       }
     });
@@ -136,7 +144,7 @@ TEST(WalWriterTest, RotatesWhenSegmentExceedsSizeThreshold) {
   ASSERT_TRUE(writer.ok()) << writer.status().ToString();
   std::vector<Record> written;
   for (uint64_t seq = 1; seq <= 40; ++seq) {
-    written.push_back(Record::Register(seq, "contract-" + std::to_string(seq),
+    written.push_back(Reg(seq, "contract-" + std::to_string(seq),
                                        "G(p -> F q)"));
     ASSERT_TRUE((*writer)->Append(written.back()).ok());
   }
@@ -159,7 +167,7 @@ TEST(WalWriterTest, ExplicitRotationSealsSegment) {
   TempDir dir("walwriter");
   auto writer = LogWriter::Open(dir.path(), 5, FastOptions(FsyncPolicy::kNever));
   ASSERT_TRUE(writer.ok()) << writer.status().ToString();
-  ASSERT_TRUE((*writer)->Append(Record::Register(1, "a", "F p")).ok());
+  ASSERT_TRUE((*writer)->Append(Reg(1, "a", "F p")).ok());
   EXPECT_EQ((*writer)->current_segment_index(), 5u);
   ASSERT_TRUE((*writer)->RotateSegment().ok());
   EXPECT_EQ((*writer)->current_segment_index(), 6u);
@@ -167,9 +175,9 @@ TEST(WalWriterTest, ExplicitRotationSealsSegment) {
   const auto sealed = (*writer)->SealedSegments();
   ASSERT_EQ(sealed.size(), 1u);
   EXPECT_EQ(sealed[0].index, 5u);
-  EXPECT_EQ(sealed[0].max_register_sequence, 1u);
+  EXPECT_EQ(sealed[0].max_sequence, 1u);
 
-  ASSERT_TRUE((*writer)->Append(Record::Register(2, "b", "F q")).ok());
+  ASSERT_TRUE((*writer)->Append(Reg(2, "b", "F q")).ok());
   ASSERT_TRUE((*writer)->Close().ok());
   const std::vector<Record> records = ReadLog(dir.path());
   ASSERT_EQ(records.size(), 2u);
@@ -181,10 +189,10 @@ TEST(WalWriterTest, DeleteSegmentsCoveredByRemovesOnlyCoveredFiles) {
   TempDir dir("walwriter");
   auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kNever));
   ASSERT_TRUE(writer.ok()) << writer.status().ToString();
-  ASSERT_TRUE((*writer)->Append(Record::Register(1, "a", "F p")).ok());
-  ASSERT_TRUE((*writer)->Append(Record::Register(2, "b", "F q")).ok());
+  ASSERT_TRUE((*writer)->Append(Reg(1, "a", "F p")).ok());
+  ASSERT_TRUE((*writer)->Append(Reg(2, "b", "F q")).ok());
   ASSERT_TRUE((*writer)->RotateSegment().ok());
-  ASSERT_TRUE((*writer)->Append(Record::Register(3, "c", "F r")).ok());
+  ASSERT_TRUE((*writer)->Append(Reg(3, "c", "F r")).ok());
   ASSERT_TRUE((*writer)->RotateSegment().ok());
 
   // Covered by sequence 2: segment 1 (max seq 2) but not segment 2 (seq 3).
@@ -205,7 +213,7 @@ TEST(WalWriterTest, AppendAfterCloseFails) {
   auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kNever));
   ASSERT_TRUE(writer.ok()) << writer.status().ToString();
   ASSERT_TRUE((*writer)->Close().ok());
-  EXPECT_FALSE((*writer)->Append(Record::Register(1, "a", "F p")).ok());
+  EXPECT_FALSE((*writer)->Append(Reg(1, "a", "F p")).ok());
   EXPECT_FALSE((*writer)->RotateSegment().ok());
   // Close is idempotent.
   EXPECT_TRUE((*writer)->Close().ok());
@@ -227,7 +235,7 @@ TEST(WalWriterTest, TracksBytesSinceCheckpoint) {
   auto writer = LogWriter::Open(dir.path(), 1, FastOptions(FsyncPolicy::kNever));
   ASSERT_TRUE(writer.ok()) << writer.status().ToString();
   EXPECT_EQ((*writer)->bytes_since_checkpoint(), 0u);
-  ASSERT_TRUE((*writer)->Append(Record::Register(1, "a", "F p")).ok());
+  ASSERT_TRUE((*writer)->Append(Reg(1, "a", "F p")).ok());
   EXPECT_GT((*writer)->bytes_since_checkpoint(), 0u);
   (*writer)->ResetBytesSinceCheckpoint();
   EXPECT_EQ((*writer)->bytes_since_checkpoint(), 0u);
@@ -245,7 +253,7 @@ TEST(WalWriterTest, AsyncAppendsShareOneGroup) {
   futures.reserve(100);
   for (uint64_t seq = 1; seq <= 100; ++seq) {
     futures.push_back((*writer)->AppendAsync(
-        Record::Register(seq, "c" + std::to_string(seq), "F p")));
+        Reg(seq, "c" + std::to_string(seq), "F p")));
   }
   for (auto& f : futures) EXPECT_TRUE(f.get().ok());
   ASSERT_TRUE((*writer)->Close().ok());

@@ -1,0 +1,182 @@
+// ctdb_corpus_gen — regenerates the checked-in fuzz corpus seeds from the
+// real codecs, so the seed files track the current wire and WAL formats
+// instead of rotting when a format evolves (as the v2 WAL payload and the
+// lifecycle wire extensions did). Deterministic: same binary → same bytes.
+//
+//   ctdb_corpus_gen <corpus-root>     # writes <root>/protocol and <root>/wal
+//
+// Parser and serialize seeds are plain text / stable formats and are left
+// alone. Exit status: 0 on success, 1 on any I/O failure, 2 on bad usage.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "net/protocol.h"
+#include "wal/record.h"
+#include "wal/segment.h"
+
+namespace {
+
+bool g_failed = false;
+
+void WriteSeed(const std::filesystem::path& dir, const char* name,
+               const std::string& bytes) {
+  const std::filesystem::path path = dir / name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.string().c_str());
+    g_failed = true;
+    return;
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), bytes.size());
+}
+
+void GenerateProtocol(const std::filesystem::path& dir) {
+  using namespace ctdb::net;
+
+  // Requests: one seed per operation kind, covering every body shape.
+  WriteSeed(dir, "register",
+            EncodeRequestFrame(
+                Request::Register(1, "gold-cust", "G(request -> F grant)")));
+  WriteSeed(dir, "register_batch",
+            EncodeRequestFrame(Request::RegisterBatch(
+                2, {{"fast-pay", "F paid"}, {"no-breach", "G !breach"}})));
+  WriteSeed(dir, "query",
+            EncodeRequestFrame(Request::Query(3, "F (p1 & X p2)")));
+  WriteSeed(dir, "query_as_of",
+            EncodeRequestFrame(Request::Query(4, "F (p1 & X p2)", 17)));
+  WriteSeed(dir, "query_batch",
+            EncodeRequestFrame(
+                Request::QueryBatch(5, {"F p1", "G(p1 -> F p2)"}, 9)));
+  WriteSeed(dir, "checkpoint", EncodeRequestFrame(Request::Checkpoint(6)));
+  WriteSeed(dir, "stats", EncodeRequestFrame(Request::Stats(7)));
+  WriteSeed(dir, "unregister",
+            EncodeRequestFrame(Request::Unregister(8, 2)));
+  WriteSeed(dir, "replace",
+            EncodeRequestFrame(Request::Replace(9, 3, "G !breach")));
+
+  // Two back-to-back frames, the way a pipelining client sends them.
+  WriteSeed(dir, "two_frames",
+            EncodeRequestFrame(Request::Query(10, "F p1")) +
+                EncodeRequestFrame(Request::Unregister(11, 1)));
+
+  // Bare payloads (no frame header) to seed the payload-layer attack.
+  WriteSeed(dir, "payload_query",
+            EncodeRequestPayload(Request::Query(12, "F (p1 & X p2)", 3)));
+
+  // Responses: one seed per body shape.
+  Response response;
+  response.id = 1;
+  response.request_kind = MsgKind::kRegister;
+  response.ids = {1};
+  WriteSeed(dir, "response_register", EncodeResponseFrame(response));
+
+  response = Response();
+  response.id = 2;
+  response.request_kind = MsgKind::kRegisterBatch;
+  response.ids = {1, 2, 3};
+  WriteSeed(dir, "response_register_batch", EncodeResponseFrame(response));
+
+  response = Response();
+  response.id = 3;
+  response.request_kind = MsgKind::kQuery;
+  response.answers.push_back({{0, 2}, 150, 3});
+  WriteSeed(dir, "response_query", EncodeResponseFrame(response));
+  WriteSeed(dir, "payload_response", EncodeResponsePayload(response));
+
+  response = Response();
+  response.id = 5;
+  response.request_kind = MsgKind::kQueryBatch;
+  response.answers.push_back({{1}, 90, 2});
+  response.answers.push_back({{}, 40, 0});
+  WriteSeed(dir, "response_query_batch", EncodeResponseFrame(response));
+
+  response = Response();
+  response.id = 6;
+  response.request_kind = MsgKind::kCheckpoint;
+  response.sequence = 12;
+  WriteSeed(dir, "response_checkpoint", EncodeResponseFrame(response));
+
+  response = Response();
+  response.id = 7;
+  response.request_kind = MsgKind::kStats;
+  response.stats_json = "{\"counters\":{},\"histograms\":{}}";
+  WriteSeed(dir, "response_stats", EncodeResponseFrame(response));
+
+  response = Response();
+  response.id = 8;
+  response.request_kind = MsgKind::kUnregister;
+  response.sequence = 5;
+  WriteSeed(dir, "response_unregister", EncodeResponseFrame(response));
+
+  response = Response();
+  response.id = 9;
+  response.request_kind = MsgKind::kReplace;
+  response.sequence = 6;
+  WriteSeed(dir, "response_replace", EncodeResponseFrame(response));
+
+  WriteSeed(dir, "response_error",
+            EncodeResponseFrame(Response::Error(
+                Request::Query(10, "F p1"),
+                ctdb::Status::InvalidArgument("unknown event 'p9'"))));
+  WriteSeed(dir, "response_unavailable",
+            EncodeResponseFrame(Response::Error(
+                Request::Register(11, "late", "F p1"),
+                ctdb::Status::Unavailable("draining"))));
+}
+
+void GenerateWal(const std::filesystem::path& dir) {
+  using namespace ctdb::wal;
+  const std::string magic(kSegmentMagic);
+
+  WriteSeed(dir, "magic_only", magic);
+
+  // The historical seed name, upgraded to the v2 payload format.
+  WriteSeed(
+      dir, "two_registers_and_checkpoint",
+      magic +
+          EncodeFrame(Record::Register(1, 1, 0, "gold-cust",
+                                       "G(request -> F grant)")) +
+          EncodeFrame(Record::Register(2, 2, 1, "fast-pay", "F paid")) +
+          EncodeFrame(Record::Checkpoint(2, "checkpoint-000002")));
+
+  // A full lifecycle: register ×2, replace, unregister, checkpoint.
+  WriteSeed(dir, "lifecycle_stream",
+            magic +
+                EncodeFrame(Record::Register(1, 1, 0, "gold-cust",
+                                             "G(request -> F grant)")) +
+                EncodeFrame(Record::Register(2, 2, 1, "fast-pay", "F paid")) +
+                EncodeFrame(Record::Replace(3, 3, 0, "G !breach")) +
+                EncodeFrame(Record::Unregister(4, 4, 1)) +
+                EncodeFrame(Record::Checkpoint(4, "checkpoint-000004")));
+
+  // One whole frame followed by half of another — a torn tail the segment
+  // reader must accept as a clean truncation, not corruption.
+  const std::string torn =
+      EncodeFrame(Record::Register(2, 2, 1, "fast-pay", "F paid"));
+  WriteSeed(dir, "torn_tail",
+            magic +
+                EncodeFrame(Record::Register(1, 1, 0, "gold-cust",
+                                             "G(request -> F grant)")) +
+                torn.substr(0, torn.size() / 2));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root = argv[1];
+  std::error_code ec;
+  std::filesystem::create_directories(root / "protocol", ec);
+  std::filesystem::create_directories(root / "wal", ec);
+  GenerateProtocol(root / "protocol");
+  GenerateWal(root / "wal");
+  return g_failed ? 1 : 0;
+}

@@ -4,9 +4,13 @@
 // cross-checks indexed vs. unindexed answers, QueryBatch vs. serial Query,
 // threads=N vs. threads=1, persistence save/load round-trips, core::Permits
 // vs. an independent product-automaton reference checker, and metamorphic
-// LTL rewrites. Any mismatch prints a single seed that reproduces it:
+// LTL rewrites. With --lifecycle it instead fuzzes the contract lifecycle:
+// random Register / Unregister / Replace streams whose QueryAsOf(s) answers
+// are cross-checked against fresh databases built from the prefix at s
+// (testing/differential.h, RunLifecycleDifferential). Any mismatch prints a
+// single seed that reproduces it:
 //
-//   ctdb_diff_fuzz --iters=1 --seed=<seed>
+//   ctdb_diff_fuzz [--lifecycle] --iters=1 --seed=<seed>
 //
 // Exit status: 0 when all checks agree, 1 on any mismatch, 2 on bad usage.
 
@@ -26,7 +30,8 @@ void Usage(const char* argv0) {
                "[--contract-patterns=N]\n"
                "          [--queries=N] [--query-patterns=N] [--vocab=N] "
                "[--threads=N]\n"
-               "          [--words-per-formula=N] [--max-mismatches=N]\n",
+               "          [--words-per-formula=N] [--max-mismatches=N]\n"
+               "          [--lifecycle] [--mutations=N] [--sample-ticks=N]\n",
                argv0);
 }
 
@@ -42,30 +47,45 @@ bool ParseFlag(const char* arg, const char* name, uint64_t* out) {
 
 int main(int argc, char** argv) {
   ctdb::testing::DiffOptions options;
+  ctdb::testing::LifecycleDiffOptions lifecycle_options;
+  bool lifecycle = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     uint64_t value = 0;
-    if (ParseFlag(arg, "--iters", &value)) {
+    if (std::strcmp(arg, "--lifecycle") == 0) {
+      lifecycle = true;
+    } else if (ParseFlag(arg, "--iters", &value)) {
       options.iters = value;
+      lifecycle_options.iters = value;
     } else if (ParseFlag(arg, "--seed", &value)) {
       options.seed = value;
+      lifecycle_options.seed = value;
     } else if (ParseFlag(arg, "--contracts", &value)) {
       options.contracts = value;
     } else if (ParseFlag(arg, "--contract-patterns", &value)) {
       options.contract_patterns = value;
+      lifecycle_options.contract_patterns = value;
     } else if (ParseFlag(arg, "--queries", &value)) {
       options.queries = value;
+      lifecycle_options.queries = value;
     } else if (ParseFlag(arg, "--query-patterns", &value)) {
       options.query_patterns = value;
+      lifecycle_options.query_patterns = value;
     } else if (ParseFlag(arg, "--vocab", &value)) {
       options.vocabulary_size = value;
+      lifecycle_options.vocabulary_size = value;
     } else if (ParseFlag(arg, "--threads", &value)) {
       options.threads = value;
     } else if (ParseFlag(arg, "--words-per-formula", &value)) {
       options.words_per_formula = value;
     } else if (ParseFlag(arg, "--max-mismatches", &value)) {
       options.max_mismatches = value;
+      lifecycle_options.max_mismatches = value;
+    } else if (ParseFlag(arg, "--mutations", &value)) {
+      lifecycle_options.mutations = value;
+    } else if (ParseFlag(arg, "--sample-ticks", &value)) {
+      lifecycle_options.sample_ticks = value;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg);
       Usage(argv[0]);
@@ -73,14 +93,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf(
-      "ctdb_diff_fuzz: %zu iterations from seed %" PRIu64
-      " (%zu contracts, %zu queries, vocab %zu, threads %zu)\n",
-      options.iters, options.seed, options.contracts, options.queries,
-      options.vocabulary_size, options.threads);
+  if (lifecycle) {
+    std::printf(
+        "ctdb_diff_fuzz --lifecycle: %zu iterations from seed %" PRIu64
+        " (%zu mutations, %zu queries, vocab %zu)\n",
+        lifecycle_options.iters, lifecycle_options.seed,
+        lifecycle_options.mutations, lifecycle_options.queries,
+        lifecycle_options.vocabulary_size);
+  } else {
+    std::printf(
+        "ctdb_diff_fuzz: %zu iterations from seed %" PRIu64
+        " (%zu contracts, %zu queries, vocab %zu, threads %zu)\n",
+        options.iters, options.seed, options.contracts, options.queries,
+        options.vocabulary_size, options.threads);
+  }
 
   const ctdb::testing::DiffReport report =
-      ctdb::testing::RunDifferential(options);
+      lifecycle ? ctdb::testing::RunLifecycleDifferential(lifecycle_options)
+                : ctdb::testing::RunDifferential(options);
 
   for (const auto& mismatch : report.mismatches) {
     std::fprintf(stderr, "%s\n",

@@ -22,8 +22,10 @@
 // are counted separately and are not errors. Protocol errors (frames that
 // fail to decode, unexpected closes) fail the run's health check in CI.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +62,11 @@ struct Options {
   /// Operation mix in percent; the remainder is single queries.
   size_t register_pct = 10;
   size_t query_batch_pct = 20;
+  /// Lifecycle band: half Unregister, half Replace, targeting contracts
+  /// this worker registered itself (so the target is reliably live). When
+  /// non-zero, a quarter of single queries also time-travel (random as_of
+  /// up to the latest lifecycle clock the worker observed).
+  size_t lifecycle_pct = 0;
   size_t batch_size = 4;
   uint64_t seed = 0xC7DB;
   std::string metrics_out;
@@ -86,7 +93,7 @@ int Usage(const char* argv0) {
       "usage: %s --port=PORT [--host=127.0.0.1] [--connections=8]\n"
       "          [--duration-s=10] [--qps=0 (closed loop)] [--contracts=50]\n"
       "          [--register-pct=10] [--query-batch-pct=20] [--seed=N]\n"
-      "          [--metrics-out=PATH]\n",
+      "          [--lifecycle-mix[=PCT]] [--metrics-out=PATH]\n",
       argv0);
   return 2;
 }
@@ -182,6 +189,10 @@ void Worker(const Options& options, const Traffic& traffic, size_t index,
   auto scheduled = Clock::now();
   uint64_t next_id = 1;
   uint64_t contract_serial = 0;
+  // Lifecycle state: ids this worker registered (and has not unregistered)
+  // and the latest system-period clock it observed in a lifecycle response.
+  std::vector<uint32_t> owned;
+  uint64_t max_clock = 0;
 
   while (Clock::now() < deadline) {
     if (open_loop) {
@@ -191,8 +202,12 @@ void Worker(const Options& options, const Traffic& traffic, size_t index,
     }
 
     Request request;
+    bool track_register = false;
     const size_t dice = rng.Uniform(100);
-    if (dice < options.register_pct && !traffic.contracts.empty()) {
+    const size_t lifecycle_band = options.register_pct + options.lifecycle_pct;
+    const bool want_register = dice < options.register_pct ||
+                               (dice < lifecycle_band && owned.empty());
+    if (want_register && !traffic.contracts.empty()) {
       const std::string& ltl =
           traffic.contracts[rng.Uniform(traffic.contracts.size())];
       request = Request::Register(
@@ -201,7 +216,18 @@ void Worker(const Options& options, const Traffic& traffic, size_t index,
                              static_cast<unsigned long long>(
                                  contract_serial++)),
           ltl);
-    } else if (dice < options.register_pct + options.query_batch_pct) {
+      track_register = true;
+    } else if (dice < lifecycle_band && !owned.empty()) {
+      const size_t pick = rng.Uniform(owned.size());
+      if (rng.Chance(0.5)) {
+        request = Request::Unregister(next_id++, owned[pick]);
+        owned.erase(owned.begin() + static_cast<ptrdiff_t>(pick));
+      } else {
+        request = Request::Replace(
+            next_id++, owned[pick],
+            traffic.contracts[rng.Uniform(traffic.contracts.size())]);
+      }
+    } else if (dice < lifecycle_band + options.query_batch_pct) {
       std::vector<std::string> batch;
       batch.reserve(options.batch_size);
       for (size_t i = 0; i < options.batch_size; ++i) {
@@ -209,8 +235,13 @@ void Worker(const Options& options, const Traffic& traffic, size_t index,
       }
       request = Request::QueryBatch(next_id++, std::move(batch));
     } else {
+      uint64_t as_of = 0;
+      if (options.lifecycle_pct > 0 && max_clock > 0 && rng.Chance(0.25)) {
+        as_of = 1 + rng.Uniform(max_clock);
+      }
       request = Request::Query(
-          next_id++, traffic.queries[rng.Uniform(traffic.queries.size())]);
+          next_id++, traffic.queries[rng.Uniform(traffic.queries.size())],
+          as_of);
     }
 
     const auto result = (*client)->Call(request);
@@ -220,6 +251,15 @@ void Worker(const Options& options, const Traffic& traffic, size_t index,
                   static_cast<uint64_t>(latency.count()));
     RecordOutcome(result, tally);
     if (!result.ok()) return;  // transport broken; stop this worker
+    if (result->status().ok()) {
+      if (track_register && !result->ids.empty()) {
+        owned.push_back(result->ids[0]);
+      }
+      if (result->request_kind == ctdb::net::MsgKind::kUnregister ||
+          result->request_kind == ctdb::net::MsgKind::kReplace) {
+        max_clock = std::max(max_clock, result->sequence);
+      }
+    }
 
     if (open_loop) scheduled += interval;
   }
@@ -300,6 +340,10 @@ int main(int argc, char** argv) {
       options.register_pct = static_cast<size_t>(std::atol(value.c_str()));
     } else if (ParseFlag(arg, "--query-batch-pct", &value)) {
       options.query_batch_pct = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (std::strcmp(arg, "--lifecycle-mix") == 0) {
+      options.lifecycle_pct = 20;
+    } else if (ParseFlag(arg, "--lifecycle-mix", &value)) {
+      options.lifecycle_pct = static_cast<size_t>(std::atol(value.c_str()));
     } else if (ParseFlag(arg, "--batch-size", &value)) {
       options.batch_size = static_cast<size_t>(std::atol(value.c_str()));
     } else if (ParseFlag(arg, "--seed", &value)) {
