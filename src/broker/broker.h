@@ -18,6 +18,7 @@
 
 #include "broker/database.h"
 #include "broker/snapshot.h"
+#include "monitor/types.h"
 #include "obs/metrics.h"
 #include "util/result.h"
 
@@ -64,6 +65,31 @@ class Broker {
   virtual Result<std::vector<QueryResult>> QueryBatch(
       const std::vector<std::string>& queries,
       const QueryOptions& options = {}) const = 0;
+
+  /// \name Streaming compliance monitor (DESIGN.md §15).
+  ///
+  /// A stream pins the contract set visible at open (snapshot isolation on
+  /// the lifecycle clock) and every appended event advances each pinned
+  /// contract's automaton under finite-trace acceptance, reporting verdict
+  /// deltas. Streams are ephemeral monitoring state: not WAL-logged, gone
+  /// after Close()/restart.
+  /// @{
+
+  /// Opens stream `name`; AlreadyExists when it is already open.
+  virtual Result<monitor::StreamOpenInfo> StreamOpen(
+      std::string name, const monitor::StreamOptions& options = {}) = 0;
+
+  /// Appends events (each one instant's set of event names) to stream
+  /// `name`; NotFound when it is not open. Returns the verdict changes
+  /// since the previous append, sorted by contract id.
+  virtual Result<monitor::StreamAppendResult> StreamAppend(
+      std::string_view name, const monitor::EventBatch& events) = 0;
+
+  /// Closes stream `name`, returning its final per-contract verdicts;
+  /// NotFound when it is not open.
+  virtual Result<monitor::StreamCloseInfo> StreamClose(
+      std::string_view name) = 0;
+  /// @}
 
   /// Writes a checkpoint now and truncates the log(s) below it.
   virtual Status Checkpoint() = 0;

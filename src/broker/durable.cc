@@ -319,6 +319,29 @@ Result<uint64_t> DurableDatabase::ReplaceWithClock(uint32_t id,
   return at;
 }
 
+Result<monitor::StreamOpenInfo> DurableDatabase::StreamOpen(
+    std::string name, const monitor::StreamOptions& options) {
+  if (closed_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("durable database is closed");
+  }
+  return monitor_.Open(std::move(name), db_->Snapshot(), options);
+}
+
+Result<monitor::StreamAppendResult> DurableDatabase::StreamAppend(
+    std::string_view name, const monitor::EventBatch& events) {
+  if (closed_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("durable database is closed");
+  }
+  return monitor_.Append(name, events);
+}
+
+Result<monitor::StreamCloseInfo> DurableDatabase::StreamClose(
+    std::string_view name) {
+  // Allowed even while closing: the stream pinned its snapshot at open, so
+  // the summary needs nothing from the log.
+  return monitor_.Close(name);
+}
+
 Status DurableDatabase::Checkpoint() {
   std::lock_guard<std::mutex> lock(checkpoint_mutex_);
   Timer timer;

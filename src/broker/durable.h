@@ -36,6 +36,7 @@
 
 #include "broker/broker.h"
 #include "broker/database.h"
+#include "monitor/monitor.h"
 #include "util/result.h"
 #include "wal/wal.h"
 #include "wal/writer.h"
@@ -174,6 +175,21 @@ class DurableDatabase : public Broker {
   const ContractDatabase& database() const { return *db_; }
   /// @}
 
+  /// \name Streaming compliance monitor (DESIGN.md §15).
+  ///
+  /// Streams pin the current snapshot (or a historical clock) at open and
+  /// are served entirely from it; they are ephemeral — never WAL-logged —
+  /// so a restart forgets them. Unavailable after Close().
+  /// @{
+  Result<monitor::StreamOpenInfo> StreamOpen(
+      std::string name, const monitor::StreamOptions& options = {}) override;
+  Result<monitor::StreamAppendResult> StreamAppend(
+      std::string_view name, const monitor::EventBatch& events) override;
+  Result<monitor::StreamCloseInfo> StreamClose(std::string_view name) override;
+  /// The embedded stream registry (tests and tools).
+  const monitor::StreamMonitor& stream_monitor() const { return monitor_; }
+  /// @}
+
   /// Writes a checkpoint now and truncates the log below it. Serialized
   /// against the automatic background checkpoint.
   Status Checkpoint() override;
@@ -215,6 +231,8 @@ class DurableDatabase : public Broker {
   std::unique_ptr<ContractDatabase> db_;
   std::unique_ptr<wal::LogWriter> writer_;
   RecoveryStats recovery_stats_;
+  /// Open event streams over db_'s snapshots (internally synchronized).
+  monitor::StreamMonitor monitor_;
 
   /// Orders apply-then-enqueue across writers so on-disk record order
   /// equals mutation-sequence order.

@@ -240,6 +240,13 @@ class DatabaseSnapshot {
   const index::PrefilterIndex& prefilter() const { return prefilter_; }
   const DatabaseOptions& options() const { return options_; }
 
+  /// The contract versions visible as-of clock `seq`: live contracts with
+  /// valid_from <= seq plus history versions whose period covers seq. One
+  /// version per contract id, sorted by id. Pointers stay valid for the
+  /// snapshot's lifetime. Callers owning exactness (time-travel queries,
+  /// stream sessions) must check `seq` against history().floor() first.
+  std::vector<const Contract*> VisibleAt(uint64_t seq) const;
+
   /// Aggregate footprint of the auxiliary structures (§7.4).
   size_t PrefilterMemoryUsage() const {
     return prefilter_.Stats().memory_bytes;
@@ -268,11 +275,6 @@ class DatabaseSnapshot {
                       std::vector<uint32_t>* matches,
                       std::vector<LassoWord>* witnesses,
                       core::PermissionStats* stats) const;
-
-  /// The contract versions visible as-of clock `seq`: live contracts with
-  /// valid_from <= seq plus history versions whose period covers seq. One
-  /// version per contract id, sorted by id.
-  std::vector<const Contract*> VisibleAt(uint64_t seq) const;
 
   /// The historical-query engine behind RunQuery when options.as_of names a
   /// clock before this snapshot's: full scan over VisibleAt(as_of).

@@ -1,0 +1,86 @@
+#include "monitor/monitor.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace ctdb::monitor {
+
+std::shared_ptr<StreamSession> StreamMonitor::FindLocked(
+    std::string_view name) const {
+  const auto it = streams_.find(name);
+  return it == streams_.end() ? nullptr : it->second;
+}
+
+Result<StreamOpenInfo> StreamMonitor::Open(
+    std::string name, std::shared_ptr<const broker::DatabaseSnapshot> snapshot,
+    const StreamOptions& options) {
+  CTDB_OBS_SPAN(span, "monitor.open");
+  auto session = StreamSession::Open(std::move(snapshot), options);
+  CTDB_RETURN_NOT_OK(session.status());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      streams_.emplace(std::move(name), std::move(*session));
+  if (!inserted) {
+    return Status::AlreadyExists("stream '" + it->first + "' is open");
+  }
+  CTDB_OBS_COUNT("monitor.streams.opened", 1);
+  CTDB_OBS_GAUGE_ADD("monitor.streams.open", 1);
+  return it->second->open_info();
+}
+
+Result<StreamAppendResult> StreamMonitor::Append(std::string_view name,
+                                                 const EventBatch& events) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    session = FindLocked(name);
+  }
+  if (!session) {
+    return Status::NotFound("stream '" + std::string(name) + "' is not open");
+  }
+  CTDB_OBS_SPAN(span, "monitor.append");
+  ctdb::Timer timer;
+  StreamAppendResult result = session->Append(events);
+  CTDB_OBS_HIST("monitor.append_us",
+                static_cast<uint64_t>(timer.ElapsedMicros()));
+  CTDB_OBS_COUNT("monitor.events", events.size());
+  CTDB_OBS_COUNT("monitor.verdicts", result.deltas.size());
+  CTDB_OBS_COUNT("monitor.stepped", result.stepped);
+  CTDB_OBS_COUNT("monitor.pruned", result.pruned);
+  return result;
+}
+
+Result<StreamCloseInfo> StreamMonitor::Close(std::string_view name) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = streams_.find(name);
+    if (it != streams_.end()) {
+      session = std::move(it->second);
+      streams_.erase(it);
+    }
+  }
+  if (!session) {
+    return Status::NotFound("stream '" + std::string(name) + "' is not open");
+  }
+  CTDB_OBS_COUNT("monitor.streams.closed", 1);
+  CTDB_OBS_GAUGE_ADD("monitor.streams.open", -1);
+  return session->Summary();
+}
+
+Result<StreamCloseInfo> StreamMonitor::Summary(std::string_view name) const {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    session = FindLocked(name);
+  }
+  if (!session) {
+    return Status::NotFound("stream '" + std::string(name) + "' is not open");
+  }
+  return session->Summary();
+}
+
+}  // namespace ctdb::monitor

@@ -1,0 +1,123 @@
+#include "monitor/stepper.h"
+
+#include <algorithm>
+
+#include "automata/buchi.h"
+
+namespace ctdb::monitor {
+
+const char* StreamVerdictName(StreamVerdict v) {
+  switch (v) {
+    case StreamVerdict::kUndetermined:
+      return "undetermined";
+    case StreamVerdict::kSatisfied:
+      return "satisfied";
+    case StreamVerdict::kViolated:
+      return "violated";
+  }
+  return "unknown";
+}
+
+ContractStepper::ContractStepper(const broker::Contract* contract)
+    : contract_(contract) {
+  const automata::Buchi& ba = contract->automaton();
+  const size_t states = ba.StateCount();
+
+  // Deduplicate labels so each is evaluated once per snapshot no matter how
+  // many transitions carry it; pattern automata reuse a handful of labels
+  // across most transitions.
+  trans_.resize(states);
+  for (automata::StateId s = 0; s < states; ++s) {
+    for (const automata::Transition& t : ba.Out(s)) {
+      uint32_t label_idx = 0;
+      for (; label_idx < labels_.size(); ++label_idx) {
+        if (labels_[label_idx] == t.label) break;
+      }
+      if (label_idx == labels_.size()) labels_.push_back(t.label);
+      trans_[s].emplace_back(label_idx, t.to);
+    }
+  }
+  enabled_.resize(labels_.size());
+  silent_enabled_.resize(labels_.size());
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    silent_enabled_[i] = labels_[i].positive().None() ? 1 : 0;
+  }
+
+  // live_ = backward closure of the seed states: a state is live iff some
+  // accepting cycle remains reachable from it. Non-live states have only
+  // non-live successors, which is what makes `violated` absorbing.
+  live_ = contract->seed_states;
+  live_.Resize(states);
+  const auto predecessors = ba.BuildReverseAdjacency();
+  std::vector<automata::StateId> frontier;
+  for (size_t s : live_.Indices()) frontier.push_back(static_cast<automata::StateId>(s));
+  while (!frontier.empty()) {
+    const automata::StateId s = frontier.back();
+    frontier.pop_back();
+    for (const auto& [from, idx] : predecessors[s]) {
+      (void)idx;
+      if (!live_.Test(from)) {
+        live_.Set(from);
+        frontier.push_back(from);
+      }
+    }
+  }
+
+  current_.Resize(states);
+  next_.Resize(states);
+  current_.Set(ba.initial());
+  UpdateVerdict();
+}
+
+void ContractStepper::UpdateVerdict() {
+  if (!current_.DisjointWith(live_)) {
+    verdict_ = current_.DisjointWith(contract_->automaton().finals())
+                   ? StreamVerdict::kUndetermined
+                   : StreamVerdict::kSatisfied;
+  } else {
+    verdict_ = StreamVerdict::kViolated;
+    frozen_ = true;
+  }
+}
+
+bool ContractStepper::Advance(const std::vector<uint8_t>& enabled) {
+  next_.ClearAll();
+  for (size_t s : current_.Indices()) {
+    for (const auto& [label_idx, to] : trans_[s]) {
+      if (enabled[label_idx]) next_.Set(to);
+    }
+  }
+  if (next_ == current_) return false;
+  std::swap(current_, next_);
+  return true;
+}
+
+void ContractStepper::Step(const Snapshot& snapshot) {
+  if (frozen_) return;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    enabled_[i] = Satisfies(snapshot, labels_[i]) ? 1 : 0;
+  }
+  if (Advance(enabled_)) {
+    silent_stable_ = -1;
+    UpdateVerdict();
+  } else if (enabled_ == silent_enabled_) {
+    // A full step that happened to be a silent fixpoint application — note
+    // the stability so a later silent batch can still be skipped.
+    silent_stable_ = 1;
+  }
+}
+
+uint64_t ContractStepper::StepSilent(uint64_t count) {
+  uint64_t executed = 0;
+  while (executed < count && !frozen_ && silent_stable_ != 1) {
+    ++executed;
+    if (Advance(silent_enabled_)) {
+      UpdateVerdict();
+    } else {
+      silent_stable_ = 1;
+    }
+  }
+  return executed;
+}
+
+}  // namespace ctdb::monitor

@@ -1,0 +1,108 @@
+// Incremental finite-trace evaluation of one contract automaton over a
+// stream (DESIGN.md §15).
+//
+// A ContractStepper holds the NFA state set reachable on the stream prefix
+// read so far — a util bitset over the contract BA's states — and advances
+// it one snapshot at a time: evaluate each distinct transition label against
+// the snapshot once, then fold every enabled transition out of the current
+// set into the next. Verdicts (monitor/types.h) fall out of two precomputed
+// masks:
+//
+//   finals        accepting states — intersecting them means the prefix is
+//                 accepted as a finite word (satisfied);
+//   live          states from which a seed state (a state on a cycle
+//                 through a final state, §6.2.4) is reachable — leaving
+//                 them means no infinite extension is accepted (violated).
+//
+// `violated` takes precedence over `satisfied` when both hold (possible
+// only for automata with accepting states outside every accepting cycle)
+// and is absorbing: non-live states have only non-live successors, so a
+// violated stepper freezes and stops paying for further events.
+//
+// Contract-silent instants — snapshots sharing no event with the contract's
+// vocabulary — enable exactly the labels with no positive literal, the same
+// for every such snapshot. StepSilent exploits that: it advances with the
+// precomputed silent label set and stops at the first fixpoint, which is
+// what lets the session skip whole batches for alphabet-disjoint contracts.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/run.h"
+#include "broker/contract.h"
+#include "monitor/types.h"
+#include "util/bitset.h"
+
+namespace ctdb::monitor {
+
+/// \brief The per-contract incremental monitor state.
+///
+/// Not internally synchronized — the owning session serializes appends.
+/// `contract` must outlive the stepper (the session's pinned snapshot
+/// guarantees it).
+class ContractStepper {
+ public:
+  explicit ContractStepper(const broker::Contract* contract);
+
+  uint32_t id() const { return contract_->id; }
+  const broker::Contract& contract() const { return *contract_; }
+
+  /// Events cited by the contract's specification (the pruning alphabet).
+  const Bitset& cited_events() const { return contract_->events; }
+
+  /// Verdict on the prefix read so far.
+  StreamVerdict verdict() const { return verdict_; }
+
+  /// True once the verdict can never change again (violated is absorbing).
+  bool frozen() const { return frozen_; }
+
+  /// Reachable state set on the current prefix (tests / diagnostics).
+  const Bitset& states() const { return current_; }
+
+  /// Advances by one snapshot (event-id bitset over the database
+  /// vocabulary). No-op when frozen.
+  void Step(const Snapshot& snapshot);
+
+  /// \brief Advances by up to `count` contract-silent instants.
+  ///
+  /// Semantically identical to `count` Step calls with snapshots disjoint
+  /// from cited_events(); stops early once the state set is a fixpoint of
+  /// the silent step (every further silent instant is a no-op). Returns the
+  /// number of steps actually executed — the caller counts the remainder as
+  /// pruned.
+  uint64_t StepSilent(uint64_t count);
+
+ private:
+  void UpdateVerdict();
+  /// One transition-relation application with the given per-label enable
+  /// flags; returns true when the state set changed.
+  bool Advance(const std::vector<uint8_t>& enabled);
+
+  const broker::Contract* contract_;
+
+  /// Distinct transition labels and, per state, its outgoing transitions as
+  /// (index into labels_, target state).
+  std::vector<Label> labels_;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> trans_;
+
+  /// States from which some seed state is reachable (backward closure).
+  Bitset live_;
+
+  Bitset current_;  ///< reachable on the prefix read so far
+  Bitset next_;     ///< scratch for Advance
+
+  std::vector<uint8_t> enabled_;         ///< per-label scratch
+  std::vector<uint8_t> silent_enabled_;  ///< labels with no positive literal
+
+  /// 1 = current_ is a fixpoint of the silent step, 0 = it is not,
+  /// -1 = unknown (recomputed lazily by StepSilent).
+  int silent_stable_ = -1;
+
+  StreamVerdict verdict_ = StreamVerdict::kUndetermined;
+  bool frozen_ = false;
+};
+
+}  // namespace ctdb::monitor

@@ -1,0 +1,91 @@
+// Value types of the streaming compliance monitor (DESIGN.md §15).
+//
+// A stream is a named, ordered sequence of events; each event is the set of
+// vocabulary events observed at one instant (a base/run.h Snapshot, carried
+// on the wire as a list of event names). Opening a stream pins the contract
+// set visible at that moment (snapshot isolation — the lifecycle clock of
+// DESIGN.md §14 is the pin), and every appended event advances each tracked
+// contract's Büchi automaton under finite-trace acceptance:
+//
+//   satisfied     the reachable state set intersects the final states — the
+//                 prefix read so far is accepted as a finite word;
+//   violated      the reachable state set contains no state from which an
+//                 accepting cycle is reachable (seed states, §6.2.4) — no
+//                 extension of the prefix satisfies the contract. Absorbing.
+//   undetermined  neither: the prefix is not accepted yet, but some
+//                 extension still could be.
+//
+// Verdicts are per-prefix; `violated` is permanent (dead states are closed
+// under successors), the other two may flip as the stream continues.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctdb::monitor {
+
+/// Three-valued finite-trace verdict of one contract on one stream prefix.
+enum class StreamVerdict : uint8_t {
+  kUndetermined = 0,
+  kSatisfied = 1,
+  kViolated = 2,
+};
+
+/// "undetermined" / "satisfied" / "violated".
+const char* StreamVerdictName(StreamVerdict v);
+
+/// One event batch: each element is one instant's set of event names.
+/// Names unknown to the database vocabulary are legal — a live trace may
+/// carry events no contract cites — and simply never enable a transition.
+using EventBatch = std::vector<std::vector<std::string>>;
+
+/// Stream-open configuration.
+struct StreamOptions {
+  /// Pin contract visibility at this system-period clock (DESIGN.md §14).
+  /// 0 (the default) pins the latest state at open. A value below the
+  /// retention floor is InvalidArgument, exactly like QueryOptions::as_of.
+  uint64_t as_of = 0;
+
+  /// Alphabet pruning: skip stepping contracts that share no event with an
+  /// appended batch and whose state set is already stable under
+  /// contract-silent instants. Off is the ablation baseline; verdicts are
+  /// identical either way (held by RunMonitorDifferential).
+  bool prune = true;
+};
+
+/// What opening a stream pinned.
+struct StreamOpenInfo {
+  uint64_t clock = 0;    ///< system-period clock the stream is pinned at
+  uint32_t tracked = 0;  ///< contract versions visible (and monitored) there
+};
+
+/// One verdict change: contract `contract_id` moved to `verdict` at some
+/// event of the batch that produced the delta.
+struct VerdictDelta {
+  uint32_t contract_id = 0;
+  StreamVerdict verdict = StreamVerdict::kUndetermined;
+  bool operator==(const VerdictDelta&) const = default;
+};
+
+/// Outcome of one append: the verdict changes since the previous append
+/// (sorted by contract id) plus stepping counters.
+struct StreamAppendResult {
+  std::vector<VerdictDelta> deltas;
+  uint64_t events = 0;   ///< stream length after this append
+  uint64_t stepped = 0;  ///< contract×event steps actually executed
+  uint64_t pruned = 0;   ///< contract×event steps skipped by pruning
+};
+
+/// Final per-stream summary returned by close.
+struct StreamCloseInfo {
+  uint64_t events = 0;  ///< total events the stream saw
+  uint32_t satisfied = 0;
+  uint32_t violated = 0;
+  uint32_t undetermined = 0;
+  /// Final verdict of every tracked contract, sorted by contract id.
+  std::vector<VerdictDelta> verdicts;
+};
+
+}  // namespace ctdb::monitor

@@ -69,11 +69,39 @@ bool CountFits(std::string_view data, size_t offset, uint32_t count,
 
 Status Corrupt(const char* what) { return Status::Corruption(what); }
 
+void PutVerdicts(std::string* out,
+                 const std::vector<monitor::VerdictDelta>& verdicts) {
+  PutU32(out, static_cast<uint32_t>(verdicts.size()));
+  for (const monitor::VerdictDelta& v : verdicts) {
+    PutU32(out, v.contract_id);
+    PutU8(out, static_cast<uint8_t>(v.verdict));
+  }
+}
+
+bool GetVerdicts(std::string_view data, size_t* offset,
+                 std::vector<monitor::VerdictDelta>* verdicts) {
+  uint32_t count = 0;
+  if (!GetU32(data, offset, &count) || !CountFits(data, *offset, count, 5)) {
+    return false;
+  }
+  verdicts->resize(count);
+  for (monitor::VerdictDelta& v : *verdicts) {
+    uint8_t verdict = 0;
+    if (!GetU32(data, offset, &v.contract_id) ||
+        !GetU8(data, offset, &verdict) ||
+        verdict > static_cast<uint8_t>(monitor::StreamVerdict::kViolated)) {
+      return false;
+    }
+    v.verdict = static_cast<monitor::StreamVerdict>(verdict);
+  }
+  return true;
+}
+
 }  // namespace
 
 bool IsRequestKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(MsgKind::kRegister) &&
-         kind <= static_cast<uint8_t>(MsgKind::kReplace);
+         kind <= static_cast<uint8_t>(MsgKind::kStreamClose);
 }
 
 Request Request::Register(uint64_t id, std::string name, std::string ltl) {
@@ -143,6 +171,33 @@ Request Request::Replace(uint64_t id, uint32_t contract_id, std::string ltl) {
   return r;
 }
 
+Request Request::StreamOpen(uint64_t id, std::string name, uint64_t as_of) {
+  Request r;
+  r.kind = MsgKind::kStreamOpen;
+  r.id = id;
+  r.name = std::move(name);
+  r.as_of = as_of;
+  return r;
+}
+
+Request Request::StreamAppend(uint64_t id, std::string name,
+                              monitor::EventBatch events) {
+  Request r;
+  r.kind = MsgKind::kStreamAppend;
+  r.id = id;
+  r.name = std::move(name);
+  r.events = std::move(events);
+  return r;
+}
+
+Request Request::StreamClose(uint64_t id, std::string name) {
+  Request r;
+  r.kind = MsgKind::kStreamClose;
+  r.id = id;
+  r.name = std::move(name);
+  return r;
+}
+
 Response Response::Error(const Request& request, const Status& status) {
   Response response;
   response.id = request.id;
@@ -183,6 +238,21 @@ std::string EncodeRequestPayload(const Request& request) {
     case MsgKind::kReplace:
       PutU32(&out, request.contract_id);
       PutString(&out, request.ltl);
+      break;
+    case MsgKind::kStreamOpen:
+      PutString(&out, request.name);
+      PutU64(&out, request.as_of);
+      break;
+    case MsgKind::kStreamAppend:
+      PutString(&out, request.name);
+      PutU32(&out, static_cast<uint32_t>(request.events.size()));
+      for (const std::vector<std::string>& instant : request.events) {
+        PutU32(&out, static_cast<uint32_t>(instant.size()));
+        for (const std::string& event : instant) PutString(&out, event);
+      }
+      break;
+    case MsgKind::kStreamClose:
+      PutString(&out, request.name);
       break;
     case MsgKind::kCheckpoint:
     case MsgKind::kStats:
@@ -260,6 +330,40 @@ Status DecodeRequestPayload(std::string_view payload, Request* request) {
         return Corrupt("replace request truncated");
       }
       break;
+    case MsgKind::kStreamOpen:
+      if (!GetString(payload, &offset, &request->name) ||
+          !GetU64(payload, &offset, &request->as_of)) {
+        return Corrupt("stream open request truncated");
+      }
+      break;
+    case MsgKind::kStreamAppend: {
+      uint32_t count = 0;
+      if (!GetString(payload, &offset, &request->name) ||
+          !GetU32(payload, &offset, &count) ||
+          !CountFits(payload, offset, count, 4)) {
+        return Corrupt("stream append instant count exceeds payload");
+      }
+      request->events.resize(count);
+      for (std::vector<std::string>& instant : request->events) {
+        uint32_t names = 0;
+        if (!GetU32(payload, &offset, &names) ||
+            !CountFits(payload, offset, names, 4)) {
+          return Corrupt("stream append event count exceeds payload");
+        }
+        instant.resize(names);
+        for (std::string& event : instant) {
+          if (!GetString(payload, &offset, &event)) {
+            return Corrupt("stream append event truncated");
+          }
+        }
+      }
+      break;
+    }
+    case MsgKind::kStreamClose:
+      if (!GetString(payload, &offset, &request->name)) {
+        return Corrupt("stream close request truncated");
+      }
+      break;
     case MsgKind::kCheckpoint:
     case MsgKind::kStats:
     case MsgKind::kResponse:
@@ -302,6 +406,23 @@ std::string EncodeResponsePayload(const Response& response) {
       break;
     case MsgKind::kStats:
       PutString(&out, response.stats_json);
+      break;
+    case MsgKind::kStreamOpen:
+      PutU64(&out, response.sequence);
+      PutU32(&out, response.tracked);
+      break;
+    case MsgKind::kStreamAppend:
+      PutU64(&out, response.events);
+      PutU64(&out, response.stepped);
+      PutU64(&out, response.pruned);
+      PutVerdicts(&out, response.verdicts);
+      break;
+    case MsgKind::kStreamClose:
+      PutU64(&out, response.events);
+      PutU32(&out, response.satisfied);
+      PutU32(&out, response.violated);
+      PutU32(&out, response.undetermined);
+      PutVerdicts(&out, response.verdicts);
       break;
     case MsgKind::kResponse:
       break;
@@ -387,6 +508,29 @@ Status DecodeResponsePayload(std::string_view payload, Response* response) {
       case MsgKind::kStats:
         if (!GetString(payload, &offset, &response->stats_json)) {
           return Corrupt("stats response truncated");
+        }
+        break;
+      case MsgKind::kStreamOpen:
+        if (!GetU64(payload, &offset, &response->sequence) ||
+            !GetU32(payload, &offset, &response->tracked)) {
+          return Corrupt("stream open response truncated");
+        }
+        break;
+      case MsgKind::kStreamAppend:
+        if (!GetU64(payload, &offset, &response->events) ||
+            !GetU64(payload, &offset, &response->stepped) ||
+            !GetU64(payload, &offset, &response->pruned) ||
+            !GetVerdicts(payload, &offset, &response->verdicts)) {
+          return Corrupt("stream append response truncated or bad verdict");
+        }
+        break;
+      case MsgKind::kStreamClose:
+        if (!GetU64(payload, &offset, &response->events) ||
+            !GetU32(payload, &offset, &response->satisfied) ||
+            !GetU32(payload, &offset, &response->violated) ||
+            !GetU32(payload, &offset, &response->undetermined) ||
+            !GetVerdicts(payload, &offset, &response->verdicts)) {
+          return Corrupt("stream close response truncated or bad verdict");
         }
         break;
       case MsgKind::kResponse:

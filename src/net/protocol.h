@@ -20,6 +20,9 @@
 //   body(kStats)         := (empty)
 //   body(kUnregister)    := u32 contract_id
 //   body(kReplace)       := u32 contract_id · str ltl
+//   body(kStreamOpen)    := str name · u64 as_of
+//   body(kStreamAppend)  := str name · u32 count · count × (u32 n · n × str)
+//   body(kStreamClose)   := str name
 //   str                  := len u32 · bytes
 //
 // `as_of` = 0 asks for the latest state; any other value evaluates the
@@ -35,6 +38,15 @@
 //   kStats         := str metrics JSON
 //   kUnregister    := u64 clock of the removal
 //   kReplace       := u64 clock of the supersession
+//   kStreamOpen    := u64 pinned clock · u32 contracts tracked
+//   kStreamAppend  := u64 events · u64 stepped · u64 pruned ·
+//                     u32 count · count × (u32 contract id · u8 verdict)
+//   kStreamClose   := u64 events · u32 satisfied · u32 violated ·
+//                     u32 undetermined · u32 count ·
+//                     count × (u32 contract id · u8 verdict)
+//
+// A verdict byte is 0 = undetermined, 1 = satisfied, 2 = violated
+// (monitor::StreamVerdict); anything else is rejected as Corruption.
 //
 // `id` is a client-assigned correlation id echoed verbatim by the response,
 // which is what makes per-connection pipelining work: a client may have any
@@ -56,6 +68,7 @@
 #include <string_view>
 #include <vector>
 
+#include "monitor/types.h"
 #include "util/result.h"
 
 namespace ctdb::net {
@@ -78,10 +91,13 @@ enum class MsgKind : uint8_t {
   kStats = 6,
   kUnregister = 7,
   kReplace = 8,
+  kStreamOpen = 9,
+  kStreamAppend = 10,
+  kStreamClose = 11,
   kResponse = 32,
 };
 
-/// True for the eight operation kinds (not kResponse).
+/// True for the eleven operation kinds (not kResponse).
 bool IsRequestKind(uint8_t kind);
 
 /// \brief One client request.
@@ -94,12 +110,13 @@ struct Request {
     std::string ltl;
     bool operator==(const Entry&) const = default;
   };
-  std::string name;             ///< kRegister: contract name
+  std::string name;             ///< kRegister: contract name; kStream*: stream
   std::string ltl;              ///< kRegister / kQuery / kReplace: LTL text
   std::vector<Entry> entries;   ///< kRegisterBatch
   std::vector<std::string> queries;  ///< kQueryBatch
+  monitor::EventBatch events;   ///< kStreamAppend: instants to append
   uint32_t contract_id = 0;     ///< kUnregister / kReplace: target contract
-  uint64_t as_of = 0;           ///< kQuery / kQueryBatch: 0 = latest
+  uint64_t as_of = 0;           ///< kQuery / kQueryBatch / kStreamOpen: 0 = latest
 
   static Request Register(uint64_t id, std::string name, std::string ltl);
   static Request RegisterBatch(uint64_t id, std::vector<Entry> entries);
@@ -110,6 +127,10 @@ struct Request {
   static Request Stats(uint64_t id);
   static Request Unregister(uint64_t id, uint32_t contract_id);
   static Request Replace(uint64_t id, uint32_t contract_id, std::string ltl);
+  static Request StreamOpen(uint64_t id, std::string name, uint64_t as_of = 0);
+  static Request StreamAppend(uint64_t id, std::string name,
+                              monitor::EventBatch events);
+  static Request StreamClose(uint64_t id, std::string name);
 
   bool operator==(const Request&) const = default;
 };
@@ -132,9 +153,21 @@ struct Response {
   };
   std::vector<Answer> answers;
   /// kCheckpoint: covered mutation sequence; kUnregister / kReplace: the
-  /// system-period clock of the lifecycle change.
+  /// system-period clock of the lifecycle change; kStreamOpen: the pinned
+  /// snapshot clock.
   uint64_t sequence = 0;
   std::string stats_json;    ///< kStats: metrics registry snapshot
+
+  uint32_t tracked = 0;      ///< kStreamOpen: contracts tracked at the pin
+  uint64_t events = 0;       ///< kStreamAppend / kStreamClose: total appended
+  uint64_t stepped = 0;      ///< kStreamAppend: (contract, instant) steps run
+  uint64_t pruned = 0;       ///< kStreamAppend: steps skipped by pruning
+  uint32_t satisfied = 0;    ///< kStreamClose: verdict tallies
+  uint32_t violated = 0;
+  uint32_t undetermined = 0;
+  /// kStreamAppend: verdict changes since the last append; kStreamClose:
+  /// final verdict of every tracked contract. Ascending contract id.
+  std::vector<monitor::VerdictDelta> verdicts;
 
   /// The response's status as a Status value.
   Status status() const {

@@ -522,6 +522,34 @@ Response ExecuteRequest(broker::Broker* db, const Request& request) {
       response.sequence = *result;
       break;
     }
+    case MsgKind::kStreamOpen: {
+      monitor::StreamOptions options;
+      options.as_of = request.as_of;
+      auto result = db->StreamOpen(request.name, options);
+      if (!result.ok()) return Response::Error(request, result.status());
+      response.sequence = result->clock;
+      response.tracked = result->tracked;
+      break;
+    }
+    case MsgKind::kStreamAppend: {
+      auto result = db->StreamAppend(request.name, request.events);
+      if (!result.ok()) return Response::Error(request, result.status());
+      response.events = result->events;
+      response.stepped = result->stepped;
+      response.pruned = result->pruned;
+      response.verdicts = std::move(result->deltas);
+      break;
+    }
+    case MsgKind::kStreamClose: {
+      auto result = db->StreamClose(request.name);
+      if (!result.ok()) return Response::Error(request, result.status());
+      response.events = result->events;
+      response.satisfied = result->satisfied;
+      response.violated = result->violated;
+      response.undetermined = result->undetermined;
+      response.verdicts = std::move(result->verdicts);
+      break;
+    }
     case MsgKind::kResponse:
       return Response::Error(
           request, Status::InvalidArgument("kResponse is not a request"));

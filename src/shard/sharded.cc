@@ -495,6 +495,130 @@ Result<std::vector<broker::QueryResult>> ShardedDatabase::QueryBatch(
   return merged;
 }
 
+Result<monitor::StreamOpenInfo> ShardedDatabase::StreamOpen(
+    std::string name, const monitor::StreamOptions& options) {
+  CTDB_RETURN_NOT_OK(CheckOpen());
+  // One global pin for every shard. Per-shard clocks are sparse but
+  // mutually comparable (router-assigned), so a shard whose clock is behind
+  // the pin clamps to its latest state — correct, it had no mutations in
+  // between (same argument as QueryAsOf, DESIGN.md §14).
+  uint64_t pin = options.as_of;
+  if (pin == 0) {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    pin = clock_;
+  }
+  monitor::StreamOptions shard_options = options;
+  shard_options.as_of = pin;
+  monitor::StreamOpenInfo info;
+  info.clock = pin;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    auto opened = shards_[k]->StreamOpen(name, shard_options);
+    if (!opened.ok()) {
+      // All-or-nothing: a stream is open on every shard or on none.
+      for (size_t j = 0; j < k; ++j) (void)shards_[j]->StreamClose(name);
+      return AnnotateShard(k, opened.status());
+    }
+    info.tracked += opened->tracked;
+  }
+  return info;
+}
+
+Result<monitor::StreamAppendResult> ShardedDatabase::StreamAppend(
+    std::string_view name, const monitor::EventBatch& events) {
+  CTDB_RETURN_NOT_OK(CheckOpen());
+  const size_t n = shards_.size();
+
+  // Scatter: every shard steps its own contracts through the whole batch.
+  std::vector<Result<monitor::StreamAppendResult>> per_shard(
+      n, Status::Internal("shard not reached"));
+  auto run_one = [&](size_t k) {
+    per_shard[k] = shards_[k]->StreamAppend(name, events);
+    return Status::OK();  // errors merge below, in shard order
+  };
+  if (pool_ && n > 1) {
+    CTDB_RETURN_NOT_OK(pool_->ParallelFor(0, n, run_one));
+  } else {
+    for (size_t k = 0; k < n; ++k) (void)run_one(k);
+  }
+  for (size_t k = 0; k < n; ++k) {
+    CTDB_RETURN_NOT_OK(AnnotateShard(k, per_shard[k].status()));
+  }
+
+  // Gather: k-way merge of the verdict deltas by ascending global id;
+  // every shard saw the same events, counters sum.
+  monitor::StreamAppendResult merged;
+  merged.events = (*per_shard[0]).events;
+  size_t total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    merged.stepped += (*per_shard[k]).stepped;
+    merged.pruned += (*per_shard[k]).pruned;
+    total += (*per_shard[k]).deltas.size();
+  }
+  merged.deltas.reserve(total);
+  std::vector<size_t> cursor(n, 0);
+  while (merged.deltas.size() < total) {
+    size_t best = n;
+    uint64_t best_id = 0;
+    for (size_t k = 0; k < n; ++k) {
+      const auto& deltas = (*per_shard[k]).deltas;
+      if (cursor[k] >= deltas.size()) continue;
+      const uint64_t gid = GlobalId(k, deltas[cursor[k]].contract_id, n);
+      if (best == n || gid < best_id) {
+        best = k;
+        best_id = gid;
+      }
+    }
+    merged.deltas.push_back({static_cast<uint32_t>(best_id),
+                             (*per_shard[best]).deltas[cursor[best]].verdict});
+    cursor[best] += 1;
+  }
+  return merged;
+}
+
+Result<monitor::StreamCloseInfo> ShardedDatabase::StreamClose(
+    std::string_view name) {
+  // No CheckOpen: closing a stream is read-only summary work and stays
+  // legal while the database shuts down.
+  const size_t n = shards_.size();
+  std::vector<Result<monitor::StreamCloseInfo>> per_shard(
+      n, Status::Internal("shard not reached"));
+  for (size_t k = 0; k < n; ++k) {
+    per_shard[k] = shards_[k]->StreamClose(name);
+  }
+  for (size_t k = 0; k < n; ++k) {
+    CTDB_RETURN_NOT_OK(AnnotateShard(k, per_shard[k].status()));
+  }
+  monitor::StreamCloseInfo info;
+  info.events = (*per_shard[0]).events;
+  size_t total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    info.satisfied += (*per_shard[k]).satisfied;
+    info.violated += (*per_shard[k]).violated;
+    info.undetermined += (*per_shard[k]).undetermined;
+    total += (*per_shard[k]).verdicts.size();
+  }
+  info.verdicts.reserve(total);
+  std::vector<size_t> cursor(n, 0);
+  while (info.verdicts.size() < total) {
+    size_t best = n;
+    uint64_t best_id = 0;
+    for (size_t k = 0; k < n; ++k) {
+      const auto& verdicts = (*per_shard[k]).verdicts;
+      if (cursor[k] >= verdicts.size()) continue;
+      const uint64_t gid = GlobalId(k, verdicts[cursor[k]].contract_id, n);
+      if (best == n || gid < best_id) {
+        best = k;
+        best_id = gid;
+      }
+    }
+    info.verdicts.push_back(
+        {static_cast<uint32_t>(best_id),
+         (*per_shard[best]).verdicts[cursor[best]].verdict});
+    cursor[best] += 1;
+  }
+  return info;
+}
+
 Status ShardedDatabase::Checkpoint() {
   CTDB_RETURN_NOT_OK(CheckOpen());
   const size_t n = shards_.size();

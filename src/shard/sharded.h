@@ -162,6 +162,24 @@ class ShardedDatabase : public broker::Broker {
       const std::vector<std::string>& queries,
       const broker::QueryOptions& options = {}) const override;
 
+  /// \name Streaming compliance monitor (DESIGN.md §15), scatter-gather.
+  ///
+  /// Open resolves one global pin clock (options.as_of, or the router clock
+  /// at open) and opens a same-named session on every shard at that clock —
+  /// per-shard clocks are mutually comparable (see header), so a shard
+  /// behind the pin clamps to its latest state, exactly like QueryAsOf.
+  /// Append scatters each batch to every shard in parallel and gathers the
+  /// verdict deltas re-mapped to global ids in ascending order, summing the
+  /// stepped/pruned counters. A shard failure during Open rolls back the
+  /// sessions already opened, so a stream is open on all shards or none.
+  /// @{
+  Result<monitor::StreamOpenInfo> StreamOpen(
+      std::string name, const monitor::StreamOptions& options = {}) override;
+  Result<monitor::StreamAppendResult> StreamAppend(
+      std::string_view name, const monitor::EventBatch& events) override;
+  Result<monitor::StreamCloseInfo> StreamClose(std::string_view name) override;
+  /// @}
+
   /// Checkpoints every shard in parallel; returns the first error but
   /// attempts all shards regardless.
   Status Checkpoint() override;

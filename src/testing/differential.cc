@@ -1,6 +1,7 @@
 #include "testing/differential.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "automata/word.h"
@@ -8,12 +9,14 @@
 #include "core/permission.h"
 #include "ltl/evaluator.h"
 #include "ltl/parser.h"
+#include "monitor/session.h"
 #include "testing/generators.h"
 #include "testing/metamorphic.h"
 #include "testing/reference.h"
 #include "testing/universe.h"
 #include "translate/ltl_to_ba.h"
 #include "util/string_util.h"
+#include "workload/events.h"
 #include "workload/generator.h"
 
 namespace ctdb::testing {
@@ -573,6 +576,276 @@ bool LifecycleIteration::ProbeTick(uint64_t tick,
   return true;
 }
 
+/// Independent re-implementation of finite-trace stepping for the monitor
+/// differential: std::set state sets, a per-event scan of every transition
+/// label, and a forward fixpoint for the live marking — deliberately sharing
+/// no code (bitsets, label dedup, reverse adjacency, freezing, pruning) with
+/// monitor::ContractStepper.
+class NaiveStepper {
+ public:
+  explicit NaiveStepper(const broker::Contract* contract)
+      : contract_(contract) {
+    const automata::Buchi& ba = contract->automaton();
+    live_.assign(ba.StateCount(), false);
+    for (size_t s : contract->seed_states.Indices()) live_[s] = true;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (automata::StateId s = 0; s < ba.StateCount(); ++s) {
+        if (live_[s]) continue;
+        for (const automata::Transition& t : ba.Out(s)) {
+          if (live_[t.to]) {
+            live_[s] = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    reach_.insert(ba.initial());
+  }
+
+  void Step(const Snapshot& snapshot) {
+    const automata::Buchi& ba = contract_->automaton();
+    std::set<automata::StateId> next;
+    for (automata::StateId s : reach_) {
+      for (const automata::Transition& t : ba.Out(s)) {
+        if (Satisfies(snapshot, t.label)) next.insert(t.to);
+      }
+    }
+    reach_ = std::move(next);
+  }
+
+  monitor::StreamVerdict Verdict() const {
+    const automata::Buchi& ba = contract_->automaton();
+    bool any_live = false, any_final = false;
+    for (automata::StateId s : reach_) {
+      if (live_[s]) any_live = true;
+      if (ba.finals().Test(s)) any_final = true;
+    }
+    if (!any_live) return monitor::StreamVerdict::kViolated;
+    return any_final ? monitor::StreamVerdict::kSatisfied
+                     : monitor::StreamVerdict::kUndetermined;
+  }
+
+ private:
+  const broker::Contract* contract_;
+  std::set<automata::StateId> reach_;
+  std::vector<bool> live_;
+};
+
+std::string RenderVerdicts(const std::vector<monitor::VerdictDelta>& v) {
+  std::string out = "{";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i].contract_id);
+    out += ":";
+    out += monitor::StreamVerdictName(v[i].verdict);
+  }
+  return out + "}";
+}
+
+/// One RunMonitorDifferential iteration: one universe, one trace, five
+/// oracles.
+class MonitorIteration {
+ public:
+  MonitorIteration(uint64_t seed, const MonitorDiffOptions& options,
+                   DiffReport* report)
+      : seed_(seed), options_(options), report_(report) {}
+
+  void Run();
+
+ private:
+  void Report(const char* oracle, std::string detail) {
+    report_->mismatches.push_back(
+        DiffMismatch{seed_, oracle, std::move(detail)});
+  }
+
+  bool CompareVerdicts(const char* oracle, const char* when,
+                       const std::vector<monitor::VerdictDelta>& expected,
+                       const std::vector<monitor::VerdictDelta>& actual) {
+    ++report_->checks;
+    if (expected == actual) return true;
+    Report(oracle, StringFormat("%s: expected %s got %s", when,
+                                RenderVerdicts(expected).c_str(),
+                                RenderVerdicts(actual).c_str()));
+    return false;
+  }
+
+  bool CheckViolatedSoundness(
+      const std::vector<monitor::VerdictDelta>& verdicts,
+      const std::vector<Snapshot>& trace, Rng* rng);
+
+  uint64_t seed_;
+  const MonitorDiffOptions& options_;
+  DiffReport* report_;
+
+  std::unique_ptr<broker::ContractDatabase> db_;
+};
+
+void MonitorIteration::Run() {
+  db_ = std::make_unique<broker::ContractDatabase>();
+  workload::GeneratorOptions gen_options;
+  gen_options.vocabulary_size = options_.vocabulary_size;
+  gen_options.properties = options_.contract_patterns;
+  workload::EventSpecGenerator generator(gen_options, seed_,
+                                         db_->vocabulary(), db_->factory());
+  for (size_t c = 0; c < options_.contracts; ++c) {
+    auto gen = generator.Next();
+    if (!gen.ok()) {
+      Report("generator", "event spec draw failed: " + gen.status().ToString());
+      return;
+    }
+    auto id = db_->Register("c" + std::to_string(c), gen->text);
+    if (!id.ok()) {
+      Report("generator", "Register failed: " + id.status().ToString());
+      return;
+    }
+  }
+
+  const auto snapshot = db_->Snapshot();
+  auto open = [&](bool prune) {
+    monitor::StreamOptions stream_options;
+    stream_options.prune = prune;
+    return monitor::StreamSession::Open(snapshot, stream_options);
+  };
+  auto batched = open(true);
+  auto single = open(true);
+  auto noprune = open(false);
+  if (!batched.ok() || !single.ok() || !noprune.ok()) {
+    Report("monitor", "StreamSession::Open failed: " +
+                          batched.status().ToString());
+    return;
+  }
+
+  // Naive side, one per tracked contract in the same (ascending id) order.
+  std::vector<NaiveStepper> naive;
+  for (uint32_t id = 0; id < snapshot->slot_count(); ++id) {
+    if (const broker::Contract* c = snapshot->contract_or_null(id)) {
+      naive.emplace_back(c);
+    }
+  }
+
+  // Running verdict map the deltas are applied to (delta-vs-summary).
+  std::vector<monitor::VerdictDelta> applied =
+      (*batched)->Summary().verdicts;
+
+  workload::TraceOptions matched_options;
+  matched_options.vocabulary_size = options_.vocabulary_size;
+  workload::TraceOptions mismatched_options = matched_options;
+  mismatched_options.prefix = "q";  // cited by no contract: pruning path
+  workload::TraceGenerator matched(matched_options, seed_ ^ 0x7ACEDULL);
+  workload::TraceGenerator mismatched(mismatched_options,
+                                      seed_ ^ 0x0FFBEA7ULL);
+  Rng lasso_rng(seed_ ^ 0x1A550ULL);
+
+  std::vector<Snapshot> trace;  // resolved instants for the lasso probe
+  bool flip_pending = options_.flip_naive;
+  for (size_t b = 0; b < options_.batches; ++b) {
+    const monitor::EventBatch batch = (b % 2 == 0 ? matched : mismatched)
+                                          .NextBatch(options_.batch_events);
+    const monitor::StreamAppendResult result = (*batched)->Append(batch);
+    for (const std::vector<std::string>& instant : batch) {
+      (*single)->Append({instant});
+    }
+    (*noprune)->Append(batch);
+
+    const Vocabulary& vocab = snapshot->vocabulary();
+    for (const std::vector<std::string>& instant : batch) {
+      Snapshot s(vocab.size());
+      for (const std::string& name : instant) {
+        if (auto id = vocab.Find(name); id.ok()) s.Set(*id);
+      }
+      for (NaiveStepper& stepper : naive) stepper.Step(s);
+      trace.push_back(std::move(s));
+    }
+
+    const monitor::StreamCloseInfo summary = (*batched)->Summary();
+    std::vector<monitor::VerdictDelta> expected = summary.verdicts;
+    for (size_t i = 0; i < naive.size(); ++i) {
+      expected[i].verdict = naive[i].Verdict();
+    }
+    if (flip_pending && !expected.empty()) {
+      flip_pending = false;
+      auto& v = expected[0].verdict;
+      v = v == monitor::StreamVerdict::kViolated
+              ? monitor::StreamVerdict::kSatisfied
+              : monitor::StreamVerdict::kViolated;
+    }
+    const std::string when = StringFormat("batch %zu", b);
+    if (!CompareVerdicts("incremental-vs-naive", when.c_str(), expected,
+                         summary.verdicts)) {
+      return;
+    }
+
+    for (const monitor::VerdictDelta& delta : result.deltas) {
+      for (monitor::VerdictDelta& entry : applied) {
+        if (entry.contract_id == delta.contract_id) {
+          entry.verdict = delta.verdict;
+          break;
+        }
+      }
+    }
+    if (!CompareVerdicts("delta-vs-summary", when.c_str(), applied,
+                         summary.verdicts)) {
+      return;
+    }
+  }
+
+  const monitor::StreamCloseInfo final_summary = (*batched)->Summary();
+  if (!CompareVerdicts("batch-vs-single", "final", final_summary.verdicts,
+                       (*single)->Summary().verdicts)) {
+    return;
+  }
+  if (!CompareVerdicts("prune-vs-noprune", "final", final_summary.verdicts,
+                       (*noprune)->Summary().verdicts)) {
+    return;
+  }
+  CheckViolatedSoundness(final_summary.verdicts, trace, &lasso_rng);
+}
+
+bool MonitorIteration::CheckViolatedSoundness(
+    const std::vector<monitor::VerdictDelta>& verdicts,
+    const std::vector<Snapshot>& trace, Rng* rng) {
+  const auto snapshot = db_->Snapshot();
+  const size_t vocab_size = snapshot->vocabulary().size();
+  for (const monitor::VerdictDelta& v : verdicts) {
+    if (v.verdict != monitor::StreamVerdict::kViolated) continue;
+    const broker::Contract* contract =
+        snapshot->contract_or_null(v.contract_id);
+    if (contract == nullptr) continue;
+    ltl::FormulaFactory factory;
+    auto formula = ltl::Parse(contract->ltl_text, &factory,
+                              snapshot->vocabulary());
+    if (!formula.ok()) {
+      Report("violated-soundness", "reparse failed: " +
+                                       formula.status().ToString());
+      return false;
+    }
+    for (size_t probe = 0; probe < options_.lassos_per_violation; ++probe) {
+      LassoWord word;
+      word.prefix = trace;
+      const size_t extra = rng->Uniform(3);
+      for (size_t i = 0; i < extra; ++i) {
+        word.prefix.push_back(RandomSnapshot(rng, vocab_size));
+      }
+      const size_t cycle = 1 + rng->Uniform(3);
+      for (size_t i = 0; i < cycle; ++i) {
+        word.cycle.push_back(RandomSnapshot(rng, vocab_size));
+      }
+      ++report_->checks;
+      if (ltl::Evaluate(*formula, word)) {
+        Report("violated-soundness",
+               StringFormat("contract %u is violated on the trace but its "
+                            "formula holds on a lasso extension (probe %zu)",
+                            v.contract_id, probe));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 DiffReport RunDifferential(const DiffOptions& options) {
@@ -591,6 +864,17 @@ DiffReport RunLifecycleDifferential(const LifecycleDiffOptions& options) {
   for (size_t i = 0; i < options.iters; ++i) {
     if (report.mismatches.size() >= options.max_mismatches) break;
     LifecycleIteration iteration(options.seed + i, options, &report);
+    iteration.Run();
+    ++report.iterations;
+  }
+  return report;
+}
+
+DiffReport RunMonitorDifferential(const MonitorDiffOptions& options) {
+  DiffReport report;
+  for (size_t i = 0; i < options.iters; ++i) {
+    if (report.mismatches.size() >= options.max_mismatches) break;
+    MonitorIteration iteration(options.seed + i, options, &report);
     iteration.Run();
     ++report.iterations;
   }

@@ -112,6 +112,49 @@ struct LifecycleDiffOptions {
 ///                       every sampled QueryAsOf answer
 DiffReport RunLifecycleDifferential(const LifecycleDiffOptions& options);
 
+/// Configuration of the streaming-monitor differential
+/// (RunMonitorDifferential).
+struct MonitorDiffOptions {
+  uint64_t seed = 1;
+  size_t iters = 50;
+  /// Universe shape: event-pattern contracts (workload/events.h) over a
+  /// shared vocabulary.
+  size_t contracts = 4;
+  size_t contract_patterns = 1;
+  size_t vocabulary_size = 8;
+  /// Stream shape per iteration. Batches alternate between the contracts'
+  /// vocabulary and a disjoint one, so both the stepping and the
+  /// alphabet-pruning paths run every iteration.
+  size_t batches = 4;
+  size_t batch_events = 6;
+  /// Random lasso extensions probed per violated contract.
+  size_t lassos_per_violation = 3;
+  size_t max_mismatches = 8;
+  /// Fault injection: negate one naive verdict per iteration, proving the
+  /// incremental-vs-naive oracle detects real faults.
+  bool flip_naive = false;
+};
+
+/// \brief Cross-checks the streaming monitor against independent oracles.
+///
+/// Each iteration registers random event-pattern contracts, opens monitor
+/// sessions on one snapshot and drives them with one random trace:
+///
+///   incremental-vs-naive  after every batch, each contract's stepper
+///                         verdict equals a naive recomputation (std::set
+///                         state sets, per-event label scan, fixpoint live
+///                         marking — no bitsets, no dedup, no pruning)
+///   delta-vs-summary      applying each append's deltas to the previous
+///                         verdict map reproduces the session summary
+///   batch-vs-single       appending the trace one instant at a time ends
+///                         in the same summary as batched appends
+///   prune-vs-noprune      StreamOptions::prune only skips work: verdicts
+///                         are identical with pruning disabled
+///   violated-soundness    a violated contract's formula evaluates false
+///                         (ltl::Evaluate) on random lasso extensions of
+///                         the observed trace — "no extension satisfies"
+DiffReport RunMonitorDifferential(const MonitorDiffOptions& options);
+
 /// "oracle=<o> seed=<s>: <detail> (reproduce: ctdb_diff_fuzz ...)".
 std::string FormatMismatch(const DiffMismatch& m);
 

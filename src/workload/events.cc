@@ -1,0 +1,155 @@
+#include "workload/events.h"
+
+#include <cassert>
+
+#include "automata/ops.h"
+#include "ltl/patterns.h"
+#include "translate/ltl_to_ba.h"
+#include "util/string_util.h"
+
+namespace ctdb::workload {
+
+using ltl::Formula;
+using ltl::PatternBehavior;
+using ltl::PatternScope;
+
+namespace {
+
+// The event-pattern corner: behaviors that talk about event occurrences
+// (not state invariants) under the scopes that open and close at runtime.
+constexpr PatternBehavior kEventBehaviors[] = {
+    PatternBehavior::kAbsence,
+    PatternBehavior::kResponse,
+    PatternBehavior::kPrecedence,
+};
+constexpr PatternScope kEventScopes[] = {
+    PatternScope::kBefore,
+    PatternScope::kAfter,
+    PatternScope::kBetween,
+};
+
+}  // namespace
+
+EventSpecGenerator::EventSpecGenerator(const GeneratorOptions& options,
+                                       uint64_t seed, Vocabulary* vocab,
+                                       ltl::FormulaFactory* factory)
+    : options_(options), rng_(seed), vocab_(vocab), factory_(factory) {
+  events_.reserve(options.vocabulary_size);
+  for (size_t i = 1; i <= options.vocabulary_size; ++i) {
+    auto id = vocab_->Intern(StringFormat("p%zu", i));
+    assert(id.ok());
+    events_.push_back(*id);
+  }
+}
+
+const Formula* EventSpecGenerator::DrawProperty() {
+  const PatternBehavior behavior =
+      kEventBehaviors[rng_.Uniform(std::size(kEventBehaviors))];
+  const PatternScope scope = kEventScopes[rng_.Uniform(std::size(kEventScopes))];
+  const int arity = ltl::PatternArity(behavior, scope);
+
+  std::vector<EventId> chosen;
+  while (chosen.size() < static_cast<size_t>(arity)) {
+    const EventId e = events_[rng_.Uniform(events_.size())];
+    bool dup = false;
+    for (EventId c : chosen) {
+      if (c == e) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) chosen.push_back(e);
+  }
+
+  // Same parameter order as SpecGenerator: p, s (two-event behaviors), then
+  // scope delimiters q / r.
+  size_t next = 0;
+  const Formula* p = factory_->Prop(chosen[next++]);
+  const Formula* s = nullptr;
+  if (behavior == PatternBehavior::kPrecedence ||
+      behavior == PatternBehavior::kResponse) {
+    s = factory_->Prop(chosen[next++]);
+  }
+  const Formula* q = nullptr;
+  const Formula* r = nullptr;
+  switch (scope) {
+    case PatternScope::kGlobal:
+      break;
+    case PatternScope::kBefore:
+      r = factory_->Prop(chosen[next++]);
+      break;
+    case PatternScope::kAfter:
+      q = factory_->Prop(chosen[next++]);
+      break;
+    case PatternScope::kBetween:
+      q = factory_->Prop(chosen[next++]);
+      r = factory_->Prop(chosen[next++]);
+      break;
+  }
+  return ltl::MakePattern(behavior, scope, p, s, q, r, factory_);
+}
+
+Result<GeneratedSpec> EventSpecGenerator::Next() {
+  GeneratedSpec out;
+  for (size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    out.attempts = attempt;
+    const Formula* spec = factory_->True();
+    for (size_t i = 0; i < options_.properties; ++i) {
+      spec = factory_->And(spec, DrawProperty());
+    }
+    auto translated =
+        translate::LtlToBuchi(spec, factory_, options_.translate);
+    if (!translated.ok()) {
+      if (options_.redraw_degenerate &&
+          translated.status().IsResourceExhausted()) {
+        continue;
+      }
+      return translated.status();
+    }
+    if (options_.redraw_degenerate &&
+        automata::IsEmptyLanguage(*translated)) {
+      continue;
+    }
+    out.formula = spec;
+    out.text = spec->ToString(*vocab_);
+    out.automaton = std::move(*translated);
+    return out;
+  }
+  return Status::ResourceExhausted(StringFormat(
+      "no satisfiable event specification found in %zu attempts",
+      options_.max_attempts));
+}
+
+TraceGenerator::TraceGenerator(const TraceOptions& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  names_.reserve(options.vocabulary_size);
+  for (size_t i = 1; i <= options.vocabulary_size; ++i) {
+    names_.push_back(StringFormat("%s%zu", options.prefix.c_str(), i));
+  }
+}
+
+std::vector<std::string> TraceGenerator::NextInstant() {
+  std::vector<std::string> instant;
+  const size_t count = rng_.Uniform(options_.max_events_per_instant + 1);
+  while (instant.size() < count) {
+    const std::string& name = names_[rng_.Uniform(names_.size())];
+    bool dup = false;
+    for (const std::string& n : instant) {
+      if (n == name) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) instant.push_back(name);
+  }
+  return instant;
+}
+
+monitor::EventBatch TraceGenerator::NextBatch(size_t instants) {
+  monitor::EventBatch batch;
+  batch.reserve(instants);
+  for (size_t i = 0; i < instants; ++i) batch.push_back(NextInstant());
+  return batch;
+}
+
+}  // namespace ctdb::workload

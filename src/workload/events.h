@@ -1,0 +1,81 @@
+// Event-style workload for the streaming compliance monitor (DESIGN.md §15).
+//
+// Two generators, both reproducible from a seed:
+//
+//  - EventSpecGenerator draws contracts from the event-pattern corner of the
+//    Dwyer catalogue — absence / response / precedence behaviors under the
+//    before / after / between scopes ("Events in Property Patterns",
+//    PAPERS.md). These are the patterns whose verdicts actually move while a
+//    finite trace unfolds (a scoped absence can be violated by one event and
+//    discharged by the scope closing), which is what makes them the right
+//    fuel for monitor tests and bench_monitor.
+//
+//  - TraceGenerator draws the event stream itself: per instant, a small
+//    random subset of a named vocabulary. Pointing it at a prefix the
+//    contracts never cite (e.g. "q" against "p1".."pN" contracts) produces
+//    the mismatched-vocabulary streams that exercise alphabet pruning.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/types.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace ctdb::workload {
+
+/// \brief Draws event-pattern specifications: conjunctions of
+/// absence/response/precedence properties under before/after/between scopes,
+/// sampled uniformly. Degenerate draws (empty-language BA, tableau blow-up)
+/// are redrawn exactly like SpecGenerator.
+class EventSpecGenerator {
+ public:
+  EventSpecGenerator(const GeneratorOptions& options, uint64_t seed,
+                     Vocabulary* vocab, ltl::FormulaFactory* factory);
+
+  /// Draws the next specification.
+  Result<GeneratedSpec> Next();
+
+  /// Draws a single scoped event property (exposed for tests).
+  const ltl::Formula* DrawProperty();
+
+ private:
+  GeneratorOptions options_;
+  Rng rng_;
+  Vocabulary* vocab_;
+  ltl::FormulaFactory* factory_;
+  std::vector<EventId> events_;
+};
+
+/// Trace-generation configuration.
+struct TraceOptions {
+  /// Vocabulary the stream draws from: `prefix`1 .. `prefix`N. Using a
+  /// prefix no contract cites yields a mismatched-vocabulary stream.
+  size_t vocabulary_size = 20;
+  std::string prefix = "p";
+
+  /// Events per instant: uniform in [0, max_events_per_instant], so traces
+  /// mix silent instants with multi-event ones.
+  size_t max_events_per_instant = 3;
+};
+
+/// \brief Draws random event traces reproducibly from a seed.
+class TraceGenerator {
+ public:
+  TraceGenerator(const TraceOptions& options, uint64_t seed);
+
+  /// The event-name set of the next instant (distinct names, unordered).
+  std::vector<std::string> NextInstant();
+
+  /// The next `instants` instants as one monitor batch.
+  monitor::EventBatch NextBatch(size_t instants);
+
+ private:
+  TraceOptions options_;
+  Rng rng_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace ctdb::workload

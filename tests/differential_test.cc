@@ -96,6 +96,44 @@ TEST(DifferentialTest, DetectsBrokenMetamorphicTransform) {
   EXPECT_TRUE(AnyOracle(report, "metamorphic"));
 }
 
+MonitorDiffOptions SmallMonitorOptions() {
+  MonitorDiffOptions options;
+  options.seed = 7;
+  options.iters = 10;
+  return options;
+}
+
+TEST(MonitorDifferentialTest, CleanRunHasNoMismatches) {
+  const DiffReport report = RunMonitorDifferential(SmallMonitorOptions());
+  for (const DiffMismatch& m : report.mismatches) {
+    ADD_FAILURE() << FormatMismatch(m);
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.iterations, 10u);
+  EXPECT_GT(report.checks, 50u);
+}
+
+TEST(MonitorDifferentialTest, SameSeedReproducesSameCheckCount) {
+  const DiffReport a = RunMonitorDifferential(SmallMonitorOptions());
+  const DiffReport b = RunMonitorDifferential(SmallMonitorOptions());
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.mismatches.size(), b.mismatches.size());
+}
+
+TEST(MonitorDifferentialTest, DetectsFlippedNaiveVerdict) {
+  MonitorDiffOptions options = SmallMonitorOptions();
+  options.flip_naive = true;
+  const DiffReport report = RunMonitorDifferential(options);
+  ASSERT_FALSE(report.ok());
+  // The fault is injected into the naive oracle only, so exactly the
+  // incremental-vs-naive comparison — not the self-consistency oracles —
+  // must catch it.
+  EXPECT_TRUE(AnyOracle(report, "incremental-vs-naive"));
+  for (const DiffMismatch& m : report.mismatches) {
+    EXPECT_EQ(m.oracle, "incremental-vs-naive") << FormatMismatch(m);
+  }
+}
+
 TEST(DifferentialTest, MismatchCarriesReproductionSeed) {
   DiffOptions options = SmallOptions();
   options.faults.corrupt_batch = true;

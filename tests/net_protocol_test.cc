@@ -35,6 +35,15 @@ Request SampleRequest(MsgKind kind) {
       return Request::Unregister(13, 42);
     case MsgKind::kReplace:
       return Request::Replace(14, 42, "G !breach");
+    case MsgKind::kStreamOpen:
+      return Request::StreamOpen(15, "orders", /*as_of=*/23);
+    case MsgKind::kStreamAppend:
+      // The nesting extremes in one batch: an empty instant, a one-event
+      // instant, a multi-event instant with an empty name.
+      return Request::StreamAppend(16, "orders",
+                                   {{}, {"request"}, {"grant", "", "paid"}});
+    case MsgKind::kStreamClose:
+      return Request::StreamClose(17, "orders");
     case MsgKind::kResponse:
       break;
   }
@@ -92,6 +101,36 @@ std::vector<Response> SampleResponses() {
   replace.sequence = 58;
   all.push_back(replace);
 
+  Response stream_open;
+  stream_open.id = 15;
+  stream_open.request_kind = MsgKind::kStreamOpen;
+  stream_open.sequence = 23;
+  stream_open.tracked = 4;
+  all.push_back(stream_open);
+
+  Response stream_append;
+  stream_append.id = 16;
+  stream_append.request_kind = MsgKind::kStreamAppend;
+  stream_append.events = 3;
+  stream_append.stepped = 9;
+  stream_append.pruned = 3;
+  stream_append.verdicts = {{0, monitor::StreamVerdict::kSatisfied},
+                            {2, monitor::StreamVerdict::kViolated}};
+  all.push_back(stream_append);
+
+  Response stream_close;
+  stream_close.id = 17;
+  stream_close.request_kind = MsgKind::kStreamClose;
+  stream_close.events = 3;
+  stream_close.satisfied = 1;
+  stream_close.violated = 1;
+  stream_close.undetermined = 2;
+  stream_close.verdicts = {{0, monitor::StreamVerdict::kSatisfied},
+                           {1, monitor::StreamVerdict::kUndetermined},
+                           {2, monitor::StreamVerdict::kViolated},
+                           {3, monitor::StreamVerdict::kUndetermined}};
+  all.push_back(stream_close);
+
   all.push_back(Response::Error(Request::Query(13, "bad (("),
                                 Status::InvalidArgument("parse error")));
   all.push_back(
@@ -104,7 +143,8 @@ TEST(NetProtocolTest, RequestPayloadRoundTripsEveryKind) {
   for (MsgKind kind :
        {MsgKind::kRegister, MsgKind::kRegisterBatch, MsgKind::kQuery,
         MsgKind::kQueryBatch, MsgKind::kCheckpoint, MsgKind::kStats,
-        MsgKind::kUnregister, MsgKind::kReplace}) {
+        MsgKind::kUnregister, MsgKind::kReplace, MsgKind::kStreamOpen,
+        MsgKind::kStreamAppend, MsgKind::kStreamClose}) {
     const Request request = SampleRequest(kind);
     const std::string payload = EncodeRequestPayload(request);
     Request decoded;
@@ -252,7 +292,8 @@ TEST(NetProtocolTest, TrailingGarbageIsCorrupt) {
 TEST(NetProtocolTest, TruncatedPayloadsAreCorrupt) {
   for (MsgKind kind :
        {MsgKind::kRegister, MsgKind::kRegisterBatch, MsgKind::kQuery,
-        MsgKind::kQueryBatch}) {
+        MsgKind::kQueryBatch, MsgKind::kStreamOpen, MsgKind::kStreamAppend,
+        MsgKind::kStreamClose}) {
     const std::string payload = EncodeRequestPayload(SampleRequest(kind));
     for (size_t cut = 0; cut < payload.size(); ++cut) {
       Request request;
@@ -302,11 +343,59 @@ TEST(NetProtocolTest, UnknownKindAndBadStatusCodeAreCorrupt) {
   EXPECT_TRUE(DecodeResponsePayload(resp, &bad).IsCorruption());
 }
 
-TEST(NetProtocolTest, IsRequestKindCoversExactlyTheEightOperations) {
+TEST(NetProtocolTest, IsRequestKindCoversExactlyTheElevenOperations) {
   for (int kind = 0; kind < 256; ++kind) {
-    const bool expected = kind >= 1 && kind <= 8;
+    const bool expected = kind >= 1 && kind <= 11;
     EXPECT_EQ(IsRequestKind(static_cast<uint8_t>(kind)), expected) << kind;
   }
+}
+
+TEST(NetProtocolTest, OutOfRangeVerdictByteIsCorrupt) {
+  // The verdict list is the one enum-carrying body: a byte past kViolated
+  // (2) must be rejected, not cast through. Both verdict-bearing response
+  // shapes end with a verdict entry, so the last byte IS a verdict byte.
+  for (const Response& response : SampleResponses()) {
+    if (response.verdicts.empty()) continue;
+    std::string payload = EncodeResponsePayload(response);
+    payload.back() = '\x03';
+    Response decoded;
+    EXPECT_TRUE(DecodeResponsePayload(payload, &decoded).IsCorruption())
+        << "request_kind " << static_cast<int>(response.request_kind);
+  }
+}
+
+TEST(NetProtocolTest, TruncatedStreamResponsesAreCorrupt) {
+  for (const Response& response : SampleResponses()) {
+    if (response.request_kind != MsgKind::kStreamOpen &&
+        response.request_kind != MsgKind::kStreamAppend &&
+        response.request_kind != MsgKind::kStreamClose) {
+      continue;
+    }
+    const std::string payload = EncodeResponsePayload(response);
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      Response decoded;
+      const Status status = DecodeResponsePayload(
+          std::string_view(payload).substr(0, cut), &decoded);
+      EXPECT_TRUE(status.IsCorruption())
+          << "kind " << static_cast<int>(response.request_kind) << " cut "
+          << cut << ": " << status.ToString();
+    }
+  }
+}
+
+TEST(NetProtocolTest, HostileVerdictCountIsRejectedWithoutAllocating) {
+  // A stream-append response claiming 2^31 verdict entries backed by
+  // nothing: the CountFits guard must reject before resizing.
+  Response response;
+  response.id = 16;
+  response.request_kind = MsgKind::kStreamAppend;
+  response.events = 1;
+  std::string payload = EncodeResponsePayload(response);
+  // The payload ends with the u32 verdict count (0); replace it.
+  payload.resize(payload.size() - 4);
+  payload += {'\0', '\0', '\0', '\x80'};  // count = 0x80000000
+  Response decoded;
+  EXPECT_TRUE(DecodeResponsePayload(payload, &decoded).IsCorruption());
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "broker/durable.h"
+#include "shard/sharded.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "testing/temp_dir.h"
@@ -161,6 +162,108 @@ TEST(ServerIntegrationTest, LifecycleOperationsAndTimeTravelRoundTrip) {
   auto missing = client->Call(Request::Replace(9, 42, "F pay"));
   ASSERT_TRUE(missing.ok());
   EXPECT_TRUE(missing->status().IsNotFound());
+}
+
+TEST(ServerIntegrationTest, StreamOperationsRoundTrip) {
+  TempDir dir("net");
+  Harness harness(dir.path());
+  auto client = harness.Connect();
+
+  ASSERT_TRUE(client->Call(Request::Register(1, "pay", "F paid"))
+                  ->status().ok());
+  ASSERT_TRUE(client->Call(Request::Register(2, "safe", "G !breach"))
+                  ->status().ok());
+
+  auto opened = client->Call(Request::StreamOpen(3, "orders"));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ASSERT_TRUE(opened->status().ok()) << opened->message;
+  EXPECT_EQ(opened->request_kind, MsgKind::kStreamOpen);
+  EXPECT_EQ(opened->sequence, 2u);  // pinned at the second mutation's clock
+  EXPECT_EQ(opened->tracked, 2u);
+
+  // A duplicate open and appends to unknown streams come back as error
+  // responses, not hangups.
+  auto dup = client->Call(Request::StreamOpen(4, "orders"));
+  ASSERT_TRUE(dup.ok());
+  EXPECT_TRUE(dup->status().IsAlreadyExists());
+  auto missing = client->Call(Request::StreamAppend(5, "ghost", {{"paid"}}));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->status().IsNotFound());
+
+  auto append = client->Call(
+      Request::StreamAppend(6, "orders", {{"paid"}, {"breach"}}));
+  ASSERT_TRUE(append.ok()) << append.status().ToString();
+  ASSERT_TRUE(append->status().ok()) << append->message;
+  EXPECT_EQ(append->request_kind, MsgKind::kStreamAppend);
+  EXPECT_EQ(append->events, 2u);
+  EXPECT_GT(append->stepped, 0u);
+  ASSERT_EQ(append->verdicts.size(), 2u);
+  EXPECT_EQ(append->verdicts[0].contract_id, 0u);
+  EXPECT_EQ(append->verdicts[0].verdict, monitor::StreamVerdict::kSatisfied);
+  EXPECT_EQ(append->verdicts[1].contract_id, 1u);
+  EXPECT_EQ(append->verdicts[1].verdict, monitor::StreamVerdict::kViolated);
+
+  auto closed = client->Call(Request::StreamClose(7, "orders"));
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  ASSERT_TRUE(closed->status().ok()) << closed->message;
+  EXPECT_EQ(closed->request_kind, MsgKind::kStreamClose);
+  EXPECT_EQ(closed->events, 2u);
+  EXPECT_EQ(closed->satisfied, 1u);
+  EXPECT_EQ(closed->violated, 1u);
+  EXPECT_EQ(closed->undetermined, 0u);
+  EXPECT_EQ(closed->verdicts.size(), 2u);
+  // Closed means closed: the name is gone, then free for reuse.
+  EXPECT_TRUE(client->Call(Request::StreamClose(8, "orders"))
+                  ->status().IsNotFound());
+  EXPECT_TRUE(client->Call(Request::StreamOpen(9, "orders"))->status().ok());
+}
+
+TEST(ServerIntegrationTest, ShardedStreamOverTheWire) {
+  TempDir dir("net");
+  broker::DatabaseOptions topology;
+  topology.shards = 2;
+  auto sharded =
+      shard::ShardedDatabase::Open(dir.path(), FastDurability(), topology);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  auto started = Server::Start(sharded->get());
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  auto client = Client::Connect("127.0.0.1", (*started)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_TRUE((*client)
+                    ->Call(Request::Register(static_cast<uint64_t>(c + 1),
+                                             "c" + std::to_string(c),
+                                             c % 2 ? "G !breach" : "F paid"))
+                    ->status().ok());
+  }
+  auto opened = (*client)->Call(Request::StreamOpen(5, "s"));
+  ASSERT_TRUE(opened.ok());
+  ASSERT_TRUE(opened->status().ok()) << opened->message;
+  EXPECT_EQ(opened->tracked, 4u);
+
+  // One batch moves every contract; deltas arrive merged by global id.
+  auto append = (*client)->Call(
+      Request::StreamAppend(6, "s", {{"paid", "breach"}}));
+  ASSERT_TRUE(append.ok());
+  ASSERT_TRUE(append->status().ok()) << append->message;
+  ASSERT_EQ(append->verdicts.size(), 4u);
+  for (size_t i = 0; i < append->verdicts.size(); ++i) {
+    EXPECT_EQ(append->verdicts[i].contract_id, i);
+    EXPECT_EQ(append->verdicts[i].verdict,
+              i % 2 ? monitor::StreamVerdict::kViolated
+                    : monitor::StreamVerdict::kSatisfied);
+  }
+
+  auto closed = (*client)->Call(Request::StreamClose(7, "s"));
+  ASSERT_TRUE(closed.ok());
+  ASSERT_TRUE(closed->status().ok()) << closed->message;
+  EXPECT_EQ(closed->satisfied, 2u);
+  EXPECT_EQ(closed->violated, 2u);
+  EXPECT_EQ(closed->verdicts.size(), 4u);
+
+  EXPECT_TRUE((*started)->Shutdown().ok());
+  EXPECT_TRUE((*sharded)->Close().ok());
 }
 
 TEST(ServerIntegrationTest, BadQueryComesBackAsErrorResponseNotHangup) {

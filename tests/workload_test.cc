@@ -6,6 +6,7 @@
 
 #include "automata/ops.h"
 #include "ltl/parser.h"
+#include "workload/events.h"
 #include "workload/spec.h"
 
 namespace ctdb::workload {
@@ -131,6 +132,76 @@ TEST(DatasetTest, GenerateDatasetProducesRequestedCount) {
   std::set<std::string> distinct;
   for (const auto& s : *specs) distinct.insert(s.text);
   EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(EventWorkloadTest, EventSpecsDeterministicForEqualSeeds) {
+  GeneratorOptions options;
+  options.properties = 2;
+  Vocabulary v1;
+  ltl::FormulaFactory f1;
+  EventSpecGenerator g1(options, 42, &v1, &f1);
+  Vocabulary v2;
+  ltl::FormulaFactory f2;
+  EventSpecGenerator g2(options, 42, &v2, &f2);
+  for (int i = 0; i < 5; ++i) {
+    auto a = g1.Next();
+    auto b = g2.Next();
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->text, b->text);
+  }
+}
+
+TEST(EventWorkloadTest, EventSpecsAreSatisfiableAndParseBack) {
+  GeneratorOptions options;
+  options.properties = 2;
+  Vocabulary v;
+  ltl::FormulaFactory f;
+  EventSpecGenerator g(options, 7, &v, &f);
+  for (int i = 0; i < 8; ++i) {
+    auto spec = g.Next();
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    // Next() redraws degenerate conjunctions: the BA has a model.
+    EXPECT_FALSE(automata::IsEmptyLanguage(spec->automaton)) << spec->text;
+    auto reparsed = ltl::Parse(spec->text, &f, &v);
+    ASSERT_TRUE(reparsed.ok()) << spec->text;
+  }
+}
+
+TEST(EventWorkloadTest, TracesDeterministicAndBounded) {
+  TraceOptions options;
+  options.vocabulary_size = 9;
+  options.max_events_per_instant = 3;
+  TraceGenerator g1(options, 5);
+  TraceGenerator g2(options, 5);
+  const monitor::EventBatch a = g1.NextBatch(64);
+  const monitor::EventBatch b = g2.NextBatch(64);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 64u);
+  for (const std::vector<std::string>& instant : a) {
+    EXPECT_LE(instant.size(), options.max_events_per_instant);
+    std::set<std::string> distinct(instant.begin(), instant.end());
+    EXPECT_EQ(distinct.size(), instant.size());  // no duplicate names
+    for (const std::string& name : instant) {
+      EXPECT_EQ(name.rfind("p", 0), 0u) << name;
+    }
+  }
+}
+
+TEST(EventWorkloadTest, TracePrefixMakesMismatchedVocabularies) {
+  TraceOptions options;
+  options.prefix = "z";
+  TraceGenerator g(options, 11);
+  // Collect until a nonempty instant shows up; every drawn name must carry
+  // the foreign prefix, so such a stream shares no event with "p"-contracts.
+  bool saw_event = false;
+  for (int i = 0; i < 64 && !saw_event; ++i) {
+    for (const std::string& name : g.NextInstant()) {
+      saw_event = true;
+      EXPECT_EQ(name.rfind("z", 0), 0u) << name;
+    }
+  }
+  EXPECT_TRUE(saw_event);
 }
 
 }  // namespace

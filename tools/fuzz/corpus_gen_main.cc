@@ -3,7 +3,7 @@
 // instead of rotting when a format evolves (as the v2 WAL payload and the
 // lifecycle wire extensions did). Deterministic: same binary → same bytes.
 //
-//   ctdb_corpus_gen <corpus-root>     # writes <root>/protocol and <root>/wal
+//   ctdb_corpus_gen <corpus-root>  # writes <root>/{protocol,stream,wal}
 //
 // Parser and serialize seeds are plain text / stable formats and are left
 // alone. Exit status: 0 on success, 1 on any I/O failure, 2 on bad usage.
@@ -129,6 +129,71 @@ void GenerateProtocol(const std::filesystem::path& dir) {
                 ctdb::Status::Unavailable("draining"))));
 }
 
+void GenerateStream(const std::filesystem::path& dir) {
+  using namespace ctdb::net;
+
+  // Requests: every stream body shape, including the nesting extremes the
+  // fuzzer should mutate from (empty batch, empty instant, multi-event).
+  WriteSeed(dir, "stream_open",
+            EncodeRequestFrame(Request::StreamOpen(1, "orders")));
+  WriteSeed(dir, "stream_open_as_of",
+            EncodeRequestFrame(Request::StreamOpen(2, "orders", 17)));
+  WriteSeed(dir, "stream_append",
+            EncodeRequestFrame(Request::StreamAppend(
+                3, "orders", {{"request"}, {}, {"grant", "paid"}})));
+  WriteSeed(dir, "stream_append_empty",
+            EncodeRequestFrame(Request::StreamAppend(4, "orders", {})));
+  WriteSeed(dir, "stream_close",
+            EncodeRequestFrame(Request::StreamClose(5, "orders")));
+  WriteSeed(dir, "payload_stream_append",
+            EncodeRequestPayload(Request::StreamAppend(
+                6, "orders", {{"p1", "p2"}, {"p3"}})));
+
+  // A pipelined open → append → close exchange.
+  WriteSeed(dir, "stream_lifecycle",
+            EncodeRequestFrame(Request::StreamOpen(7, "s")) +
+                EncodeRequestFrame(
+                    Request::StreamAppend(8, "s", {{"p1"}, {"p2"}})) +
+                EncodeRequestFrame(Request::StreamClose(9, "s")));
+
+  // Responses: one seed per stream body shape.
+  Response response;
+  response.id = 1;
+  response.request_kind = MsgKind::kStreamOpen;
+  response.sequence = 12;
+  response.tracked = 3;
+  WriteSeed(dir, "response_stream_open", EncodeResponseFrame(response));
+
+  response = Response();
+  response.id = 3;
+  response.request_kind = MsgKind::kStreamAppend;
+  response.events = 3;
+  response.stepped = 7;
+  response.pruned = 2;
+  response.verdicts = {{0, ctdb::monitor::StreamVerdict::kSatisfied},
+                       {2, ctdb::monitor::StreamVerdict::kViolated}};
+  WriteSeed(dir, "response_stream_append", EncodeResponseFrame(response));
+  WriteSeed(dir, "payload_response_stream_append",
+            EncodeResponsePayload(response));
+
+  response = Response();
+  response.id = 5;
+  response.request_kind = MsgKind::kStreamClose;
+  response.events = 3;
+  response.satisfied = 1;
+  response.violated = 1;
+  response.undetermined = 1;
+  response.verdicts = {{0, ctdb::monitor::StreamVerdict::kSatisfied},
+                       {1, ctdb::monitor::StreamVerdict::kUndetermined},
+                       {2, ctdb::monitor::StreamVerdict::kViolated}};
+  WriteSeed(dir, "response_stream_close", EncodeResponseFrame(response));
+
+  WriteSeed(dir, "response_stream_error",
+            EncodeResponseFrame(Response::Error(
+                Request::StreamAppend(10, "gone", {{"p1"}}),
+                ctdb::Status::NotFound("no open stream named 'gone'"))));
+}
+
 void GenerateWal(const std::filesystem::path& dir) {
   using namespace ctdb::wal;
   const std::string magic(kSegmentMagic);
@@ -175,8 +240,10 @@ int main(int argc, char** argv) {
   const std::filesystem::path root = argv[1];
   std::error_code ec;
   std::filesystem::create_directories(root / "protocol", ec);
+  std::filesystem::create_directories(root / "stream", ec);
   std::filesystem::create_directories(root / "wal", ec);
   GenerateProtocol(root / "protocol");
+  GenerateStream(root / "stream");
   GenerateWal(root / "wal");
   return g_failed ? 1 : 0;
 }

@@ -7,10 +7,15 @@
 // LTL rewrites. With --lifecycle it instead fuzzes the contract lifecycle:
 // random Register / Unregister / Replace streams whose QueryAsOf(s) answers
 // are cross-checked against fresh databases built from the prefix at s
-// (testing/differential.h, RunLifecycleDifferential). Any mismatch prints a
-// single seed that reproduces it:
+// (testing/differential.h, RunLifecycleDifferential). With --monitor it
+// fuzzes the streaming compliance monitor: random event-pattern contracts
+// driven over random traces, incremental stepper verdicts cross-checked
+// against a naive set-based recomputation, batched vs. single appends,
+// pruning on vs. off, and violated verdicts against ltl::Evaluate on random
+// lasso extensions (RunMonitorDifferential). Any mismatch prints a single
+// seed that reproduces it:
 //
-//   ctdb_diff_fuzz [--lifecycle] --iters=1 --seed=<seed>
+//   ctdb_diff_fuzz [--lifecycle|--monitor] --iters=1 --seed=<seed>
 //
 // Exit status: 0 when all checks agree, 1 on any mismatch, 2 on bad usage.
 
@@ -31,7 +36,8 @@ void Usage(const char* argv0) {
                "          [--queries=N] [--query-patterns=N] [--vocab=N] "
                "[--threads=N]\n"
                "          [--words-per-formula=N] [--max-mismatches=N]\n"
-               "          [--lifecycle] [--mutations=N] [--sample-ticks=N]\n",
+               "          [--lifecycle] [--mutations=N] [--sample-ticks=N]\n"
+               "          [--monitor] [--batches=N] [--batch-events=N]\n",
                argv0);
 }
 
@@ -48,24 +54,32 @@ bool ParseFlag(const char* arg, const char* name, uint64_t* out) {
 int main(int argc, char** argv) {
   ctdb::testing::DiffOptions options;
   ctdb::testing::LifecycleDiffOptions lifecycle_options;
+  ctdb::testing::MonitorDiffOptions monitor_options;
   bool lifecycle = false;
+  bool monitor = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     uint64_t value = 0;
     if (std::strcmp(arg, "--lifecycle") == 0) {
       lifecycle = true;
+    } else if (std::strcmp(arg, "--monitor") == 0) {
+      monitor = true;
     } else if (ParseFlag(arg, "--iters", &value)) {
       options.iters = value;
       lifecycle_options.iters = value;
+      monitor_options.iters = value;
     } else if (ParseFlag(arg, "--seed", &value)) {
       options.seed = value;
       lifecycle_options.seed = value;
+      monitor_options.seed = value;
     } else if (ParseFlag(arg, "--contracts", &value)) {
       options.contracts = value;
+      monitor_options.contracts = value;
     } else if (ParseFlag(arg, "--contract-patterns", &value)) {
       options.contract_patterns = value;
       lifecycle_options.contract_patterns = value;
+      monitor_options.contract_patterns = value;
     } else if (ParseFlag(arg, "--queries", &value)) {
       options.queries = value;
       lifecycle_options.queries = value;
@@ -75,6 +89,7 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "--vocab", &value)) {
       options.vocabulary_size = value;
       lifecycle_options.vocabulary_size = value;
+      monitor_options.vocabulary_size = value;
     } else if (ParseFlag(arg, "--threads", &value)) {
       options.threads = value;
     } else if (ParseFlag(arg, "--words-per-formula", &value)) {
@@ -82,18 +97,35 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "--max-mismatches", &value)) {
       options.max_mismatches = value;
       lifecycle_options.max_mismatches = value;
+      monitor_options.max_mismatches = value;
     } else if (ParseFlag(arg, "--mutations", &value)) {
       lifecycle_options.mutations = value;
     } else if (ParseFlag(arg, "--sample-ticks", &value)) {
       lifecycle_options.sample_ticks = value;
+    } else if (ParseFlag(arg, "--batches", &value)) {
+      monitor_options.batches = value;
+    } else if (ParseFlag(arg, "--batch-events", &value)) {
+      monitor_options.batch_events = value;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg);
       Usage(argv[0]);
       return 2;
     }
   }
+  if (lifecycle && monitor) {
+    std::fprintf(stderr, "--lifecycle and --monitor are mutually exclusive\n");
+    Usage(argv[0]);
+    return 2;
+  }
 
-  if (lifecycle) {
+  if (monitor) {
+    std::printf(
+        "ctdb_diff_fuzz --monitor: %zu iterations from seed %" PRIu64
+        " (%zu contracts, %zu batches x %zu events, vocab %zu)\n",
+        monitor_options.iters, monitor_options.seed, monitor_options.contracts,
+        monitor_options.batches, monitor_options.batch_events,
+        monitor_options.vocabulary_size);
+  } else if (lifecycle) {
     std::printf(
         "ctdb_diff_fuzz --lifecycle: %zu iterations from seed %" PRIu64
         " (%zu mutations, %zu queries, vocab %zu)\n",
@@ -109,8 +141,10 @@ int main(int argc, char** argv) {
   }
 
   const ctdb::testing::DiffReport report =
-      lifecycle ? ctdb::testing::RunLifecycleDifferential(lifecycle_options)
-                : ctdb::testing::RunDifferential(options);
+      monitor ? ctdb::testing::RunMonitorDifferential(monitor_options)
+      : lifecycle
+          ? ctdb::testing::RunLifecycleDifferential(lifecycle_options)
+          : ctdb::testing::RunDifferential(options);
 
   for (const auto& mismatch : report.mismatches) {
     std::fprintf(stderr, "%s\n",

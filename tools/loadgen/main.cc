@@ -38,6 +38,7 @@
 
 #include "base/vocabulary.h"
 #include "ltl/formula.h"
+#include "monitor/types.h"
 #include "net/client.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
@@ -67,6 +68,11 @@ struct Options {
   /// non-zero, a quarter of single queries also time-travel (random as_of
   /// up to the latest lifecycle clock the worker observed).
   size_t lifecycle_pct = 0;
+  /// Stream band: each worker keeps one monitor stream open ("lg-stream-N")
+  /// and spends this share of its operations appending random event batches
+  /// to it (occasionally closing and reopening, so the server's open/close
+  /// paths stay hot). Streams are closed at the end of the run.
+  size_t stream_pct = 0;
   size_t batch_size = 4;
   uint64_t seed = 0xC7DB;
   std::string metrics_out;
@@ -78,6 +84,8 @@ struct Tally {
   std::atomic<uint64_t> unavailable{0};
   std::atomic<uint64_t> errors{0};           ///< non-OK, non-Unavailable
   std::atomic<uint64_t> protocol_errors{0};  ///< transport/decode failures
+  std::atomic<uint64_t> stream_events{0};    ///< events appended to streams
+  std::atomic<uint64_t> stream_verdicts{0};  ///< verdict deltas received
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -93,7 +101,8 @@ int Usage(const char* argv0) {
       "usage: %s --port=PORT [--host=127.0.0.1] [--connections=8]\n"
       "          [--duration-s=10] [--qps=0 (closed loop)] [--contracts=50]\n"
       "          [--register-pct=10] [--query-batch-pct=20] [--seed=N]\n"
-      "          [--lifecycle-mix[=PCT]] [--metrics-out=PATH]\n",
+      "          [--lifecycle-mix[=PCT]] [--stream-mix[=PCT]]\n"
+      "          [--metrics-out=PATH]\n",
       argv0);
   return 2;
 }
@@ -193,6 +202,20 @@ void Worker(const Options& options, const Traffic& traffic, size_t index,
   // and the latest system-period clock it observed in a lifecycle response.
   std::vector<uint32_t> owned;
   uint64_t max_clock = 0;
+  // Stream state: one named monitor stream per worker.
+  const std::string stream_name = ctdb::StringFormat("lg-stream-%zu", index);
+  bool stream_open = false;
+  auto random_batch = [&rng, &options]() {
+    ctdb::monitor::EventBatch batch(1 + rng.Uniform(4));
+    for (std::vector<std::string>& instant : batch) {
+      const size_t events = rng.Uniform(4);
+      for (size_t i = 0; i < events; ++i) {
+        instant.push_back(
+            "p" + std::to_string(1 + rng.Uniform(options.vocabulary)));
+      }
+    }
+    return batch;
+  };
 
   while (Clock::now() < deadline) {
     if (open_loop) {
@@ -203,8 +226,10 @@ void Worker(const Options& options, const Traffic& traffic, size_t index,
 
     Request request;
     bool track_register = false;
+    uint64_t appended = 0;
     const size_t dice = rng.Uniform(100);
     const size_t lifecycle_band = options.register_pct + options.lifecycle_pct;
+    const size_t stream_band = lifecycle_band + options.stream_pct;
     const bool want_register = dice < options.register_pct ||
                                (dice < lifecycle_band && owned.empty());
     if (want_register && !traffic.contracts.empty()) {
@@ -227,7 +252,19 @@ void Worker(const Options& options, const Traffic& traffic, size_t index,
             next_id++, owned[pick],
             traffic.contracts[rng.Uniform(traffic.contracts.size())]);
       }
-    } else if (dice < lifecycle_band + options.query_batch_pct) {
+    } else if (dice < stream_band) {
+      if (!stream_open) {
+        request = Request::StreamOpen(next_id++, stream_name);
+      } else if (rng.Chance(0.05)) {
+        // Occasionally cycle the stream so close/reopen stays exercised.
+        request = Request::StreamClose(next_id++, stream_name);
+      } else {
+        ctdb::monitor::EventBatch batch = random_batch();
+        appended = batch.size();
+        request =
+            Request::StreamAppend(next_id++, stream_name, std::move(batch));
+      }
+    } else if (dice < stream_band + options.query_batch_pct) {
       std::vector<std::string> batch;
       batch.reserve(options.batch_size);
       for (size_t i = 0; i < options.batch_size; ++i) {
@@ -259,9 +296,34 @@ void Worker(const Options& options, const Traffic& traffic, size_t index,
           result->request_kind == ctdb::net::MsgKind::kReplace) {
         max_clock = std::max(max_clock, result->sequence);
       }
+      switch (result->request_kind) {
+        case ctdb::net::MsgKind::kStreamOpen:
+          stream_open = true;
+          break;
+        case ctdb::net::MsgKind::kStreamClose:
+          stream_open = false;
+          break;
+        case ctdb::net::MsgKind::kStreamAppend:
+          tally->stream_events.fetch_add(appended, std::memory_order_relaxed);
+          tally->stream_verdicts.fetch_add(result->verdicts.size(),
+                                           std::memory_order_relaxed);
+          break;
+        default:
+          break;
+      }
+    } else if (result->request_kind == ctdb::net::MsgKind::kStreamOpen &&
+               result->code == ctdb::StatusCode::kAlreadyExists) {
+      stream_open = true;  // a previous open's response was tallied as lost
     }
 
     if (open_loop) scheduled += interval;
+  }
+
+  // Leave no stream behind: the final summary also covers StreamClose when
+  // the 5% in-loop close never fired.
+  if (stream_open) {
+    RecordOutcome((*client)->Call(Request::StreamClose(next_id++, stream_name)),
+                  tally);
   }
 }
 
@@ -344,6 +406,10 @@ int main(int argc, char** argv) {
       options.lifecycle_pct = 20;
     } else if (ParseFlag(arg, "--lifecycle-mix", &value)) {
       options.lifecycle_pct = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (std::strcmp(arg, "--stream-mix") == 0) {
+      options.stream_pct = 20;
+    } else if (ParseFlag(arg, "--stream-mix", &value)) {
+      options.stream_pct = static_cast<size_t>(std::atol(value.c_str()));
     } else if (ParseFlag(arg, "--batch-size", &value)) {
       options.batch_size = static_cast<size_t>(std::atol(value.c_str()));
     } else if (ParseFlag(arg, "--seed", &value)) {
@@ -396,6 +462,8 @@ int main(int argc, char** argv) {
       << "  \"unavailable\": " << tally.unavailable.load() << ",\n"
       << "  \"errors\": " << tally.errors.load() << ",\n"
       << "  \"protocol_errors\": " << tally.protocol_errors.load() << ",\n"
+      << "  \"stream_events\": " << tally.stream_events.load() << ",\n"
+      << "  \"stream_verdicts\": " << tally.stream_verdicts.load() << ",\n"
       << "  \"qps\": " << (elapsed > 0 ? requests / elapsed : 0) << ",\n"
       << "  \"latency_us\": {\n"
       << "    \"p50\": " << latency->PercentileUpperBound(0.5) << ",\n"
